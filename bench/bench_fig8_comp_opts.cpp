@@ -1,0 +1,105 @@
+// Reproduces paper Fig 8: likelihood_comp kernel time under the two
+// optimizations — baseline, shared-memory only, new-score-table only, and
+// both ("optimized").  Sorting is excluded (the optimizations don't apply).
+//
+// Expected shape: optimized ~2.4x over baseline; shared memory alone brings
+// the baseline to ~55%, the new table alone to ~78%.
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "src/core/kernels.hpp"
+#include "src/core/likelihood.hpp"
+#include "src/core/window.hpp"
+#include "src/device/perf_model.hpp"
+#include "src/reads/alignment.hpp"
+
+using namespace gsnp;
+using namespace gsnp::bench;
+
+namespace {
+
+/// Load the whole dataset into sorted per-site base_word windows.
+std::vector<core::BaseWordWindow> sorted_windows(const Dataset& data,
+                                                 u32 window_size) {
+  std::vector<core::BaseWordWindow> windows;
+  auto reader = std::make_shared<reads::AlignmentReader>(data.align_file);
+  core::WindowLoader loader([reader] { return reader->next(); },
+                            data.ref.size(), window_size);
+  core::WindowRecords win;
+  core::WindowObs obs;
+  std::vector<core::SiteStats> stats;
+  while (loader.next(win)) {
+    core::BaseWordWindow sparse(0);
+    core::count_window(win, obs, stats, nullptr, &sparse);
+    core::likelihood_sort_cpu(sparse);
+    windows.push_back(std::move(sparse));
+  }
+  return windows;
+}
+
+core::PMatrix train_pmatrix(const Dataset& data) {
+  core::PMatrixCounter counter;
+  reads::AlignmentReader reader(data.align_file);
+  while (auto rec = reader.next()) {
+    if (rec->hit_count != 1) continue;
+    for (u64 p = rec->pos; p < rec->pos + rec->length; ++p) {
+      const u8 r = data.ref.base(p);
+      if (r >= kNumBases) continue;
+      reads::SiteObservation so;
+      if (reads::observe_site(*rec, p, so))
+        counter.add(so.quality, so.coord, r, so.base);
+    }
+  }
+  return core::finalize_p_matrix(counter);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 chr1_sites = flag_u64(argc, argv, "--chr1-sites", 120'000);
+  print_banner("bench_fig8_comp_opts",
+               "Fig 8: likelihood_comp with/without shared memory and the "
+               "new score table",
+               "Modeled M2050 seconds from measured kernel operation counts; "
+               "sorting excluded as in the paper.");
+  const fs::path dir = bench_dir("fig8");
+  const device::PerfModel model;
+
+  const struct {
+    const char* name;
+    core::SparseKernelOpts opts;
+  } kVariants[] = {
+      {"baseline", {false, false}},
+      {"w/ shared", {true, false}},
+      {"w/ new table", {false, true}},
+      {"optimized", {true, true}},
+  };
+
+  for (const auto& spec : {ch1_spec(chr1_sites), ch21_spec(chr1_sites)}) {
+    const Dataset data = make_dataset(spec, dir);
+    const core::PMatrix pm = train_pmatrix(data);
+    const core::NewPMatrix npm(pm);
+    device::Device dev;
+    const core::DeviceScoreTables tables(dev, pm, npm);
+    const auto windows = sorted_windows(data, 65'536);
+
+    std::printf("\n%s:\n", spec.name.c_str());
+    std::printf("%-14s %12s %12s\n", "variant", "time(s)", "% of baseline");
+    double baseline = 0.0;
+    for (const auto& variant : kVariants) {
+      const auto before = dev.counters();
+      for (const auto& window : windows)
+        (void)core::device_likelihood_sparse(dev, window, tables,
+                                             variant.opts);
+      const double seconds =
+          model.seconds(device::counters_delta(before, dev.counters()));
+      if (baseline == 0.0) baseline = seconds;
+      std::printf("%-14s %12.4f %11.0f%%\n", variant.name, seconds,
+                  100.0 * seconds / baseline);
+    }
+  }
+  print_paper_note("optimized ~2.4x over baseline; w/ shared -> ~55% of "
+                   "baseline; w/ new table -> ~78% of baseline");
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Reproduces paper Fig 9(b): output speed — compression (if any) plus the
+// file write — for SOAPsnp text, SOAPsnp text + gzip, GSNP_CPU (host
+// codecs), and GSNP (device RLE-DICT for the six quality columns, modeled).
+//
+// Expected shape: gzip ~3x slower than GSNP_CPU; GSNP ~3x faster than
+// GSNP_CPU; GSNP ~13-15x faster than plain SOAPsnp output.
+
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "src/common/timer.hpp"
+#include "src/compress/device_rledict.hpp"
+#include "src/compress/zlibwrap.hpp"
+#include "src/core/consistency.hpp"
+#include "src/core/output_codec.hpp"
+#include "src/device/perf_model.hpp"
+
+using namespace gsnp;
+using namespace gsnp::bench;
+
+namespace {
+
+void write_file(const fs::path& path, std::span<const u8> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 chr1_sites = flag_u64(argc, argv, "--chr1-sites", 150'000);
+  print_banner("bench_fig9b_output_speed",
+               "Fig 9(b): output speed (compression + write)",
+               "GSNP row = modeled device compression time + measured frame "
+               "build/write.");
+  const fs::path dir = bench_dir("fig9b");
+  const device::PerfModel model;
+
+  for (const auto& spec : {ch1_spec(chr1_sites), ch21_spec(chr1_sites)}) {
+    const Dataset data = make_dataset(spec, dir);
+    auto config = config_for(data, dir, "rows");
+    config.window_size = 65'536;
+    core::run_gsnp_cpu(config);
+    std::string seq_name;
+    const auto rows = core::read_snp_output(config.output_file, seq_name);
+    constexpr std::size_t kWindow = 65'536;
+
+    std::printf("\n%s (%zu rows):\n", spec.name.c_str(), rows.size());
+    std::printf("%-12s %10s %12s\n", "scheme", "time(s)", "bytes");
+
+    double soapsnp_time = 0.0;
+    {  // SOAPsnp: text conversion + write.
+      Timer t;
+      core::SnpTextWriter writer(dir / "out.txt", seq_name);
+      for (std::size_t i = 0; i < rows.size(); i += kWindow)
+        writer.write_window(
+            {rows.data() + i, std::min(kWindow, rows.size() - i)});
+      const u64 bytes = writer.finish();
+      soapsnp_time = t.seconds();
+      std::printf("%-12s %10.3f %12llu\n", "SOAPsnp", soapsnp_time,
+                  static_cast<unsigned long long>(bytes));
+    }
+    {  // SOAPsnp + gzip.
+      Timer t;
+      std::string text;
+      for (const auto& row : rows) {
+        text += core::format_snp_row(seq_name, row);
+        text += '\n';
+      }
+      const auto packed = compress::zlib_compress(
+          std::span<const u8>(reinterpret_cast<const u8*>(text.data()),
+                              text.size()));
+      write_file(dir / "out.txt.gz", packed);
+      std::printf("%-12s %10.3f %12llu\n", "gzip", t.seconds(),
+                  static_cast<unsigned long long>(packed.size()));
+    }
+    double gsnp_cpu_time = 0.0;
+    {  // GSNP_CPU: host columnar codecs.
+      Timer t;
+      core::SnpOutputWriter writer(dir / "out.bin", seq_name);
+      const auto rle = core::host_rle_dict();
+      for (std::size_t i = 0; i < rows.size(); i += kWindow)
+        writer.write_window(
+            {rows.data() + i, std::min(kWindow, rows.size() - i)}, rle);
+      const u64 bytes = writer.finish();
+      gsnp_cpu_time = t.seconds();
+      std::printf("%-12s %10.3f %12llu\n", "GSNP_CPU", gsnp_cpu_time,
+                  static_cast<unsigned long long>(bytes));
+    }
+    {  // GSNP: device RLE-DICT (modeled) + host residue (measured).
+      device::Device dev;
+      double sim_wall = 0.0;
+      const core::RleDictFn rle = [&](std::span<const u32> col,
+                                      std::vector<u8>& out) {
+        const Timer t;
+        compress::device_encode_rle_dict(dev, col, out);
+        sim_wall += t.seconds();
+      };
+      Timer t;
+      core::SnpOutputWriter writer(dir / "out_dev.bin", seq_name);
+      for (std::size_t i = 0; i < rows.size(); i += kWindow)
+        writer.write_window(
+            {rows.data() + i, std::min(kWindow, rows.size() - i)}, rle);
+      const u64 bytes = writer.finish();
+      const double host_time = t.seconds() - sim_wall;
+      const double device_time = model.seconds(dev.counters());
+      const double total = host_time + device_time;
+      std::printf("%-12s %10.3f %12llu   (host %.3f + device %.3f)\n", "GSNP",
+                  total, static_cast<unsigned long long>(bytes), host_time,
+                  device_time);
+      std::printf("  speedups: GSNP vs SOAPsnp %.1fx, GSNP vs GSNP_CPU "
+                  "%.1fx\n",
+                  soapsnp_time / total, gsnp_cpu_time / total);
+    }
+  }
+  print_paper_note("gzip ~3x slower than GSNP_CPU; GSNP ~3x faster than "
+                   "GSNP_CPU and ~13-15x faster than SOAPsnp text output");
+  return 0;
+}

@@ -1,0 +1,223 @@
+// Google-benchmark microbenchmarks for the performance-critical primitives:
+// column codecs, bit I/O, the sorting strategies, and the likelihood inner
+// loops.  These are not paper figures; they guard against performance
+// regressions in the building blocks the figures depend on.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/bitio.hpp"
+#include "src/common/rng.hpp"
+#include "src/compress/codecs.hpp"
+#include "src/compress/zlibwrap.hpp"
+#include "src/core/base_word.hpp"
+#include "src/core/likelihood.hpp"
+#include "src/core/new_pmatrix.hpp"
+#include "src/core/pmatrix.hpp"
+#include "src/core/posterior.hpp"
+#include "src/core/ranksum.hpp"
+#include "src/reads/sam.hpp"
+#include "src/sortnet/multipass.hpp"
+
+namespace {
+
+using namespace gsnp;
+
+std::vector<u32> runny_column(std::size_t n) {
+  Rng rng(7);
+  std::vector<u32> column;
+  while (column.size() < n) {
+    const u32 v = static_cast<u32>(rng.uniform(60));
+    column.insert(column.end(), 1 + rng.uniform(20), v);
+  }
+  column.resize(n);
+  return column;
+}
+
+void BM_EncodeRleDict(benchmark::State& state) {
+  const auto column = runny_column(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    std::vector<u8> out;
+    compress::encode_rle_dict(column, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_EncodeRleDict)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_DecodeRleDict(benchmark::State& state) {
+  const auto column = runny_column(static_cast<std::size_t>(state.range(0)));
+  std::vector<u8> encoded;
+  compress::encode_rle_dict(column, encoded);
+  for (auto _ : state) {
+    std::size_t pos = 0;
+    benchmark::DoNotOptimize(compress::decode_rle_dict(encoded, pos));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DecodeRleDict)->Arg(1 << 12)->Arg(1 << 16);
+
+void BM_ZlibCompress(benchmark::State& state) {
+  const auto column = runny_column(static_cast<std::size_t>(state.range(0)));
+  const std::span<const u8> bytes(
+      reinterpret_cast<const u8*>(column.data()), column.size() * 4);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(compress::zlib_compress(bytes));
+  state.SetBytesProcessed(state.iterations() * bytes.size());
+}
+BENCHMARK(BM_ZlibCompress)->Arg(1 << 16);
+
+void BM_PackBases(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<u8> bases(static_cast<std::size_t>(state.range(0)));
+  for (auto& b : bases) b = static_cast<u8>(rng.uniform(4));
+  for (auto _ : state) {
+    std::vector<u8> out;
+    compress::pack_bases(bases, out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PackBases)->Arg(1 << 16);
+
+void BM_BitWriter(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<u32> values(4096);
+  for (auto& v : values) v = static_cast<u32>(rng.uniform(128));
+  for (auto _ : state) {
+    BitWriter bw;
+    for (const u32 v : values) bw.write(v, 7);
+    benchmark::DoNotOptimize(bw.finish());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_BitWriter);
+
+void BM_CpuBatchSort(benchmark::State& state) {
+  const auto original = sortnet::random_var_arrays(
+      static_cast<u64>(state.range(0)), 11.0, 120, 1u << 18, 9);
+  for (auto _ : state) {
+    sortnet::VarArrays va = original;
+    sortnet::sort_cpu_batch(va);
+    benchmark::DoNotOptimize(va.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<i64>(original.total_elements()));
+}
+BENCHMARK(BM_CpuBatchSort)->Arg(10'000);
+
+void BM_LikelihoodSparseSite(benchmark::State& state) {
+  const core::PMatrix pm = core::finalize_p_matrix(core::PMatrixCounter{});
+  const core::NewPMatrix npm(pm);
+  Rng rng(11);
+  std::vector<u32> words(static_cast<std::size_t>(state.range(0)));
+  for (auto& w : words) {
+    AlignedBase ab;
+    ab.base = static_cast<u8>(rng.uniform(4));
+    ab.quality = static_cast<u8>(rng.uniform(64));
+    ab.coord = static_cast<u16>(rng.uniform(100));
+    ab.strand = static_cast<Strand>(rng.uniform(2));
+    w = core::base_word_pack(ab);
+  }
+  std::sort(words.begin(), words.end());
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::likelihood_sparse_site(words, npm));
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_LikelihoodSparseSite)->Arg(10)->Arg(30)->Arg(100);
+
+void BM_BaseWordPackUnpack(benchmark::State& state) {
+  Rng rng(13);
+  std::vector<AlignedBase> obs(1024);
+  for (auto& ab : obs) {
+    ab.base = static_cast<u8>(rng.uniform(4));
+    ab.quality = static_cast<u8>(rng.uniform(64));
+    ab.coord = static_cast<u16>(rng.uniform(256));
+    ab.strand = static_cast<Strand>(rng.uniform(2));
+  }
+  for (auto _ : state) {
+    u64 sum = 0;
+    for (const auto& ab : obs)
+      sum += core::base_word_unpack(core::base_word_pack(ab)).coord;
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_BaseWordPackUnpack);
+
+void BM_SamParse(benchmark::State& state) {
+  gsnp::reads::AlignmentRecord rec;
+  rec.read_id = "r1";
+  rec.seq.assign(100, 'A');
+  rec.qual.assign(100, 'I');
+  rec.length = 100;
+  rec.chr_name = "chr1";
+  rec.pos = 12345;
+  const std::string line = gsnp::reads::format_sam_record(rec);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gsnp::reads::parse_sam_record(line));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SamParse);
+
+void BM_SoapParse(benchmark::State& state) {
+  gsnp::reads::AlignmentRecord rec;
+  rec.read_id = "r1";
+  rec.seq.assign(100, 'A');
+  rec.qual.assign(100, 'I');
+  rec.length = 100;
+  rec.chr_name = "chr1";
+  rec.pos = 12345;
+  const std::string line = gsnp::reads::format_alignment(rec);
+  for (auto _ : state)
+    benchmark::DoNotOptimize(gsnp::reads::parse_alignment(line));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SoapParse);
+
+void BM_RankSum(benchmark::State& state) {
+  Rng rng(3);
+  std::vector<u8> a(static_cast<std::size_t>(state.range(0)));
+  std::vector<u8> b(static_cast<std::size_t>(state.range(0)));
+  for (auto& v : a) v = static_cast<u8>(rng.uniform(64));
+  for (auto& v : b) v = static_cast<u8>(rng.uniform(64));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::rank_sum_p(a, b));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RankSum)->Arg(8)->Arg(32);
+
+void BM_Varint(benchmark::State& state) {
+  Rng rng(5);
+  std::vector<u64> values(4096);
+  for (auto& v : values) v = rng() >> static_cast<int>(rng.uniform(56));
+  for (auto _ : state) {
+    std::vector<u8> out;
+    for (const u64 v : values) varint_append(out, v);
+    std::size_t pos = 0;
+    u64 sum = 0;
+    for (std::size_t i = 0; i < values.size(); ++i)
+      sum += varint_read(out, pos);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_Varint);
+
+void BM_SelectGenotype(benchmark::State& state) {
+  Rng rng(7);
+  core::GenotypePriors prior;
+  core::TypeLikely tl;
+  for (auto& v : prior) v = -10.0 * rng.uniform_double();
+  for (auto& v : tl) v = -40.0 * rng.uniform_double();
+  for (auto _ : state)
+    benchmark::DoNotOptimize(core::select_genotype(prior, tl));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SelectGenotype);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,114 @@
+#include "bench_util.hpp"
+
+#include <cstdio>
+#include <cstring>
+
+namespace gsnp::bench {
+
+Dataset make_dataset(const DatasetSpec& spec, const fs::path& dir) {
+  fs::create_directories(dir);
+  Dataset data;
+
+  genome::GenomeSpec gspec;
+  gspec.name = spec.name;
+  gspec.length = spec.sites;
+  gspec.seed = spec.seed;
+  data.ref = genome::generate_reference(gspec);
+
+  genome::SnpPlantSpec pspec;
+  pspec.snp_rate = spec.snp_rate;
+  pspec.seed = spec.seed + 1;
+  data.snps = genome::plant_snps(data.ref, pspec);
+  const genome::Diploid individual(data.ref, data.snps);
+  data.dbsnp = genome::make_dbsnp(data.ref, data.snps, 0.002, spec.seed + 2);
+
+  reads::ReadSimSpec rspec;
+  rspec.depth = spec.depth;
+  rspec.mappable_fraction = spec.mappable;
+  rspec.seed = spec.seed + 3;
+  const auto records = reads::simulate_reads(individual, rspec);
+  data.num_reads = records.size();
+  data.stats = reads::compute_stats(records, data.ref.size());
+
+  data.align_file = dir / (spec.name + ".soap");
+  reads::write_alignment_file(data.align_file, records);
+  data.align_bytes = fs::file_size(data.align_file);
+  return data;
+}
+
+DatasetSpec ch1_spec(u64 chr1_sites) {
+  DatasetSpec spec;
+  spec.name = "chr1";
+  spec.sites = chr1_sites;
+  spec.depth = 11.0;  // paper Table II
+  spec.mappable = 0.88;
+  spec.seed = 101;
+  return spec;
+}
+
+DatasetSpec ch21_spec(u64 chr1_sites) {
+  DatasetSpec spec;
+  spec.name = "chr21";
+  spec.sites = static_cast<u64>(kCh21Ratio * static_cast<double>(chr1_sites));
+  spec.depth = 9.6;  // paper Table II
+  spec.mappable = 0.68;
+  spec.seed = 121;
+  return spec;
+}
+
+core::EngineConfig config_for(const Dataset& data, const fs::path& dir,
+                              const std::string& tag) {
+  core::EngineConfig config;
+  config.alignment_file = data.align_file;
+  config.reference = &data.ref;
+  config.dbsnp = &data.dbsnp;
+  config.temp_file = dir / (data.ref.name() + "." + tag + ".tmp");
+  config.output_file = dir / (data.ref.name() + "." + tag + ".out");
+  return config;
+}
+
+fs::path bench_dir(const std::string& bench_name) {
+  const fs::path dir = fs::temp_directory_path() / ("gsnp_" + bench_name);
+  fs::create_directories(dir);
+  return dir;
+}
+
+namespace {
+
+const char* find_flag(int argc, char** argv, const std::string& name) {
+  const std::string prefix = name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0)
+      return argv[i] + prefix.size();
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+u64 flag_u64(int argc, char** argv, const std::string& name, u64 fallback) {
+  const char* value = find_flag(argc, argv, name);
+  return value ? std::strtoull(value, nullptr, 10) : fallback;
+}
+
+double flag_double(int argc, char** argv, const std::string& name,
+                   double fallback) {
+  const char* value = find_flag(argc, argv, name);
+  return value ? std::strtod(value, nullptr) : fallback;
+}
+
+void print_banner(const std::string& bench_name, const std::string& paper_ref,
+                  const std::string& note) {
+  std::printf("==============================================================="
+              "=========\n");
+  std::printf("%s — reproduces %s\n", bench_name.c_str(), paper_ref.c_str());
+  if (!note.empty()) std::printf("%s\n", note.c_str());
+  std::printf("==============================================================="
+              "=========\n");
+}
+
+void print_paper_note(const std::string& note) {
+  std::printf("  [paper] %s\n", note.c_str());
+}
+
+}  // namespace gsnp::bench

@@ -1,0 +1,96 @@
+// Quality-calibration report: compares nominal Phred qualities against the
+// empirical miscall rates measured by the cal_p_matrix counting pass — the
+// data behind GSNP/SOAPsnp's recalibrated p_matrix.  Shows per-quality-bin
+// and per-cycle error structure, the reason the likelihood model indexes
+// p_matrix by (quality, cycle) instead of trusting the nominal quality.
+//
+// Usage: calibration_report [sites] [depth] [error_scale]
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/common/phred.hpp"
+#include "src/core/pmatrix.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+
+using namespace gsnp;
+
+int main(int argc, char** argv) {
+  const u64 sites = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 200'000;
+  const double depth = argc > 2 ? std::strtod(argv[2], nullptr) : 10.0;
+  const double error_scale = argc > 3 ? std::strtod(argv[3], nullptr) : 2.0;
+
+  genome::GenomeSpec gspec;
+  gspec.name = "chrC";
+  gspec.length = sites;
+  const genome::Reference ref = genome::generate_reference(gspec);
+  const genome::Diploid individual(ref, {});  // no SNPs: mismatch == error
+
+  reads::ReadSimSpec rspec;
+  rspec.depth = depth;
+  rspec.error_scale = error_scale;
+  const auto records = reads::simulate_reads(individual, rspec);
+
+  // The cal_p_matrix counting pass.
+  core::PMatrixCounter counter;
+  for (const auto& rec : records) {
+    if (rec.hit_count != 1) continue;
+    for (u64 p = rec.pos; p < rec.pos + rec.length; ++p) {
+      reads::SiteObservation so;
+      if (!reads::observe_site(rec, p, so)) continue;
+      const u8 r = ref.base(p);
+      if (r < kNumBases) counter.add(so.quality, so.coord, r, so.base);
+    }
+  }
+
+  // Per-quality-bin empirical error rate vs the nominal Phred expectation.
+  std::printf("quality bin | observations | nominal err | empirical err | "
+              "empirical Q\n");
+  for (int q0 = 0; q0 < kQualityLevels; q0 += 8) {
+    u64 total = 0, errors = 0;
+    for (int q = q0; q < q0 + 8; ++q) {
+      for (int c = 0; c < kMaxReadLen; ++c) {
+        for (int a = 0; a < kNumBases; ++a) {
+          for (int o = 0; o < kNumBases; ++o) {
+            const u64 n = counter.counts()[core::PMatrix::index(q, c, a, o)];
+            total += n;
+            if (o != a) errors += n;
+          }
+        }
+      }
+    }
+    if (total == 0) continue;
+    const double empirical = static_cast<double>(errors) / total;
+    std::printf("  q%02d-%02d    | %12llu | %10.5f  | %12.5f  | %10d\n", q0,
+                q0 + 7,
+                static_cast<unsigned long long>(total),
+                phred_to_error(q0 + 4), empirical,
+                error_to_phred(empirical));
+  }
+
+  // Per-cycle error profile (first/middle/last cycles).
+  std::printf("\ncycle | observations | empirical err\n");
+  for (const int c : {0, 24, 49, 74, 99}) {
+    u64 total = 0, errors = 0;
+    for (int q = 0; q < kQualityLevels; ++q) {
+      for (int a = 0; a < kNumBases; ++a) {
+        for (int o = 0; o < kNumBases; ++o) {
+          const u64 n = counter.counts()[core::PMatrix::index(q, c, a, o)];
+          total += n;
+          if (o != a) errors += n;
+        }
+      }
+    }
+    if (total == 0) continue;
+    std::printf("  %3d | %12llu | %12.5f\n", c,
+                static_cast<unsigned long long>(total),
+                static_cast<double>(errors) / total);
+  }
+
+  std::printf("\n(error_scale=%.1f inflates miscalls %gx over nominal — the "
+              "recalibrated p_matrix absorbs exactly this gap)\n",
+              error_scale, error_scale);
+  return 0;
+}

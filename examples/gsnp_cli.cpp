@@ -1,0 +1,292 @@
+// gsnp: the command-line front end — simulate datasets, call SNPs with any
+// of the three engines, convert SAM input, compare outputs, score calls
+// against truth.
+//
+//   gsnp_cli simulate --out <dir> [--sites N] [--depth X] [--seed S]
+//                     [--snp-rate R] [--name chrS] [--sam]
+//   gsnp_cli call     --ref <fa> --align <soap|sam> --out <file>
+//                     [--engine gsnp|gsnp-cpu|soapsnp] [--dbsnp <file>]
+//                     [--window N] [--threads N] [--save-matrix <file>]
+//   gsnp_cli compare  <a> <b>
+//   gsnp_cli eval     --calls <file> --truth <truth.tsv> [--min-q Q]
+//   gsnp_cli stats    --align <soap> --sites N
+//
+// Truth files are what `simulate` writes: "pos ref genotype" per line.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "src/core/consistency.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/output_codec.hpp"
+#include "src/core/vcf.hpp"
+#include "src/genome/dbsnp.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/sam.hpp"
+#include "src/reads/simulator.hpp"
+#include "src/reads/stats.hpp"
+
+namespace fs = std::filesystem;
+using namespace gsnp;
+
+namespace {
+
+/// Minimal --flag value parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg.rfind("--", 0) == 0) {
+        if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+          values_[arg] = argv[++i];
+        } else {
+          values_[arg] = "1";  // boolean flag
+        }
+      } else {
+        positional_.push_back(arg);
+      }
+    }
+  }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+int cmd_simulate(const Args& args) {
+  const fs::path dir = args.get("--out", "gsnp_sim");
+  fs::create_directories(dir);
+  genome::GenomeSpec gspec;
+  gspec.name = args.get("--name", "chrS");
+  gspec.length = std::stoull(args.get("--sites", "200000"));
+  gspec.seed = std::stoull(args.get("--seed", "1"));
+  const genome::Reference ref = genome::generate_reference(gspec);
+  genome::write_fasta_file(dir / "ref.fa", {ref});
+
+  genome::SnpPlantSpec pspec;
+  pspec.snp_rate = std::stod(args.get("--snp-rate", "0.001"));
+  pspec.seed = gspec.seed + 1;
+  const auto snps = genome::plant_snps(ref, pspec);
+  const genome::Diploid individual(ref, snps);
+  genome::write_dbsnp_file(dir / "dbsnp.txt",
+                           genome::make_dbsnp(ref, snps, 0.002, gspec.seed + 2));
+
+  reads::ReadSimSpec rspec;
+  rspec.depth = std::stod(args.get("--depth", "10"));
+  rspec.seed = gspec.seed + 3;
+  const auto records = reads::simulate_reads(individual, rspec);
+  reads::write_alignment_file(dir / "align.soap", records);
+  if (args.has("--sam"))
+    reads::write_sam_file(dir / "align.sam", records, ref.name(), ref.size());
+
+  std::ofstream truth(dir / "truth.tsv");
+  for (const auto& snp : snps)
+    truth << snp.pos << '\t' << char_from_base(snp.ref_base) << '\t'
+          << snp.genotype.to_string() << '\n';
+
+  std::printf("wrote %s: %llu sites, %zu reads, %zu SNPs%s\n",
+              dir.string().c_str(),
+              static_cast<unsigned long long>(ref.size()), records.size(),
+              snps.size(), args.has("--sam") ? " (+SAM)" : "");
+  return 0;
+}
+
+int cmd_call(const Args& args) {
+  const fs::path ref_path = args.get("--ref", "");
+  fs::path align_path = args.get("--align", "");
+  const fs::path out_path = args.get("--out", "out.snp");
+  if (ref_path.empty() || align_path.empty()) {
+    std::fprintf(stderr, "call: --ref and --align are required\n");
+    return 2;
+  }
+
+  const auto refs = genome::read_fasta_file(ref_path);
+  if (refs.size() != 1) {
+    std::fprintf(stderr, "call: expected exactly one sequence in %s\n",
+                 ref_path.string().c_str());
+    return 2;
+  }
+
+  // SAM input: convert to the SOAP format the engines consume.
+  if (align_path.extension() == ".sam") {
+    const fs::path converted = out_path.string() + ".soap";
+    const u64 n = reads::sam_to_soap(align_path, converted);
+    std::printf("converted %llu SAM records\n",
+                static_cast<unsigned long long>(n));
+    align_path = converted;
+  }
+
+  std::optional<genome::DbSnpTable> dbsnp;
+  if (args.has("--dbsnp"))
+    dbsnp = genome::read_dbsnp_file(args.get("--dbsnp", ""));
+
+  core::EngineConfig config;
+  config.alignment_file = align_path;
+  config.reference = &refs[0];
+  config.dbsnp = dbsnp ? &*dbsnp : nullptr;
+  config.output_file = out_path;
+  config.temp_file = out_path.string() + ".tmp";
+  config.window_size = static_cast<u32>(std::stoul(args.get("--window", "0")));
+  config.soapsnp_threads = std::stoi(args.get("--threads", "1"));
+  if (args.has("--save-matrix")) config.p_matrix_out = args.get("--save-matrix", "");
+  if (args.has("--load-matrix")) config.p_matrix_in = args.get("--load-matrix", "");
+
+  const std::string engine = args.get("--engine", "gsnp");
+  core::RunReport report;
+  std::optional<device::Device> dev;
+  if (engine == "gsnp") {
+    dev.emplace();
+    report = core::run_gsnp(config, *dev);
+  } else if (engine == "gsnp-cpu") {
+    report = core::run_gsnp_cpu(config);
+  } else if (engine == "soapsnp") {
+    report = core::run_soapsnp(config);
+  } else {
+    std::fprintf(stderr, "call: unknown engine '%s'\n", engine.c_str());
+    return 2;
+  }
+
+  std::printf("%-8s %8s\n", "component", "sec");
+  for (const char* c : core::kComponents)
+    std::printf("%-8s %8.3f\n", c, report.component(c));
+  std::printf("%-8s %8.3f   (%llu sites, %llu bytes out)\n", "total",
+              report.total(), static_cast<unsigned long long>(report.sites),
+              static_cast<unsigned long long>(report.output_bytes));
+
+  return 0;
+}
+
+int cmd_compare(const Args& args) {
+  if (args.positional().size() < 2) {
+    std::fprintf(stderr, "compare: need two output files\n");
+    return 2;
+  }
+  const auto report = core::compare_output_files(args.positional()[0],
+                                                 args.positional()[1]);
+  if (report.identical) {
+    std::printf("IDENTICAL (%llu rows)\n",
+                static_cast<unsigned long long>(report.rows_compared));
+    return 0;
+  }
+  std::printf("MISMATCH\n%s\n", report.detail.c_str());
+  return 1;
+}
+
+int cmd_eval(const Args& args) {
+  const fs::path calls_path = args.get("--calls", "");
+  const fs::path truth_path = args.get("--truth", "");
+  const int min_q = std::stoi(args.get("--min-q", "13"));
+  if (calls_path.empty() || truth_path.empty()) {
+    std::fprintf(stderr, "eval: --calls and --truth are required\n");
+    return 2;
+  }
+
+  std::map<u64, Genotype> truth;
+  {
+    std::ifstream in(truth_path);
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      u64 pos;
+      char ref, a1, a2;
+      if (std::sscanf(line.c_str(), "%llu\t%c\t%c%c",
+                      reinterpret_cast<unsigned long long*>(&pos), &ref, &a1,
+                      &a2) == 4)
+        truth[pos] = Genotype{base_from_char(a1), base_from_char(a2)};
+    }
+  }
+
+  std::string seq_name;
+  const auto rows = core::read_snp_output(calls_path, seq_name);
+  u64 tp = 0, fp = 0, fn = 0;
+  for (const auto& row : rows) {
+    const auto it = truth.find(row.pos);
+    const bool called =
+        row.genotype_rank >= 0 && row.ref_base < kNumBases &&
+        row.genotype_rank != genotype_rank(row.ref_base, row.ref_base) &&
+        row.quality >= static_cast<u16>(min_q);
+    if (called && it != truth.end() &&
+        genotype_from_rank(row.genotype_rank) == it->second) {
+      ++tp;
+    } else if (called) {
+      ++fp;
+    } else if (it != truth.end() && row.depth >= 4) {
+      ++fn;
+    }
+  }
+  std::printf("TP=%llu FP=%llu FN=%llu precision=%.4f recall=%.4f (min_q=%d)\n",
+              static_cast<unsigned long long>(tp),
+              static_cast<unsigned long long>(fp),
+              static_cast<unsigned long long>(fn),
+              tp + fp ? static_cast<double>(tp) / (tp + fp) : 1.0,
+              tp + fn ? static_cast<double>(tp) / (tp + fn) : 1.0, min_q);
+  return 0;
+}
+
+int cmd_vcf(const Args& args) {
+  const fs::path calls = args.get("--calls", "");
+  const fs::path out = args.get("--out", "out.vcf");
+  if (calls.empty()) {
+    std::fprintf(stderr, "vcf: --calls is required\n");
+    return 2;
+  }
+  std::string seq_name;
+  const auto rows = core::read_snp_output(calls, seq_name);
+  core::VcfOptions options;
+  options.min_quality = std::stoi(args.get("--min-q", "13"));
+  options.include_ref_sites = args.has("--all-sites");
+  const u64 n =
+      core::write_vcf_file(out, seq_name, rows.size(), rows, options);
+  std::printf("wrote %llu VCF records to %s\n",
+              static_cast<unsigned long long>(n), out.string().c_str());
+  return 0;
+}
+
+int cmd_stats(const Args& args) {
+  const fs::path align = args.get("--align", "");
+  const u64 sites = std::stoull(args.get("--sites", "0"));
+  if (align.empty() || sites == 0) {
+    std::fprintf(stderr, "stats: --align and --sites are required\n");
+    return 2;
+  }
+  const auto records = reads::read_alignment_file(align);
+  const auto stats = reads::compute_stats(records, sites);
+  std::printf("reads=%llu depth=%.2fX coverage=%.1f%%\n",
+              static_cast<unsigned long long>(stats.num_reads), stats.depth,
+              100.0 * stats.coverage);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2) {
+    const Args args(argc, argv, 2);
+    if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(args);
+    if (std::strcmp(argv[1], "call") == 0) return cmd_call(args);
+    if (std::strcmp(argv[1], "compare") == 0) return cmd_compare(args);
+    if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(args);
+    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(args);
+    if (std::strcmp(argv[1], "vcf") == 0) return cmd_vcf(args);
+  }
+  std::printf("usage: gsnp_cli <simulate|call|compare|eval|vcf|stats> "
+              "[options]\n"
+              "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
+              "  call     --ref FA --align SOAP|SAM --out FILE\n"
+              "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
+              "  compare  A B\n"
+              "  eval     --calls FILE --truth TSV [--min-q Q]\n"
+              "  vcf      --calls FILE --out OUT.vcf [--min-q Q --all-sites]\n"
+              "  stats    --align SOAP --sites N\n");
+  return argc == 1 ? 0 : 2;
+}

@@ -1,0 +1,111 @@
+// Whole-genome pipeline example: runs SOAPsnp, GSNP_CPU, and GSNP over a
+// scaled-down multi-chromosome dataset (the human karyotype proportions of
+// paper Fig. 12) and prints the per-component time breakdown for each engine
+// in the format of paper Tables I and IV.
+//
+// Usage: whole_genome_pipeline [chr1_sites] [n_chromosomes]
+//        defaults: 120000 sites for chr1, first 4 chromosomes
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+
+#include "src/core/consistency.hpp"
+#include "src/core/engine.hpp"
+#include "src/genome/dbsnp.hpp"
+#include "src/genome/karyotype.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+
+namespace fs = std::filesystem;
+using namespace gsnp;
+
+namespace {
+
+void print_breakdown(const char* engine, const std::string& chr,
+                     const core::RunReport& r) {
+  std::printf("%-9s %-6s", engine, chr.c_str());
+  for (const char* c : core::kComponents)
+    std::printf(" %8.3f", r.component(c));
+  std::printf(" %9.3f\n", r.total());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const u64 chr1_sites =
+      argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 120'000;
+  const std::size_t n_chroms =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 4;
+
+  const fs::path dir = fs::temp_directory_path() / "gsnp_whole_genome";
+  fs::create_directories(dir);
+
+  std::printf("engine    chr     %8s %8s %8s %8s %8s %8s %8s %9s\n", "cal_p",
+              "read", "count", "likeli", "post", "output", "recycle", "total");
+
+  double totals[3] = {0, 0, 0};
+  for (std::size_t c = 0; c < n_chroms && c < genome::kHumanKaryotype.size();
+       ++c) {
+    const auto& info = genome::kHumanKaryotype[c];
+    const u64 sites = genome::scaled_sites(info, chr1_sites);
+
+    genome::GenomeSpec gspec;
+    gspec.name = std::string(info.name);
+    gspec.length = sites;
+    gspec.seed = 100 + c;
+    const genome::Reference ref = genome::generate_reference(gspec);
+    genome::SnpPlantSpec pspec;
+    pspec.seed = 200 + c;
+    const auto snps = genome::plant_snps(ref, pspec);
+    const genome::Diploid individual(ref, snps);
+    const genome::DbSnpTable dbsnp = genome::make_dbsnp(ref, snps, 0.002, c);
+
+    reads::ReadSimSpec rspec;
+    rspec.depth = 10.0;
+    rspec.seed = 300 + c;
+    const auto records = reads::simulate_reads(individual, rspec);
+    const fs::path align = dir / (gspec.name + ".soap");
+    reads::write_alignment_file(align, records);
+
+    core::EngineConfig config;
+    config.alignment_file = align;
+    config.reference = &ref;
+    config.dbsnp = &dbsnp;
+    config.temp_file = dir / (gspec.name + ".tmp");
+
+    config.output_file = dir / (gspec.name + ".soapsnp.txt");
+    config.window_size = 4'000;
+    const auto soapsnp = core::run_soapsnp(config);
+    print_breakdown("SOAPsnp", gspec.name, soapsnp);
+    totals[0] += soapsnp.total();
+
+    config.window_size = 65'536;
+    config.output_file = dir / (gspec.name + ".gsnpcpu.bin");
+    const auto gsnp_cpu = core::run_gsnp_cpu(config);
+    print_breakdown("GSNP_CPU", gspec.name, gsnp_cpu);
+    totals[1] += gsnp_cpu.total();
+
+    device::Device dev;
+    config.output_file = dir / (gspec.name + ".gsnp.bin");
+    const auto gsnp = core::run_gsnp(config, dev);
+    print_breakdown("GSNP", gspec.name, gsnp);
+    totals[2] += gsnp.total();
+
+    const auto check = core::compare_output_files(
+        dir / (gspec.name + ".soapsnp.txt"), dir / (gspec.name + ".gsnp.bin"));
+    if (!check.identical) {
+      std::printf("CONSISTENCY FAILURE on %s:\n%s\n", gspec.name.c_str(),
+                  check.detail.c_str());
+      return 1;
+    }
+  }
+
+  std::printf("\nTotals: SOAPsnp %.2fs, GSNP_CPU %.2fs (%.1fx), GSNP %.2fs "
+              "(%.1fx)\n",
+              totals[0], totals[1], totals[0] / totals[1], totals[2],
+              totals[0] / totals[2]);
+  std::printf("All chromosome outputs consistent across engines.\n");
+  return 0;
+}

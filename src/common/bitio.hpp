@@ -1,0 +1,121 @@
+#pragma once
+// Bit-granular serialization used by the column codecs (2-bit base packing,
+// dictionary index packing).  Bits are written LSB-first within each byte so
+// that fixed-width fields can be read back with shifts and masks.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace gsnp {
+
+/// Appends bit fields to a growing byte vector.
+class BitWriter {
+ public:
+  /// Write the low `bits` bits of `value` (bits in 0..64).
+  void write(u64 value, int bits) {
+    GSNP_CHECK_MSG(bits >= 0 && bits <= 64, "bits=" << bits);
+    if (bits > 32) {
+      // Split so the accumulator (fill_ < 8 after draining) never overflows.
+      write(value & 0xFFFFFFFFULL, 32);
+      write(value >> 32, bits - 32);
+      return;
+    }
+    if (bits < 32) value &= (1ULL << bits) - 1;
+    acc_ |= value << fill_;
+    fill_ += bits;
+    while (fill_ >= 8) {
+      bytes_.push_back(static_cast<u8>(acc_ & 0xFF));
+      acc_ >>= 8;
+      fill_ -= 8;
+    }
+  }
+
+  /// Flush any partial byte (zero-padded) and return the buffer.
+  std::vector<u8> finish() {
+    if (fill_ > 0) {
+      bytes_.push_back(static_cast<u8>(acc_ & 0xFF));
+      acc_ = 0;
+      fill_ = 0;
+    }
+    return std::move(bytes_);
+  }
+
+  std::size_t bit_count() const { return bytes_.size() * 8 + fill_; }
+
+ private:
+  std::vector<u8> bytes_;
+  u64 acc_ = 0;
+  int fill_ = 0;
+};
+
+/// Reads LSB-first bit fields from a byte span.
+class BitReader {
+ public:
+  explicit BitReader(std::span<const u8> data) : data_(data) {}
+
+  /// Read `bits` bits (0..57 per call; wider fields split the call).
+  u64 read(int bits) {
+    GSNP_CHECK_MSG(bits >= 0 && bits <= 57, "bits=" << bits);
+    while (fill_ < bits) {
+      GSNP_CHECK_MSG(pos_ < data_.size(), "BitReader out of data");
+      acc_ |= static_cast<u64>(data_[pos_++]) << fill_;
+      fill_ += 8;
+    }
+    const u64 value = (bits == 0) ? 0 : (acc_ & ((~0ULL) >> (64 - bits)));
+    acc_ >>= bits;
+    fill_ -= bits;
+    return value;
+  }
+
+  /// Read a field of up to 64 bits by splitting into two reads.
+  u64 read_wide(int bits) {
+    if (bits <= 57) return read(bits);
+    const u64 lo = read(32);
+    const u64 hi = read(bits - 32);
+    return lo | (hi << 32);
+  }
+
+  bool exhausted() const { return pos_ >= data_.size() && fill_ == 0; }
+
+ private:
+  std::span<const u8> data_;
+  std::size_t pos_ = 0;
+  u64 acc_ = 0;
+  int fill_ = 0;
+};
+
+/// Number of bits needed to represent values in [0, n) (at least 1).
+constexpr int bits_for(u64 n) noexcept {
+  int b = 1;
+  while ((1ULL << b) < n) ++b;
+  return b;
+}
+
+/// LEB128-style varint append (used by sparse/delta columns).
+inline void varint_append(std::vector<u8>& out, u64 value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<u8>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<u8>(value));
+}
+
+/// Varint decode; advances `pos`.
+inline u64 varint_read(std::span<const u8> data, std::size_t& pos) {
+  u64 value = 0;
+  int shift = 0;
+  for (;;) {
+    GSNP_CHECK_MSG(pos < data.size(), "varint out of data");
+    const u8 byte = data[pos++];
+    value |= static_cast<u64>(byte & 0x7F) << shift;
+    if (!(byte & 0x80)) return value;
+    shift += 7;
+    GSNP_CHECK_MSG(shift < 64, "varint too long");
+  }
+}
+
+}  // namespace gsnp

@@ -1,0 +1,45 @@
+#pragma once
+// Error handling helpers.  GSNP uses exceptions for unrecoverable conditions
+// (malformed input files, broken invariants at API boundaries) and GSNP_CHECK
+// as an always-on assertion with a formatted message.
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace gsnp {
+
+/// Exception thrown for malformed input data or violated API contracts.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "GSNP_CHECK failed: (" << expr << ") at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace gsnp
+
+/// Always-on checked precondition; throws gsnp::Error with location info.
+#define GSNP_CHECK(cond)                                                   \
+  do {                                                                     \
+    if (!(cond)) ::gsnp::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (0)
+
+/// Checked precondition with a streamed message: GSNP_CHECK_MSG(x > 0, "x=" << x).
+#define GSNP_CHECK_MSG(cond, msg_stream)                                   \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::ostringstream gsnp_check_os_;                                   \
+      gsnp_check_os_ << msg_stream;                                        \
+      ::gsnp::detail::check_failed(#cond, __FILE__, __LINE__,              \
+                                   gsnp_check_os_.str());                  \
+    }                                                                      \
+  } while (0)

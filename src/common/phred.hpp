@@ -1,0 +1,43 @@
+#pragma once
+// Phred quality-score arithmetic.  Sequencing qualities are integers
+// q = -10 * log10(P(error)) clamped to [0, kQualityLevels).  The ASCII
+// encoding follows the classic Sanger convention (offset '!').
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/types.hpp"
+
+namespace gsnp {
+
+/// ASCII offset for quality characters in alignment files (Sanger '!').
+inline constexpr char kQualityAsciiOffset = '!';
+
+/// Probability that a base call with Phred quality q is wrong.
+inline double phred_to_error(int q) noexcept {
+  return std::pow(10.0, -q / 10.0);
+}
+
+/// Phred quality for an error probability, clamped to the supported range.
+inline int error_to_phred(double p_error) noexcept {
+  if (p_error <= 0.0) return kQualityLevels - 1;
+  const int q = static_cast<int>(std::lround(-10.0 * std::log10(p_error)));
+  return std::clamp(q, 0, kQualityLevels - 1);
+}
+
+/// Clamp an arbitrary integer quality into the supported range.
+constexpr int clamp_quality(int q) noexcept {
+  return q < 0 ? 0 : (q >= kQualityLevels ? kQualityLevels - 1 : q);
+}
+
+/// ASCII character for a quality value.
+constexpr char quality_to_char(int q) noexcept {
+  return static_cast<char>(kQualityAsciiOffset + clamp_quality(q));
+}
+
+/// Quality value for an ASCII character (clamped into range).
+constexpr int quality_from_char(char c) noexcept {
+  return clamp_quality(c - kQualityAsciiOffset);
+}
+
+}  // namespace gsnp

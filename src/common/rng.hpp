@@ -1,0 +1,77 @@
+#pragma once
+// Deterministic, fast pseudo-random number generation (xoshiro256**) used by
+// the synthetic genome / read simulators and the benchmark workload
+// generators.  std::mt19937_64 would work but xoshiro is ~2x faster and the
+// simulators draw billions of variates at benchmark scale.
+
+#include <cstdint>
+#include <limits>
+
+#include "src/common/types.hpp"
+
+namespace gsnp {
+
+/// splitmix64: used to expand a single seed into xoshiro state.
+constexpr u64 splitmix64_next(u64& state) noexcept {
+  u64 z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** by Blackman & Vigna; public-domain reference algorithm.
+class Rng {
+ public:
+  using result_type = u64;
+
+  explicit constexpr Rng(u64 seed = 0x853C49E6748FEA9BULL) noexcept {
+    u64 sm = seed;
+    for (auto& s : state_) s = splitmix64_next(sm);
+  }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<u64>::max();
+  }
+
+  constexpr u64 operator()() noexcept {
+    const u64 result = rotl(state_[1] * 5, 7) * 9;
+    const u64 t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  constexpr u64 uniform(u64 bound) noexcept {
+    const u64 x = (*this)();
+    // 128-bit multiply-high; unbiased enough for simulation workloads.
+    return static_cast<u64>((static_cast<unsigned __int128>(x) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  constexpr double uniform_double() noexcept {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw with success probability p.
+  constexpr bool bernoulli(double p) noexcept { return uniform_double() < p; }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  constexpr i64 uniform_range(i64 lo, i64 hi) noexcept {
+    return lo + static_cast<i64>(uniform(static_cast<u64>(hi - lo + 1)));
+  }
+
+ private:
+  static constexpr u64 rotl(u64 x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  u64 state_[4] = {};
+};
+
+}  // namespace gsnp

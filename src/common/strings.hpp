@@ -1,0 +1,60 @@
+#pragma once
+// Small string helpers for parsing the tab/space separated text formats
+// (FASTA headers, SOAP alignment lines, dbSNP prior lines).
+
+#include <charconv>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/error.hpp"
+
+namespace gsnp {
+
+/// Split `s` on a single separator character; empty fields are preserved.
+inline std::vector<std::string_view> split(std::string_view s, char sep) {
+  std::vector<std::string_view> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == sep) {
+      out.push_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+/// Strip leading/trailing whitespace (space, tab, CR, LF).
+inline std::string_view trim(std::string_view s) {
+  const auto is_ws = [](char c) {
+    return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+  };
+  while (!s.empty() && is_ws(s.front())) s.remove_prefix(1);
+  while (!s.empty() && is_ws(s.back())) s.remove_suffix(1);
+  return s;
+}
+
+/// Parse an integral field, throwing gsnp::Error on malformed input.
+template <typename Int>
+Int parse_int(std::string_view field, std::string_view what = "integer") {
+  Int value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  GSNP_CHECK_MSG(ec == std::errc() && ptr == field.data() + field.size(),
+                 "bad " << what << ": '" << field << "'");
+  return value;
+}
+
+/// Parse a floating-point field, throwing gsnp::Error on malformed input.
+inline double parse_double(std::string_view field,
+                           std::string_view what = "number") {
+  // std::from_chars for double is available in libstdc++ 11+.
+  double value{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  GSNP_CHECK_MSG(ec == std::errc() && ptr == field.data() + field.size(),
+                 "bad " << what << ": '" << field << "'");
+  return value;
+}
+
+}  // namespace gsnp

@@ -1,0 +1,44 @@
+#pragma once
+// GPU-accelerated RLE-DICT compression (paper §V-B).
+//
+// "RLE is implemented using the primitive reduction on the GPU.  For DICT, we
+// first use primitives sort and unique to build the dictionary.  Then a
+// binary search is performed for multiple elements in parallel to find their
+// index in the dictionary.  The dictionary is loaded into the constant memory
+// if it fits.  Next, we encode the index using least bits through a map."
+//
+// The kernels below follow that structure on the simulated device: a
+// boundary-flag kernel + scan implements the run decomposition; the device
+// radix sort + a unique kernel builds each dictionary; a parallel
+// binary-search kernel maps values to indices.  Final varint/bit framing runs
+// on the host and is byte-identical to the host encoder
+// (compress::encode_rle_dict), so the two paths share one decoder.
+
+#include <span>
+#include <vector>
+
+#include "src/compress/codecs.hpp"
+#include "src/device/device.hpp"
+
+namespace gsnp::compress {
+
+/// Compress `column` with RLE-DICT using device kernels; the returned bytes
+/// equal what encode_rle_dict produces.  Device work is recorded on `dev`'s
+/// counters (use counters_delta + PerfModel to time it).
+void device_encode_rle_dict(device::Device& dev, std::span<const u32> column,
+                            std::vector<u8>& out);
+
+/// Device run decomposition only (exposed for tests and Fig 9b analysis).
+RunDecomposition device_run_decompose(device::Device& dev,
+                                      std::span<const u32> column);
+
+/// Device dictionary build + index mapping (exposed for tests): returns the
+/// sorted unique dictionary and per-element indices into it.
+struct DictMapping {
+  std::vector<u32> dict;
+  std::vector<u32> indices;
+};
+DictMapping device_build_dict(device::Device& dev,
+                              std::span<const u32> column);
+
+}  // namespace gsnp::compress

@@ -1,0 +1,222 @@
+#include "src/compress/temp_input.hpp"
+
+#include <cstring>
+
+#include "src/common/bitio.hpp"
+#include "src/common/error.hpp"
+#include "src/common/phred.hpp"
+#include "src/compress/codecs.hpp"
+
+namespace gsnp::compress {
+
+std::vector<u8> encode_alignment_chunk(
+    std::span<const reads::AlignmentRecord> records) {
+  std::vector<u8> out;
+  varint_append(out, records.size());
+  if (records.empty()) return out;
+
+  // Positions: sorted input -> non-negative deltas.
+  varint_append(out, records.front().pos);
+  for (std::size_t i = 1; i + 0 < records.size(); ++i) {
+    GSNP_CHECK_MSG(records[i].pos >= records[i - 1].pos,
+                   "temp input requires position-sorted records");
+    varint_append(out, records[i].pos - records[i - 1].pos);
+  }
+
+  // Lengths: dictionary (usually a single value).
+  std::vector<u32> lengths(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) lengths[i] = records[i].length;
+  encode_dict(lengths, out);
+
+  // Strand and pair-tag bit arrays.
+  {
+    BitWriter bw;
+    for (const auto& rec : records)
+      bw.write(rec.strand == Strand::kReverse ? 1 : 0, 1);
+    for (const auto& rec : records) bw.write(rec.pair_tag == 'b' ? 1 : 0, 1);
+    const auto bits = bw.finish();
+    out.insert(out.end(), bits.begin(), bits.end());
+  }
+
+  // Hit counts: mostly 1 -> RLE-DICT.
+  std::vector<u32> hits(records.size());
+  for (std::size_t i = 0; i < records.size(); ++i) hits[i] = records[i].hit_count;
+  encode_rle_dict(hits, out);
+
+  // Bases: concatenated 2-bit codes with sparse 'N' exceptions.
+  std::vector<u8> bases;
+  std::vector<u32> n_flags;
+  for (const auto& rec : records) {
+    for (const char c : rec.seq) {
+      const u8 b = base_from_char(c);
+      bases.push_back(b < kNumBases ? b : 0);
+      n_flags.push_back(b < kNumBases ? 0 : 1);
+    }
+  }
+  pack_bases(bases, out);
+  encode_sparse(n_flags, out);
+
+  // Qualities: concatenated integer values, RLE-DICT (auto-correlated within
+  // reads -> long runs).
+  std::vector<u32> quals;
+  quals.reserve(bases.size());
+  for (const auto& rec : records)
+    for (const char c : rec.qual) quals.push_back(
+        static_cast<u32>(quality_from_char(c)));
+  encode_rle_dict(quals, out);
+
+  return out;
+}
+
+std::vector<reads::AlignmentRecord> decode_alignment_chunk(
+    std::span<const u8> data, const std::string& chr_name) {
+  std::size_t pos = 0;
+  const u64 n = varint_read(data, pos);
+  GSNP_CHECK_MSG(n <= (1ULL << 28), "implausible record count " << n);
+  std::vector<reads::AlignmentRecord> records(n);
+  if (n == 0) return records;
+
+  u64 position = varint_read(data, pos);
+  records[0].pos = position;
+  for (u64 i = 1; i < n; ++i) {
+    position += varint_read(data, pos);
+    records[i].pos = position;
+  }
+
+  const std::vector<u32> lengths = decode_dict(data, pos);
+  GSNP_CHECK(lengths.size() == n);
+  u64 total_bases = 0;
+  for (u64 i = 0; i < n; ++i) {
+    records[i].length = static_cast<u16>(lengths[i]);
+    total_bases += lengths[i];
+  }
+
+  {
+    const std::size_t bytes = (2 * n + 7) / 8;
+    GSNP_CHECK(pos + bytes <= data.size());
+    BitReader br(data.subspan(pos, bytes));
+    pos += bytes;
+    for (u64 i = 0; i < n; ++i)
+      records[i].strand = br.read(1) ? Strand::kReverse : Strand::kForward;
+    for (u64 i = 0; i < n; ++i) records[i].pair_tag = br.read(1) ? 'b' : 'a';
+  }
+
+  const std::vector<u32> hits = decode_rle_dict(data, pos);
+  GSNP_CHECK(hits.size() == n);
+  for (u64 i = 0; i < n; ++i) records[i].hit_count = hits[i];
+
+  const std::vector<u8> bases = unpack_bases(data, pos);
+  const std::vector<u32> n_flags = decode_sparse(data, pos);
+  const std::vector<u32> quals = decode_rle_dict(data, pos);
+  GSNP_CHECK(bases.size() == total_bases && n_flags.size() == total_bases &&
+             quals.size() == total_bases);
+
+  u64 cursor = 0;
+  for (u64 i = 0; i < n; ++i) {
+    auto& rec = records[i];
+    rec.chr_name = chr_name;
+    rec.seq.resize(rec.length);
+    rec.qual.resize(rec.length);
+    for (u16 j = 0; j < rec.length; ++j, ++cursor) {
+      rec.seq[j] = n_flags[cursor] ? 'N' : char_from_base(bases[cursor]);
+      rec.qual[j] = quality_to_char(static_cast<int>(quals[cursor]));
+    }
+  }
+  GSNP_CHECK_MSG(pos == data.size(), "trailing bytes in alignment chunk");
+  return records;
+}
+
+// ---- file-level ------------------------------------------------------------------
+
+TempInputWriter::TempInputWriter(const std::filesystem::path& path,
+                                 std::string chr_name, u32 chunk_records)
+    : out_(path, std::ios::binary), chr_name_(std::move(chr_name)),
+      chunk_records_(chunk_records) {
+  GSNP_CHECK(chunk_records_ > 0);
+  GSNP_CHECK_MSG(out_.good(), "cannot open temp input file " << path);
+  out_.write(kTempMagic, sizeof(kTempMagic));
+  std::vector<u8> header;
+  varint_append(header, chr_name_.size());
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(chr_name_.data(), static_cast<std::streamsize>(chr_name_.size()));
+  bytes_ = sizeof(kTempMagic) + header.size() + chr_name_.size();
+}
+
+void TempInputWriter::add(const reads::AlignmentRecord& rec) {
+  buffer_.push_back(rec);
+  if (buffer_.size() >= chunk_records_) flush_chunk();
+}
+
+void TempInputWriter::flush_chunk() {
+  if (buffer_.empty()) return;
+  const std::vector<u8> chunk = encode_alignment_chunk(buffer_);
+  std::vector<u8> prefix;
+  varint_append(prefix, chunk.size());
+  out_.write(reinterpret_cast<const char*>(prefix.data()),
+             static_cast<std::streamsize>(prefix.size()));
+  out_.write(reinterpret_cast<const char*>(chunk.data()),
+             static_cast<std::streamsize>(chunk.size()));
+  bytes_ += prefix.size() + chunk.size();
+  buffer_.clear();
+}
+
+u64 TempInputWriter::finish() {
+  flush_chunk();
+  out_.flush();
+  GSNP_CHECK_MSG(out_.good(), "temp input write failed");
+  out_.close();
+  return bytes_;
+}
+
+TempInputReader::TempInputReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  GSNP_CHECK_MSG(in_.good(), "cannot open temp input file " << path);
+  char magic[sizeof(kTempMagic)];
+  in_.read(magic, sizeof(magic));
+  GSNP_CHECK_MSG(in_.gcount() == sizeof(magic) &&
+                     std::memcmp(magic, kTempMagic, sizeof(magic)) == 0,
+                 "bad magic in " << path);
+  u64 name_len = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in_.get();
+    GSNP_CHECK_MSG(c != EOF, "truncated temp input header");
+    name_len |= static_cast<u64>(c & 0x7F) << shift;
+    if (!(c & 0x80)) break;
+    shift += 7;
+  }
+  chr_name_.resize(name_len);
+  in_.read(chr_name_.data(), static_cast<std::streamsize>(name_len));
+  GSNP_CHECK(in_.gcount() == static_cast<std::streamsize>(name_len));
+}
+
+bool TempInputReader::load_chunk() {
+  u64 chunk_size = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in_.get();
+    if (c == EOF) return false;
+    chunk_size |= static_cast<u64>(c & 0x7F) << shift;
+    if (!(c & 0x80)) break;
+    shift += 7;
+  }
+  GSNP_CHECK_MSG(chunk_size <= (1ULL << 32), "implausible chunk size");
+  std::vector<u8> buf(chunk_size);
+  in_.read(reinterpret_cast<char*>(buf.data()),
+           static_cast<std::streamsize>(chunk_size));
+  GSNP_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(chunk_size),
+                 "truncated temp input chunk");
+  chunk_ = decode_alignment_chunk(buf, chr_name_);
+  cursor_ = 0;
+  return true;
+}
+
+std::optional<reads::AlignmentRecord> TempInputReader::next() {
+  while (cursor_ >= chunk_.size()) {
+    if (!load_chunk()) return std::nullopt;
+  }
+  return chunk_[cursor_++];
+}
+
+}  // namespace gsnp::compress

@@ -1,0 +1,73 @@
+#pragma once
+// Compressed temporary alignment input (paper §V-A).
+//
+// cal_p_matrix must read the whole alignment stream once to build the score
+// matrix; read_site then reads the same data again window by window.  The
+// two reads cannot be merged, but GSNP has the first pass write the records
+// to a *compressed temporary file* that the second pass reads at roughly a
+// third of the text size.  Read identifiers are not stored — no downstream
+// computation consumes them (records reconstructed from the temporary file
+// carry empty ids).
+//
+// Chunked columnar format per chunk of records:
+//   varint n, varint first position, delta-varint positions,
+//   dict lengths, strand/pair bit arrays, RLE-DICT hit counts,
+//   2-bit packed bases + sparse 'N' exceptions, RLE-DICT qualities.
+
+#include <filesystem>
+#include <span>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/reads/alignment.hpp"
+
+namespace gsnp::compress {
+
+/// Encode one chunk of records (exposed for tests and the Fig 10b bench).
+std::vector<u8> encode_alignment_chunk(
+    std::span<const reads::AlignmentRecord> records);
+std::vector<reads::AlignmentRecord> decode_alignment_chunk(
+    std::span<const u8> data, const std::string& chr_name);
+
+inline constexpr char kTempMagic[8] = {'G', 'S', 'N', 'P', 'T', 'M', 'P', '1'};
+
+/// Streaming writer: buffers records into fixed-size chunks.
+class TempInputWriter {
+ public:
+  TempInputWriter(const std::filesystem::path& path, std::string chr_name,
+                  u32 chunk_records = 4096);
+
+  void add(const reads::AlignmentRecord& rec);
+  /// Flush the tail chunk and return total bytes written.
+  u64 finish();
+
+ private:
+  void flush_chunk();
+
+  std::ofstream out_;
+  std::string chr_name_;
+  u32 chunk_records_;
+  std::vector<reads::AlignmentRecord> buffer_;
+  u64 bytes_ = 0;
+};
+
+/// Streaming reader yielding records in file order.
+class TempInputReader {
+ public:
+  explicit TempInputReader(const std::filesystem::path& path);
+
+  std::optional<reads::AlignmentRecord> next();
+
+ private:
+  bool load_chunk();
+
+  std::ifstream in_;
+  std::string chr_name_;
+  std::vector<reads::AlignmentRecord> chunk_;
+  std::size_t cursor_ = 0;
+};
+
+}  // namespace gsnp::compress

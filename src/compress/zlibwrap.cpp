@@ -1,0 +1,39 @@
+#include "src/compress/zlibwrap.hpp"
+
+#include <zlib.h>
+
+#include "src/common/bitio.hpp"
+#include "src/common/error.hpp"
+
+namespace gsnp::compress {
+
+std::vector<u8> zlib_compress(std::span<const u8> data, int level) {
+  // Frame: varint original size, then the deflate stream.
+  std::vector<u8> out;
+  varint_append(out, data.size());
+  uLongf bound = compressBound(static_cast<uLong>(data.size()));
+  const std::size_t header = out.size();
+  out.resize(header + bound);
+  const int rc =
+      compress2(out.data() + header, &bound,
+                reinterpret_cast<const Bytef*>(data.data()),
+                static_cast<uLong>(data.size()), level);
+  GSNP_CHECK_MSG(rc == Z_OK, "zlib compress2 failed: " << rc);
+  out.resize(header + bound);
+  return out;
+}
+
+std::vector<u8> zlib_decompress(std::span<const u8> data) {
+  std::size_t pos = 0;
+  const u64 original_size = varint_read(data, pos);
+  std::vector<u8> out(original_size);
+  uLongf dest_len = static_cast<uLongf>(original_size);
+  const int rc = uncompress(out.data(), &dest_len,
+                            reinterpret_cast<const Bytef*>(data.data() + pos),
+                            static_cast<uLong>(data.size() - pos));
+  GSNP_CHECK_MSG(rc == Z_OK && dest_len == original_size,
+                 "zlib uncompress failed: " << rc);
+  return out;
+}
+
+}  // namespace gsnp::compress

@@ -1,0 +1,18 @@
+#pragma once
+// Thin RAII wrapper around zlib — the general-purpose comparator the paper
+// benchmarks its customized codecs against (Figs 9 and 10).
+
+#include <span>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::compress {
+
+/// Deflate `data` at the given zlib level (1 fastest .. 9 best).
+std::vector<u8> zlib_compress(std::span<const u8> data, int level = 6);
+
+/// Inflate a buffer produced by zlib_compress.
+std::vector<u8> zlib_decompress(std::span<const u8> data);
+
+}  // namespace gsnp::compress

@@ -1,0 +1,30 @@
+#pragma once
+// Quality adjustment for dependent observations (Algorithm 1 line 10 /
+// Algorithm 4 line 12).
+//
+// Multiple aligned bases landing on the same (strand, read-coordinate) cell
+// of a site are likely PCR duplicates rather than independent evidence, so
+// their qualities are decayed: the k-th repeat is penalized by
+// round(10 * log10(k)).  The logarithm is served from log_table so the dense
+// CPU path, the sparse CPU path and the device kernel produce identical
+// integers (paper §IV-G).
+
+#include <algorithm>
+
+#include "src/common/types.hpp"
+#include "src/core/log_table.hpp"
+
+namespace gsnp::core {
+
+/// Adjusted quality for an observation with raw Phred `score` that is the
+/// `dep_count`-th hit on its (strand, coord) cell (dep_count >= 1).
+/// `logs` is log_table() (or its device constant-memory copy's host view).
+constexpr int adjust_quality(int score, int dep_count, const double* logs) {
+  const int k = std::min(dep_count, kLogTableSize - 1);
+  const int penalty =
+      static_cast<int>(10.0 * logs[static_cast<std::size_t>(k)] + 0.5);
+  const int q = score - penalty;
+  return q < 0 ? 0 : (q >= kQualityLevels ? kQualityLevels - 1 : q);
+}
+
+}  // namespace gsnp::core

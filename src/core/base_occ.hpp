@@ -1,0 +1,69 @@
+#pragma once
+// The dense aligned-base matrix base_occ (paper §IV-A/B, SOAPsnp's layout).
+//
+// Per site: 4 x 64 x 256 x 2 one-byte occurrence counters indexed
+//   base << 15 | score << 9 | coord << 1 | strand                (Alg. 1 l.7)
+// 131,072 bytes per site.  A window of W sites holds W consecutive matrices
+// in one flat allocation; `recycle` is a memset of the whole thing — the
+// paper's second most expensive component, and the memory-bandwidth cost the
+// sparse representation removes.
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace gsnp::core {
+
+/// Elements in one site's dense matrix: 4 * 64 * 256 * 2 = 131,072.
+inline constexpr u64 kBaseOccPerSite =
+    static_cast<u64>(kNumBases) * kQualityLevels * kMaxReadLen * kNumStrands;
+
+/// Flat index within one site's matrix.
+constexpr u64 base_occ_index(int base, int score, int coord, int strand) {
+  return (static_cast<u64>(base) << 15) | (static_cast<u64>(score) << 9) |
+         (static_cast<u64>(coord) << 1) | static_cast<u64>(strand);
+}
+
+/// Dense per-window storage: `window_size` consecutive per-site matrices.
+class BaseOccWindow {
+ public:
+  explicit BaseOccWindow(u32 window_size)
+      : window_size_(window_size),
+        counts_(static_cast<std::size_t>(window_size) * kBaseOccPerSite, 0) {}
+
+  u32 window_size() const { return window_size_; }
+  u64 bytes() const { return counts_.size(); }
+
+  /// The 131,072-entry matrix of one site.
+  std::span<u8> site(u32 s) {
+    return std::span<u8>(counts_).subspan(
+        static_cast<std::size_t>(s) * kBaseOccPerSite, kBaseOccPerSite);
+  }
+  std::span<const u8> site(u32 s) const {
+    return std::span<const u8>(counts_).subspan(
+        static_cast<std::size_t>(s) * kBaseOccPerSite, kBaseOccPerSite);
+  }
+
+  /// Count one aligned base (saturating at 255, as a 1-byte counter must).
+  void add(u32 s, const AlignedBase& ab) {
+    u8& cell = counts_[static_cast<std::size_t>(s) * kBaseOccPerSite +
+                       base_occ_index(ab.base, ab.quality, ab.coord,
+                                      static_cast<int>(ab.strand))];
+    if (cell != 0xFF) ++cell;
+  }
+
+  /// The recycle component: re-zero the entire window (the full memset the
+  /// paper measures; deliberately not lazy).
+  void recycle() { std::memset(counts_.data(), 0, counts_.size()); }
+
+  const std::vector<u8>& flat() const { return counts_; }
+
+ private:
+  u32 window_size_;
+  std::vector<u8> counts_;
+};
+
+}  // namespace gsnp::core

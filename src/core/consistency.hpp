@@ -1,0 +1,37 @@
+#pragma once
+// Result-consistency checking (paper §IV-G).
+//
+// BGI's requirement: GSNP must produce *exactly* the same results as
+// SOAPsnp.  The engines enforce this structurally (shared tables, identical
+// accumulation order); this module verifies it after the fact by comparing
+// two output files row by row, whatever their container format.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/core/snp_row.hpp"
+
+namespace gsnp::core {
+
+struct ConsistencyReport {
+  bool identical = false;
+  u64 rows_compared = 0;
+  u64 first_mismatch_row = 0;    ///< valid when !identical
+  std::string detail;            ///< human-readable mismatch description
+};
+
+/// Compare two row streams.
+ConsistencyReport compare_rows(const std::vector<SnpRow>& a,
+                               const std::vector<SnpRow>& b);
+
+/// Compare two output files; each may be plain text or compressed (the
+/// format is sniffed from the magic bytes).
+ConsistencyReport compare_output_files(const std::filesystem::path& a,
+                                       const std::filesystem::path& b);
+
+/// Load any output file (text or compressed).
+std::vector<SnpRow> read_snp_output(const std::filesystem::path& path,
+                                    std::string& seq_name);
+
+}  // namespace gsnp::core

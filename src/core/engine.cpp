@@ -1,0 +1,417 @@
+#include "src/core/engine.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+#include "src/compress/device_rledict.hpp"
+#include "src/compress/temp_input.hpp"
+#include "src/core/kernels.hpp"
+#include "src/core/likelihood.hpp"
+#include "src/core/new_pmatrix.hpp"
+#include "src/core/output_codec.hpp"
+#include "src/core/posterior.hpp"
+#include "src/core/window.hpp"
+#include "src/reads/alignment.hpp"
+#include "src/sortnet/multipass.hpp"
+
+namespace gsnp::core {
+
+double RunReport::total() const {
+  double t = 0.0;
+  for (const char* name : kComponents) t += component(name);
+  return t;
+}
+
+namespace {
+
+/// The cal_p_matrix pass: stream the alignment text file once, accumulate
+/// the recalibration counts (unique hits vs the reference base), and — for
+/// the GSNP engines — write the compressed temporary input alongside
+/// (paper §V-A).
+struct CalPResult {
+  PMatrix pm;
+  u64 records = 0;
+  u64 temp_bytes = 0;
+};
+
+CalPResult cal_p_pass(const EngineConfig& config, bool write_temp) {
+  const genome::Reference& ref = *config.reference;
+  const bool reuse_matrix = !config.p_matrix_in.empty();
+
+  CalPResult result;
+  // With a reloaded matrix and no temp file to produce (SOAPsnp engine), the
+  // whole input pass is skipped — the point of the matrix-reuse feature.
+  if (reuse_matrix && !write_temp) {
+    result.pm = read_p_matrix(config.p_matrix_in);
+    reads::AlignmentReader reader(config.alignment_file);
+    while (reader.next()) ++result.records;  // count only (no calibration)
+    if (!config.p_matrix_out.empty())
+      write_p_matrix(config.p_matrix_out, result.pm);
+    return result;
+  }
+
+  reads::AlignmentReader reader(config.alignment_file);
+  std::optional<compress::TempInputWriter> temp;
+  if (write_temp) {
+    GSNP_CHECK_MSG(!config.temp_file.empty(),
+                   "GSNP engines need config.temp_file");
+    temp.emplace(config.temp_file, ref.name());
+  }
+
+  PMatrixCounter counter;
+  while (auto rec = reader.next()) {
+    ++result.records;
+    if (temp) temp->add(*rec);
+    if (reuse_matrix || rec->hit_count != 1) continue;
+    const u64 lo = rec->pos;
+    const u64 hi = std::min<u64>(rec->pos + rec->length, ref.size());
+    for (u64 p = lo; p < hi; ++p) {
+      const u8 r = ref.base(p);
+      if (r >= kNumBases) continue;
+      reads::SiteObservation so;
+      if (!reads::observe_site(*rec, p, so)) continue;
+      counter.add(so.quality, so.coord, r, so.base);
+    }
+  }
+  if (temp) result.temp_bytes = temp->finish();
+  result.pm = reuse_matrix ? read_p_matrix(config.p_matrix_in)
+                           : finalize_p_matrix(counter);
+  if (!config.p_matrix_out.empty())
+    write_p_matrix(config.p_matrix_out, result.pm);
+  return result;
+}
+
+/// Posterior for a whole window -> rows (shared by all engines; identical
+/// results by construction).  When `device_calls` is non-null the genotype
+/// selection came from the device posterior kernel; only the statistics
+/// columns are assembled on the host.
+void window_posterior(const EngineConfig& config, PriorCache& priors,
+                      const WindowRecords& win, const WindowObs& obs,
+                      const std::vector<SiteStats>& stats,
+                      const std::vector<TypeLikely>& type_likely,
+                      std::vector<SnpRow>& rows,
+                      const std::vector<PosteriorCall>* device_calls = nullptr,
+                      int threads = 1) {
+  const genome::Reference& ref = *config.reference;
+  rows.resize(win.size);
+#pragma omp parallel for schedule(static) num_threads(threads) \
+    if (threads > 1)
+  for (i64 si = 0; si < static_cast<i64>(win.size); ++si) {
+    const u32 s = static_cast<u32>(si);
+    const u64 pos = win.start + s;
+    const genome::KnownSnpEntry* known =
+        config.dbsnp ? config.dbsnp->find(pos) : nullptr;
+    PosteriorCall call;
+    if (device_calls) {
+      call = (*device_calls)[s];
+    } else if (known) {
+      // dbSNP priors are site-specific; compute directly (thread-safe).
+      call = select_genotype(
+          genotype_log_priors(ref.base(pos), known, config.prior),
+          type_likely[s]);
+    } else {
+      // Novel sites share one of five cached priors (read-only access).
+      call = select_genotype(priors.get(ref.base(pos), nullptr),
+                             type_likely[s]);
+    }
+    rows[s] = assemble_row(pos, ref.base(pos), known != nullptr, call,
+                           stats[s], obs.site(s), obs.site_hits(s));
+  }
+}
+
+WindowLoader::RecordSource text_source(const std::filesystem::path& path) {
+  auto reader = std::make_shared<reads::AlignmentReader>(path);
+  return [reader] { return reader->next(); };
+}
+
+WindowLoader::RecordSource temp_source(const std::filesystem::path& path) {
+  auto reader = std::make_shared<compress::TempInputReader>(path);
+  return [reader] { return reader->next(); };
+}
+
+}  // namespace
+
+RunReport run_soapsnp(const EngineConfig& config) {
+  GSNP_CHECK(config.reference != nullptr);
+  const genome::Reference& ref = *config.reference;
+  const u32 window_size = config.window_size
+                              ? config.window_size
+                              : EngineConfig::kDefaultSoapsnpWindow;
+  RunReport report;
+  report.sites = ref.size();
+
+  PMatrix pm;
+  {
+    const auto scope = report.host.scope("cal_p");
+    CalPResult cal = cal_p_pass(config, /*write_temp=*/false);
+    pm = std::move(cal.pm);
+    report.records = cal.records;
+  }
+
+  BaseOccWindow dense(window_size);
+  WindowLoader loader(text_source(config.alignment_file), ref.size(),
+                      window_size);
+  SnpTextWriter writer(config.output_file, ref.name());
+  PriorCache priors(config.prior);
+  const int threads = std::max(1, config.soapsnp_threads);
+
+  WindowRecords win;
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  std::vector<TypeLikely> type_likely;
+  std::vector<SnpRow> rows;
+
+  for (;;) {
+    {
+      const auto scope = report.host.scope("read");
+      if (!loader.next(win)) break;
+    }
+    ++report.windows;
+    {
+      const auto scope = report.host.scope("count");
+      count_window(win, obs, stats, &dense, nullptr);
+    }
+    {
+      const auto scope = report.host.scope("likeli");
+      type_likely.resize(win.size);
+#pragma omp parallel for schedule(dynamic, 64) num_threads(threads) \
+    if (threads > 1)
+      for (i64 s = 0; s < static_cast<i64>(win.size); ++s)
+        type_likely[static_cast<std::size_t>(s)] =
+            likelihood_dense_site(dense.site(static_cast<u32>(s)), pm);
+    }
+    {
+      const auto scope = report.host.scope("post");
+      window_posterior(config, priors, win, obs, stats, type_likely, rows,
+                       nullptr, threads);
+    }
+    {
+      const auto scope = report.host.scope("output");
+      writer.write_window(rows);
+    }
+    {
+      const auto scope = report.host.scope("recycle");
+      dense.recycle();
+    }
+  }
+  report.output_bytes = writer.finish();
+  report.peak_host_bytes = dense.bytes() + pm.flat().size() * sizeof(double);
+  return report;
+}
+
+RunReport run_gsnp_cpu(const EngineConfig& config) {
+  GSNP_CHECK(config.reference != nullptr);
+  const genome::Reference& ref = *config.reference;
+  const u32 window_size =
+      config.window_size ? config.window_size : EngineConfig::kDefaultGsnpWindow;
+  RunReport report;
+  report.sites = ref.size();
+
+  PMatrix pm;
+  std::optional<NewPMatrix> npm;
+  {
+    // cal_p includes temp-file generation plus the new score tables
+    // (paper Table IV note).
+    const auto scope = report.host.scope("cal_p");
+    CalPResult cal = cal_p_pass(config, /*write_temp=*/true);
+    pm = std::move(cal.pm);
+    report.records = cal.records;
+    report.temp_bytes = cal.temp_bytes;
+    npm.emplace(pm);
+  }
+
+  BaseWordWindow sparse(window_size);
+  WindowLoader loader(temp_source(config.temp_file), ref.size(), window_size);
+  SnpOutputWriter writer(config.output_file, ref.name());
+  const RleDictFn rle = host_rle_dict();
+  PriorCache priors(config.prior);
+
+  WindowRecords win;
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  std::vector<TypeLikely> type_likely;
+  std::vector<SnpRow> rows;
+  u64 max_words = 0;
+
+  for (;;) {
+    {
+      const auto scope = report.host.scope("read");
+      if (!loader.next(win)) break;
+    }
+    ++report.windows;
+    {
+      const auto scope = report.host.scope("count");
+      count_window(win, obs, stats, nullptr, &sparse);
+      max_words = std::max<u64>(max_words, sparse.words.size());
+    }
+    {
+      const auto sort_scope = report.host.scope("likeli_sort");
+      likelihood_sort_cpu(sparse);
+    }
+    {
+      const auto comp_scope = report.host.scope("likeli_comp");
+      type_likely.resize(win.size);
+      for (u32 s = 0; s < win.size; ++s)
+        type_likely[s] = likelihood_sparse_site(sparse.site(s), *npm);
+    }
+    {
+      const auto scope = report.host.scope("post");
+      window_posterior(config, priors, win, obs, stats, type_likely, rows);
+    }
+    {
+      const auto scope = report.host.scope("output");
+      writer.write_window(rows, rle);
+    }
+    {
+      const auto scope = report.host.scope("recycle");
+      sparse.reset(window_size);
+    }
+  }
+  report.host.add("likeli",
+                  report.host.get("likeli_sort") + report.host.get("likeli_comp"));
+  report.output_bytes = writer.finish();
+  report.peak_host_bytes = max_words * sizeof(u32) +
+                           npm->flat().size() * sizeof(double) +
+                           pm.flat().size() * sizeof(double);
+  return report;
+}
+
+RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
+                   const device::PerfModel& model) {
+  GSNP_CHECK(config.reference != nullptr);
+  const genome::Reference& ref = *config.reference;
+  const u32 window_size =
+      config.window_size ? config.window_size : EngineConfig::kDefaultGsnpWindow;
+  RunReport report;
+  report.sites = ref.size();
+
+  const auto device_scope = [&](const char* name, auto&& body) {
+    const device::DeviceCounters before = dev.counters();
+    body();
+    const device::DeviceCounters delta =
+        device::counters_delta(before, dev.counters());
+    report.device_modeled.add(name, model.seconds(delta));
+  };
+
+  PMatrix pm;
+  std::optional<NewPMatrix> npm;
+  std::optional<DeviceScoreTables> tables;
+  {
+    const auto scope = report.host.scope("cal_p");
+    CalPResult cal = cal_p_pass(config, /*write_temp=*/true);
+    pm = std::move(cal.pm);
+    report.records = cal.records;
+    report.temp_bytes = cal.temp_bytes;
+    npm.emplace(pm);
+    // load_table (Fig 2): tables uploaded once, before any likelihood work.
+    device_scope("cal_p", [&] { tables.emplace(dev, pm, *npm); });
+  }
+
+  BaseWordWindow sparse(window_size);
+  WindowLoader loader(temp_source(config.temp_file), ref.size(), window_size);
+  SnpOutputWriter writer(config.output_file, ref.name());
+  // The six quality columns go through the device RLE-DICT kernels; their
+  // modeled time is charged to "output" via the counters delta, and the
+  // *simulation* wall time they burn is subtracted from the measured host
+  // "output" time (the simulator is not the hardware being modeled).
+  PriorCache priors(config.prior);
+  double rle_sim_wall = 0.0;
+  const RleDictFn rle = [&dev, &rle_sim_wall](std::span<const u32> column,
+                                              std::vector<u8>& out) {
+    const Timer t;
+    compress::device_encode_rle_dict(dev, column, out);
+    rle_sim_wall += t.seconds();
+  };
+
+  WindowRecords win;
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  std::vector<TypeLikely> type_likely;
+  std::vector<SnpRow> rows;
+  u64 max_words = 0;
+
+  for (;;) {
+    {
+      const auto scope = report.host.scope("read");
+      if (!loader.next(win)) break;
+    }
+    ++report.windows;
+    {
+      const auto scope = report.host.scope("count");
+      count_window(win, obs, stats, nullptr, &sparse);
+      max_words = std::max<u64>(max_words, sparse.words.size());
+    }
+
+    // The window's base_word data goes to the device once and stays
+    // resident through sorting and likelihood (the production data flow);
+    // only the ten log-likelihoods per site come back.
+    {
+      std::optional<device::DeviceBuffer<u32>> words_dev;
+      std::optional<device::DeviceBuffer<u64>> offsets_dev;
+
+      // likelihood_sort: multipass batch bitonic, device-resident.
+      device_scope("likeli_sort", [&] {
+        words_dev.emplace(
+            dev.to_device(std::span<const u32>(sparse.words)));
+        sortnet::sort_device_multipass_resident(dev, *words_dev,
+                                                sparse.offsets);
+      });
+
+      // likelihood_comp: the optimized kernel (shared memory + new table).
+      device_scope("likeli_comp", [&] {
+        offsets_dev.emplace(
+            dev.to_device(std::span<const u64>(sparse.offsets)));
+        type_likely = device_likelihood_sparse_resident(
+            dev, *words_dev, *offsets_dev, win.size, *tables);
+      });
+    }
+
+    {
+      // Posterior: prior construction + genotype selection on the device
+      // (modeled), statistics assembly on the host (measured).
+      std::vector<GenotypePriors> window_priors(win.size);
+      std::vector<PosteriorCall> calls;
+      {
+        const auto scope = report.host.scope("post");
+        for (u32 s = 0; s < win.size; ++s) {
+          const u64 pos = win.start + s;
+          const genome::KnownSnpEntry* known =
+              config.dbsnp ? config.dbsnp->find(pos) : nullptr;
+          window_priors[s] = priors.get(ref.base(pos), known);
+        }
+      }
+      device_scope("post",
+                   [&] { calls = device_posterior(dev, type_likely,
+                                                  window_priors); });
+      {
+        const auto scope = report.host.scope("post");
+        window_posterior(config, priors, win, obs, stats, type_likely, rows,
+                         &calls);
+      }
+    }
+    {
+      const Timer output_timer;
+      rle_sim_wall = 0.0;
+      device_scope("output", [&] { writer.write_window(rows, rle); });
+      report.host.add("output",
+                      std::max(0.0, output_timer.seconds() - rle_sim_wall));
+    }
+    {
+      // Sparse recycle: offsets reset on the host, device buffers are
+      // per-window; the dense 131,072-byte-per-site memset is gone entirely.
+      const auto scope = report.host.scope("recycle");
+      sparse.reset(window_size);
+    }
+  }
+  report.device_modeled.add("likeli", report.device_modeled.get("likeli_sort") +
+                                          report.device_modeled.get("likeli_comp"));
+  report.output_bytes = writer.finish();
+  report.peak_host_bytes = max_words * sizeof(u32) +
+                           npm->flat().size() * sizeof(double) +
+                           pm.flat().size() * sizeof(double);
+  report.peak_device_bytes = dev.peak_allocated_bytes();
+  report.device_counters = dev.counters();
+  return report;
+}
+
+}  // namespace gsnp::core

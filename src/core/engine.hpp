@@ -1,0 +1,92 @@
+#pragma once
+// The three SNP-calling engines (paper Figs 1 and 2):
+//
+//  * run_soapsnp  — the CPU baseline: dense base_occ, Algorithm 1 likelihood
+//                   (runtime log10, two p_matrix reads per update), plain
+//                   text output, full dense-matrix recycle per window.
+//                   Default window 4,000 sites.
+//  * run_gsnp_cpu — GSNP's algorithm without the GPU: sparse base_word with
+//                   per-array quicksort, new_p_matrix, compressed temporary
+//                   input and compressed output (host codecs).  Default
+//                   window 256,000 sites.
+//  * run_gsnp     — the full system: sparse representation, multipass batch
+//                   bitonic sort + the optimized likelihood kernel on the
+//                   device, device RLE-DICT output compression.  Device work
+//                   is timed through the analytical M2050 model from measured
+//                   operation counts (see device/perf_model.hpp and
+//                   DESIGN.md); host work is wall-clock.
+//
+// All three engines emit identical SnpRow streams (paper §IV-G); only the
+// container format differs (text vs compressed).  Component times use the
+// paper's seven names: cal_p, read, count, likeli, post, output, recycle.
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "src/common/timer.hpp"
+#include "src/core/prior.hpp"
+#include "src/device/device.hpp"
+#include "src/device/perf_model.hpp"
+#include "src/genome/dbsnp.hpp"
+#include "src/genome/reference.hpp"
+
+namespace gsnp::core {
+
+/// Paper component names, in pipeline order.
+inline constexpr const char* kComponents[] = {
+    "cal_p", "read", "count", "likeli", "post", "output", "recycle"};
+
+struct EngineConfig {
+  std::filesystem::path alignment_file;
+  const genome::Reference* reference = nullptr;
+  const genome::DbSnpTable* dbsnp = nullptr;  ///< optional prior file
+  std::filesystem::path output_file;
+  std::filesystem::path temp_file;  ///< GSNP/GSNP_CPU compressed temp input
+  u32 window_size = 0;              ///< 0 = engine default
+  PriorParams prior;
+  /// Threads for the SOAPsnp engine's per-site loops (the multi-threaded
+  /// variant §VI-A mentions: ~3-4x with 16 threads, memory-bandwidth-bound).
+  /// 1 = the official single-threaded SOAPsnp used in all comparisons.
+  int soapsnp_threads = 1;
+
+  /// Reuse a calibration matrix from a previous run (core::write_p_matrix):
+  /// cal_p_matrix skips the counting pass (SOAPsnp's matrix-reload feature).
+  /// The GSNP engines still stream the input once to build the compressed
+  /// temporary file.  Bit-exact with the matrix it was saved from.
+  std::filesystem::path p_matrix_in;
+  /// Save the calibration matrix computed by this run.
+  std::filesystem::path p_matrix_out;
+
+  /// Default windows: SOAPsnp 4,000; GSNP / GSNP_CPU 256,000 (paper §VI-A).
+  static constexpr u32 kDefaultSoapsnpWindow = 4'000;
+  static constexpr u32 kDefaultGsnpWindow = 256'000;
+};
+
+struct RunReport {
+  StopwatchSet host;            ///< measured seconds per component
+  StopwatchSet device_modeled;  ///< modeled device seconds per component
+                                ///< (plus "likeli_sort"/"likeli_comp" detail)
+  u64 sites = 0;
+  u64 windows = 0;
+  u64 records = 0;
+  u64 output_bytes = 0;
+  u64 temp_bytes = 0;
+  u64 peak_host_bytes = 0;    ///< dominant buffer footprint estimate
+  u64 peak_device_bytes = 0;  ///< device allocation high-water mark
+  device::DeviceCounters device_counters;
+
+  /// Combined (host + modeled device) seconds for one component.
+  double component(const std::string& name) const {
+    return host.get(name) + device_modeled.get(name);
+  }
+  /// Combined total over the seven pipeline components.
+  double total() const;
+};
+
+RunReport run_soapsnp(const EngineConfig& config);
+RunReport run_gsnp_cpu(const EngineConfig& config);
+RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
+                   const device::PerfModel& model = {});
+
+}  // namespace gsnp::core

@@ -1,0 +1,56 @@
+#include "src/core/genome_pipeline.hpp"
+
+#include "src/common/error.hpp"
+
+namespace gsnp::core {
+
+const char* engine_name(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kSoapsnp: return "soapsnp";
+    case EngineKind::kGsnpCpu: return "gsnp_cpu";
+    case EngineKind::kGsnp: return "gsnp";
+  }
+  return "?";
+}
+
+GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
+                        device::Device* dev) {
+  GSNP_CHECK_MSG(kind != EngineKind::kGsnp || dev != nullptr,
+                 "the GSNP engine needs a device");
+  std::filesystem::create_directories(config.output_dir);
+
+  GenomeReport report;
+  for (const ChromosomeJob& job : config.chromosomes) {
+    GSNP_CHECK_MSG(job.reference != nullptr,
+                   "chromosome " << job.name << " has no reference");
+    EngineConfig engine_config;
+    engine_config.alignment_file = job.alignment_file;
+    engine_config.reference = job.reference;
+    engine_config.dbsnp = job.dbsnp;
+    engine_config.window_size = config.window_size;
+    engine_config.prior = config.prior;
+    engine_config.soapsnp_threads = config.soapsnp_threads;
+    engine_config.temp_file =
+        config.output_dir / (job.name + "." + engine_name(kind) + ".tmp");
+    const bool text_output = kind == EngineKind::kSoapsnp;
+    engine_config.output_file =
+        config.output_dir /
+        (job.name + "." + engine_name(kind) + (text_output ? ".txt" : ".snp"));
+
+    RunReport run;
+    switch (kind) {
+      case EngineKind::kSoapsnp: run = run_soapsnp(engine_config); break;
+      case EngineKind::kGsnpCpu: run = run_gsnp_cpu(engine_config); break;
+      case EngineKind::kGsnp: run = run_gsnp(engine_config, *dev); break;
+    }
+
+    report.total_seconds += run.total();
+    report.total_sites += run.sites;
+    report.total_output_bytes += run.output_bytes;
+    report.output_files.push_back(engine_config.output_file);
+    report.per_chromosome.push_back(std::move(run));
+  }
+  return report;
+}
+
+}  // namespace gsnp::core

@@ -1,0 +1,50 @@
+#pragma once
+// Whole-genome driver: runs an engine over many chromosomes (the paper's
+// production setting — 24 per-chromosome alignment files processed in
+// sequence, Fig 12) and aggregates the per-component reports.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/core/engine.hpp"
+
+namespace gsnp::core {
+
+enum class EngineKind { kSoapsnp, kGsnpCpu, kGsnp };
+
+const char* engine_name(EngineKind kind);
+
+/// One chromosome's inputs; outputs are derived from `name` under the run's
+/// output directory.
+struct ChromosomeJob {
+  std::string name;
+  std::filesystem::path alignment_file;
+  const genome::Reference* reference = nullptr;
+  const genome::DbSnpTable* dbsnp = nullptr;
+};
+
+struct GenomeRunConfig {
+  std::vector<ChromosomeJob> chromosomes;
+  std::filesystem::path output_dir;
+  u32 window_size = 0;  ///< 0 = engine default
+  PriorParams prior;
+  int soapsnp_threads = 1;
+};
+
+struct GenomeReport {
+  std::vector<RunReport> per_chromosome;
+  std::vector<std::filesystem::path> output_files;
+  double total_seconds = 0.0;
+  u64 total_sites = 0;
+  u64 total_output_bytes = 0;
+};
+
+/// Run `kind` over every chromosome.  For kGsnp a device must be supplied;
+/// its counters accumulate across chromosomes (one card, many files — as in
+/// production).  Output files land in config.output_dir as
+/// <name>.<engine>.{txt,snp}.
+GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
+                        device::Device* dev = nullptr);
+
+}  // namespace gsnp::core

@@ -1,0 +1,367 @@
+#include "src/core/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+#include "src/core/adjust.hpp"
+#include "src/core/log_table.hpp"
+
+namespace gsnp::core {
+
+using device::Access;
+using device::BlockContext;
+using device::Device;
+using device::DeviceBuffer;
+using device::ThreadContext;
+
+DeviceScoreTables::DeviceScoreTables(Device& dev, const PMatrix& pm,
+                                     const NewPMatrix& npm)
+    : p_matrix_(dev.to_device(std::span<const double>(pm.flat()))),
+      new_p_(dev.to_device(std::span<const double>(npm.flat()))),
+      logs_(dev.to_constant(
+          std::span<const double>(::gsnp::core::log_table()))) {}
+
+namespace {
+
+/// dep_count entries pack (base-tag, count) so per-base re-initialization
+/// (Alg. 4 line 9) costs nothing: a mismatched tag reads as count 0.  The
+/// whole buffer is device-filled once per window instead of 512 stores per
+/// site per base.
+constexpr u32 kDepEntriesPerSite = kNumStrands * kMaxReadLen;
+
+constexpr u32 dep_pack(u32 base, u32 count) { return ((base + 1) << 16) | count; }
+constexpr u32 dep_count_of(u32 entry, u32 base) {
+  return (entry >> 16) == base + 1 ? (entry & 0xFFFF) : 0;
+}
+
+/// Integer quality adjustment reading the constant-memory log table —
+/// bit-identical to core::adjust_quality (which reads the host table built
+/// from the same values).
+int device_adjust(ThreadContext& t, const device::ConstantTable<double>& logs,
+                  int score, int dep) {
+  const int k = std::min(dep, kLogTableSize - 1);
+  const int penalty =
+      static_cast<int>(10.0 * t.cload(logs, static_cast<u64>(k)) + 0.5);
+  t.inst(3);
+  const int q = score - penalty;
+  return q < 0 ? 0 : (q >= kQualityLevels ? kQualityLevels - 1 : q);
+}
+
+}  // namespace
+
+std::vector<TypeLikely> device_likelihood_sparse(
+    Device& dev, const BaseWordWindow& win, const DeviceScoreTables& tables,
+    const SparseKernelOpts& opts) {
+  if (win.window_size() == 0) return {};
+  DeviceBuffer<u32> words = dev.to_device(std::span<const u32>(win.words));
+  DeviceBuffer<u64> offsets = dev.to_device(std::span<const u64>(win.offsets));
+  return device_likelihood_sparse_resident(dev, words, offsets,
+                                           win.window_size(), tables, opts);
+}
+
+std::vector<TypeLikely> device_likelihood_sparse_resident(
+    Device& dev, const DeviceBuffer<u32>& words,
+    const DeviceBuffer<u64>& offsets, u32 w, const DeviceScoreTables& tables,
+    const SparseKernelOpts& opts) {
+  std::vector<TypeLikely> result(w);
+  if (w == 0) return result;
+
+  DeviceBuffer<u32> dep =
+      dev.alloc<u32>(static_cast<u64>(w) * kDepEntriesPerSite);
+  dev.fill(dep, 0u);
+  // Output layout is genotype-major (combo * w + site) so the shared-memory
+  // variant's final flush is coalesced across the threads of a block.
+  DeviceBuffer<double> out =
+      dev.alloc<double>(static_cast<u64>(w) * kNumGenotypes);
+
+  const u32 grid =
+      (w + kLikelihoodBlockThreads - 1) / kLikelihoodBlockThreads;
+
+  dev.launch(grid, kLikelihoodBlockThreads, [&](BlockContext& blk) {
+    std::span<double> s_tl;
+    if (opts.use_shared)
+      s_tl = blk.shared_array<double>(kLikelihoodBlockThreads * kNumGenotypes);
+
+    blk.threads([&](ThreadContext& t) {
+      const u64 site = t.global_tid();
+      t.inst();
+      if (site >= w) return;
+
+      // Zero this site's accumulator.
+      for (int g = 0; g < kNumGenotypes; ++g) {
+        if (opts.use_shared)
+          t.sstore<double>(s_tl, t.tid() * kNumGenotypes + g, 0.0);
+        else
+          t.gstore(out, static_cast<u64>(g) * w + site, 0.0, Access::kRandom);
+      }
+
+      const u64 begin = t.gload(offsets, site, Access::kCoalesced);
+      const u64 end = t.gload(offsets, site + 1, Access::kCoalesced);
+
+      for (u64 i = begin; i < end; ++i) {
+        const u32 word = t.gload(words, i, Access::kRandom);
+        const u32 base = word >> 15;
+        const int score =
+            kQualityLevels - 1 - static_cast<int>((word >> 9) & 63);
+        const u32 coord = (word >> 1) & 255;
+        const u32 strand = word & 1;
+        t.inst(4);
+
+        const u64 dep_idx = site * kDepEntriesPerSite +
+                            strand * kMaxReadLen + coord;
+        const u32 entry = t.gload(dep, dep_idx, Access::kRandom);
+        const u32 cnt = dep_count_of(entry, base) + 1;
+        t.gstore(dep, dep_idx, dep_pack(base, cnt), Access::kRandom);
+        const int q_adj = device_adjust(t, tables.log_table(), score,
+                                        static_cast<int>(cnt));
+
+        if (opts.use_new_table) {
+          // Algorithm 3: one read per genotype, no transcendental.
+          const u64 row = NewPMatrix::index(q_adj, static_cast<int>(coord),
+                                            static_cast<int>(base), 0);
+          for (int g = 0; g < kNumGenotypes; ++g) {
+            t.inst(device::kUpdateOverhead);  // indexing + FMA accumulate
+            const double v = t.gload(tables.new_p_matrix(),
+                                     row + static_cast<u64>(g), Access::kRandom);
+            if (opts.use_shared) {
+              const u64 idx = t.tid() * kNumGenotypes + static_cast<u64>(g);
+              t.sstore<double>(s_tl, idx, t.sload<double>(s_tl, idx) + v);
+            } else {
+              t.gadd(out, static_cast<u64>(g) * w + site, v, Access::kRandom);
+            }
+          }
+        } else {
+          // likely_update (Algorithm 2): two p_matrix reads + runtime log10.
+          int combo = 0;
+          for (int a1 = 0; a1 < kNumBases; ++a1) {
+            for (int a2 = a1; a2 < kNumBases; ++a2) {
+              t.inst(device::kUpdateOverhead);  // indexing + FMA accumulate
+              const double p1 = t.gload(
+                  tables.p_matrix(),
+                  PMatrix::index(q_adj, static_cast<int>(coord), a1,
+                                 static_cast<int>(base)),
+                  Access::kRandom);
+              const double p2 = t.gload(
+                  tables.p_matrix(),
+                  PMatrix::index(q_adj, static_cast<int>(coord), a2,
+                                 static_cast<int>(base)),
+                  Access::kRandom);
+              const double v = std::log10(0.5 * p1 + 0.5 * p2);
+              t.inst(device::kTranscendentalCost);
+              if (opts.use_shared) {
+                const u64 idx =
+                    t.tid() * kNumGenotypes + static_cast<u64>(combo);
+                t.sstore<double>(s_tl, idx, t.sload<double>(s_tl, idx) + v);
+              } else {
+                t.gadd(out, static_cast<u64>(combo) * w + site, v,
+                       Access::kRandom);
+              }
+              ++combo;
+            }
+          }
+        }
+      }
+
+      // Shared variant: flush to global with coalesced writes (§IV-E) —
+      // genotype-major layout makes consecutive threads write consecutive
+      // addresses within each genotype plane.
+      if (opts.use_shared) {
+        for (int g = 0; g < kNumGenotypes; ++g)
+          t.gstore(out, static_cast<u64>(g) * w + site,
+                   t.sload<double>(s_tl, t.tid() * kNumGenotypes +
+                                             static_cast<u64>(g)),
+                   Access::kCoalesced);
+      }
+    });
+  });
+
+  const std::vector<double> flat = dev.to_host(out);
+  for (u32 s = 0; s < w; ++s)
+    for (int g = 0; g < kNumGenotypes; ++g)
+      result[s][static_cast<std::size_t>(g)] =
+          flat[static_cast<u64>(g) * w + s];
+  return result;
+}
+
+std::vector<TypeLikely> device_likelihood_dense(
+    Device& dev, const BaseWordWindow& win, const DeviceScoreTables& tables) {
+  const u32 w = win.window_size();
+  std::vector<TypeLikely> result(w);
+  if (w == 0) return result;
+
+  DeviceBuffer<u32> words = dev.to_device(std::span<const u32>(win.words));
+  DeviceBuffer<u64> offsets = dev.to_device(std::span<const u64>(win.offsets));
+  DeviceBuffer<double> out =
+      dev.alloc<double>(static_cast<u64>(w) * kNumGenotypes);
+
+  // Chunk the dense matrices to respect the 3 GB device budget.
+  const u32 chunk_sites = std::min<u32>(w, 4096);
+
+  for (u32 chunk_start = 0; chunk_start < w; chunk_start += chunk_sites) {
+    const u32 n_sites = std::min<u32>(chunk_sites, w - chunk_start);
+    DeviceBuffer<u8> dense =
+        dev.alloc<u8>(static_cast<u64>(n_sites) * kBaseOccPerSite);
+    dev.fill(dense, u8{0});  // per-chunk recycle of the dense matrices
+
+    // Counting kernel: one block per site scatters its words into base_occ.
+    dev.launch(n_sites, 256, [&](BlockContext& blk) {
+      const u32 site = chunk_start + blk.block_idx();
+      blk.threads([&](ThreadContext& t) {
+        const u64 begin = t.gload(offsets, site, Access::kCoalesced);
+        const u64 end = t.gload(offsets, site + 1, Access::kCoalesced);
+        for (u64 i = begin + t.tid(); i < end; i += blk.block_dim()) {
+          const u32 word = t.gload(words, i, Access::kCoalesced);
+          // The dense index uses the raw score; base_word stores 63-score.
+          const u32 base = word >> 15;
+          const u32 score = 63 - ((word >> 9) & 63);
+          const u32 cell = (base << 15) | (score << 9) | (word & 0x1FF);
+          t.inst(3);
+          t.gadd(dense,
+                 static_cast<u64>(blk.block_idx()) * kBaseOccPerSite + cell,
+                 u8{1}, Access::kRandom);
+        }
+      });
+    });
+
+    // Likelihood kernel: one block per site streams the full 131,072-cell
+    // matrix with coalesced reads (Algorithm 1's canonical order), paying
+    // likely_update's cost on each occurrence.
+    dev.launch(n_sites, 1, [&](BlockContext& blk) {
+      const u32 site = chunk_start + blk.block_idx();
+      blk.single_thread([&](ThreadContext& t) {
+        // The block's threads cooperatively stream the matrix; the simulator
+        // models the whole block's traffic through one bulk read per base
+        // plane (identical counter effect, far cheaper to simulate).
+        TypeLikely tl{};
+        std::array<u16, kNumStrands * kMaxReadLen> dep{};
+        constexpr u64 kPlane = kBaseOccPerSite / kNumBases;
+        for (int base = 0; base < kNumBases; ++base) {
+          dep.fill(0);
+          const auto plane = t.gload_bulk(
+              dense,
+              static_cast<u64>(blk.block_idx()) * kBaseOccPerSite +
+                  (static_cast<u64>(base) << 15),
+              kPlane, Access::kCoalesced);
+          // Canonical order within the plane: score descending.
+          for (int score = kQualityLevels - 1; score >= 0; --score) {
+            const u64 row = static_cast<u64>(score) << 9;
+            for (u64 cs = 0; cs < (1u << 9); ++cs) {
+              const u8 occ = plane[row + cs];
+              if (occ == 0) continue;
+              const u32 coord = static_cast<u32>(cs >> 1);
+              const u32 strand = static_cast<u32>(cs & 1);
+              for (u8 k = 0; k < occ; ++k) {
+                const int dcnt =
+                    ++dep[static_cast<std::size_t>(strand * kMaxReadLen + coord)];
+                const int q_adj =
+                    device_adjust(t, tables.log_table(), score, dcnt);
+                int combo = 0;
+                for (int a1 = 0; a1 < kNumBases; ++a1) {
+                  for (int a2 = a1; a2 < kNumBases; ++a2) {
+                    t.inst(device::kUpdateOverhead);
+                    const double p1 =
+                        t.gload(tables.p_matrix(),
+                                PMatrix::index(q_adj, static_cast<int>(coord),
+                                               a1, base),
+                                Access::kRandom);
+                    const double p2 =
+                        t.gload(tables.p_matrix(),
+                                PMatrix::index(q_adj, static_cast<int>(coord),
+                                               a2, base),
+                                Access::kRandom);
+                    tl[static_cast<std::size_t>(combo)] +=
+                        std::log10(0.5 * p1 + 0.5 * p2);
+                    t.inst(device::kTranscendentalCost);
+                    ++combo;
+                  }
+                }
+              }
+            }
+          }
+        }
+        for (int g = 0; g < kNumGenotypes; ++g)
+          t.gstore(out, static_cast<u64>(g) * w + site,
+                   tl[static_cast<std::size_t>(g)], Access::kRandom);
+      });
+    });
+  }
+
+  const std::vector<double> flat = dev.to_host(out);
+  for (u32 s = 0; s < w; ++s)
+    for (int g = 0; g < kNumGenotypes; ++g)
+      result[s][static_cast<std::size_t>(g)] =
+          flat[static_cast<u64>(g) * w + s];
+  return result;
+}
+
+std::vector<PosteriorCall> device_posterior(
+    Device& dev, std::span<const TypeLikely> type_likely,
+    std::span<const GenotypePriors> log_priors) {
+  GSNP_CHECK(type_likely.size() == log_priors.size());
+  const u64 w = type_likely.size();
+  std::vector<PosteriorCall> calls(w);
+  if (w == 0) return calls;
+
+  // Flatten site-major (each site's ten values contiguous) and upload.
+  std::vector<double> tl_flat(w * kNumGenotypes), prior_flat(w * kNumGenotypes);
+  for (u64 s = 0; s < w; ++s) {
+    for (int g = 0; g < kNumGenotypes; ++g) {
+      tl_flat[s * kNumGenotypes + g] = type_likely[s][g];
+      prior_flat[s * kNumGenotypes + g] = log_priors[s][g];
+    }
+  }
+  DeviceBuffer<double> tl = dev.to_device(std::span<const double>(tl_flat));
+  DeviceBuffer<double> prior =
+      dev.to_device(std::span<const double>(prior_flat));
+  // Packed result: best << 24 | second << 16 | quality.
+  DeviceBuffer<u32> out = dev.alloc<u32>(w);
+
+  constexpr u32 kBlock = 256;
+  const u32 grid = static_cast<u32>((w + kBlock - 1) / kBlock);
+  dev.launch(grid, kBlock, [&](BlockContext& blk) {
+    blk.threads([&](ThreadContext& t) {
+      const u64 site = t.global_tid();
+      t.inst();
+      if (site >= w) return;
+      // Identical math to select_genotype (§IV-G consistency applies to the
+      // posterior too).
+      int best_g = 0, second_g = 0;
+      double best_lp = -1e300, second_lp = -1e300;
+      for (int g = 0; g < kNumGenotypes; ++g) {
+        const u64 idx = site * kNumGenotypes + static_cast<u64>(g);
+        const double lp = t.gload(prior, idx, Access::kRandom) +
+                          t.gload(tl, idx, Access::kRandom);
+        t.inst(3);
+        if (lp > best_lp) {
+          second_lp = best_lp;
+          second_g = best_g;
+          best_lp = lp;
+          best_g = g;
+        } else if (lp > second_lp) {
+          second_lp = lp;
+          second_g = g;
+        }
+      }
+      const double gap = 10.0 * (best_lp - second_lp);
+      const long q = std::lround(gap);
+      const u32 quality = static_cast<u32>(q < 0 ? 0 : (q > 99 ? 99 : q));
+      t.inst(4);
+      t.gstore(out,
+               site,
+               (static_cast<u32>(best_g) << 24) |
+                   (static_cast<u32>(second_g) << 16) | quality,
+               Access::kCoalesced);
+    });
+  });
+
+  const std::vector<u32> packed = dev.to_host(out);
+  for (u64 s = 0; s < w; ++s) {
+    calls[s].best = static_cast<i8>(packed[s] >> 24);
+    calls[s].second = static_cast<i8>((packed[s] >> 16) & 0xFF);
+    calls[s].quality = static_cast<u16>(packed[s] & 0xFFFF);
+  }
+  return calls;
+}
+
+}  // namespace gsnp::core

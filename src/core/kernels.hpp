@@ -1,0 +1,98 @@
+#pragma once
+// Device likelihood kernels (paper §IV, Figs 5 and 8, Table III).
+//
+// The sparse kernel is Algorithm 4's computation step with one thread per
+// site, in four variants crossing the two optimizations the paper ablates:
+//
+//   baseline    : type_likely in global memory; two p_matrix reads + a
+//                 runtime log10 per (aligned base, genotype)
+//   w/ shared   : type_likely accumulated in shared memory, flushed to global
+//                 with coalesced writes at the end (§IV-E)
+//   w/ new table: Algorithm 3 — one new_p_matrix read, no log10 (§IV-D)
+//   optimized   : both (the production GSNP kernel)
+//
+// The dense kernel mirrors the "GPU dense" comparison point of Fig 5: one
+// block per site cooperatively streams the 131,072-cell base_occ matrix with
+// coalesced reads.  It exists for the performance comparison only; output
+// paths always use the sparse optimized kernel.
+//
+// dep_count lives in global memory (one 512-entry array per in-flight site),
+// exactly as §IV-E prescribes: it is too large for shared memory and accessed
+// an order of magnitude less than type_likely.
+
+#include <vector>
+
+#include "src/core/base_occ.hpp"
+#include "src/core/base_word.hpp"
+#include "src/core/likelihood.hpp"
+#include "src/core/new_pmatrix.hpp"
+#include "src/core/posterior.hpp"
+#include "src/core/pmatrix.hpp"
+#include "src/device/device.hpp"
+
+namespace gsnp::core {
+
+/// Threads per block for the sparse likelihood kernel; sized so the shared
+/// type_likely tile (threads x 10 doubles) fits the 48 KB shared budget.
+inline constexpr u32 kLikelihoodBlockThreads = 64;
+
+struct SparseKernelOpts {
+  bool use_shared = true;
+  bool use_new_table = true;
+};
+
+/// Device-resident score tables, uploaded once per run (component
+/// load_table in Fig 2).
+class DeviceScoreTables {
+ public:
+  DeviceScoreTables(device::Device& dev, const PMatrix& pm,
+                    const NewPMatrix& npm);
+
+  const device::DeviceBuffer<double>& p_matrix() const { return p_matrix_; }
+  const device::DeviceBuffer<double>& new_p_matrix() const { return new_p_; }
+  const device::ConstantTable<double>& log_table() const { return logs_; }
+
+ private:
+  device::DeviceBuffer<double> p_matrix_;
+  device::DeviceBuffer<double> new_p_;
+  device::ConstantTable<double> logs_;
+};
+
+/// Sparse likelihood on the device: uploads the window's (sorted) base_word
+/// CSR, runs the kernel variant, and downloads the ten log-likelihoods per
+/// site.  Results are bit-identical to likelihood_sparse_site when
+/// use_new_table is set (and identical here in practice for all variants,
+/// since host and simulated device share one libm).
+std::vector<TypeLikely> device_likelihood_sparse(
+    device::Device& dev, const BaseWordWindow& sorted_window,
+    const DeviceScoreTables& tables, const SparseKernelOpts& opts = {});
+
+/// Device-resident variant: operates on word/offset buffers already in
+/// device global memory (the production data flow — counting output stays on
+/// the card through sorting and likelihood; only the ten log-likelihoods per
+/// site come back).
+std::vector<TypeLikely> device_likelihood_sparse_resident(
+    device::Device& dev, const device::DeviceBuffer<u32>& words,
+    const device::DeviceBuffer<u64>& offsets, u32 window_size,
+    const DeviceScoreTables& tables, const SparseKernelOpts& opts = {});
+
+/// Dense likelihood on the device (Fig 5's "GPU dense").  Builds base_occ on
+/// the device from the window's words via a counting scatter kernel, then
+/// block-per-site streams the dense matrix.  Processes the window in chunks
+/// that respect the device's global-memory budget.
+std::vector<TypeLikely> device_likelihood_dense(
+    device::Device& dev, const BaseWordWindow& window,
+    const DeviceScoreTables& tables);
+
+/// Posterior genotype selection on the device (the `posterior` component of
+/// Fig 2): one thread per site combines the ten log-likelihoods with the ten
+/// log-priors and selects best/second/quality.  Bit-identical to the host
+/// select_genotype; the speedup is modest because the work is dominated by
+/// the host<->device transfer of the prior and likelihood arrays (the paper
+/// observes the same: 6-7x, "less significant due to the data transfer
+/// overhead").
+std::vector<PosteriorCall> device_posterior(
+    device::Device& dev, std::span<const TypeLikely> type_likely,
+    std::span<const GenotypePriors> log_priors);
+
+}  // namespace gsnp::core

@@ -1,0 +1,80 @@
+#include "src/core/likelihood.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/core/adjust.hpp"
+#include "src/core/log_table.hpp"
+
+namespace gsnp::core {
+
+TypeLikely likelihood_dense_site(std::span<const u8> base_occ,
+                                 const PMatrix& pm) {
+  TypeLikely type_likely{};
+  std::array<u16, kNumStrands * kMaxReadLen> dep_count{};
+  const double* logs = log_table().data();
+
+  for (int base = 0; base < kNumBases; ++base) {
+    dep_count.fill(0);  // Alg. 1 line 3
+    for (int score = kQualityLevels - 1; score >= 0; --score) {
+      for (int coord = 0; coord < kMaxReadLen; ++coord) {
+        for (int strand = 0; strand < kNumStrands; ++strand) {
+          const u8 occ = base_occ[base_occ_index(base, score, coord, strand)];
+          for (u8 k = 0; k < occ; ++k) {
+            const int dep = ++dep_count[static_cast<std::size_t>(
+                strand * kMaxReadLen + coord)];
+            const int q_adj = adjust_quality(score, dep, logs);
+            // likely_update (Algorithm 2) for the ten allele pairs.
+            int combo = 0;
+            for (int a1 = 0; a1 < kNumBases; ++a1) {
+              for (int a2 = a1; a2 < kNumBases; ++a2) {
+                const double p1 = pm[PMatrix::index(q_adj, coord, a1, base)];
+                const double p2 = pm[PMatrix::index(q_adj, coord, a2, base)];
+                type_likely[static_cast<std::size_t>(combo)] +=
+                    std::log10(0.5 * p1 + 0.5 * p2);
+                ++combo;
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return type_likely;
+}
+
+TypeLikely likelihood_sparse_site(std::span<const u32> sorted_words,
+                                  const NewPMatrix& npm) {
+  TypeLikely type_likely{};
+  std::array<u16, kNumStrands * kMaxReadLen> dep_count{};
+  const double* logs = log_table().data();
+
+  int last_base = 0;
+  for (const u32 word : sorted_words) {
+    const AlignedBase ab = base_word_unpack(word);
+    if (ab.base > last_base) {  // Alg. 4 lines 8-10
+      dep_count.fill(0);
+      last_base = ab.base;
+    }
+    const int dep = ++dep_count[static_cast<std::size_t>(
+        static_cast<int>(ab.strand) * kMaxReadLen + ab.coord)];
+    const int q_adj = adjust_quality(ab.quality, dep, logs);
+    // opt_likely_update (Algorithm 3): one table row, ten reads, no log10.
+    const u64 row = NewPMatrix::index(q_adj, ab.coord, ab.base, 0);
+    for (int combo = 0; combo < kNumGenotypes; ++combo)
+      type_likely[static_cast<std::size_t>(combo)] +=
+          npm.flat()[row + static_cast<u64>(combo)];
+  }
+  return type_likely;
+}
+
+void likelihood_sort_cpu(BaseWordWindow& window) {
+  const i64 n = static_cast<i64>(window.window_size());
+#pragma omp parallel for schedule(dynamic, 1024)
+  for (i64 s = 0; s < n; ++s) {
+    auto site = window.site(static_cast<u32>(s));
+    std::sort(site.begin(), site.end());
+  }
+}
+
+}  // namespace gsnp::core

@@ -1,0 +1,10 @@
+#include "src/core/log_table.hpp"
+
+namespace gsnp::core {
+
+const std::array<double, kLogTableSize>& log_table() {
+  static const std::array<double, kLogTableSize> table = make_log_table();
+  return table;
+}
+
+}  // namespace gsnp::core

@@ -1,0 +1,35 @@
+#pragma once
+// The log_table of paper §IV-G: base-10 logarithms of the small integers used
+// by the quality-adjustment step, computed once on the host.
+//
+// GSNP guarantees bit-exact agreement with the CPU implementation by never
+// evaluating transcendental functions on the device: `adjust` reads this
+// table (placed in constant memory), and the likelihood kernel reads
+// new_p_matrix.  Both implementations here — dense/CPU and sparse/device —
+// share this single table, which is how the consistency property is enforced
+// structurally.
+
+#include <array>
+#include <cmath>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::core {
+
+/// Table size: log10 of the integers 0..64 (the paper's "64 integers").
+inline constexpr int kLogTableSize = 65;
+
+/// Build the table.  Entry 0 is defined as 0 (log10(0) never contributes: the
+/// dependency count passed to adjust is always >= 1).
+inline std::array<double, kLogTableSize> make_log_table() {
+  std::array<double, kLogTableSize> table{};
+  table[0] = 0.0;
+  for (int i = 1; i < kLogTableSize; ++i)
+    table[static_cast<std::size_t>(i)] = std::log10(static_cast<double>(i));
+  return table;
+}
+
+/// Process-wide shared instance (computed once, immutable thereafter).
+const std::array<double, kLogTableSize>& log_table();
+
+}  // namespace gsnp::core

@@ -1,0 +1,27 @@
+#include "src/core/new_pmatrix.hpp"
+
+#include <cmath>
+
+namespace gsnp::core {
+
+NewPMatrix::NewPMatrix(const PMatrix& pm) : values_(kSize, 0.0) {
+  for (int q = 0; q < kQualityLevels; ++q) {
+    for (int coord = 0; coord < kMaxReadLen; ++coord) {
+      for (int obs = 0; obs < kNumBases; ++obs) {
+        int combo = 0;
+        for (int a1 = 0; a1 < kNumBases; ++a1) {
+          for (int a2 = a1; a2 < kNumBases; ++a2) {
+            // Exactly likely_update's expression (Algorithm 2), evaluated
+            // once here instead of per aligned base at runtime.
+            const double p = 0.5 * pm.at(q, coord, a1, obs) +
+                             0.5 * pm.at(q, coord, a2, obs);
+            values_[index(q, coord, obs, combo)] = std::log10(p);
+            ++combo;
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace gsnp::core

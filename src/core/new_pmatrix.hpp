@@ -1,0 +1,49 @@
+#pragma once
+// The new score table new_p_matrix (paper §IV-D, Algorithm 3).
+//
+// For every (q_adjusted, coord, observed-base) cell of p_matrix, precompute
+// the ten values log10(0.5 * p[allele1] + 0.5 * p[allele2]) — one per
+// unordered allele pair in canonical loop order — and store them
+// consecutively.  This converts likely_update's two random reads of p_matrix
+// plus one log10 call into a single table read:
+//
+//   idx = (q_adjusted << 10 | coord << 2 | base) * 10 + i          (Alg. 3)
+//
+// The table is computed once on the host (so CPU and device read identical
+// doubles, §IV-G) and uploaded to device global memory before any likelihood
+// work.
+
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/core/pmatrix.hpp"
+
+namespace gsnp::core {
+
+class NewPMatrix {
+ public:
+  /// (q << 10 | coord << 2 | base) spans kQualityLevels << 10 cells.
+  static constexpr u64 kCells = static_cast<u64>(kQualityLevels) << 10;
+  static constexpr u64 kSize = kCells * kNumGenotypes;
+
+  /// Build from a finalized p_matrix (host-side, once).
+  explicit NewPMatrix(const PMatrix& pm);
+
+  static constexpr u64 index(int q, int coord, int obs, int combo) {
+    return ((static_cast<u64>(q) << 10) | (static_cast<u64>(coord) << 2) |
+            static_cast<u64>(obs)) *
+               kNumGenotypes +
+           static_cast<u64>(combo);
+  }
+
+  double at(int q, int coord, int obs, int combo) const {
+    return values_[index(q, coord, obs, combo)];
+  }
+
+  const std::vector<double>& flat() const { return values_; }
+
+ private:
+  std::vector<double> values_;
+};
+
+}  // namespace gsnp::core

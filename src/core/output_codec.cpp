@@ -1,0 +1,392 @@
+#include "src/core/output_codec.hpp"
+
+#include <cstring>
+
+#include "src/common/bitio.hpp"
+#include "src/common/error.hpp"
+#include "src/compress/codecs.hpp"
+
+namespace gsnp::core {
+
+RleDictFn host_rle_dict() {
+  return [](std::span<const u32> column, std::vector<u8>& out) {
+    compress::encode_rle_dict(column, out);
+  };
+}
+
+namespace {
+
+/// Base column with possible 'N's: 2-bit codes (N packed as 0) plus a sparse
+/// exception column flagging the N positions.
+void encode_base_column(std::span<const SnpRow> rows, u8 SnpRow::*field,
+                        std::vector<u8>& out) {
+  std::vector<u8> codes(rows.size());
+  std::vector<u32> n_flags(rows.size(), 0);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const u8 b = rows[i].*field;
+    codes[i] = b < kNumBases ? b : 0;
+    n_flags[i] = b < kNumBases ? 0 : 1;
+  }
+  compress::pack_bases(codes, out);
+  compress::encode_sparse(n_flags, out);
+}
+
+void decode_base_column(std::vector<SnpRow>& rows, u8 SnpRow::*field,
+                        std::span<const u8> data, std::size_t& pos) {
+  const std::vector<u8> codes = compress::unpack_bases(data, pos);
+  const std::vector<u32> n_flags = compress::decode_sparse(data, pos);
+  GSNP_CHECK(codes.size() == rows.size() && n_flags.size() == rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    rows[i].*field = n_flags[i] ? kInvalidBase : codes[i];
+}
+
+template <typename Field>
+std::vector<u32> gather(std::span<const SnpRow> rows, Field&& get) {
+  std::vector<u32> column(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) column[i] = get(rows[i]);
+  return column;
+}
+
+/// Predicted genotype column: homozygous-reference (encoded rank+1; 0 = 'N').
+std::vector<u32> predicted_genotypes(std::span<const SnpRow> rows) {
+  std::vector<u32> predicted(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const u8 r = rows[i].ref_base;
+    predicted[i] =
+        r < kNumBases ? static_cast<u32>(genotype_rank(r, r)) + 1 : 0;
+  }
+  return predicted;
+}
+
+std::vector<u32> predicted_genotypes(const std::vector<SnpRow>& rows) {
+  return predicted_genotypes(
+      std::span<const SnpRow>(rows.data(), rows.size()));
+}
+
+}  // namespace
+
+std::vector<u8> compress_snp_window(std::span<const SnpRow> rows,
+                                    const RleDictFn& rle_dict) {
+  std::vector<u8> out;
+  varint_append(out, rows.size());
+  if (rows.empty()) return out;
+
+  // Cols 1-2: positions are consecutive — store the start only.
+  varint_append(out, rows.front().pos);
+
+  // Col 3: reference base.
+  encode_base_column(rows, &SnpRow::ref_base, out);
+
+  // Col 4: genotype vs predicted hom-ref.
+  compress::encode_exceptions(
+      gather(rows,
+             [](const SnpRow& r) {
+               return r.genotype_rank < 0
+                          ? 0u
+                          : static_cast<u32>(r.genotype_rank) + 1;
+             }),
+      predicted_genotypes(rows), out);
+
+  // Col 5: consensus quality (quality-related -> RLE-DICT).
+  rle_dict(gather(rows, [](const SnpRow& r) { return r.quality; }), out);
+
+  // Col 6: best base.
+  encode_base_column(rows, &SnpRow::best_base, out);
+
+  // Cols 7-9: best-allele stats (quality-related -> RLE-DICT).
+  rle_dict(gather(rows, [](const SnpRow& r) { return r.best_avg_quality; }),
+           out);
+  rle_dict(gather(rows, [](const SnpRow& r) { return r.best_uniq_count; }),
+           out);
+  rle_dict(gather(rows, [](const SnpRow& r) { return r.best_all_count; }),
+           out);
+
+  // Cols 10-13: second-allele columns, sparse (base stored as code+1).
+  compress::encode_sparse(
+      gather(rows,
+             [](const SnpRow& r) {
+               return r.second_base < kNumBases
+                          ? static_cast<u32>(r.second_base) + 1
+                          : 0u;
+             }),
+      out);
+  compress::encode_sparse(
+      gather(rows, [](const SnpRow& r) { return r.second_avg_quality; }), out);
+  compress::encode_sparse(
+      gather(rows, [](const SnpRow& r) { return r.second_uniq_count; }), out);
+  compress::encode_sparse(
+      gather(rows, [](const SnpRow& r) { return r.second_all_count; }), out);
+
+  // Col 14: depth (quality-related -> RLE-DICT).
+  rle_dict(gather(rows, [](const SnpRow& r) { return r.depth; }), out);
+
+  // Col 15: rank-sum p (1e-4 grid).
+  {
+    std::vector<double> p(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) p[i] = rows[i].rank_sum_p;
+    compress::encode_quantized(p, 1e4, out);
+  }
+
+  // Col 16: average copy number (1e-2 grid; quality-related family).
+  {
+    std::vector<double> cn(rows.size());
+    for (std::size_t i = 0; i < rows.size(); ++i) cn[i] = rows[i].copy_number;
+    compress::encode_quantized(cn, 1e2, out);
+  }
+
+  // Col 17: dbSNP membership, sparse.
+  compress::encode_sparse(
+      gather(rows, [](const SnpRow& r) { return r.in_dbsnp ? 1u : 0u; }), out);
+
+  return out;
+}
+
+std::vector<SnpRow> decompress_snp_window(std::span<const u8> data) {
+  std::size_t pos = 0;
+  const u64 n = varint_read(data, pos);
+  GSNP_CHECK_MSG(n <= (1ULL << 28), "implausible window row count " << n);
+  std::vector<SnpRow> rows(n);
+  if (n == 0) return rows;
+
+  const u64 start = varint_read(data, pos);
+  for (u64 i = 0; i < n; ++i) rows[i].pos = start + i;
+
+  decode_base_column(rows, &SnpRow::ref_base, data, pos);
+
+  {
+    const std::vector<u32> genotype = compress::decode_exceptions(
+        predicted_genotypes(rows), data, pos);
+    for (u64 i = 0; i < n; ++i)
+      rows[i].genotype_rank =
+          genotype[i] == 0 ? i8{-1} : static_cast<i8>(genotype[i] - 1);
+  }
+
+  const auto scatter_u32 = [&](auto set, const std::vector<u32>& col) {
+    GSNP_CHECK(col.size() == n);
+    for (u64 i = 0; i < n; ++i) set(rows[i], col[i]);
+  };
+
+  scatter_u32([](SnpRow& r, u32 v) { r.quality = static_cast<u16>(v); },
+              compress::decode_rle_dict(data, pos));
+  decode_base_column(rows, &SnpRow::best_base, data, pos);
+  scatter_u32(
+      [](SnpRow& r, u32 v) { r.best_avg_quality = static_cast<u16>(v); },
+      compress::decode_rle_dict(data, pos));
+  scatter_u32([](SnpRow& r, u32 v) { r.best_uniq_count = v; },
+              compress::decode_rle_dict(data, pos));
+  scatter_u32([](SnpRow& r, u32 v) { r.best_all_count = v; },
+              compress::decode_rle_dict(data, pos));
+
+  scatter_u32(
+      [](SnpRow& r, u32 v) {
+        r.second_base = v == 0 ? kInvalidBase : static_cast<u8>(v - 1);
+      },
+      compress::decode_sparse(data, pos));
+  scatter_u32(
+      [](SnpRow& r, u32 v) { r.second_avg_quality = static_cast<u16>(v); },
+      compress::decode_sparse(data, pos));
+  scatter_u32([](SnpRow& r, u32 v) { r.second_uniq_count = v; },
+              compress::decode_sparse(data, pos));
+  scatter_u32([](SnpRow& r, u32 v) { r.second_all_count = v; },
+              compress::decode_sparse(data, pos));
+  scatter_u32([](SnpRow& r, u32 v) { r.depth = v; },
+              compress::decode_rle_dict(data, pos));
+
+  {
+    const std::vector<double> p = compress::decode_quantized(data, pos);
+    GSNP_CHECK(p.size() == n);
+    for (u64 i = 0; i < n; ++i) rows[i].rank_sum_p = p[i];
+  }
+  {
+    const std::vector<double> cn = compress::decode_quantized(data, pos);
+    GSNP_CHECK(cn.size() == n);
+    for (u64 i = 0; i < n; ++i) rows[i].copy_number = cn[i];
+  }
+  scatter_u32([](SnpRow& r, u32 v) { r.in_dbsnp = v != 0; },
+              compress::decode_sparse(data, pos));
+
+  GSNP_CHECK_MSG(pos == data.size(), "trailing bytes in SNP window frame");
+  return rows;
+}
+
+// ---- file-level writer / reader -------------------------------------------------
+
+SnpOutputWriter::SnpOutputWriter(const std::filesystem::path& path,
+                                 std::string seq_name)
+    : out_(path, std::ios::binary) {
+  GSNP_CHECK_MSG(out_.good(), "cannot open output file " << path);
+  out_.write(kOutputMagic, sizeof(kOutputMagic));
+  std::vector<u8> header;
+  varint_append(header, seq_name.size());
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  out_.write(seq_name.data(), static_cast<std::streamsize>(seq_name.size()));
+  bytes_ = sizeof(kOutputMagic) + header.size() + seq_name.size();
+}
+
+void SnpOutputWriter::write_window(std::span<const SnpRow> rows,
+                                   const RleDictFn& rle_dict) {
+  const std::vector<u8> frame = compress_snp_window(rows, rle_dict);
+  std::vector<u8> size_prefix;
+  varint_append(size_prefix, frame.size());
+  out_.write(reinterpret_cast<const char*>(size_prefix.data()),
+             static_cast<std::streamsize>(size_prefix.size()));
+  out_.write(reinterpret_cast<const char*>(frame.data()),
+             static_cast<std::streamsize>(frame.size()));
+  bytes_ += size_prefix.size() + frame.size();
+}
+
+u64 SnpOutputWriter::finish() {
+  out_.flush();
+  GSNP_CHECK_MSG(out_.good(), "output write failed");
+  out_.close();
+  return bytes_;
+}
+
+namespace {
+
+/// Read one varint directly from a stream (frame sizes in file headers).
+bool stream_varint(std::istream& in, u64& value) {
+  value = 0;
+  int shift = 0;
+  for (;;) {
+    const int c = in.get();
+    if (c == EOF) return false;
+    value |= static_cast<u64>(c & 0x7F) << shift;
+    if (!(c & 0x80)) return true;
+    shift += 7;
+    GSNP_CHECK_MSG(shift < 64, "varint too long in stream");
+  }
+}
+
+}  // namespace
+
+SnpOutputReader::SnpOutputReader(const std::filesystem::path& path)
+    : in_(path, std::ios::binary) {
+  GSNP_CHECK_MSG(in_.good(), "cannot open compressed output " << path);
+  char magic[sizeof(kOutputMagic)];
+  in_.read(magic, sizeof(magic));
+  GSNP_CHECK_MSG(
+      in_.gcount() == sizeof(magic) &&
+          std::memcmp(magic, kOutputMagic, sizeof(magic)) == 0,
+      "bad magic in " << path);
+  u64 name_len = 0;
+  GSNP_CHECK(stream_varint(in_, name_len));
+  seq_name_.resize(name_len);
+  in_.read(seq_name_.data(), static_cast<std::streamsize>(name_len));
+  GSNP_CHECK(in_.gcount() == static_cast<std::streamsize>(name_len));
+}
+
+bool SnpOutputReader::next_window(std::vector<SnpRow>& rows) {
+  u64 frame_size = 0;
+  if (!stream_varint(in_, frame_size)) return false;
+  GSNP_CHECK_MSG(frame_size <= (1ULL << 32), "implausible frame size");
+  std::vector<u8> frame(frame_size);
+  in_.read(reinterpret_cast<char*>(frame.data()),
+           static_cast<std::streamsize>(frame_size));
+  GSNP_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(frame_size),
+                 "truncated frame");
+  rows = decompress_snp_window(frame);
+  return true;
+}
+
+SnpTextWriter::SnpTextWriter(const std::filesystem::path& path,
+                             std::string seq_name)
+    : out_(path), seq_name_(std::move(seq_name)) {
+  GSNP_CHECK_MSG(out_.good(), "cannot open output file " << path);
+}
+
+void SnpTextWriter::write_window(std::span<const SnpRow> rows) {
+  for (const SnpRow& row : rows) {
+    const std::string line = format_snp_row(seq_name_, row);
+    out_ << line << '\n';
+    bytes_ += line.size() + 1;
+  }
+}
+
+u64 SnpTextWriter::finish() {
+  out_.flush();
+  GSNP_CHECK_MSG(out_.good(), "output write failed");
+  out_.close();
+  return bytes_;
+}
+
+std::vector<SnpRow> read_snp_text_file(const std::filesystem::path& path,
+                                       std::string& seq_name) {
+  std::ifstream in(path);
+  GSNP_CHECK_MSG(in.good(), "cannot open " << path);
+  std::vector<SnpRow> rows;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    rows.push_back(parse_snp_row(line, seq_name));
+  }
+  return rows;
+}
+
+std::vector<SnpRow> read_snp_compressed_file(
+    const std::filesystem::path& path, std::string& seq_name) {
+  SnpOutputReader reader(path);
+  seq_name = reader.seq_name();
+  std::vector<SnpRow> rows, window;
+  while (reader.next_window(window))
+    rows.insert(rows.end(), window.begin(), window.end());
+  return rows;
+}
+
+std::vector<SnpRow> read_snp_range(const std::filesystem::path& path, u64 lo,
+                                   u64 hi, std::string& seq_name) {
+  std::ifstream in(path, std::ios::binary);
+  GSNP_CHECK_MSG(in.good(), "cannot open compressed output " << path);
+  {
+    char magic[sizeof(kOutputMagic)];
+    in.read(magic, sizeof(magic));
+    GSNP_CHECK_MSG(in.gcount() == sizeof(magic) &&
+                       std::memcmp(magic, kOutputMagic, sizeof(magic)) == 0,
+                   "bad magic in " << path);
+    u64 name_len = 0;
+    GSNP_CHECK(stream_varint(in, name_len));
+    seq_name.resize(name_len);
+    in.read(seq_name.data(), static_cast<std::streamsize>(name_len));
+    GSNP_CHECK(in.gcount() == static_cast<std::streamsize>(name_len));
+  }
+
+  std::vector<SnpRow> result;
+  u64 frame_size = 0;
+  while (stream_varint(in, frame_size)) {
+    GSNP_CHECK_MSG(frame_size <= (1ULL << 32), "implausible frame size");
+    // Peek the frame header: varint row count, varint start position.
+    // Two varints are at most 20 bytes.
+    const std::size_t peek_len =
+        static_cast<std::size_t>(std::min<u64>(frame_size, 20));
+    std::vector<u8> head(peek_len);
+    in.read(reinterpret_cast<char*>(head.data()),
+            static_cast<std::streamsize>(peek_len));
+    GSNP_CHECK_MSG(in.gcount() == static_cast<std::streamsize>(peek_len),
+                   "truncated frame");
+    std::size_t pos = 0;
+    const u64 n = varint_read(head, pos);
+    const u64 start = n == 0 ? 0 : varint_read(head, pos);
+
+    const bool overlaps = n > 0 && start < hi && start + n > lo;
+    if (!overlaps) {
+      in.seekg(static_cast<std::streamoff>(frame_size - peek_len),
+               std::ios::cur);
+      continue;
+    }
+    // Read the remainder and decompress just this window.
+    std::vector<u8> frame(frame_size);
+    std::copy(head.begin(), head.end(), frame.begin());
+    in.read(reinterpret_cast<char*>(frame.data() + peek_len),
+            static_cast<std::streamsize>(frame_size - peek_len));
+    GSNP_CHECK_MSG(in.gcount() ==
+                       static_cast<std::streamsize>(frame_size - peek_len),
+                   "truncated frame");
+    for (SnpRow& row : decompress_snp_window(frame)) {
+      if (row.pos >= lo && row.pos < hi) result.push_back(std::move(row));
+    }
+  }
+  return result;
+}
+
+}  // namespace gsnp::core

@@ -1,0 +1,94 @@
+#include "src/core/prior.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::core {
+
+namespace {
+
+/// Linear-space novel-site prior for the ten genotypes.
+GenotypePriors novel_priors(u8 ref_base, const PriorParams& params) {
+  GenotypePriors prior{};
+  if (ref_base >= kNumBases) {
+    prior.fill(1.0 / kNumGenotypes);
+    return prior;
+  }
+  // Transition/transversion weights over the three alternate alleles.
+  std::array<double, kNumBases> w{};
+  double w_sum = 0.0;
+  for (u8 b = 0; b < kNumBases; ++b) {
+    if (b == ref_base) continue;
+    w[b] = is_transition(ref_base, b) ? params.ti_weight : 1.0;
+    w_sum += w[b];
+  }
+
+  double allocated = 0.0;
+  for (int rank = 0; rank < kNumGenotypes; ++rank) {
+    const Genotype g = genotype_from_rank(rank);
+    if (g.allele1 == ref_base && g.allele2 == ref_base) continue;
+    double p = 0.0;
+    if (g.allele1 == ref_base || g.allele2 == ref_base) {
+      const u8 alt = g.allele1 == ref_base ? g.allele2 : g.allele1;
+      p = params.novel_het_rate * w[alt] / w_sum;
+    } else if (g.homozygous()) {
+      p = params.novel_hom_rate * w[g.allele1] / w_sum;
+    } else {
+      // Both alleles differ from the reference: second-order event.
+      p = params.novel_het_rate * params.novel_hom_rate *
+          (w[g.allele1] + w[g.allele2]) / (2.0 * w_sum);
+    }
+    prior[static_cast<std::size_t>(rank)] = p;
+    allocated += p;
+  }
+  prior[static_cast<std::size_t>(genotype_rank(ref_base, ref_base))] =
+      1.0 - allocated;
+  return prior;
+}
+
+/// Hardy-Weinberg genotype probabilities from population allele frequencies.
+GenotypePriors hwe_priors(const genome::KnownSnpEntry& known,
+                          const PriorParams& params) {
+  std::array<double, kNumBases> f{};
+  double total = 0.0;
+  for (int b = 0; b < kNumBases; ++b) {
+    f[static_cast<std::size_t>(b)] =
+        std::max(known.freq[static_cast<std::size_t>(b)], params.freq_floor);
+    total += f[static_cast<std::size_t>(b)];
+  }
+  for (auto& v : f) v /= total;
+
+  GenotypePriors prior{};
+  for (int rank = 0; rank < kNumGenotypes; ++rank) {
+    const Genotype g = genotype_from_rank(rank);
+    const double p = f[g.allele1] * f[g.allele2];
+    prior[static_cast<std::size_t>(rank)] = g.homozygous() ? p : 2.0 * p;
+  }
+  return prior;
+}
+
+}  // namespace
+
+GenotypePriors genotype_log_priors(u8 ref_base,
+                                   const genome::KnownSnpEntry* known,
+                                   const PriorParams& params) {
+  GenotypePriors prior = novel_priors(ref_base, params);
+  if (known != nullptr && ref_base < kNumBases) {
+    const GenotypePriors hwe = hwe_priors(*known, params);
+    const double lambda =
+        known->validated ? params.validated_weight : params.unvalidated_weight;
+    for (int g = 0; g < kNumGenotypes; ++g)
+      prior[static_cast<std::size_t>(g)] =
+          (1.0 - lambda) * prior[static_cast<std::size_t>(g)] +
+          lambda * hwe[static_cast<std::size_t>(g)];
+  }
+  GenotypePriors log_prior;
+  for (int g = 0; g < kNumGenotypes; ++g)
+    log_prior[static_cast<std::size_t>(g)] =
+        std::log10(std::max(prior[static_cast<std::size_t>(g)], 1e-30));
+  return log_prior;
+}
+
+}  // namespace gsnp::core

@@ -1,0 +1,37 @@
+#pragma once
+// Genotype priors for the Bayesian posterior (SOAPsnp's model).
+//
+// For a site with reference base r the prior mass is dominated by the
+// homozygous-reference genotype; heterozygotes carrying r get the novel-SNP
+// rate (split across alternates with a transition/transversion bias),
+// homozygous alternates a smaller rate, and double-non-reference
+// heterozygotes a second-order rate.  Sites present in the dbSNP prior file
+// blend this novel model with Hardy-Weinberg expectations from the recorded
+// population allele frequencies, weighted by whether the entry is validated.
+
+#include <array>
+
+#include "src/common/types.hpp"
+#include "src/genome/dbsnp.hpp"
+
+namespace gsnp::core {
+
+struct PriorParams {
+  double novel_het_rate = 1e-3;   ///< P(heterozygous SNP) at an unlisted site
+  double novel_hom_rate = 1e-4;   ///< P(homozygous alternate) at an unlisted site
+  double ti_weight = 2.0;         ///< transition weight (transversion = 1)
+  double validated_weight = 0.9;  ///< HWE blend weight for validated entries
+  double unvalidated_weight = 0.5;
+  double freq_floor = 1e-4;       ///< floor for population allele frequencies
+};
+
+using GenotypePriors = std::array<double, kNumGenotypes>;
+
+/// log10 prior for the ten genotypes in canonical order.  `known` may be
+/// nullptr (novel site).  A reference base of kInvalidBase ('N') yields a
+/// flat prior.
+GenotypePriors genotype_log_priors(u8 ref_base,
+                                   const genome::KnownSnpEntry* known,
+                                   const PriorParams& params);
+
+}  // namespace gsnp::core

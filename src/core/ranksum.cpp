@@ -1,0 +1,64 @@
+#include "src/core/ranksum.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace gsnp::core {
+
+namespace {
+
+/// Standard normal upper-tail survival function via erfc.
+double normal_sf(double z) { return 0.5 * std::erfc(z / std::sqrt(2.0)); }
+
+}  // namespace
+
+double rank_sum_p(std::span<const u8> a, std::span<const u8> b) {
+  const double n1 = static_cast<double>(a.size());
+  const double n2 = static_cast<double>(b.size());
+  if (a.empty() || b.empty()) return 1.0;
+
+  // Pool, sort, and assign mid-ranks to ties.
+  struct Tagged {
+    u8 value;
+    bool from_a;
+  };
+  std::vector<Tagged> pool;
+  pool.reserve(a.size() + b.size());
+  for (const u8 v : a) pool.push_back({v, true});
+  for (const u8 v : b) pool.push_back({v, false});
+  std::sort(pool.begin(), pool.end(),
+            [](const Tagged& x, const Tagged& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  const std::size_t n = pool.size();
+  for (std::size_t i = 0; i < n;) {
+    std::size_t j = i;
+    while (j < n && pool[j].value == pool[i].value) ++j;
+    const double t = static_cast<double>(j - i);
+    // Mid-rank of the tie group (ranks are 1-based).
+    const double mid = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k)
+      if (pool[k].from_a) rank_sum_a += mid;
+    tie_correction += t * t * t - t;
+    i = j;
+  }
+
+  const double total = n1 + n2;
+  const double u = rank_sum_a - n1 * (n1 + 1.0) / 2.0;
+  const double mean_u = n1 * n2 / 2.0;
+  const double var_u = n1 * n2 / 12.0 *
+                       (total + 1.0 - tie_correction / (total * (total - 1.0)));
+  if (var_u <= 0.0) return 1.0;  // all values tied
+  // Continuity-corrected two-sided p.
+  const double z = (std::abs(u - mean_u) - 0.5) / std::sqrt(var_u);
+  const double p = 2.0 * normal_sf(std::max(0.0, z));
+  return std::min(1.0, p);
+}
+
+double round_p(double p) {
+  return std::round(p * 1e4) / 1e4;
+}
+
+}  // namespace gsnp::core

@@ -1,0 +1,57 @@
+#include "src/core/snp_row.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace gsnp::core {
+
+std::string format_snp_row(const std::string& seq_name, const SnpRow& row) {
+  // Fixed formatting keeps the text output byte-deterministic across
+  // implementations (consistency requirement, paper §IV-G).
+  char p_buf[16];
+  std::snprintf(p_buf, sizeof(p_buf), "%.4f", row.rank_sum_p);
+  char cn_buf[32];
+  std::snprintf(cn_buf, sizeof(cn_buf), "%.2f", row.copy_number);
+
+  std::ostringstream os;
+  os << seq_name << '\t' << (row.pos + 1) << '\t' << char_from_base(row.ref_base)
+     << '\t'
+     << (row.genotype_rank < 0 ? 'N' : iupac_from_rank(row.genotype_rank))
+     << '\t' << row.quality << '\t' << char_from_base(row.best_base) << '\t'
+     << row.best_avg_quality << '\t' << row.best_uniq_count << '\t'
+     << row.best_all_count << '\t' << char_from_base(row.second_base) << '\t'
+     << row.second_avg_quality << '\t' << row.second_uniq_count << '\t'
+     << row.second_all_count << '\t' << row.depth << '\t' << p_buf << '\t'
+     << cn_buf << '\t' << (row.in_dbsnp ? 1 : 0);
+  return os.str();
+}
+
+SnpRow parse_snp_row(std::string_view line, std::string& seq_name) {
+  const auto f = split(trim(line), '\t');
+  GSNP_CHECK_MSG(f.size() == 17, "bad SNP row: '" << line << "'");
+  seq_name = std::string(f[0]);
+  SnpRow row;
+  row.pos = parse_int<u64>(f[1], "pos") - 1;
+  row.ref_base = base_from_char(f[2][0]);
+  row.genotype_rank = static_cast<i8>(rank_from_iupac(f[3][0]));
+  row.quality = parse_int<u16>(f[4], "quality");
+  row.best_base = base_from_char(f[5][0]);
+  row.best_avg_quality = parse_int<u16>(f[6], "best avg q");
+  row.best_uniq_count = parse_int<u32>(f[7], "best uniq");
+  row.best_all_count = parse_int<u32>(f[8], "best all");
+  row.second_base = base_from_char(f[9][0]);
+  row.second_avg_quality = parse_int<u16>(f[10], "second avg q");
+  row.second_uniq_count = parse_int<u32>(f[11], "second uniq");
+  row.second_all_count = parse_int<u32>(f[12], "second all");
+  row.depth = parse_int<u32>(f[13], "depth");
+  row.rank_sum_p = parse_double(f[14], "rank-sum p");
+  row.copy_number = parse_double(f[15], "copy number");
+  row.in_dbsnp = parse_int<int>(f[16], "dbsnp flag") != 0;
+  return row;
+}
+
+}  // namespace gsnp::core

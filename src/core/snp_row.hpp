@@ -1,0 +1,80 @@
+#pragma once
+// The 17-column SNP result row — SOAPsnp's output schema (paper §V-B).
+//
+//  1. reference sequence name       (table-level; identical for all rows)
+//  2. site position (1-based in text)
+//  3. reference base
+//  4. consensus genotype (IUPAC single character)
+//  5. consensus quality (Phred)
+//  6. best base
+//  7. average quality of best base
+//  8. count of uniquely mapped best base
+//  9. count of all mapped best base
+// 10. second-best base
+// 11. average quality of second-best base
+// 12. count of uniquely mapped second-best base
+// 13. count of all mapped second-best base
+// 14. sequencing depth
+// 15. rank-sum test p-value
+// 16. average copy number
+// 17. whether the site is in dbSNP (0/1)
+
+#include <iosfwd>
+#include <string>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::core {
+
+/// Single-character IUPAC code for a diploid genotype (canonical rank order
+/// A M R W C S Y G K T).
+constexpr char iupac_from_rank(int rank) {
+  constexpr char kIupac[kNumGenotypes + 1] = "AMRWCSYGKT";
+  return kIupac[rank];
+}
+
+/// Inverse mapping; returns -1 for characters that are not genotype codes.
+constexpr int rank_from_iupac(char c) {
+  switch (c) {
+    case 'A': return 0;
+    case 'M': return 1;
+    case 'R': return 2;
+    case 'W': return 3;
+    case 'C': return 4;
+    case 'S': return 5;
+    case 'Y': return 6;
+    case 'G': return 7;
+    case 'K': return 8;
+    case 'T': return 9;
+    default: return -1;
+  }
+}
+
+struct SnpRow {
+  u64 pos = 0;                 ///< 0-based internally, 1-based in text
+  u8 ref_base = kInvalidBase;  ///< 0..3 or kInvalidBase ('N')
+  i8 genotype_rank = -1;       ///< 0..9, or -1 for an uncallable ('N') site
+  u16 quality = 0;
+  u8 best_base = kInvalidBase;
+  u16 best_avg_quality = 0;
+  u32 best_uniq_count = 0;
+  u32 best_all_count = 0;
+  u8 second_base = kInvalidBase;
+  u16 second_avg_quality = 0;
+  u32 second_uniq_count = 0;
+  u32 second_all_count = 0;
+  u32 depth = 0;
+  double rank_sum_p = 1.0;   ///< rounded to the 1e-4 grid
+  double copy_number = 0.0;  ///< rounded to the 1e-2 grid
+  bool in_dbsnp = false;
+
+  bool operator==(const SnpRow&) const = default;
+};
+
+/// Tab-separated text form (the plain SOAPsnp-style output format).
+std::string format_snp_row(const std::string& seq_name, const SnpRow& row);
+
+/// Parse a line produced by format_snp_row (seq name returned via out-param).
+SnpRow parse_snp_row(std::string_view line, std::string& seq_name);
+
+}  // namespace gsnp::core

@@ -1,0 +1,57 @@
+#include "src/device/device.hpp"
+
+#include <omp.h>
+
+#include <algorithm>
+#include <functional>
+
+namespace gsnp::device {
+
+Device::Device(const DeviceSpec& spec) : spec_(spec) {}
+
+void Device::reserve_global(u64 bytes) {
+  const u64 used = global_used_.fetch_add(bytes) + bytes;
+  if (used > spec_.global_bytes) {
+    global_used_ -= bytes;
+    GSNP_CHECK_MSG(false, "device global memory exceeded: " << used << " > "
+                                                            << spec_.global_bytes);
+  }
+  u64 peak = global_peak_.load();
+  while (peak < used && !global_peak_.compare_exchange_weak(peak, used)) {
+  }
+}
+
+void Device::run_blocks(u32 grid_dim, u32 block_dim,
+                        const std::function<void(BlockContext&)>& body) {
+  const int n_workers = std::max(1, omp_get_max_threads());
+
+  // Per-worker shared-memory arenas and counter shards, reduced at the end;
+  // kernels therefore never contend on the device-wide counter struct.
+  std::vector<std::vector<std::byte>> arenas(
+      static_cast<std::size_t>(n_workers));
+  std::vector<DeviceCounters> shards(static_cast<std::size_t>(n_workers));
+  for (auto& arena : arenas) arena.resize(spec_.shared_bytes);
+
+  // Exceptions cannot cross an OpenMP region boundary; capture the first one
+  // and rethrow after the loop (kernels throw on contract violations such as
+  // out-of-range accesses or shared-memory overflow).
+  std::exception_ptr first_error;
+
+#pragma omp parallel for schedule(dynamic, 16) num_threads(n_workers)
+  for (i64 b = 0; b < static_cast<i64>(grid_dim); ++b) {
+    const auto w = static_cast<std::size_t>(omp_get_thread_num());
+    BlockContext blk(static_cast<u32>(b), grid_dim, block_dim,
+                     std::span<std::byte>(arenas[w]), &shards[w]);
+    try {
+      body(blk);
+    } catch (...) {
+#pragma omp critical
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+
+  for (const auto& shard : shards) counters_ += shard;
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace gsnp::device

@@ -1,0 +1,62 @@
+#pragma once
+// Known-SNP prior table ("dbSNP" in SOAPsnp terms).
+//
+// SOAPsnp's third input file lists, for known polymorphic sites, the allele
+// frequencies observed in the population and whether the site is validated.
+// The Bayesian posterior uses these as a site-specific genotype prior; sites
+// absent from the table use the genome-wide novel-SNP prior.
+//
+// Text format (one site per line, '#' comments allowed):
+//   <seq-name> <pos> <freqA> <freqC> <freqG> <freqT> <validated 0|1>
+
+#include <array>
+#include <filesystem>
+#include <iosfwd>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+#include "src/genome/synthetic.hpp"
+
+namespace gsnp::genome {
+
+struct KnownSnpEntry {
+  u64 pos = 0;
+  std::array<double, kNumBases> freq = {0, 0, 0, 0};
+  bool validated = false;
+};
+
+/// A per-sequence table of known SNP sites, sorted by position.
+class DbSnpTable {
+ public:
+  DbSnpTable() = default;
+  DbSnpTable(std::string seq_name, std::vector<KnownSnpEntry> entries);
+
+  const std::string& seq_name() const { return seq_name_; }
+  const std::vector<KnownSnpEntry>& entries() const { return entries_; }
+  std::size_t size() const { return entries_.size(); }
+
+  /// Entry at `pos`, or nullptr if the site is not a known SNP.
+  const KnownSnpEntry* find(u64 pos) const;
+
+ private:
+  std::string seq_name_;
+  std::vector<KnownSnpEntry> entries_;
+};
+
+/// Build a prior table covering a fraction of planted SNPs (those flagged
+/// in_dbsnp), plus `decoy_rate` * |genome| known sites where the individual is
+/// actually homozygous reference (dbSNP lists population polymorphisms, most
+/// of which any one individual does not carry).
+DbSnpTable make_dbsnp(const Reference& ref,
+                      const std::vector<PlantedSnp>& snps,
+                      double decoy_rate, u64 seed);
+
+/// Text serialization.
+void write_dbsnp(std::ostream& out, const DbSnpTable& table);
+void write_dbsnp_file(const std::filesystem::path& path,
+                      const DbSnpTable& table);
+DbSnpTable read_dbsnp(std::istream& in);
+DbSnpTable read_dbsnp_file(const std::filesystem::path& path);
+
+}  // namespace gsnp::genome

@@ -1,0 +1,37 @@
+#pragma once
+// The human karyotype profile used to scale the 24-chromosome end-to-end
+// benchmark (paper Fig. 12).  Sizes are the NCBI36/hg18 assembly lengths the
+// paper's datasets correspond to (Ch. 1 = 247 Mbp is the largest sequence,
+// Ch. 21 = 47 Mbp the smallest autosome, matching paper Table II).
+
+#include <array>
+#include <string_view>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::genome {
+
+struct ChromosomeInfo {
+  std::string_view name;
+  double mbp;  ///< assembly length in megabase pairs
+};
+
+/// The 24 human nuclear chromosomes.
+inline constexpr std::array<ChromosomeInfo, 24> kHumanKaryotype = {{
+    {"chr1", 247.2},  {"chr2", 242.7},  {"chr3", 199.5},  {"chr4", 191.3},
+    {"chr5", 180.9},  {"chr6", 170.9},  {"chr7", 158.8},  {"chr8", 146.3},
+    {"chr9", 140.3},  {"chr10", 135.4}, {"chr11", 134.5}, {"chr12", 132.3},
+    {"chr13", 114.1}, {"chr14", 106.4}, {"chr15", 100.3}, {"chr16", 88.8},
+    {"chr17", 78.7},  {"chr18", 76.1},  {"chr19", 63.8},  {"chr20", 62.4},
+    {"chr21", 46.9},  {"chr22", 49.7},  {"chrX", 154.9},  {"chrY", 57.8},
+}};
+
+/// Scale a chromosome to a benchmark-sized site count: the number of sites a
+/// whole-genome bench uses for this chromosome when the largest chromosome
+/// (chr1) is assigned `chr1_sites` sites.
+constexpr u64 scaled_sites(const ChromosomeInfo& info, u64 chr1_sites) {
+  return static_cast<u64>(info.mbp / kHumanKaryotype[0].mbp *
+                          static_cast<double>(chr1_sites));
+}
+
+}  // namespace gsnp::genome

@@ -1,0 +1,80 @@
+#include "src/genome/reference.hpp"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace gsnp::genome {
+
+std::string Reference::substring(u64 pos, u64 len) const {
+  GSNP_CHECK_MSG(pos + len <= size(), "substring out of range");
+  std::string s;
+  s.reserve(len);
+  for (u64 i = 0; i < len; ++i) s.push_back(char_from_base(bases_[pos + i]));
+  return s;
+}
+
+std::vector<Reference> read_fasta(std::istream& in) {
+  std::vector<Reference> refs;
+  std::string name;
+  std::vector<u8> bases;
+  bool have_seq = false;
+
+  const auto flush = [&] {
+    if (have_seq) refs.emplace_back(std::move(name), std::move(bases));
+    name.clear();
+    bases.clear();
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    const std::string_view body = trim(line);
+    if (body.empty()) continue;
+    if (body.front() == '>') {
+      flush();
+      // Header: sequence name is the first whitespace-delimited token.
+      const auto rest = trim(body.substr(1));
+      const auto space = rest.find(' ');
+      name = std::string(space == std::string_view::npos ? rest
+                                                         : rest.substr(0, space));
+      have_seq = true;
+      GSNP_CHECK_MSG(!name.empty(), "FASTA header without a name");
+    } else {
+      GSNP_CHECK_MSG(have_seq, "FASTA data before first '>' header");
+      for (const char c : body) {
+        // Unknown / ambiguity codes are stored as 'N'.
+        bases.push_back(base_from_char(c));
+      }
+    }
+  }
+  flush();
+  return refs;
+}
+
+std::vector<Reference> read_fasta_file(const std::filesystem::path& path) {
+  std::ifstream in(path);
+  GSNP_CHECK_MSG(in.good(), "cannot open FASTA file " << path);
+  return read_fasta(in);
+}
+
+void write_fasta(std::ostream& out, const Reference& ref, int line_width) {
+  GSNP_CHECK(line_width > 0);
+  out << '>' << ref.name() << '\n';
+  const u64 n = ref.size();
+  for (u64 i = 0; i < n; i += static_cast<u64>(line_width)) {
+    const u64 len = std::min<u64>(line_width, n - i);
+    out << ref.substring(i, len) << '\n';
+  }
+}
+
+void write_fasta_file(const std::filesystem::path& path,
+                      const std::vector<Reference>& refs, int line_width) {
+  std::ofstream out(path);
+  GSNP_CHECK_MSG(out.good(), "cannot open FASTA file for write " << path);
+  for (const auto& ref : refs) write_fasta(out, ref, line_width);
+}
+
+}  // namespace gsnp::genome

@@ -1,0 +1,53 @@
+#pragma once
+// Reference sequence model and FASTA I/O.
+//
+// A Reference is one named DNA sequence stored as 2-bit base codes (with
+// kInvalidBase marking 'N').  SNP detection consumes the reference both to
+// compute genotype priors (homozygous-reference gets most of the mass) and to
+// emit column 3 of the output table.
+
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::genome {
+
+class Reference {
+ public:
+  Reference() = default;
+  Reference(std::string name, std::vector<u8> bases)
+      : name_(std::move(name)), bases_(std::move(bases)) {}
+
+  const std::string& name() const { return name_; }
+  u64 size() const { return bases_.size(); }
+  bool empty() const { return bases_.empty(); }
+
+  /// Base code at `pos` (0..3 or kInvalidBase for 'N').
+  u8 base(u64 pos) const { return bases_[pos]; }
+  void set_base(u64 pos, u8 b) { bases_[pos] = b; }
+
+  const std::vector<u8>& bases() const { return bases_; }
+
+  /// ASCII rendering of a subsequence [pos, pos+len).
+  std::string substring(u64 pos, u64 len) const;
+
+ private:
+  std::string name_;
+  std::vector<u8> bases_;
+};
+
+/// Parse all sequences from a FASTA stream.  Throws gsnp::Error on malformed
+/// input (data before the first header, or illegal characters other than
+/// IUPAC ambiguity codes, which are mapped to 'N').
+std::vector<Reference> read_fasta(std::istream& in);
+std::vector<Reference> read_fasta_file(const std::filesystem::path& path);
+
+/// Write sequences in FASTA format with the given line width.
+void write_fasta(std::ostream& out, const Reference& ref, int line_width = 70);
+void write_fasta_file(const std::filesystem::path& path,
+                      const std::vector<Reference>& refs, int line_width = 70);
+
+}  // namespace gsnp::genome

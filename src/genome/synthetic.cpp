@@ -1,0 +1,95 @@
+#include "src/genome/synthetic.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::genome {
+
+Reference generate_reference(const GenomeSpec& spec) {
+  GSNP_CHECK_MSG(spec.gc_content >= 0.0 && spec.gc_content <= 1.0,
+                 "gc_content=" << spec.gc_content);
+  Rng rng(spec.seed);
+  std::vector<u8> bases(spec.length);
+  for (auto& b : bases) {
+    if (spec.n_gap_rate > 0.0 && rng.bernoulli(spec.n_gap_rate)) {
+      b = kInvalidBase;
+      continue;
+    }
+    // Choose GC vs AT, then one of the two bases within the class.
+    const bool gc = rng.bernoulli(spec.gc_content);
+    const bool second = rng.bernoulli(0.5);
+    b = gc ? (second ? 2 /*G*/ : 1 /*C*/) : (second ? 3 /*T*/ : 0 /*A*/);
+  }
+  return Reference(spec.name, std::move(bases));
+}
+
+u8 draw_alt_allele(u8 ref_base, double transition_bias, Rng& rng) {
+  GSNP_CHECK(ref_base < kNumBases);
+  // One transition partner, two transversion partners; weight the transition
+  // by `transition_bias` relative to each transversion.
+  const u8 transition = static_cast<u8>(ref_base ^ 2);
+  u8 transversions[2];
+  int n = 0;
+  for (u8 b = 0; b < kNumBases; ++b)
+    if (b != ref_base && b != transition) transversions[n++] = b;
+  const double total = transition_bias + 2.0;
+  const double draw = rng.uniform_double() * total;
+  if (draw < transition_bias) return transition;
+  return draw < transition_bias + 1.0 ? transversions[0] : transversions[1];
+}
+
+std::vector<PlantedSnp> plant_snps(const Reference& ref,
+                                   const SnpPlantSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<PlantedSnp> snps;
+  const u64 n = ref.size();
+  snps.reserve(static_cast<std::size_t>(spec.snp_rate * 1.3 * n) + 16);
+  for (u64 pos = 0; pos < n; ++pos) {
+    const u8 rb = ref.base(pos);
+    if (rb >= kNumBases) continue;  // never plant on an 'N' gap
+    if (!rng.bernoulli(spec.snp_rate)) continue;
+    const u8 alt = draw_alt_allele(rb, spec.transition_bias, rng);
+    PlantedSnp snp;
+    snp.pos = pos;
+    snp.ref_base = rb;
+    if (rng.bernoulli(spec.het_fraction)) {
+      snp.genotype = {std::min(rb, alt), std::max(rb, alt)};
+    } else {
+      snp.genotype = {alt, alt};
+    }
+    snp.in_dbsnp = rng.bernoulli(spec.known_fraction);
+    snps.push_back(snp);
+  }
+  return snps;  // generated in position order
+}
+
+Diploid::Diploid(const Reference& ref, std::vector<PlantedSnp> snps)
+    : ref_(&ref), snps_(std::move(snps)) {
+  GSNP_CHECK_MSG(
+      std::is_sorted(snps_.begin(), snps_.end(),
+                     [](const auto& a, const auto& b) { return a.pos < b.pos; }),
+      "planted SNPs must be sorted by position");
+}
+
+const PlantedSnp* Diploid::find(u64 pos) const {
+  const auto it = std::lower_bound(
+      snps_.begin(), snps_.end(), pos,
+      [](const PlantedSnp& s, u64 p) { return s.pos < p; });
+  return (it != snps_.end() && it->pos == pos) ? &*it : nullptr;
+}
+
+Genotype Diploid::genotype_at(u64 pos) const {
+  if (const PlantedSnp* snp = find(pos)) return snp->genotype;
+  const u8 rb = ref_->base(pos);
+  return {rb, rb};
+}
+
+u8 Diploid::haplotype_base(u64 pos, int hap) const {
+  GSNP_CHECK(hap == 0 || hap == 1);
+  if (const PlantedSnp* snp = find(pos))
+    return hap == 0 ? snp->genotype.allele1 : snp->genotype.allele2;
+  return ref_->base(pos);
+}
+
+}  // namespace gsnp::genome

@@ -1,0 +1,82 @@
+#pragma once
+// Synthetic genome generation and SNP planting.
+//
+// The paper evaluates on BGI's operational human resequencing data, which we
+// do not have; this module is the documented substitution (see DESIGN.md).
+// It produces (a) a random reference with a configurable GC content and
+// N-gap fraction, and (b) a diploid "individual" derived from the reference
+// by planting SNPs at a configurable rate — the ground truth against which
+// called SNPs can be scored and from which reads are sampled.
+
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+#include "src/genome/reference.hpp"
+
+namespace gsnp::genome {
+
+/// Parameters for reference generation.
+struct GenomeSpec {
+  std::string name = "chrS";
+  u64 length = 1'000'000;
+  double gc_content = 0.41;  ///< human-like GC fraction
+  double n_gap_rate = 0.0;   ///< probability a site is an 'N' gap
+  u64 seed = 1;
+};
+
+/// Generate a random reference sequence per the spec.
+Reference generate_reference(const GenomeSpec& spec);
+
+/// One planted polymorphic site in the simulated individual.
+struct PlantedSnp {
+  u64 pos = 0;
+  u8 ref_base = 0;       ///< the reference allele at this site
+  Genotype genotype;     ///< the individual's diploid genotype (differs from ref)
+  bool in_dbsnp = false; ///< whether this site appears in the prior file
+};
+
+/// Parameters for SNP planting.
+struct SnpPlantSpec {
+  double snp_rate = 0.001;      ///< fraction of sites carrying a SNP (~human)
+  double het_fraction = 0.6;    ///< fraction of SNPs that are heterozygous
+  double transition_bias = 2.0; ///< ti/tv ratio for the alternate allele
+  double known_fraction = 0.9;  ///< fraction of planted SNPs present in dbSNP
+  u64 seed = 2;
+};
+
+/// Plant SNPs on a reference; returns sites sorted by position.  'N' sites
+/// are never polymorphic.
+std::vector<PlantedSnp> plant_snps(const Reference& ref,
+                                   const SnpPlantSpec& spec);
+
+/// A diploid individual: the reference plus planted genotypes.  Supports the
+/// two queries the read simulator needs — the genotype at a site and a random
+/// allele draw (maternal/paternal chromosome chosen per read).
+class Diploid {
+ public:
+  Diploid(const Reference& ref, std::vector<PlantedSnp> snps);
+
+  const Reference& reference() const { return *ref_; }
+  const std::vector<PlantedSnp>& snps() const { return snps_; }
+
+  /// Genotype at `pos`: hom-ref unless a SNP is planted there.
+  Genotype genotype_at(u64 pos) const;
+
+  /// The base carried by haplotype `hap` (0 or 1) at `pos`.  For planted hets
+  /// haplotype 0 carries allele1 and haplotype 1 carries allele2.
+  u8 haplotype_base(u64 pos, int hap) const;
+
+  /// Planted SNP at `pos`, if any.
+  const PlantedSnp* find(u64 pos) const;
+
+ private:
+  const Reference* ref_;
+  std::vector<PlantedSnp> snps_;  // sorted by pos
+};
+
+/// Draw an alternate allele for `ref_base` honoring the transition bias.
+u8 draw_alt_allele(u8 ref_base, double transition_bias, Rng& rng);
+
+}  // namespace gsnp::genome

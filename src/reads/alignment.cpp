@@ -1,0 +1,76 @@
+#include "src/reads/alignment.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace gsnp::reads {
+
+std::string format_alignment(const AlignmentRecord& rec) {
+  std::ostringstream os;
+  os << rec.read_id << '\t' << rec.seq << '\t' << rec.qual << '\t'
+     << rec.hit_count << '\t' << rec.pair_tag << '\t' << rec.length << '\t'
+     << (rec.strand == Strand::kForward ? '+' : '-') << '\t' << rec.chr_name
+     << '\t' << (rec.pos + 1);
+  return os.str();
+}
+
+AlignmentRecord parse_alignment(std::string_view line) {
+  const auto fields = split(trim(line), '\t');
+  GSNP_CHECK_MSG(fields.size() >= 9, "bad alignment line: '" << line << "'");
+  AlignmentRecord rec;
+  rec.read_id = std::string(fields[0]);
+  rec.seq = std::string(fields[1]);
+  rec.qual = std::string(fields[2]);
+  rec.hit_count = parse_int<u32>(fields[3], "hit count");
+  GSNP_CHECK_MSG(fields[4].size() == 1, "bad pair tag '" << fields[4] << "'");
+  rec.pair_tag = fields[4][0];
+  rec.length = parse_int<u16>(fields[5], "read length");
+  GSNP_CHECK_MSG(fields[6] == "+" || fields[6] == "-",
+                 "bad strand '" << fields[6] << "'");
+  rec.strand = fields[6] == "+" ? Strand::kForward : Strand::kReverse;
+  rec.chr_name = std::string(fields[7]);
+  const u64 pos1 = parse_int<u64>(fields[8], "position");
+  GSNP_CHECK_MSG(pos1 >= 1, "alignment position must be 1-based");
+  rec.pos = pos1 - 1;
+  GSNP_CHECK_MSG(rec.seq.size() == rec.length && rec.qual.size() == rec.length,
+                 "seq/qual length mismatch in '" << rec.read_id << "'");
+  return rec;
+}
+
+void write_alignments(std::ostream& out,
+                      const std::vector<AlignmentRecord>& recs) {
+  for (const auto& rec : recs) out << format_alignment(rec) << '\n';
+}
+
+void write_alignment_file(const std::filesystem::path& path,
+                          const std::vector<AlignmentRecord>& recs) {
+  std::ofstream out(path);
+  GSNP_CHECK_MSG(out.good(), "cannot open alignment file for write " << path);
+  write_alignments(out, recs);
+}
+
+AlignmentReader::AlignmentReader(const std::filesystem::path& path)
+    : in_(path) {
+  GSNP_CHECK_MSG(in_.good(), "cannot open alignment file " << path);
+}
+
+std::optional<AlignmentRecord> AlignmentReader::next() {
+  while (std::getline(in_, line_)) {
+    if (trim(line_).empty()) continue;
+    return parse_alignment(line_);
+  }
+  return std::nullopt;
+}
+
+std::vector<AlignmentRecord> read_alignment_file(
+    const std::filesystem::path& path) {
+  AlignmentReader reader(path);
+  std::vector<AlignmentRecord> recs;
+  while (auto rec = reader.next()) recs.push_back(std::move(*rec));
+  return recs;
+}
+
+}  // namespace gsnp::reads

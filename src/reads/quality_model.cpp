@@ -1,0 +1,27 @@
+#include "src/reads/quality_model.hpp"
+
+#include "src/common/phred.hpp"
+
+namespace gsnp::reads {
+
+std::vector<u8> QualityModel::sample(u32 read_len, Rng& rng) const {
+  std::vector<u8> quals(read_len);
+  const int offset = static_cast<int>(
+      rng.uniform_range(-spec_.read_spread, spec_.read_spread));
+  for (u32 c = 0; c < read_len; ++c) {
+    // Declining mean along the read, then quantize so neighbouring cycles
+    // repeat values (drives the RLE compressibility the paper observed).
+    const double frac = read_len > 1 ? static_cast<double>(c) / (read_len - 1)
+                                     : 0.0;
+    int q = spec_.mean_quality + offset -
+            static_cast<int>(frac * spec_.end_decline);
+    if (spec_.glitch_rate > 0.0 && rng.bernoulli(spec_.glitch_rate)) {
+      q -= static_cast<int>(rng.uniform(15));
+    }
+    if (spec_.quantization > 1) q -= q % spec_.quantization;
+    quals[c] = static_cast<u8>(clamp_quality(q));
+  }
+  return quals;
+}
+
+}  // namespace gsnp::reads

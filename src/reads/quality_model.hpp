@@ -1,0 +1,40 @@
+#pragma once
+// Per-cycle sequencing quality model.
+//
+// Second-generation sequencers produce qualities that decline along the read
+// and are strongly auto-correlated within a read (the paper exploits exactly
+// this for RLE compression of the quality columns: "bases on a short read
+// usually have the same sequencing quality").  The model draws a per-read
+// offset plus a declining per-cycle mean, quantized to a small set of levels
+// so consecutive cycles frequently repeat a value.
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace gsnp::reads {
+
+struct QualityModelSpec {
+  int mean_quality = 30;      ///< quality at cycle 0 for an average read
+  int end_decline = 12;       ///< how much the mean drops by the last cycle
+  int read_spread = 6;        ///< +/- per-read offset range
+  int quantization = 3;       ///< qualities snap to multiples of this
+  double glitch_rate = 0.01;  ///< chance of an isolated low-quality cycle
+};
+
+/// Generates quality strings for simulated reads.
+class QualityModel {
+ public:
+  explicit QualityModel(const QualityModelSpec& spec) : spec_(spec) {}
+
+  /// Qualities (integer Phred values) for one read of `read_len` cycles.
+  std::vector<u8> sample(u32 read_len, Rng& rng) const;
+
+  const QualityModelSpec& spec() const { return spec_; }
+
+ private:
+  QualityModelSpec spec_;
+};
+
+}  // namespace gsnp::reads

@@ -1,0 +1,173 @@
+#include "src/reads/sam.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace gsnp::reads {
+
+namespace {
+
+/// Reverse-complement a base string in place ('N' maps to itself).
+std::string reverse_complement(std::string_view seq) {
+  std::string out(seq.rbegin(), seq.rend());
+  for (char& c : out) {
+    const u8 b = base_from_char(c);
+    c = b < kNumBases ? char_from_base(complement(b)) : 'N';
+  }
+  return out;
+}
+
+/// Parse a CIGAR string; returns true and the matched length if it reduces
+/// to soft clips around a single M run; reports the left clip length.
+bool parse_simple_cigar(std::string_view cigar, u32& match_len,
+                        u32& left_clip) {
+  match_len = 0;
+  left_clip = 0;
+  u32 value = 0;
+  bool seen_match = false;
+  for (const char c : cigar) {
+    if (c >= '0' && c <= '9') {
+      value = value * 10 + static_cast<u32>(c - '0');
+      continue;
+    }
+    switch (c) {
+      case 'M':
+      case '=':
+      case 'X':
+        if (seen_match) return false;  // two separate match runs
+        match_len = value;
+        seen_match = true;
+        break;
+      case 'S':
+        if (!seen_match) left_clip = value;
+        break;  // trailing soft clip just trims
+      case 'H':
+        break;  // hard clip: bases absent from SEQ
+      default:
+        return false;  // I/D/N/P: gapped alignment, unsupported
+    }
+    value = 0;
+  }
+  return seen_match && match_len > 0;
+}
+
+}  // namespace
+
+std::string format_sam_record(const AlignmentRecord& rec) {
+  u32 flag = 0;
+  if (rec.strand == Strand::kReverse) flag |= kSamFlagReverse;
+  if (rec.pair_tag == 'a') flag |= kSamFlagFirstInPair;
+
+  // SAM stores SEQ/QUAL on the forward reference strand.
+  std::string seq = rec.seq;
+  std::string qual = rec.qual;
+  if (rec.strand == Strand::kReverse) {
+    seq = reverse_complement(seq);
+    std::reverse(qual.begin(), qual.end());
+  }
+
+  std::ostringstream os;
+  os << rec.read_id << '\t' << flag << '\t' << rec.chr_name << '\t'
+     << (rec.pos + 1) << '\t' << 60 << '\t' << rec.length << 'M' << '\t'
+     << '*' << '\t' << 0 << '\t' << 0 << '\t' << seq << '\t' << qual
+     << "\tNH:i:" << rec.hit_count;
+  return os.str();
+}
+
+std::optional<AlignmentRecord> parse_sam_record(std::string_view line) {
+  const auto fields = split(trim(line), '\t');
+  GSNP_CHECK_MSG(fields.size() >= 11, "bad SAM line: '" << line << "'");
+
+  const u32 flag = parse_int<u32>(fields[1], "SAM flag");
+  if (flag & (kSamFlagUnmapped | kSamFlagSecondary | kSamFlagSupplementary))
+    return std::nullopt;
+
+  u32 match_len = 0, left_clip = 0;
+  if (!parse_simple_cigar(fields[5], match_len, left_clip))
+    return std::nullopt;
+
+  AlignmentRecord rec;
+  rec.read_id = std::string(fields[0]);
+  rec.chr_name = std::string(fields[2]);
+  const u64 pos1 = parse_int<u64>(fields[3], "SAM pos");
+  GSNP_CHECK_MSG(pos1 >= 1, "SAM position must be 1-based");
+  rec.pos = pos1 - 1;
+  rec.strand = (flag & kSamFlagReverse) ? Strand::kReverse : Strand::kForward;
+  rec.pair_tag = (flag & kSamFlagFirstInPair) ? 'a' : 'b';
+
+  std::string seq(fields[9]);
+  std::string qual(fields[10]);
+  GSNP_CHECK_MSG(seq.size() == qual.size() || qual == "*",
+                 "SAM SEQ/QUAL length mismatch in '" << fields[0] << "'");
+  if (qual == "*") qual.assign(seq.size(), '!');
+  // Trim soft clips: the aligned portion is [left_clip, left_clip+match).
+  GSNP_CHECK_MSG(left_clip + match_len <= seq.size(),
+                 "CIGAR longer than SEQ in '" << fields[0] << "'");
+  seq = seq.substr(left_clip, match_len);
+  qual = qual.substr(left_clip, match_len);
+
+  // Back to read-strand orientation.
+  if (rec.strand == Strand::kReverse) {
+    seq = reverse_complement(seq);
+    std::reverse(qual.begin(), qual.end());
+  }
+  rec.seq = std::move(seq);
+  rec.qual = std::move(qual);
+  rec.length = static_cast<u16>(match_len);
+
+  // NH tag -> hit count.
+  rec.hit_count = 1;
+  for (std::size_t f = 11; f < fields.size(); ++f) {
+    if (fields[f].substr(0, 5) == "NH:i:")
+      rec.hit_count = parse_int<u32>(fields[f].substr(5), "NH tag");
+  }
+  return rec;
+}
+
+void write_sam_file(const std::filesystem::path& path,
+                    const std::vector<AlignmentRecord>& records,
+                    const std::string& seq_name, u64 seq_length) {
+  std::ofstream out(path);
+  GSNP_CHECK_MSG(out.good(), "cannot open SAM file for write " << path);
+  out << "@HD\tVN:1.6\tSO:coordinate\n";
+  out << "@SQ\tSN:" << seq_name << "\tLN:" << seq_length << '\n';
+  out << "@PG\tID:gsnp\tPN:gsnp\n";
+  for (const auto& rec : records) out << format_sam_record(rec) << '\n';
+}
+
+SamReader::SamReader(const std::filesystem::path& path) : in_(path) {
+  GSNP_CHECK_MSG(in_.good(), "cannot open SAM file " << path);
+}
+
+std::optional<AlignmentRecord> SamReader::next() {
+  while (std::getline(in_, line_)) {
+    const auto body = trim(line_);
+    if (body.empty() || body.front() == '@') continue;
+    auto rec = parse_sam_record(body);
+    if (rec) return rec;
+    ++skipped_;
+  }
+  return std::nullopt;
+}
+
+u64 sam_to_soap(const std::filesystem::path& sam_path,
+                const std::filesystem::path& soap_path) {
+  SamReader reader(sam_path);
+  std::ofstream out(soap_path);
+  GSNP_CHECK_MSG(out.good(), "cannot open output " << soap_path);
+  u64 converted = 0;
+  u64 last_pos = 0;
+  while (auto rec = reader.next()) {
+    GSNP_CHECK_MSG(rec->pos >= last_pos,
+                   "SAM input must be coordinate-sorted (samtools sort)");
+    last_pos = rec->pos;
+    out << format_alignment(*rec) << '\n';
+    ++converted;
+  }
+  return converted;
+}
+
+}  // namespace gsnp::reads

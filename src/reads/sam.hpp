@@ -1,0 +1,68 @@
+#pragma once
+// SAM format support (subset).
+//
+// The paper's input is SOAP alignment text, but the field has standardized
+// on SAM (Li et al. 2009, the paper's reference [3]); a production SNP
+// caller must ingest it.  This module converts between SAM records and
+// AlignmentRecord:
+//
+//  * only mapped, primary, ungapped alignments are converted (CIGAR must be
+//    a single <len>M run, optionally with soft clips, which are trimmed);
+//    others are skipped and counted,
+//  * SAM stores SEQ/QUAL on the forward reference strand; AlignmentRecord
+//    stores them on the read's own strand — reverse-flagged records are
+//    reverse-complemented on conversion (and back on writing),
+//  * hit counts come from the NH:i: tag (default 1).
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/reads/alignment.hpp"
+
+namespace gsnp::reads {
+
+/// SAM FLAG bits used here.
+inline constexpr u32 kSamFlagUnmapped = 0x4;
+inline constexpr u32 kSamFlagReverse = 0x10;
+inline constexpr u32 kSamFlagSecondary = 0x100;
+inline constexpr u32 kSamFlagSupplementary = 0x800;
+inline constexpr u32 kSamFlagFirstInPair = 0x40;
+
+/// Convert one alignment record to a SAM line (with an NH tag).
+std::string format_sam_record(const AlignmentRecord& rec);
+
+/// Parse one SAM alignment line.  Returns nullopt for records this subset
+/// does not support (unmapped, secondary/supplementary, non-<len>M CIGAR
+/// after soft-clip trimming); throws gsnp::Error on malformed lines.
+std::optional<AlignmentRecord> parse_sam_record(std::string_view line);
+
+/// Write records as a SAM file with a minimal @HD/@SQ header.
+void write_sam_file(const std::filesystem::path& path,
+                    const std::vector<AlignmentRecord>& records,
+                    const std::string& seq_name, u64 seq_length);
+
+/// Streaming SAM reader: yields supported records in file order, skipping
+/// headers and unsupported records (counted in skipped()).
+class SamReader {
+ public:
+  explicit SamReader(const std::filesystem::path& path);
+
+  std::optional<AlignmentRecord> next();
+  u64 skipped() const { return skipped_; }
+
+ private:
+  std::ifstream in_;
+  std::string line_;
+  u64 skipped_ = 0;
+};
+
+/// Convert a whole SAM file to the SOAP alignment format GSNP's engines
+/// consume (records must already be position-sorted, as samtools sort
+/// produces).  Returns the number of converted records.
+u64 sam_to_soap(const std::filesystem::path& sam_path,
+                const std::filesystem::path& soap_path);
+
+}  // namespace gsnp::reads

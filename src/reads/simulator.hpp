@@ -1,0 +1,55 @@
+#pragma once
+// Read simulator: samples short reads from a diploid individual, applies
+// quality-driven sequencing errors, and emits alignment records sorted by
+// reference position — the same distribution of (site -> aligned bases) the
+// paper's BGI datasets feed into SNP detection (see DESIGN.md substitutions).
+
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/alignment.hpp"
+#include "src/reads/quality_model.hpp"
+
+namespace gsnp::reads {
+
+struct ReadSimSpec {
+  u32 read_len = 100;
+  double depth = 10.0;          ///< target sequencing depth (X)
+  double error_scale = 1.0;     ///< multiplies the Phred error probability
+  double multi_hit_rate = 0.08; ///< fraction of reads with hit_count > 1
+  /// Fraction of the genome reads can align to.  Real resequencing leaves
+  /// repetitive/unmappable regions uncovered (paper Table II: 88% coverage
+  /// for Ch.1, 68% for Ch.21); reads are only sampled from mappable blocks.
+  double mappable_fraction = 1.0;
+  u32 mappable_block = 2'000;   ///< granularity of unmappable gaps (bp)
+  /// Paired-end simulation: reads are emitted as mate pairs sharing a read
+  /// id, tagged 'a'/'b', with the mate placed ~insert_size bp downstream.
+  /// false = single-end (each read an independent draw).
+  bool paired_end = false;
+  u32 insert_size = 300;        ///< outer distance between paired-read starts
+  u32 insert_spread = 30;       ///< +/- uniform jitter on the insert size
+  QualityModelSpec quality;
+  u64 seed = 3;
+};
+
+/// Simulate reads over the diploid individual.  Records come out sorted by
+/// (pos, read_id); reads never cross the sequence end, and reads whose window
+/// overlaps an 'N' gap keep the gap cycles as low-quality random bases (as a
+/// real aligner would report mismatching tails).
+std::vector<AlignmentRecord> simulate_reads(const genome::Diploid& individual,
+                                            const ReadSimSpec& spec);
+
+/// The observed base of record `rec` at reference position `site_pos`
+/// together with the read coordinate (sequencing cycle) it came from.
+/// Returns false if the record does not cover the site.
+struct SiteObservation {
+  u8 base;      ///< observed base, expressed on the forward reference strand
+  u8 quality;   ///< Phred quality of that cycle
+  u16 coord;    ///< sequencing cycle (coordinate on the read as sequenced)
+  Strand strand;
+};
+bool observe_site(const AlignmentRecord& rec, u64 site_pos,
+                  SiteObservation& out);
+
+}  // namespace gsnp::reads

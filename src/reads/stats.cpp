@@ -1,0 +1,39 @@
+#include "src/reads/stats.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::reads {
+
+DatasetStats compute_stats(const std::vector<AlignmentRecord>& recs,
+                           u64 reference_length) {
+  GSNP_CHECK(reference_length > 0);
+  DatasetStats stats;
+  stats.num_sites = reference_length;
+  stats.num_reads = recs.size();
+
+  // Coverage via a difference array: O(reads + sites), no per-base loop.
+  std::vector<i32> delta(reference_length + 1, 0);
+  for (const auto& rec : recs) {
+    stats.total_bases += rec.length;
+    const u64 begin = std::min<u64>(rec.pos, reference_length);
+    const u64 end = std::min<u64>(rec.pos + rec.length, reference_length);
+    ++delta[begin];
+    --delta[end];
+  }
+
+  u64 covered = 0;
+  i64 running = 0;
+  for (u64 i = 0; i < reference_length; ++i) {
+    running += delta[i];
+    if (running > 0) ++covered;
+  }
+  stats.depth =
+      static_cast<double>(stats.total_bases) / static_cast<double>(reference_length);
+  stats.coverage =
+      static_cast<double>(covered) / static_cast<double>(reference_length);
+  return stats;
+}
+
+}  // namespace gsnp::reads

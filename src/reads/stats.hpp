@@ -1,0 +1,25 @@
+#pragma once
+// Dataset statistics: sequencing depth, coverage ratio, and record counts —
+// the characteristics reported in paper Table II.
+
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/reads/alignment.hpp"
+
+namespace gsnp::reads {
+
+struct DatasetStats {
+  u64 num_sites = 0;      ///< reference length
+  u64 num_reads = 0;
+  u64 total_bases = 0;    ///< sum of read lengths
+  double depth = 0.0;     ///< total_bases / num_sites
+  double coverage = 0.0;  ///< fraction of sites covered by >= 1 read
+};
+
+/// Compute depth/coverage statistics for records over a reference of
+/// `reference_length` sites.
+DatasetStats compute_stats(const std::vector<AlignmentRecord>& recs,
+                           u64 reference_length);
+
+}  // namespace gsnp::reads

@@ -1,0 +1,174 @@
+#include "src/sortnet/batch_sort.hpp"
+
+#include <algorithm>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::sortnet {
+
+using device::Access;
+using device::BlockContext;
+using device::Device;
+using device::DeviceBuffer;
+using device::ThreadContext;
+
+void batch_bitonic_sort(Device& dev, DeviceBuffer<u32>& data, u32 array_size,
+                        u64 num_arrays) {
+  GSNP_CHECK_MSG(array_size >= 1 && (array_size & (array_size - 1)) == 0,
+                 "array_size must be a power of two, got " << array_size);
+  GSNP_CHECK_MSG(data.size() == static_cast<u64>(array_size) * num_arrays,
+                 "buffer size mismatch");
+  if (array_size == 1 || num_arrays == 0) return;
+
+  const u32 arrays_per_block =
+      std::max<u32>(1, kBatchSortBlockThreads / array_size);
+  const u32 block_threads = arrays_per_block * array_size;
+  const u32 grid = static_cast<u32>(
+      (num_arrays + arrays_per_block - 1) / arrays_per_block);
+
+  dev.launch(grid, block_threads, [&](BlockContext& blk) {
+    auto sh = blk.shared_array<u32>(block_threads);
+    const u64 block_base =
+        static_cast<u64>(blk.block_idx()) * block_threads;
+
+    // Phase 1: coalesced load of the block's arrays into shared memory.
+    // Trailing threads past the final array load padding.
+    blk.threads([&](ThreadContext& t) {
+      const u64 g = block_base + t.tid();
+      const u32 v = g < data.size() ? t.gload(data, g, Access::kCoalesced)
+                                    : kPadValue;
+      t.sstore(sh, t.tid(), v);
+    });
+
+    // Phase 2..: the bitonic compare-exchange schedule.  All arrays in the
+    // block share the same schedule; thread tid handles element
+    // (tid % array_size) of array (tid / array_size).
+    for (u32 k = 2; k <= array_size; k <<= 1) {
+      for (u32 j = k >> 1; j > 0; j >>= 1) {
+        blk.threads([&](ThreadContext& t) {
+          const u32 i = t.tid() % array_size;
+          const u32 l = i ^ j;
+          t.inst();  // index arithmetic + predicate
+          if (l <= i) return;
+          const u32 base = (t.tid() / array_size) * array_size;
+          const u32 a = t.sload<u32>(sh, base + i);
+          const u32 b = t.sload<u32>(sh, base + l);
+          const bool ascending = (i & k) == 0;
+          if ((a > b) == ascending) {
+            t.sstore(sh, base + i, b);
+            t.sstore(sh, base + l, a);
+          }
+        });
+      }
+    }
+
+    // Final phase: coalesced store back to global memory.
+    blk.threads([&](ThreadContext& t) {
+      const u64 g = block_base + t.tid();
+      if (g < data.size())
+        t.gstore(data, g, t.sload<u32>(sh, t.tid()), Access::kCoalesced);
+    });
+  });
+}
+
+namespace {
+
+constexpr u32 kRadixBits = 8;
+constexpr u32 kRadixBuckets = 1u << kRadixBits;
+constexpr u32 kRadixBlockThreads = 256;
+
+}  // namespace
+
+void device_radix_sort(Device& dev, DeviceBuffer<u32>& data) {
+  const u64 n = data.size();
+  if (n <= 1) return;
+  const u32 grid =
+      static_cast<u32>((n + kRadixBlockThreads - 1) / kRadixBlockThreads);
+
+  DeviceBuffer<u32> ping = dev.alloc<u32>(n);
+  DeviceBuffer<u64> block_hist =
+      dev.alloc<u64>(static_cast<u64>(grid) * kRadixBuckets);
+  DeviceBuffer<u64> bucket_base = dev.alloc<u64>(kRadixBuckets);
+
+  DeviceBuffer<u32>* src = &data;
+  DeviceBuffer<u32>* dst = &ping;
+
+  for (u32 pass = 0; pass < 32 / kRadixBits; ++pass) {
+    const u32 shift = pass * kRadixBits;
+
+    // Kernel 1: per-block digit histogram.  Threads within a simulator block
+    // run sequentially, so shared-memory accumulation needs no atomics (on
+    // hardware this would be shared-memory atomics).
+    dev.launch(grid, kRadixBlockThreads, [&](BlockContext& blk) {
+      auto hist = blk.shared_array<u64>(kRadixBuckets);
+      blk.threads([&](ThreadContext& t) {
+        const u64 g = static_cast<u64>(blk.block_idx()) * kRadixBlockThreads +
+                      t.tid();
+        if (g >= n) return;
+        const u32 v = t.gload(*src, g, Access::kCoalesced);
+        const u32 d = (v >> shift) & (kRadixBuckets - 1);
+        t.inst(2);
+        t.sstore<u64>(hist, d, t.sload<u64>(hist, d) + 1);
+      });
+      blk.threads([&](ThreadContext& t) {
+        // One thread per bucket writes the block histogram out (coalesced).
+        if (t.tid() < kRadixBuckets)
+          t.gstore(block_hist,
+                   static_cast<u64>(blk.block_idx()) * kRadixBuckets + t.tid(),
+                   t.sload<u64>(hist, t.tid()), Access::kCoalesced);
+      });
+    });
+
+    // Kernel 2: single-block exclusive scan over buckets x blocks, producing
+    // for each (block, bucket) its global scatter base.  Small problem, one
+    // block — exactly the kind of serial bottleneck real GPU scans amortize;
+    // size here is grid*256 entries.
+    dev.launch(1, 1, [&](BlockContext& blk) {
+      blk.single_thread([&](ThreadContext& t) {
+        u64 running = 0;
+        for (u32 b = 0; b < kRadixBuckets; ++b) {
+          t.gstore(bucket_base, b, running);
+          for (u32 g = 0; g < grid; ++g) {
+            const u64 idx = static_cast<u64>(g) * kRadixBuckets + b;
+            const u64 c = t.gload(block_hist, idx);
+            t.gstore(block_hist, idx, running);
+            running += c;
+            t.inst();
+          }
+        }
+      });
+    });
+
+    // Kernel 3: scatter.  Each block re-reads its chunk and places elements
+    // at block_hist[block][digit]++ (stable within a block because simulator
+    // threads run in tid order; hardware uses a local ranking pass).
+    dev.launch(grid, kRadixBlockThreads, [&](BlockContext& blk) {
+      auto local_base = blk.shared_array<u64>(kRadixBuckets);
+      blk.threads([&](ThreadContext& t) {
+        if (t.tid() < kRadixBuckets)
+          t.sstore(local_base, t.tid(),
+                   t.gload(block_hist,
+                           static_cast<u64>(blk.block_idx()) * kRadixBuckets +
+                               t.tid(),
+                           Access::kCoalesced));
+      });
+      blk.threads([&](ThreadContext& t) {
+        const u64 g = static_cast<u64>(blk.block_idx()) * kRadixBlockThreads +
+                      t.tid();
+        if (g >= n) return;
+        const u32 v = t.gload(*src, g, Access::kCoalesced);
+        const u32 d = (v >> shift) & (kRadixBuckets - 1);
+        const u64 out = t.sload<u64>(local_base, d);
+        t.sstore<u64>(local_base, d, out + 1);
+        t.inst(2);
+        t.gstore(*dst, out, v, Access::kRandom);
+      });
+    });
+
+    std::swap(src, dst);
+  }
+  // 32/8 = 4 passes — an even number, so the result landed back in `data`.
+  GSNP_CHECK(src == &data);
+}
+
+}  // namespace gsnp::sortnet

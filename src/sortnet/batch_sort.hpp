@@ -1,0 +1,31 @@
+#pragma once
+// Device batch-sort primitive (paper §IV-C).
+//
+// Sorts `num_arrays` equal-size arrays, concatenated in one device buffer,
+// with a bitonic network executed in shared memory.  Each thread block takes
+// one or more whole arrays: the block loads them into shared memory with
+// coalesced reads, runs the compare-exchange schedule with a barrier between
+// stages, and writes the sorted arrays back with coalesced stores.  Sizes
+// must be powers of two; callers pad with kPadValue.
+
+#include "src/device/device.hpp"
+#include "src/sortnet/bitonic.hpp"
+
+namespace gsnp::sortnet {
+
+/// Threads per block the primitive targets; arrays_per_block is derived as
+/// max(1, kBatchSortBlockThreads / array_size).
+inline constexpr u32 kBatchSortBlockThreads = 256;
+
+/// Sort each of the `num_arrays` sub-arrays of `data` (each `array_size`
+/// elements, a power of two) ascending, in place on the device.
+void batch_bitonic_sort(device::Device& dev, device::DeviceBuffer<u32>& data,
+                        u32 array_size, u64 num_arrays);
+
+/// Sort one device-resident array of arbitrary size with a multi-kernel LSD
+/// radix sort (histogram / scan / scatter per 8-bit digit).  This is the
+/// "device-wide sort" building block used by the sequential per-array
+/// baseline of paper Fig 7(a): correct, but wasteful when arrays are tiny.
+void device_radix_sort(device::Device& dev, device::DeviceBuffer<u32>& data);
+
+}  // namespace gsnp::sortnet

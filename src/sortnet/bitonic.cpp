@@ -1,0 +1,26 @@
+#include "src/sortnet/bitonic.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::sortnet {
+
+void bitonic_sort_host(std::span<u32> a) {
+  const u32 n = static_cast<u32>(a.size());
+  GSNP_CHECK_MSG(n > 0 && (n & (n - 1)) == 0,
+                 "bitonic size must be a power of two, got " << n);
+  for (u32 k = 2; k <= n; k <<= 1) {
+    for (u32 j = k >> 1; j > 0; j >>= 1) {
+      for (u32 i = 0; i < n; ++i) {
+        const u32 l = i ^ j;
+        if (l <= i) continue;
+        const bool ascending = (i & k) == 0;
+        if ((a[i] > a[l]) == ascending) std::swap(a[i], a[l]);
+      }
+    }
+  }
+}
+
+}  // namespace gsnp::sortnet

@@ -1,0 +1,30 @@
+#pragma once
+// Bitonic sorting network building blocks (host reference implementation).
+//
+// Bitonic sort runs in O(n log^2 n) compare-exchanges arranged in a fixed
+// network, which maps perfectly onto SIMT execution: every thread performs
+// the same compare-exchange schedule with no data-dependent control flow.
+// The host version here is the correctness oracle for the device kernels.
+
+#include <span>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::sortnet {
+
+/// Values equal to kPadValue are used to pad sub-power-of-two arrays; sorting
+/// ascending pushes padding to the tail.  Callers must keep real values
+/// strictly below kPadValue (base_word keys use < 2^18, far below).
+inline constexpr u32 kPadValue = 0xFFFFFFFFu;
+
+/// Smallest power of two >= n (n >= 1).
+constexpr u32 next_pow2(u32 n) noexcept {
+  u32 p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+/// In-place ascending bitonic sort; a.size() must be a power of two.
+void bitonic_sort_host(std::span<u32> a);
+
+}  // namespace gsnp::sortnet

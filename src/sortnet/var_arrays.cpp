@@ -1,0 +1,47 @@
+#include "src/sortnet/var_arrays.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsnp::sortnet {
+
+bool VarArrays::all_sorted() const {
+  for (u64 i = 0; i < count(); ++i) {
+    const auto a = array(i);
+    if (!std::is_sorted(a.begin(), a.end())) return false;
+  }
+  return true;
+}
+
+VarArrays random_var_arrays(u64 count, double mean_size, u32 max_size,
+                            u32 value_bound, u64 seed) {
+  GSNP_CHECK(mean_size > 0.0 && max_size >= 1);
+  Rng rng(seed);
+  VarArrays va;
+  va.offsets.reserve(count + 1);
+  va.values.reserve(static_cast<std::size_t>(mean_size * count * 1.2));
+  const double p = 1.0 / mean_size;  // geometric "stop" probability
+  for (u64 i = 0; i < count; ++i) {
+    u32 size = 0;
+    while (size < max_size && !rng.bernoulli(p)) ++size;
+    for (u32 j = 0; j < size; ++j)
+      va.values.push_back(static_cast<u32>(rng.uniform(value_bound)));
+    va.offsets.push_back(va.values.size());
+  }
+  return va;
+}
+
+VarArrays equal_var_arrays(u64 count, u32 size, u32 value_bound, u64 seed) {
+  Rng rng(seed);
+  VarArrays va;
+  va.offsets.reserve(count + 1);
+  va.values.reserve(count * size);
+  for (u64 i = 0; i < count; ++i) {
+    for (u32 j = 0; j < size; ++j)
+      va.values.push_back(static_cast<u32>(rng.uniform(value_bound)));
+    va.offsets.push_back(va.values.size());
+  }
+  return va;
+}
+
+}  // namespace gsnp::sortnet

@@ -1,0 +1,51 @@
+#pragma once
+// CSR-style container for a large number of small variable-size arrays —
+// the shape of per-site base_word arrays the multipass sorter operates on.
+
+#include <span>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/common/types.hpp"
+
+namespace gsnp::sortnet {
+
+/// `count()` arrays concatenated in `values`, delimited by `offsets`
+/// (offsets.size() == count() + 1, offsets.front() == 0).
+struct VarArrays {
+  std::vector<u32> values;
+  std::vector<u64> offsets = {0};
+
+  u64 count() const { return offsets.size() - 1; }
+  u64 total_elements() const { return values.size(); }
+
+  u64 size_of(u64 i) const { return offsets[i + 1] - offsets[i]; }
+
+  std::span<u32> array(u64 i) {
+    return std::span<u32>(values).subspan(offsets[i], size_of(i));
+  }
+  std::span<const u32> array(u64 i) const {
+    return std::span<const u32>(values).subspan(offsets[i], size_of(i));
+  }
+
+  /// Append one array.
+  void push_back(std::span<const u32> a) {
+    values.insert(values.end(), a.begin(), a.end());
+    offsets.push_back(values.size());
+  }
+
+  /// True if every array is individually sorted ascending.
+  bool all_sorted() const;
+};
+
+/// Generate `count` arrays whose sizes follow a truncated geometric
+/// distribution with the given mean (the empirical shape of per-site non-zero
+/// counts, paper Fig 4b), values uniform in [0, value_bound).
+VarArrays random_var_arrays(u64 count, double mean_size, u32 max_size,
+                            u32 value_bound, u64 seed);
+
+/// Generate `count` equal-size arrays (batch-sort primitive benchmarks).
+VarArrays equal_var_arrays(u64 count, u32 size, u32 value_bound, u64 seed);
+
+}  // namespace gsnp::sortnet

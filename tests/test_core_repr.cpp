@@ -1,0 +1,160 @@
+// Tests for the dense (base_occ) and sparse (base_word) aligned-base
+// representations, including the key property: sorting base_word keys
+// reproduces Algorithm 1's canonical traversal order.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "src/common/rng.hpp"
+#include "src/core/base_occ.hpp"
+#include "src/core/base_word.hpp"
+
+namespace gsnp::core {
+namespace {
+
+AlignedBase random_base(Rng& rng) {
+  AlignedBase ab;
+  ab.base = static_cast<u8>(rng.uniform(kNumBases));
+  ab.quality = static_cast<u8>(rng.uniform(kQualityLevels));
+  ab.coord = static_cast<u16>(rng.uniform(kMaxReadLen));
+  ab.strand = static_cast<Strand>(rng.uniform(kNumStrands));
+  return ab;
+}
+
+// ---- dense ------------------------------------------------------------------
+
+TEST(BaseOcc, MatrixSizeMatchesPaper) {
+  // 4 x 64 x 256 x 2 = 131,072 one-byte counters per site (§IV-B).
+  EXPECT_EQ(kBaseOccPerSite, 131072u);
+}
+
+TEST(BaseOcc, IndexIsBijective) {
+  std::vector<bool> seen(kBaseOccPerSite, false);
+  for (int b = 0; b < kNumBases; ++b)
+    for (int s = 0; s < kQualityLevels; ++s)
+      for (int c = 0; c < kMaxReadLen; ++c)
+        for (int st = 0; st < kNumStrands; ++st) {
+          const u64 idx = base_occ_index(b, s, c, st);
+          ASSERT_LT(idx, kBaseOccPerSite);
+          ASSERT_FALSE(seen[idx]);
+          seen[idx] = true;
+        }
+}
+
+TEST(BaseOccWindow, AddAndRecycle) {
+  BaseOccWindow window(4);
+  AlignedBase ab;
+  ab.base = 2;
+  ab.quality = 30;
+  ab.coord = 17;
+  ab.strand = Strand::kReverse;
+  window.add(1, ab);
+  window.add(1, ab);
+  EXPECT_EQ(window.site(1)[base_occ_index(2, 30, 17, 1)], 2);
+  EXPECT_EQ(window.site(0)[base_occ_index(2, 30, 17, 1)], 0);
+  window.recycle();
+  EXPECT_EQ(window.site(1)[base_occ_index(2, 30, 17, 1)], 0);
+}
+
+TEST(BaseOccWindow, CounterSaturatesInsteadOfWrapping) {
+  BaseOccWindow window(1);
+  AlignedBase ab;
+  for (int i = 0; i < 300; ++i) window.add(0, ab);
+  EXPECT_EQ(window.site(0)[base_occ_index(0, 0, 0, 0)], 255);
+}
+
+TEST(BaseOccWindow, BytesMatchWindowSize) {
+  BaseOccWindow window(10);
+  EXPECT_EQ(window.bytes(), 10 * kBaseOccPerSite);
+}
+
+// ---- sparse ------------------------------------------------------------------------
+
+TEST(BaseWord, PackUnpackRoundTripAllFields) {
+  // Exhaustive over base/strand, sampled over score/coord.
+  for (u8 base = 0; base < kNumBases; ++base)
+    for (int strand = 0; strand < kNumStrands; ++strand)
+      for (u8 quality : {0, 1, 31, 62, 63})
+        for (u16 coord : {0, 1, 128, 254, 255}) {
+          const AlignedBase ab{base, quality, coord,
+                               static_cast<Strand>(strand)};
+          EXPECT_EQ(base_word_unpack(base_word_pack(ab)), ab);
+        }
+}
+
+TEST(BaseWord, PaperExampleLayout) {
+  // Fig. 3: word = base<<15 | (inverted score)<<9 | coord<<1 | strand.
+  AlignedBase ab;
+  ab.base = 1;
+  ab.quality = 63 - 16;  // stored score field becomes 16
+  ab.coord = 10;
+  ab.strand = static_cast<Strand>(1);
+  EXPECT_EQ(base_word_pack(ab), (1u << 15 | 16u << 9 | 10u << 1 | 1u));
+}
+
+TEST(BaseWord, SortedOrderIsCanonical) {
+  // THE key property (§IV-B/Fig 3): ascending sort of packed words yields
+  // base ascending, then score DESCENDING, then coord, then strand — exactly
+  // Algorithm 1's traversal order.
+  Rng rng(5);
+  std::vector<u32> words(3000);
+  for (auto& w : words) w = base_word_pack(random_base(rng));
+  std::sort(words.begin(), words.end());
+
+  for (std::size_t i = 1; i < words.size(); ++i) {
+    const AlignedBase a = base_word_unpack(words[i - 1]);
+    const AlignedBase b = base_word_unpack(words[i]);
+    if (a.base != b.base) {
+      EXPECT_LT(a.base, b.base);
+    } else if (a.quality != b.quality) {
+      EXPECT_GT(a.quality, b.quality);  // score descending
+    } else if (a.coord != b.coord) {
+      EXPECT_LT(a.coord, b.coord);
+    } else {
+      EXPECT_LE(static_cast<int>(a.strand), static_cast<int>(b.strand));
+    }
+  }
+}
+
+TEST(BaseWord, KeysFitSortPadValue) {
+  // Every possible key must stay below the batch-sort padding value.
+  AlignedBase ab;
+  ab.base = 3;
+  ab.quality = 0;  // inverted -> max score field
+  ab.coord = 255;
+  ab.strand = static_cast<Strand>(1);
+  EXPECT_LT(base_word_pack(ab), 0xFFFFFFFFu);
+  EXPECT_LT(base_word_pack(ab), 1u << 18);
+}
+
+TEST(BaseWordWindow, CsrAccessors) {
+  BaseWordWindow window(3);
+  window.offsets = {0, 2, 2, 5};
+  window.words = {10, 11, 20, 21, 22};
+  EXPECT_EQ(window.window_size(), 3u);
+  EXPECT_EQ(window.size_of(0), 2u);
+  EXPECT_EQ(window.size_of(1), 0u);
+  EXPECT_EQ(window.site(2).size(), 3u);
+  EXPECT_EQ(window.site(2)[0], 20u);
+}
+
+TEST(BaseWordWindow, ResetClearsContents) {
+  BaseWordWindow window(2);
+  window.offsets = {0, 1, 2};
+  window.words = {1, 2};
+  window.reset(4);
+  EXPECT_EQ(window.window_size(), 4u);
+  EXPECT_TRUE(window.words.empty());
+  for (const u64 off : window.offsets) EXPECT_EQ(off, 0u);
+}
+
+TEST(Sparsity, TypicalDepthGivesTinyNonZeroFraction) {
+  // Formula 2 (§IV-B): at depth X, non-zero fraction ~= X / 131072 <= 0.08%.
+  const double depth = 100.0;
+  EXPECT_LE(depth / static_cast<double>(kBaseOccPerSite), 0.0008);
+}
+
+}  // namespace
+}  // namespace gsnp::core

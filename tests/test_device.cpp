@@ -1,0 +1,297 @@
+// Unit tests for the SIMT device simulator: allocation accounting, memory
+// limits, kernel execution semantics, counter exactness, and the analytical
+// performance model.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/device/device.hpp"
+#include "src/device/perf_model.hpp"
+
+namespace gsnp::device {
+namespace {
+
+TEST(DeviceAlloc, TracksAllocatedBytes) {
+  Device dev;
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  {
+    auto buf = dev.alloc<u32>(1000);
+    EXPECT_EQ(dev.allocated_bytes(), 4000u);
+    auto buf2 = dev.alloc<double>(10);
+    EXPECT_EQ(dev.allocated_bytes(), 4080u);
+  }
+  EXPECT_EQ(dev.allocated_bytes(), 0u);
+  EXPECT_EQ(dev.peak_allocated_bytes(), 4080u);
+}
+
+TEST(DeviceAlloc, EnforcesGlobalMemoryLimit) {
+  DeviceSpec spec;
+  spec.global_bytes = 1024;
+  Device dev(spec);
+  EXPECT_THROW(dev.alloc<u8>(2048), Error);
+  auto ok = dev.alloc<u8>(1024);  // exactly at the limit
+  EXPECT_THROW(dev.alloc<u8>(1), Error);
+}
+
+TEST(DeviceAlloc, MoveTransfersOwnership) {
+  Device dev;
+  auto a = dev.alloc<u32>(100);
+  auto b = std::move(a);
+  EXPECT_EQ(b.size(), 100u);
+  EXPECT_EQ(a.size(), 0u);  // NOLINT(bugprone-use-after-move)
+  EXPECT_EQ(dev.allocated_bytes(), 400u);
+}
+
+TEST(DeviceTransfer, CountsBytes) {
+  Device dev;
+  std::vector<u32> host(256, 7);
+  auto buf = dev.to_device(std::span<const u32>(host));
+  EXPECT_EQ(dev.counters().h2d_bytes, 1024u);
+  const auto back = dev.to_host(buf);
+  EXPECT_EQ(dev.counters().d2h_bytes, 1024u);
+  EXPECT_EQ(back, host);
+}
+
+TEST(DeviceTransfer, UploadRequiresMatchingSize) {
+  Device dev;
+  auto buf = dev.alloc<u32>(4);
+  std::vector<u32> wrong(5);
+  EXPECT_THROW(dev.upload(buf, std::span<const u32>(wrong)), Error);
+  std::vector<u32> right = {1, 2, 3, 4};
+  dev.upload(buf, std::span<const u32>(right));
+  EXPECT_EQ(dev.to_host(buf), right);
+}
+
+TEST(ConstantMemory, EnforcesBudget) {
+  DeviceSpec spec;
+  spec.constant_bytes = 64;
+  Device dev(spec);
+  std::vector<double> eight(8);
+  auto table = dev.to_constant(std::span<const double>(eight));
+  std::vector<double> one(1);
+  EXPECT_THROW(dev.to_constant(std::span<const double>(one)), Error);
+}
+
+TEST(ConstantMemory, ReleasedOnDestruction) {
+  DeviceSpec spec;
+  spec.constant_bytes = 64;
+  Device dev(spec);
+  std::vector<double> eight(8);
+  {
+    auto table = dev.to_constant(std::span<const double>(eight));
+    EXPECT_EQ(dev.constant_bytes_used(), 64u);
+  }
+  EXPECT_EQ(dev.constant_bytes_used(), 0u);
+  auto again = dev.to_constant(std::span<const double>(eight));  // fits again
+}
+
+TEST(KernelLaunch, AllThreadsOfAllBlocksRun) {
+  Device dev;
+  const u32 grid = 13, block = 32;
+  auto out = dev.alloc<u32>(grid * block);
+  dev.launch(grid, block, [&](BlockContext& blk) {
+    blk.threads([&](ThreadContext& t) {
+      t.gstore(out, t.global_tid(), static_cast<u32>(t.global_tid()) * 3,
+               Access::kCoalesced);
+    });
+  });
+  const auto host = dev.to_host(out);
+  for (u32 i = 0; i < grid * block; ++i) EXPECT_EQ(host[i], i * 3);
+}
+
+TEST(KernelLaunch, RejectsBadDimensions) {
+  Device dev;
+  EXPECT_THROW(dev.launch(0, 32, [](BlockContext&) {}), Error);
+  EXPECT_THROW(dev.launch(1, 0, [](BlockContext&) {}), Error);
+  EXPECT_THROW(dev.launch(1, 5000, [](BlockContext&) {}), Error);
+}
+
+TEST(KernelLaunch, PhasesActAsBarriers) {
+  // Phase 2 reads values written by *other* threads in phase 1 — correct only
+  // if a barrier separates the phases.
+  Device dev;
+  const u32 block = 64;
+  auto out = dev.alloc<u32>(block);
+  dev.launch(1, block, [&](BlockContext& blk) {
+    auto sh = blk.shared_array<u32>(block);
+    blk.threads([&](ThreadContext& t) { t.sstore(sh, t.tid(), t.tid() + 1); });
+    blk.threads([&](ThreadContext& t) {
+      // Read the *reversed* neighbour: only valid post-barrier.
+      const u32 v = t.sload<u32>(sh, block - 1 - t.tid());
+      t.gstore(out, t.tid(), v);
+    });
+  });
+  const auto host = dev.to_host(out);
+  for (u32 i = 0; i < block; ++i) EXPECT_EQ(host[i], block - i);
+}
+
+TEST(SharedMemory, ZeroInitialized) {
+  Device dev;
+  bool all_zero = true;
+  dev.launch(1, 1, [&](BlockContext& blk) {
+    auto sh = blk.shared_array<u64>(128);
+    for (const u64 v : sh) all_zero &= (v == 0);
+  });
+  EXPECT_TRUE(all_zero);
+}
+
+TEST(SharedMemory, OverflowThrows) {
+  DeviceSpec spec;
+  spec.shared_bytes = 1024;
+  Device dev(spec);
+  EXPECT_THROW(dev.launch(1, 1,
+                          [&](BlockContext& blk) {
+                            blk.shared_array<u8>(2048);
+                          }),
+               Error);
+}
+
+TEST(SharedMemory, FreshPerBlock) {
+  // Each block should see zeroed shared memory even when blocks reuse arenas.
+  Device dev;
+  auto flags = dev.alloc<u32>(64);
+  dev.launch(64, 1, [&](BlockContext& blk) {
+    auto sh = blk.shared_array<u32>(16);
+    blk.single_thread([&](ThreadContext& t) {
+      u32 sum = 0;
+      for (u64 i = 0; i < 16; ++i) sum += t.sload<u32>(sh, i);
+      t.gstore(flags, blk.block_idx(), sum);
+      // Dirty the arena for the next block.
+      for (u64 i = 0; i < 16; ++i) t.sstore(sh, i, 0xDEADu);
+    });
+  });
+  for (const u32 v : dev.to_host(flags)) EXPECT_EQ(v, 0u);
+}
+
+TEST(Counters, ExactForKnownKernel) {
+  Device dev;
+  auto buf = dev.alloc<u32>(64);
+  dev.reset_counters();
+  dev.launch(2, 32, [&](BlockContext& blk) {
+    auto sh = blk.shared_array<u32>(32);
+    blk.threads([&](ThreadContext& t) {
+      const u32 v = t.gload(buf, t.global_tid(), Access::kCoalesced);
+      t.sstore(sh, t.tid(), v);
+      const u32 w = t.sload<u32>(sh, t.tid());
+      t.gstore(buf, t.global_tid(), w + 1, Access::kRandom);
+      t.inst(5);
+    });
+  });
+  const DeviceCounters& c = dev.counters();
+  EXPECT_EQ(c.global_loads_coalesced, 64u);
+  EXPECT_EQ(c.global_loads_random, 0u);
+  EXPECT_EQ(c.global_stores_random, 64u);
+  EXPECT_EQ(c.global_stores_coalesced, 0u);
+  EXPECT_EQ(c.shared_loads, 64u);
+  EXPECT_EQ(c.shared_stores, 64u);
+  EXPECT_EQ(c.global_load_bytes_coalesced, 256u);
+  EXPECT_EQ(c.global_store_bytes_random, 256u);
+  EXPECT_EQ(c.kernel_launches, 1u);
+  // inst: 4 memory ops + 5 explicit, per thread.
+  EXPECT_EQ(c.instructions, 64u * 9);
+}
+
+TEST(Counters, BulkLoadEquivalentToScalarLoads) {
+  Device dev;
+  auto buf = dev.alloc<u32>(1000);
+  dev.reset_counters();
+  dev.launch(1, 1, [&](BlockContext& blk) {
+    blk.single_thread([&](ThreadContext& t) {
+      const auto view = t.gload_bulk(buf, 100, 500, Access::kCoalesced);
+      EXPECT_EQ(view.size(), 500u);
+    });
+  });
+  EXPECT_EQ(dev.counters().global_loads_coalesced, 500u);
+  EXPECT_EQ(dev.counters().global_load_bytes_coalesced, 2000u);
+}
+
+TEST(Counters, FillCountsStores) {
+  Device dev;
+  auto buf = dev.alloc<u8>(333);
+  dev.reset_counters();
+  dev.fill(buf, u8{9});
+  EXPECT_EQ(dev.counters().global_stores_coalesced, 333u);
+  EXPECT_EQ(dev.counters().global_store_bytes_coalesced, 333u);
+  for (const u8 v : dev.to_host(buf)) EXPECT_EQ(v, 9);
+}
+
+TEST(Counters, GaddCountsLoadAndStore) {
+  Device dev;
+  auto buf = dev.alloc<u32>(1);
+  dev.reset_counters();
+  dev.launch(1, 1, [&](BlockContext& blk) {
+    blk.single_thread([&](ThreadContext& t) { t.gadd(buf, 0, 5u); });
+  });
+  EXPECT_EQ(dev.counters().global_loads_random, 1u);
+  EXPECT_EQ(dev.counters().global_stores_random, 1u);
+  EXPECT_EQ(dev.to_host(buf)[0], 5u);
+}
+
+TEST(Counters, OutOfRangeAccessThrows) {
+  Device dev;
+  auto buf = dev.alloc<u32>(8);
+  EXPECT_THROW(dev.launch(1, 1,
+                          [&](BlockContext& blk) {
+                            blk.single_thread(
+                                [&](ThreadContext& t) { t.gload(buf, 8); });
+                          }),
+               Error);
+}
+
+// ---- perf model -------------------------------------------------------------------
+
+TEST(PerfModel, HandComputedSeconds) {
+  PerfModel model;
+  model.instructions_per_sec = 1e9;
+  model.coalesced_bytes_per_sec = 1e9;
+  model.random_bytes_per_sec = 1e8;
+  model.shared_bytes_per_sec = 1e10;
+  model.pcie_bytes_per_sec = 1e9;
+  model.launch_overhead_sec = 1e-3;
+
+  DeviceCounters c;
+  c.instructions = 2'000'000'000;        // 2 s
+  c.global_load_bytes_coalesced = 5e8;   // 0.5 s
+  c.global_store_bytes_random = 1e7;     // 0.1 s
+  c.shared_bytes = 1e10;                 // 1 s
+  c.h2d_bytes = 5e8;                     // 0.5 s
+  c.kernel_launches = 100;               // 0.1 s
+  EXPECT_NEAR(model.seconds(c), 4.2, 1e-9);
+}
+
+TEST(PerfModel, RandomTrafficCostsMoreThanCoalesced) {
+  PerfModel model;  // M2050 defaults: 82 GB/s vs 3.2 GB/s
+  DeviceCounters coal, rand;
+  coal.global_load_bytes_coalesced = 1 << 30;
+  rand.global_load_bytes_random = 1 << 30;
+  EXPECT_GT(model.seconds(rand), 20.0 * model.seconds(coal));
+}
+
+TEST(PerfModel, CountersDelta) {
+  DeviceCounters a, b;
+  a.instructions = 10;
+  a.global_loads_random = 2;
+  b.instructions = 25;
+  b.global_loads_random = 7;
+  b.shared_stores = 3;
+  const DeviceCounters d = counters_delta(a, b);
+  EXPECT_EQ(d.instructions, 15u);
+  EXPECT_EQ(d.global_loads_random, 5u);
+  EXPECT_EQ(d.shared_stores, 3u);
+}
+
+TEST(DeviceSpecDefaults, MatchPaperHardware) {
+  const DeviceSpec spec;
+  EXPECT_EQ(spec.global_bytes, 3ULL << 30);   // 3 GB M2050
+  EXPECT_EQ(spec.shared_bytes, 48u << 10);    // 48 KB shared
+  EXPECT_EQ(spec.constant_bytes, 64u << 10);  // 64 KB constant
+  const PerfModel model;
+  EXPECT_DOUBLE_EQ(model.coalesced_bytes_per_sec, 82.0e9);
+  EXPECT_DOUBLE_EQ(model.random_bytes_per_sec, 3.2e9);
+}
+
+}  // namespace
+}  // namespace gsnp::device

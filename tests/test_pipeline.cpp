@@ -1,0 +1,136 @@
+// Tests for the whole-genome driver (multi-chromosome runs) and p_matrix
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/consistency.hpp"
+#include "src/core/genome_pipeline.hpp"
+#include "src/core/pmatrix.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+
+namespace gsnp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---- p_matrix serialization -------------------------------------------------
+
+TEST(PMatrixIo, BitExactRoundTrip) {
+  PMatrixCounter counter;
+  Rng rng(3);
+  for (int i = 0; i < 30000; ++i)
+    counter.add(static_cast<int>(rng.uniform(kQualityLevels)),
+                static_cast<int>(rng.uniform(kMaxReadLen)),
+                static_cast<int>(rng.uniform(4)),
+                static_cast<int>(rng.uniform(4)));
+  const PMatrix pm = finalize_p_matrix(counter);
+
+  const fs::path path = fs::temp_directory_path() / "gsnp_pm_test.bin";
+  write_p_matrix(path, pm);
+  const PMatrix loaded = read_p_matrix(path);
+  // Bit-exact: reloading must preserve §IV-G consistency.
+  EXPECT_EQ(loaded.flat(), pm.flat());
+  fs::remove(path);
+}
+
+TEST(PMatrixIo, RejectsCorruptFiles) {
+  const fs::path path = fs::temp_directory_path() / "gsnp_pm_bad.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "GARBAGE!";
+  }
+  EXPECT_THROW(read_p_matrix(path), Error);
+  fs::remove(path);
+}
+
+TEST(PMatrixIo, RejectsTruncatedFiles) {
+  const PMatrix pm = finalize_p_matrix(PMatrixCounter{});
+  const fs::path path = fs::temp_directory_path() / "gsnp_pm_trunc.bin";
+  write_p_matrix(path, pm);
+  fs::resize_file(path, fs::file_size(path) / 2);
+  EXPECT_THROW(read_p_matrix(path), Error);
+  fs::remove(path);
+}
+
+// ---- genome pipeline -----------------------------------------------------------
+
+class GenomePipeline : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gsnp_pipeline_test";
+    fs::create_directories(dir_);
+    for (int c = 0; c < 3; ++c) {
+      genome::GenomeSpec gspec;
+      gspec.name = "chr" + std::to_string(c + 1);
+      gspec.length = 8'000 - 1'000 * static_cast<u64>(c);
+      gspec.seed = 40 + static_cast<u64>(c);
+      refs_.push_back(genome::generate_reference(gspec));
+    }
+    for (int c = 0; c < 3; ++c) {
+      genome::SnpPlantSpec pspec;
+      pspec.seed = 50 + static_cast<u64>(c);
+      const auto snps = genome::plant_snps(refs_[c], pspec);
+      const genome::Diploid individual(refs_[c], snps);
+      reads::ReadSimSpec rspec;
+      rspec.depth = 6.0;
+      rspec.seed = 60 + static_cast<u64>(c);
+      const fs::path align = dir_ / (refs_[c].name() + ".soap");
+      reads::write_alignment_file(align,
+                                  reads::simulate_reads(individual, rspec));
+
+      ChromosomeJob job;
+      job.name = refs_[c].name();
+      job.alignment_file = align;
+      job.reference = &refs_[c];
+      config_.chromosomes.push_back(job);
+    }
+    config_.output_dir = dir_ / "out";
+    config_.window_size = 2'048;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  std::vector<genome::Reference> refs_;
+  GenomeRunConfig config_;
+};
+
+TEST_F(GenomePipeline, RunsAllChromosomes) {
+  device::Device dev;
+  const GenomeReport report = run_genome(config_, EngineKind::kGsnp, &dev);
+  ASSERT_EQ(report.per_chromosome.size(), 3u);
+  EXPECT_EQ(report.total_sites, 8'000u + 7'000 + 6'000);
+  for (const auto& path : report.output_files) EXPECT_TRUE(fs::exists(path));
+  EXPECT_GT(report.total_seconds, 0.0);
+  EXPECT_GT(report.total_output_bytes, 0u);
+}
+
+TEST_F(GenomePipeline, EnginesAgreeAcrossAllChromosomes) {
+  device::Device dev;
+  const auto gsnp = run_genome(config_, EngineKind::kGsnp, &dev);
+  const auto soapsnp = run_genome(config_, EngineKind::kSoapsnp);
+  ASSERT_EQ(gsnp.output_files.size(), soapsnp.output_files.size());
+  for (std::size_t c = 0; c < gsnp.output_files.size(); ++c) {
+    const auto report =
+        compare_output_files(gsnp.output_files[c], soapsnp.output_files[c]);
+    EXPECT_TRUE(report.identical)
+        << config_.chromosomes[c].name << ": " << report.detail;
+  }
+}
+
+TEST_F(GenomePipeline, GsnpEngineRequiresDevice) {
+  EXPECT_THROW(run_genome(config_, EngineKind::kGsnp, nullptr), Error);
+}
+
+TEST_F(GenomePipeline, EngineNames) {
+  EXPECT_STREQ(engine_name(EngineKind::kSoapsnp), "soapsnp");
+  EXPECT_STREQ(engine_name(EngineKind::kGsnpCpu), "gsnp_cpu");
+  EXPECT_STREQ(engine_name(EngineKind::kGsnp), "gsnp");
+}
+
+}  // namespace
+}  // namespace gsnp::core

@@ -1,0 +1,287 @@
+// Robustness and failure-injection tests: corrupted/truncated binary files
+// must raise gsnp::Error (never crash or return garbage silently), and the
+// pipeline must survive degenerate datasets.  Plus a randomized end-to-end
+// consistency fuzz across dataset shapes.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/compress/temp_input.hpp"
+#include "src/core/consistency.hpp"
+#include "src/core/engine.hpp"
+#include "src/core/output_codec.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+
+namespace gsnp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<u8> read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::vector<u8>(std::istreambuf_iterator<char>(in), {});
+}
+
+void write_bytes(const fs::path& path, std::span<const u8> bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A small compressed output file to corrupt.
+class CorruptionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gsnp_robust_test";
+    fs::create_directories(dir_);
+    genome::GenomeSpec gspec;
+    gspec.name = "chrR";
+    gspec.length = 5'000;
+    ref_ = genome::generate_reference(gspec);
+    const genome::Diploid individual(ref_, {});
+    reads::ReadSimSpec rspec;
+    rspec.depth = 5.0;
+    records_ = reads::simulate_reads(individual, rspec);
+    reads::write_alignment_file(dir_ / "a.soap", records_);
+
+    EngineConfig config;
+    config.alignment_file = dir_ / "a.soap";
+    config.reference = &ref_;
+    config.temp_file = dir_ / "a.tmp";
+    config.output_file = dir_ / "out.snp";
+    config.window_size = 1'024;
+    run_gsnp_cpu(config);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  genome::Reference ref_;
+  std::vector<reads::AlignmentRecord> records_;
+};
+
+TEST_F(CorruptionFixture, TruncatedOutputRaises) {
+  auto bytes = read_bytes(dir_ / "out.snp");
+  for (const double fraction : {0.25, 0.5, 0.9, 0.99}) {
+    std::vector<u8> cut(bytes.begin(),
+                        bytes.begin() + static_cast<std::ptrdiff_t>(
+                                            fraction * bytes.size()));
+    write_bytes(dir_ / "cut.snp", cut);
+    std::string name;
+    EXPECT_THROW(read_snp_compressed_file(dir_ / "cut.snp", name), Error)
+        << "fraction " << fraction;
+  }
+}
+
+TEST_F(CorruptionFixture, BitflippedOutputNeverCrashes) {
+  // Any single-byte corruption must either decode to *something* or raise
+  // gsnp::Error — never crash.  (Bit flips inside a varint length can make a
+  // frame look shorter/longer; decoders bounds-check everything.)
+  const auto original = read_bytes(dir_ / "out.snp");
+  Rng rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = original;
+    const std::size_t at = 16 + rng.uniform(bytes.size() - 16);
+    bytes[at] ^= static_cast<u8>(1 + rng.uniform(255));
+    write_bytes(dir_ / "flip.snp", bytes);
+    std::string name;
+    try {
+      (void)read_snp_compressed_file(dir_ / "flip.snp", name);
+    } catch (const Error&) {
+      // acceptable
+    }
+  }
+  SUCCEED();
+}
+
+TEST_F(CorruptionFixture, TruncatedTempInputRaises) {
+  const auto bytes = read_bytes(dir_ / "a.tmp");
+  std::vector<u8> cut(bytes.begin(), bytes.begin() + bytes.size() / 2);
+  write_bytes(dir_ / "cut.tmp", cut);
+  compress::TempInputReader reader(dir_ / "cut.tmp");
+  EXPECT_THROW(
+      {
+        while (reader.next()) {
+        }
+      },
+      Error);
+}
+
+TEST_F(CorruptionFixture, BitflippedTempInputNeverCrashes) {
+  const auto original = read_bytes(dir_ / "a.tmp");
+  Rng rng(11);
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = original;
+    const std::size_t at = 16 + rng.uniform(bytes.size() - 16);
+    bytes[at] ^= static_cast<u8>(1 + rng.uniform(255));
+    write_bytes(dir_ / "flip.tmp", bytes);
+    try {
+      compress::TempInputReader reader(dir_ / "flip.tmp");
+      while (reader.next()) {
+      }
+    } catch (const Error&) {
+      // acceptable
+    }
+  }
+  SUCCEED();
+}
+
+// ---- degenerate datasets --------------------------------------------------------
+
+TEST(Degenerate, EmptyAlignmentFileStillEmitsAllSites) {
+  const fs::path dir = fs::temp_directory_path() / "gsnp_degenerate";
+  fs::create_directories(dir);
+  genome::GenomeSpec gspec;
+  gspec.name = "chrD";
+  gspec.length = 2'000;
+  const genome::Reference ref = genome::generate_reference(gspec);
+  reads::write_alignment_file(dir / "empty.soap", {});
+
+  EngineConfig config;
+  config.alignment_file = dir / "empty.soap";
+  config.reference = &ref;
+  config.temp_file = dir / "e.tmp";
+  config.output_file = dir / "e.snp";
+  config.window_size = 512;
+  device::Device dev;
+  const RunReport report = run_gsnp(config, dev);
+  EXPECT_EQ(report.records, 0u);
+
+  std::string name;
+  const auto rows = read_snp_output(dir / "e.snp", name);
+  ASSERT_EQ(rows.size(), ref.size());
+  for (const auto& row : rows) {
+    EXPECT_EQ(row.depth, 0u);
+    EXPECT_EQ(row.quality, 0);
+    // Prior-only call: homozygous reference.
+    if (row.ref_base < kNumBases)
+      EXPECT_EQ(row.genotype_rank, genotype_rank(row.ref_base, row.ref_base));
+  }
+  fs::remove_all(dir);
+}
+
+TEST(Degenerate, SingleSiteWindows) {
+  // window_size=1: maximum windowing overhead, same results.
+  const fs::path dir = fs::temp_directory_path() / "gsnp_tinywin";
+  fs::create_directories(dir);
+  genome::GenomeSpec gspec;
+  gspec.name = "chrW";
+  gspec.length = 300;
+  const genome::Reference ref = genome::generate_reference(gspec);
+  const genome::Diploid individual(ref, {});
+  reads::ReadSimSpec rspec;
+  rspec.depth = 4.0;
+  reads::write_alignment_file(dir / "a.soap",
+                              reads::simulate_reads(individual, rspec));
+
+  EngineConfig config;
+  config.alignment_file = dir / "a.soap";
+  config.reference = &ref;
+  config.temp_file = dir / "a.tmp";
+  config.output_file = dir / "w1.snp";
+  config.window_size = 1;
+  run_gsnp_cpu(config);
+  config.output_file = dir / "w300.snp";
+  config.window_size = 300;
+  config.temp_file = dir / "b.tmp";
+  run_gsnp_cpu(config);
+  const auto report = compare_output_files(dir / "w1.snp", dir / "w300.snp");
+  EXPECT_TRUE(report.identical) << report.detail;
+  fs::remove_all(dir);
+}
+
+// ---- randomized end-to-end fuzz ---------------------------------------------------
+
+class ConsistencyFuzz : public ::testing::TestWithParam<u64> {};
+
+TEST_P(ConsistencyFuzz, EnginesAgreeOnRandomDatasets) {
+  const u64 seed = GetParam();
+  Rng rng(seed);
+  const fs::path dir =
+      fs::temp_directory_path() / ("gsnp_fuzz_" + std::to_string(seed));
+  fs::create_directories(dir);
+
+  genome::GenomeSpec gspec;
+  gspec.name = "chrF";
+  gspec.length = 2'000 + rng.uniform(8'000);
+  gspec.n_gap_rate = rng.uniform_double() * 0.05;
+  gspec.gc_content = 0.3 + 0.4 * rng.uniform_double();
+  gspec.seed = seed * 13;
+  const genome::Reference ref = genome::generate_reference(gspec);
+
+  genome::SnpPlantSpec pspec;
+  pspec.snp_rate = rng.uniform_double() * 0.01;
+  pspec.seed = seed * 17;
+  const auto snps = genome::plant_snps(ref, pspec);
+  const genome::Diploid individual(ref, snps);
+  const genome::DbSnpTable dbsnp = genome::make_dbsnp(ref, snps, 0.005, seed);
+
+  reads::ReadSimSpec rspec;
+  rspec.depth = 0.5 + 15.0 * rng.uniform_double();
+  rspec.read_len = static_cast<u32>(30 + rng.uniform(120));
+  rspec.error_scale = 0.5 + 4.0 * rng.uniform_double();
+  rspec.multi_hit_rate = rng.uniform_double() * 0.3;
+  rspec.mappable_fraction = 0.5 + 0.5 * rng.uniform_double();
+  rspec.seed = seed * 19;
+  reads::write_alignment_file(dir / "a.soap",
+                              reads::simulate_reads(individual, rspec));
+
+  EngineConfig config;
+  config.alignment_file = dir / "a.soap";
+  config.reference = &ref;
+  config.dbsnp = &dbsnp;
+  config.temp_file = dir / "a.tmp";
+  config.window_size = static_cast<u32>(64 + rng.uniform(4'000));
+
+  config.output_file = dir / "soapsnp.txt";
+  run_soapsnp(config);
+  config.output_file = dir / "gsnp.snp";
+  device::Device dev;
+  run_gsnp(config, dev);
+
+  const auto report =
+      compare_output_files(dir / "soapsnp.txt", dir / "gsnp.snp");
+  EXPECT_TRUE(report.identical) << "seed " << seed << ": " << report.detail;
+  fs::remove_all(dir);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyFuzz,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---- p_matrix reuse ------------------------------------------------------------------
+
+TEST_F(CorruptionFixture, MatrixReuseIsBitExact) {
+  EngineConfig config;
+  config.alignment_file = dir_ / "a.soap";
+  config.reference = &ref_;
+  config.temp_file = dir_ / "m.tmp";
+  config.window_size = 1'024;
+
+  // First run saves the matrix.
+  config.output_file = dir_ / "m1.snp";
+  config.p_matrix_out = dir_ / "pm.bin";
+  run_gsnp_cpu(config);
+
+  // Second run reloads it and must produce identical output.
+  config.p_matrix_out.clear();
+  config.p_matrix_in = dir_ / "pm.bin";
+  config.output_file = dir_ / "m2.snp";
+  config.temp_file = dir_ / "m2.tmp";
+  run_gsnp_cpu(config);
+
+  const auto report = compare_output_files(dir_ / "m1.snp", dir_ / "m2.snp");
+  EXPECT_TRUE(report.identical) << report.detail;
+
+  // SOAPsnp path with reuse (skips the counting pass entirely).
+  config.output_file = dir_ / "m3.txt";
+  run_soapsnp(config);
+  const auto report2 = compare_output_files(dir_ / "m1.snp", dir_ / "m3.txt");
+  EXPECT_TRUE(report2.identical) << report2.detail;
+}
+
+}  // namespace
+}  // namespace gsnp::core

@@ -1,0 +1,174 @@
+// Tests for the SAM-format subset: record conversion (both strands, soft
+// clips, tags), streaming reader, and engine-result equivalence between SAM
+// and native SOAP input.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/common/error.hpp"
+#include "src/core/consistency.hpp"
+#include "src/core/engine.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/sam.hpp"
+#include "src/reads/simulator.hpp"
+
+namespace gsnp::reads {
+namespace {
+
+namespace fs = std::filesystem;
+
+AlignmentRecord forward_record() {
+  AlignmentRecord rec;
+  rec.read_id = "r1";
+  rec.seq = "ACGTA";
+  rec.qual = "IJKLM";
+  rec.hit_count = 3;
+  rec.pair_tag = 'a';
+  rec.length = 5;
+  rec.strand = Strand::kForward;
+  rec.chr_name = "chrZ";
+  rec.pos = 99;
+  return rec;
+}
+
+TEST(Sam, ForwardRoundTrip) {
+  const AlignmentRecord rec = forward_record();
+  const auto parsed = parse_sam_record(format_sam_record(rec));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rec);
+}
+
+TEST(Sam, ReverseRoundTrip) {
+  AlignmentRecord rec = forward_record();
+  rec.strand = Strand::kReverse;
+  rec.pair_tag = 'b';
+  const std::string line = format_sam_record(rec);
+  // SAM stores the forward-strand sequence: reverse complement of the read.
+  EXPECT_NE(line.find("TACGT"), std::string::npos);
+  const auto parsed = parse_sam_record(line);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, rec);
+}
+
+TEST(Sam, FlagBitsInterpreted) {
+  // Unmapped / secondary / supplementary records are skipped.
+  EXPECT_FALSE(parse_sam_record("r\t4\tchr\t100\t60\t5M\t*\t0\t0\tACGTA\tIIIII")
+                   .has_value());
+  EXPECT_FALSE(
+      parse_sam_record("r\t256\tchr\t100\t60\t5M\t*\t0\t0\tACGTA\tIIIII")
+          .has_value());
+  EXPECT_FALSE(
+      parse_sam_record("r\t2048\tchr\t100\t60\t5M\t*\t0\t0\tACGTA\tIIIII")
+          .has_value());
+  EXPECT_TRUE(parse_sam_record("r\t0\tchr\t100\t60\t5M\t*\t0\t0\tACGTA\tIIIII")
+                  .has_value());
+}
+
+TEST(Sam, SoftClipsTrimmed) {
+  const auto rec =
+      parse_sam_record("r\t0\tchr\t100\t60\t2S3M\t*\t0\t0\tNNACG\t##III");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->seq, "ACG");
+  EXPECT_EQ(rec->length, 3);
+  EXPECT_EQ(rec->pos, 99u);
+}
+
+TEST(Sam, GappedAlignmentsSkipped) {
+  EXPECT_FALSE(
+      parse_sam_record("r\t0\tchr\t100\t60\t2M1D3M\t*\t0\t0\tACGTA\tIIIII")
+          .has_value());
+  EXPECT_FALSE(
+      parse_sam_record("r\t0\tchr\t100\t60\t2M1I2M\t*\t0\t0\tACGTA\tIIIII")
+          .has_value());
+}
+
+TEST(Sam, NhTagSetsHitCount) {
+  const auto rec = parse_sam_record(
+      "r\t0\tchr\t100\t60\t5M\t*\t0\t0\tACGTA\tIIIII\tAS:i:0\tNH:i:7");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->hit_count, 7u);
+}
+
+TEST(Sam, MissingQualBecomesQ0) {
+  const auto rec =
+      parse_sam_record("r\t0\tchr\t100\t60\t3M\t*\t0\t0\tACG\t*");
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->qual, "!!!");
+}
+
+TEST(Sam, MalformedLineThrows) {
+  EXPECT_THROW(parse_sam_record("too\tfew"), Error);
+  EXPECT_THROW(parse_sam_record("r\t0\tchr\t0\t60\t3M\t*\t0\t0\tACG\tIII"),
+               Error);  // 0-based pos
+}
+
+class SamFiles : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gsnp_sam_test";
+    fs::create_directories(dir_);
+    genome::GenomeSpec gspec;
+    gspec.name = "chrS";
+    gspec.length = 15'000;
+    ref_ = genome::generate_reference(gspec);
+    genome::SnpPlantSpec pspec;
+    const auto snps = genome::plant_snps(ref_, pspec);
+    const genome::Diploid individual(ref_, snps);
+    ReadSimSpec rspec;
+    rspec.depth = 6.0;
+    records_ = simulate_reads(individual, rspec);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path dir_;
+  genome::Reference ref_;
+  std::vector<AlignmentRecord> records_;
+};
+
+TEST_F(SamFiles, FileRoundTripPreservesRecords) {
+  write_sam_file(dir_ / "a.sam", records_, ref_.name(), ref_.size());
+  SamReader reader(dir_ / "a.sam");
+  std::size_t i = 0;
+  while (auto rec = reader.next()) {
+    ASSERT_LT(i, records_.size());
+    EXPECT_EQ(*rec, records_[i]) << "record " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, records_.size());
+  EXPECT_EQ(reader.skipped(), 0u);
+}
+
+TEST_F(SamFiles, SamInputGivesIdenticalCalls) {
+  // The integration property: calling from SAM-converted input must produce
+  // exactly the rows the native SOAP path produces.
+  write_alignment_file(dir_ / "a.soap", records_);
+  write_sam_file(dir_ / "a.sam", records_, ref_.name(), ref_.size());
+  const u64 n = sam_to_soap(dir_ / "a.sam", dir_ / "converted.soap");
+  EXPECT_EQ(n, records_.size());
+
+  core::EngineConfig config;
+  config.reference = &ref_;
+  config.temp_file = dir_ / "t.tmp";
+
+  config.alignment_file = dir_ / "a.soap";
+  config.output_file = dir_ / "native.snp";
+  core::run_gsnp_cpu(config);
+
+  config.alignment_file = dir_ / "converted.soap";
+  config.output_file = dir_ / "fromsam.snp";
+  core::run_gsnp_cpu(config);
+
+  const auto report =
+      core::compare_output_files(dir_ / "native.snp", dir_ / "fromsam.snp");
+  EXPECT_TRUE(report.identical) << report.detail;
+}
+
+TEST_F(SamFiles, UnsortedSamRejectedByConverter) {
+  std::vector<AlignmentRecord> unsorted = {records_[10], records_[2]};
+  write_sam_file(dir_ / "u.sam", unsorted, ref_.name(), ref_.size());
+  EXPECT_THROW(sam_to_soap(dir_ / "u.sam", dir_ / "u.soap"), Error);
+}
+
+}  // namespace
+}  // namespace gsnp::reads

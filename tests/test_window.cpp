@@ -1,0 +1,214 @@
+// Tests for window loading (read_site) and the counting component.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "src/core/window.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+
+namespace gsnp::core {
+namespace {
+
+reads::AlignmentRecord make_record(u64 pos, u16 length, const char* id = "r",
+                                   u32 hits = 1,
+                                   Strand strand = Strand::kForward) {
+  reads::AlignmentRecord rec;
+  rec.read_id = id;
+  rec.pos = pos;
+  rec.length = length;
+  rec.hit_count = hits;
+  rec.strand = strand;
+  rec.chr_name = "c";
+  rec.seq.assign(length, 'A');
+  rec.qual.assign(length, 'I');  // q40
+  return rec;
+}
+
+WindowLoader::RecordSource vector_source(
+    std::vector<reads::AlignmentRecord> recs) {
+  auto state = std::make_shared<std::pair<std::vector<reads::AlignmentRecord>,
+                                          std::size_t>>(std::move(recs), 0);
+  return [state]() -> std::optional<reads::AlignmentRecord> {
+    if (state->second >= state->first.size()) return std::nullopt;
+    return state->first[state->second++];
+  };
+}
+
+// ---- WindowLoader -------------------------------------------------------------
+
+TEST(WindowLoaderTest, SplitsSitesIntoWindows) {
+  WindowLoader loader(vector_source({}), 25, 10);
+  WindowRecords win;
+  ASSERT_TRUE(loader.next(win));
+  EXPECT_EQ(win.start, 0u);
+  EXPECT_EQ(win.size, 10u);
+  ASSERT_TRUE(loader.next(win));
+  EXPECT_EQ(win.start, 10u);
+  ASSERT_TRUE(loader.next(win));
+  EXPECT_EQ(win.start, 20u);
+  EXPECT_EQ(win.size, 5u);  // final partial window
+  EXPECT_FALSE(loader.next(win));
+}
+
+TEST(WindowLoaderTest, BoundaryRecordAppearsInBothWindows) {
+  // A record covering [8, 12) overlaps windows [0,10) and [10,20).
+  WindowLoader loader(vector_source({make_record(8, 4)}), 20, 10);
+  WindowRecords win;
+  ASSERT_TRUE(loader.next(win));
+  EXPECT_EQ(win.records.size(), 1u);
+  ASSERT_TRUE(loader.next(win));
+  EXPECT_EQ(win.records.size(), 1u);
+  EXPECT_EQ(win.records[0].pos, 8u);
+}
+
+TEST(WindowLoaderTest, RecordSpanningManyWindows) {
+  WindowLoader loader(vector_source({make_record(0, 35)}), 40, 10);
+  WindowRecords win;
+  for (int w = 0; w < 4; ++w) {
+    ASSERT_TRUE(loader.next(win));
+    EXPECT_EQ(win.records.size(), w < 4 ? 1u : 0u) << "window " << w;
+  }
+}
+
+TEST(WindowLoaderTest, LookaheadRecordNotLost) {
+  // Reading window [0,10) encounters a record at pos 25; it must surface in
+  // window [20,30), not be dropped, and windows in between must be empty.
+  WindowLoader loader(vector_source({make_record(2, 3), make_record(25, 3)}),
+                      30, 10);
+  WindowRecords win;
+  ASSERT_TRUE(loader.next(win));
+  EXPECT_EQ(win.records.size(), 1u);
+  ASSERT_TRUE(loader.next(win));
+  EXPECT_TRUE(win.records.empty());
+  ASSERT_TRUE(loader.next(win));
+  ASSERT_EQ(win.records.size(), 1u);
+  EXPECT_EQ(win.records[0].pos, 25u);
+}
+
+TEST(WindowLoaderTest, AgreesWithBruteForceOnSimulatedData) {
+  genome::GenomeSpec gspec;
+  gspec.length = 5000;
+  const genome::Reference ref = genome::generate_reference(gspec);
+  const genome::Diploid ind(ref, {});
+  reads::ReadSimSpec rspec;
+  rspec.depth = 6.0;
+  rspec.read_len = 50;
+  const auto records = reads::simulate_reads(ind, rspec);
+
+  WindowLoader loader(vector_source(records), ref.size(), 777);
+  WindowRecords win;
+  while (loader.next(win)) {
+    // Brute force: which records overlap this window?
+    std::vector<const reads::AlignmentRecord*> expected;
+    for (const auto& rec : records)
+      if (rec.pos < win.start + win.size && rec.pos + rec.length > win.start)
+        expected.push_back(&rec);
+    ASSERT_EQ(win.records.size(), expected.size()) << "window " << win.start;
+    for (std::size_t i = 0; i < expected.size(); ++i)
+      EXPECT_EQ(win.records[i].read_id, expected[i]->read_id);
+  }
+}
+
+// ---- count_window -----------------------------------------------------------------
+
+TEST(CountWindow, StatsExactOnConstructedCase) {
+  WindowRecords win;
+  win.start = 0;
+  win.size = 10;
+  auto r1 = make_record(0, 5, "r1", 1);   // A x5, unique
+  auto r2 = make_record(2, 5, "r2", 3);   // A x5, multi-hit
+  r2.seq = "CCCCC";
+  win.records = {r1, r2};
+
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  BaseWordWindow sparse(win.size);
+  BaseOccWindow dense(win.size);
+  count_window(win, obs, stats, &dense, &sparse);
+
+  // Site 3: covered by both reads.
+  EXPECT_EQ(stats[3].depth, 2u);
+  EXPECT_EQ(stats[3].count_uniq[0], 1u);   // A from r1 only (unique)
+  EXPECT_EQ(stats[3].count_all[0], 1u);
+  EXPECT_EQ(stats[3].count_all[1], 1u);    // C from r2
+  EXPECT_EQ(stats[3].count_uniq[1], 0u);   // r2 is multi-hit
+  EXPECT_EQ(stats[3].hit_sum, 4u);         // 1 + 3
+
+  // Sparse/dense likelihood structures hold unique hits only.
+  EXPECT_EQ(sparse.size_of(3), 1u);
+  EXPECT_EQ(sparse.size_of(0), 1u);
+  EXPECT_EQ(sparse.size_of(8), 0u);
+  const AlignedBase ab = base_word_unpack(sparse.site(3)[0]);
+  EXPECT_EQ(ab.base, 0);
+  EXPECT_EQ(ab.coord, 3);
+
+  u64 dense_total = 0;
+  for (const u8 v : dense.site(3)) dense_total += v;
+  EXPECT_EQ(dense_total, 1u);
+}
+
+TEST(CountWindow, ArrivalOrderPreservedPerSite) {
+  WindowRecords win;
+  win.start = 0;
+  win.size = 5;
+  auto r1 = make_record(0, 3, "r1");
+  r1.seq = "GGG";
+  auto r2 = make_record(0, 3, "r2");
+  r2.seq = "TTT";
+  win.records = {r1, r2};
+
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  count_window(win, obs, stats, nullptr, nullptr);
+  const auto site0 = obs.site(0);
+  ASSERT_EQ(site0.size(), 2u);
+  EXPECT_EQ(site0[0].base, base_from_char('G'));  // r1 arrived first
+  EXPECT_EQ(site0[1].base, base_from_char('T'));
+}
+
+TEST(CountWindow, ClampsRecordsToWindowBounds) {
+  WindowRecords win;
+  win.start = 10;
+  win.size = 5;
+  win.records = {make_record(8, 10)};  // covers [8,18), window is [10,15)
+
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  count_window(win, obs, stats, nullptr, nullptr);
+  for (u32 s = 0; s < 5; ++s) EXPECT_EQ(stats[s].depth, 1u);
+  EXPECT_EQ(obs.obs.size(), 5u);
+  // Coordinate at window start is offset 2 of the read.
+  EXPECT_EQ(obs.site(0)[0].coord, 2);
+}
+
+TEST(CountWindow, EmptyWindow) {
+  WindowRecords win;
+  win.start = 0;
+  win.size = 8;
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  BaseWordWindow sparse(8);
+  count_window(win, obs, stats, nullptr, &sparse);
+  EXPECT_EQ(obs.obs.size(), 0u);
+  for (const auto& st : stats) EXPECT_EQ(st.depth, 0u);
+  EXPECT_TRUE(sparse.words.empty());
+}
+
+TEST(CountWindow, QualitySumsAccumulate) {
+  WindowRecords win;
+  win.start = 0;
+  win.size = 2;
+  auto r1 = make_record(0, 2, "r1");
+  r1.qual = "+5";  // q10, q20
+  win.records = {r1};
+  WindowObs obs;
+  std::vector<SiteStats> stats;
+  count_window(win, obs, stats, nullptr, nullptr);
+  EXPECT_EQ(stats[0].qual_sum_all[0], 10u);
+  EXPECT_EQ(stats[1].qual_sum_all[0], 20u);
+}
+
+}  // namespace
+}  // namespace gsnp::core
