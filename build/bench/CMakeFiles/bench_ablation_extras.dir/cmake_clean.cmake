@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_extras.dir/bench_ablation_extras.cpp.o"
+  "CMakeFiles/bench_ablation_extras.dir/bench_ablation_extras.cpp.o.d"
+  "CMakeFiles/bench_ablation_extras.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_ablation_extras.dir/bench_util.cpp.o.d"
+  "bench_ablation_extras"
+  "bench_ablation_extras.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_extras.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10a_decompress.dir/bench_fig10a_decompress.cpp.o"
+  "CMakeFiles/bench_fig10a_decompress.dir/bench_fig10a_decompress.cpp.o.d"
+  "CMakeFiles/bench_fig10a_decompress.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig10a_decompress.dir/bench_util.cpp.o.d"
+  "bench_fig10a_decompress"
+  "bench_fig10a_decompress.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10a_decompress.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

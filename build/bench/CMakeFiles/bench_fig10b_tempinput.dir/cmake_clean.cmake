@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10b_tempinput.dir/bench_fig10b_tempinput.cpp.o"
+  "CMakeFiles/bench_fig10b_tempinput.dir/bench_fig10b_tempinput.cpp.o.d"
+  "CMakeFiles/bench_fig10b_tempinput.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig10b_tempinput.dir/bench_util.cpp.o.d"
+  "bench_fig10b_tempinput"
+  "bench_fig10b_tempinput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10b_tempinput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

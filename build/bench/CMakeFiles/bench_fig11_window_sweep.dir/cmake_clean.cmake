@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_window_sweep.dir/bench_fig11_window_sweep.cpp.o"
+  "CMakeFiles/bench_fig11_window_sweep.dir/bench_fig11_window_sweep.cpp.o.d"
+  "CMakeFiles/bench_fig11_window_sweep.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig11_window_sweep.dir/bench_util.cpp.o.d"
+  "bench_fig11_window_sweep"
+  "bench_fig11_window_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_window_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

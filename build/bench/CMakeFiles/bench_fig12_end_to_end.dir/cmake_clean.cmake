@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_end_to_end.dir/bench_fig12_end_to_end.cpp.o"
+  "CMakeFiles/bench_fig12_end_to_end.dir/bench_fig12_end_to_end.cpp.o.d"
+  "CMakeFiles/bench_fig12_end_to_end.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig12_end_to_end.dir/bench_util.cpp.o.d"
+  "bench_fig12_end_to_end"
+  "bench_fig12_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4a_memaccess.dir/bench_fig4a_memaccess.cpp.o"
+  "CMakeFiles/bench_fig4a_memaccess.dir/bench_fig4a_memaccess.cpp.o.d"
+  "CMakeFiles/bench_fig4a_memaccess.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig4a_memaccess.dir/bench_util.cpp.o.d"
+  "bench_fig4a_memaccess"
+  "bench_fig4a_memaccess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4a_memaccess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4b_sparsity.dir/bench_fig4b_sparsity.cpp.o"
+  "CMakeFiles/bench_fig4b_sparsity.dir/bench_fig4b_sparsity.cpp.o.d"
+  "CMakeFiles/bench_fig4b_sparsity.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig4b_sparsity.dir/bench_util.cpp.o.d"
+  "bench_fig4b_sparsity"
+  "bench_fig4b_sparsity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4b_sparsity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_likelihood_repr.dir/bench_fig5_likelihood_repr.cpp.o"
+  "CMakeFiles/bench_fig5_likelihood_repr.dir/bench_fig5_likelihood_repr.cpp.o.d"
+  "CMakeFiles/bench_fig5_likelihood_repr.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig5_likelihood_repr.dir/bench_util.cpp.o.d"
+  "bench_fig5_likelihood_repr"
+  "bench_fig5_likelihood_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_likelihood_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_sort_vs_comp.dir/bench_fig6_sort_vs_comp.cpp.o"
+  "CMakeFiles/bench_fig6_sort_vs_comp.dir/bench_fig6_sort_vs_comp.cpp.o.d"
+  "CMakeFiles/bench_fig6_sort_vs_comp.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig6_sort_vs_comp.dir/bench_util.cpp.o.d"
+  "bench_fig6_sort_vs_comp"
+  "bench_fig6_sort_vs_comp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_sort_vs_comp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

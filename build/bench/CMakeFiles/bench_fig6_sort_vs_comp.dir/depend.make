@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig6_sort_vs_comp.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7a_batchsort.dir/bench_fig7a_batchsort.cpp.o"
+  "CMakeFiles/bench_fig7a_batchsort.dir/bench_fig7a_batchsort.cpp.o.d"
+  "CMakeFiles/bench_fig7a_batchsort.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig7a_batchsort.dir/bench_util.cpp.o.d"
+  "bench_fig7a_batchsort"
+  "bench_fig7a_batchsort.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7a_batchsort.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

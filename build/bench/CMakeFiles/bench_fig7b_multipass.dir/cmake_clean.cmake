@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7b_multipass.dir/bench_fig7b_multipass.cpp.o"
+  "CMakeFiles/bench_fig7b_multipass.dir/bench_fig7b_multipass.cpp.o.d"
+  "CMakeFiles/bench_fig7b_multipass.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig7b_multipass.dir/bench_util.cpp.o.d"
+  "bench_fig7b_multipass"
+  "bench_fig7b_multipass.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7b_multipass.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

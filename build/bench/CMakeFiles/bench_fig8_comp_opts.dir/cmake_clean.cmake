@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_comp_opts.dir/bench_fig8_comp_opts.cpp.o"
+  "CMakeFiles/bench_fig8_comp_opts.dir/bench_fig8_comp_opts.cpp.o.d"
+  "CMakeFiles/bench_fig8_comp_opts.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig8_comp_opts.dir/bench_util.cpp.o.d"
+  "bench_fig8_comp_opts"
+  "bench_fig8_comp_opts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_comp_opts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9a_output_size.dir/bench_fig9a_output_size.cpp.o"
+  "CMakeFiles/bench_fig9a_output_size.dir/bench_fig9a_output_size.cpp.o.d"
+  "CMakeFiles/bench_fig9a_output_size.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig9a_output_size.dir/bench_util.cpp.o.d"
+  "bench_fig9a_output_size"
+  "bench_fig9a_output_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9a_output_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9b_output_speed.dir/bench_fig9b_output_speed.cpp.o"
+  "CMakeFiles/bench_fig9b_output_speed.dir/bench_fig9b_output_speed.cpp.o.d"
+  "CMakeFiles/bench_fig9b_output_speed.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_fig9b_output_speed.dir/bench_util.cpp.o.d"
+  "bench_fig9b_output_speed"
+  "bench_fig9b_output_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9b_output_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

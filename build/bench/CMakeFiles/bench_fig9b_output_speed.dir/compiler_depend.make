@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig9b_output_speed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig9b_output_speed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_soapsnp_breakdown.dir/bench_table1_soapsnp_breakdown.cpp.o"
+  "CMakeFiles/bench_table1_soapsnp_breakdown.dir/bench_table1_soapsnp_breakdown.cpp.o.d"
+  "CMakeFiles/bench_table1_soapsnp_breakdown.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table1_soapsnp_breakdown.dir/bench_util.cpp.o.d"
+  "bench_table1_soapsnp_breakdown"
+  "bench_table1_soapsnp_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_soapsnp_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_counters.dir/bench_table3_counters.cpp.o"
+  "CMakeFiles/bench_table3_counters.dir/bench_table3_counters.cpp.o.d"
+  "CMakeFiles/bench_table3_counters.dir/bench_util.cpp.o"
+  "CMakeFiles/bench_table3_counters.dir/bench_util.cpp.o.d"
+  "bench_table3_counters"
+  "bench_table3_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accuracy_eval.dir/accuracy_eval.cpp.o"
+  "CMakeFiles/accuracy_eval.dir/accuracy_eval.cpp.o.d"
+  "accuracy_eval"
+  "accuracy_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accuracy_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compression_tool.dir/compression_tool.cpp.o"
+  "CMakeFiles/compression_tool.dir/compression_tool.cpp.o.d"
+  "compression_tool"
+  "compression_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compression_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gsnp_cli.dir/gsnp_cli.cpp.o"
+  "CMakeFiles/gsnp_cli.dir/gsnp_cli.cpp.o.d"
+  "gsnp_cli"
+  "gsnp_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gsnp_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

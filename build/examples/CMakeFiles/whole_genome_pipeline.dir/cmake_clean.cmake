@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whole_genome_pipeline.dir/whole_genome_pipeline.cpp.o"
+  "CMakeFiles/whole_genome_pipeline.dir/whole_genome_pipeline.cpp.o.d"
+  "whole_genome_pipeline"
+  "whole_genome_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whole_genome_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

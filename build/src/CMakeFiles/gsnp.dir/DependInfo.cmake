@@ -1,0 +1,50 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compress/codecs.cpp" "src/CMakeFiles/gsnp.dir/compress/codecs.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/compress/codecs.cpp.o.d"
+  "/root/repo/src/compress/device_rledict.cpp" "src/CMakeFiles/gsnp.dir/compress/device_rledict.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/compress/device_rledict.cpp.o.d"
+  "/root/repo/src/compress/temp_input.cpp" "src/CMakeFiles/gsnp.dir/compress/temp_input.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/compress/temp_input.cpp.o.d"
+  "/root/repo/src/compress/zlibwrap.cpp" "src/CMakeFiles/gsnp.dir/compress/zlibwrap.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/compress/zlibwrap.cpp.o.d"
+  "/root/repo/src/core/consistency.cpp" "src/CMakeFiles/gsnp.dir/core/consistency.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/consistency.cpp.o.d"
+  "/root/repo/src/core/engine.cpp" "src/CMakeFiles/gsnp.dir/core/engine.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/engine.cpp.o.d"
+  "/root/repo/src/core/genome_pipeline.cpp" "src/CMakeFiles/gsnp.dir/core/genome_pipeline.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/genome_pipeline.cpp.o.d"
+  "/root/repo/src/core/kernels.cpp" "src/CMakeFiles/gsnp.dir/core/kernels.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/kernels.cpp.o.d"
+  "/root/repo/src/core/likelihood.cpp" "src/CMakeFiles/gsnp.dir/core/likelihood.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/likelihood.cpp.o.d"
+  "/root/repo/src/core/log_table.cpp" "src/CMakeFiles/gsnp.dir/core/log_table.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/log_table.cpp.o.d"
+  "/root/repo/src/core/new_pmatrix.cpp" "src/CMakeFiles/gsnp.dir/core/new_pmatrix.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/new_pmatrix.cpp.o.d"
+  "/root/repo/src/core/output_codec.cpp" "src/CMakeFiles/gsnp.dir/core/output_codec.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/output_codec.cpp.o.d"
+  "/root/repo/src/core/pmatrix.cpp" "src/CMakeFiles/gsnp.dir/core/pmatrix.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/pmatrix.cpp.o.d"
+  "/root/repo/src/core/posterior.cpp" "src/CMakeFiles/gsnp.dir/core/posterior.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/posterior.cpp.o.d"
+  "/root/repo/src/core/prior.cpp" "src/CMakeFiles/gsnp.dir/core/prior.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/prior.cpp.o.d"
+  "/root/repo/src/core/ranksum.cpp" "src/CMakeFiles/gsnp.dir/core/ranksum.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/ranksum.cpp.o.d"
+  "/root/repo/src/core/snp_row.cpp" "src/CMakeFiles/gsnp.dir/core/snp_row.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/snp_row.cpp.o.d"
+  "/root/repo/src/core/vcf.cpp" "src/CMakeFiles/gsnp.dir/core/vcf.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/vcf.cpp.o.d"
+  "/root/repo/src/core/window.cpp" "src/CMakeFiles/gsnp.dir/core/window.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/window.cpp.o.d"
+  "/root/repo/src/device/device.cpp" "src/CMakeFiles/gsnp.dir/device/device.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/device/device.cpp.o.d"
+  "/root/repo/src/genome/dbsnp.cpp" "src/CMakeFiles/gsnp.dir/genome/dbsnp.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/genome/dbsnp.cpp.o.d"
+  "/root/repo/src/genome/reference.cpp" "src/CMakeFiles/gsnp.dir/genome/reference.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/genome/reference.cpp.o.d"
+  "/root/repo/src/genome/synthetic.cpp" "src/CMakeFiles/gsnp.dir/genome/synthetic.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/genome/synthetic.cpp.o.d"
+  "/root/repo/src/reads/alignment.cpp" "src/CMakeFiles/gsnp.dir/reads/alignment.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/alignment.cpp.o.d"
+  "/root/repo/src/reads/quality_model.cpp" "src/CMakeFiles/gsnp.dir/reads/quality_model.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/quality_model.cpp.o.d"
+  "/root/repo/src/reads/sam.cpp" "src/CMakeFiles/gsnp.dir/reads/sam.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/sam.cpp.o.d"
+  "/root/repo/src/reads/simulator.cpp" "src/CMakeFiles/gsnp.dir/reads/simulator.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/simulator.cpp.o.d"
+  "/root/repo/src/reads/stats.cpp" "src/CMakeFiles/gsnp.dir/reads/stats.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/stats.cpp.o.d"
+  "/root/repo/src/sortnet/batch_sort.cpp" "src/CMakeFiles/gsnp.dir/sortnet/batch_sort.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/sortnet/batch_sort.cpp.o.d"
+  "/root/repo/src/sortnet/bitonic.cpp" "src/CMakeFiles/gsnp.dir/sortnet/bitonic.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/sortnet/bitonic.cpp.o.d"
+  "/root/repo/src/sortnet/multipass.cpp" "src/CMakeFiles/gsnp.dir/sortnet/multipass.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/sortnet/multipass.cpp.o.d"
+  "/root/repo/src/sortnet/var_arrays.cpp" "src/CMakeFiles/gsnp.dir/sortnet/var_arrays.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/sortnet/var_arrays.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

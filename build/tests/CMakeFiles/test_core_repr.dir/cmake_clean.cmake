@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_repr.dir/test_core_repr.cpp.o"
+  "CMakeFiles/test_core_repr.dir/test_core_repr.cpp.o.d"
+  "test_core_repr"
+  "test_core_repr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_repr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

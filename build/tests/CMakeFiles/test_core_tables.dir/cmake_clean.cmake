@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_tables.dir/test_core_tables.cpp.o"
+  "CMakeFiles/test_core_tables.dir/test_core_tables.cpp.o.d"
+  "test_core_tables"
+  "test_core_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

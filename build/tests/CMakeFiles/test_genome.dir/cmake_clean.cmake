@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_genome.dir/test_genome.cpp.o"
+  "CMakeFiles/test_genome.dir/test_genome.cpp.o.d"
+  "test_genome"
+  "test_genome.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_genome.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_kernels_extra.dir/test_kernels_extra.cpp.o"
+  "CMakeFiles/test_kernels_extra.dir/test_kernels_extra.cpp.o.d"
+  "test_kernels_extra"
+  "test_kernels_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_kernels_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_likelihood.dir/test_likelihood.cpp.o"
+  "CMakeFiles/test_likelihood.dir/test_likelihood.cpp.o.d"
+  "test_likelihood"
+  "test_likelihood.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_likelihood.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_output_codec.dir/test_output_codec.cpp.o"
+  "CMakeFiles/test_output_codec.dir/test_output_codec.cpp.o.d"
+  "test_output_codec"
+  "test_output_codec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_output_codec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

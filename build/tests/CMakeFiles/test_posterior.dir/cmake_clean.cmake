@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_posterior.dir/test_posterior.cpp.o"
+  "CMakeFiles/test_posterior.dir/test_posterior.cpp.o.d"
+  "test_posterior"
+  "test_posterior.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_posterior.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

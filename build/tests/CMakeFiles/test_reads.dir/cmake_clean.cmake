@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_reads.dir/test_reads.cpp.o"
+  "CMakeFiles/test_reads.dir/test_reads.cpp.o.d"
+  "test_reads"
+  "test_reads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_reads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

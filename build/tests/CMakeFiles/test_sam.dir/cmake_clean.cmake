@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sam.dir/test_sam.cpp.o"
+  "CMakeFiles/test_sam.dir/test_sam.cpp.o.d"
+  "test_sam"
+  "test_sam.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sam.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

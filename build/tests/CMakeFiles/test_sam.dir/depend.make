@@ -1,0 +1,2 @@
+# Empty dependencies file for test_sam.
+# This may be replaced when dependencies are built.

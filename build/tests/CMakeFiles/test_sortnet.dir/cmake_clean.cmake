@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sortnet.dir/test_sortnet.cpp.o"
+  "CMakeFiles/test_sortnet.dir/test_sortnet.cpp.o.d"
+  "test_sortnet"
+  "test_sortnet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sortnet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vcf.dir/test_vcf.cpp.o"
+  "CMakeFiles/test_vcf.dir/test_vcf.cpp.o.d"
+  "test_vcf"
+  "test_vcf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vcf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
