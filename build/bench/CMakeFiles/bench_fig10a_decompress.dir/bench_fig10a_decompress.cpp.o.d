@@ -241,6 +241,7 @@ bench/CMakeFiles/bench_fig10a_decompress.dir/bench_fig10a_decompress.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
+ /root/repo/src/../src/common/crc32.hpp \
  /root/repo/src/../src/common/error.hpp \
  /root/repo/src/../src/device/perf_model.hpp \
  /root/repo/src/../src/reads/simulator.hpp \

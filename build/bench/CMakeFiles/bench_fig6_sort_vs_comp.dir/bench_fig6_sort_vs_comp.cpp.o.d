@@ -239,13 +239,14 @@ bench/CMakeFiles/bench_fig6_sort_vs_comp.dir/bench_fig6_sort_vs_comp.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
- /root/repo/src/../src/common/error.hpp \
- /root/repo/src/../src/device/perf_model.hpp \
- /root/repo/src/../src/reads/simulator.hpp \
- /root/repo/src/../src/reads/alignment.hpp /usr/include/c++/12/fstream \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/common/error.hpp \
+ /root/repo/src/../src/device/perf_model.hpp \
+ /root/repo/src/../src/reads/simulator.hpp \
+ /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/quality_model.hpp \
  /root/repo/src/../src/reads/stats.hpp \
  /root/repo/src/../src/core/kernels.hpp \

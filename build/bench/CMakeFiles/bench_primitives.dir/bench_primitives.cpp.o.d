@@ -261,6 +261,7 @@ bench/CMakeFiles/bench_primitives.dir/bench_primitives.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/../src/common/crc32.hpp \
  /root/repo/src/../src/sortnet/batch_sort.hpp \
  /root/repo/src/../src/sortnet/bitonic.hpp \
  /root/repo/src/../src/sortnet/var_arrays.hpp

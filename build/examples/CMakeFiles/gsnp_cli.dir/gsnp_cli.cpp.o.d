@@ -166,7 +166,9 @@ examples/CMakeFiles/gsnp_cli.dir/gsnp_cli.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator.h \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h \
- /root/repo/src/../src/core/consistency.hpp \
+ /root/repo/src/../src/common/error.hpp /usr/include/c++/12/sstream \
+ /usr/include/c++/12/bits/sstream.tcc \
+ /root/repo/src/../src/compress/temp_input.hpp \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
@@ -177,8 +179,7 @@ examples/CMakeFiles/gsnp_cli.dir/gsnp_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
  /usr/include/libintl.h /usr/include/c++/12/bits/locale_facets_nonio.tcc \
  /usr/include/c++/12/bits/locale_conv.h /usr/include/c++/12/iomanip \
- /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/sstream \
- /usr/include/c++/12/bits/sstream.tcc /usr/include/c++/12/codecvt \
+ /usr/include/c++/12/bits/quoted_string.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/ext/concurrence.h \
  /usr/include/c++/12/bits/shared_ptr.h \
  /usr/include/c++/12/bits/shared_ptr_base.h \
@@ -187,13 +188,17 @@ examples/CMakeFiles/gsnp_cli.dir/gsnp_cli.cpp.o: \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /usr/include/c++/12/span /usr/include/c++/12/array \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/optional \
+ /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/../src/common/types.hpp \
+ /root/repo/src/../src/reads/alignment.hpp \
+ /root/repo/src/../src/core/consistency.hpp \
  /root/repo/src/../src/core/snp_row.hpp \
- /root/repo/src/../src/common/types.hpp /usr/include/c++/12/array \
- /root/repo/src/../src/core/engine.hpp /usr/include/c++/12/optional \
- /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/../src/core/engine.hpp \
  /root/repo/src/../src/common/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/../src/core/prior.hpp \
@@ -234,8 +239,8 @@ examples/CMakeFiles/gsnp_cli.dir/gsnp_cli.cpp.o: \
  /usr/include/x86_64-linux-gnu/asm/unistd.h \
  /usr/include/x86_64-linux-gnu/asm/unistd_64.h \
  /usr/include/x86_64-linux-gnu/bits/syscall.h \
- /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/cstddef \
- /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
+ /usr/include/c++/12/bits/std_mutex.h /usr/include/c++/12/functional \
+ /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/memory \
@@ -244,12 +249,11 @@ examples/CMakeFiles/gsnp_cli.dir/gsnp_cli.cpp.o: \
  /usr/include/c++/12/backward/auto_ptr.h \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
- /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
- /root/repo/src/../src/common/error.hpp \
+ /usr/include/c++/12/pstl/glue_memory_defs.h \
+ /root/repo/src/../src/common/crc32.hpp \
  /root/repo/src/../src/device/perf_model.hpp \
  /root/repo/src/../src/core/output_codec.hpp \
  /root/repo/src/../src/core/vcf.hpp /root/repo/src/../src/reads/sam.hpp \
- /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp \
  /root/repo/src/../src/reads/stats.hpp

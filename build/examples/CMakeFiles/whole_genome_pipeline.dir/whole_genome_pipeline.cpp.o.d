@@ -57,8 +57,10 @@ examples/CMakeFiles/whole_genome_pipeline.dir/whole_genome_pipeline.cpp.o: \
  /usr/include/x86_64-linux-gnu/bits/struct_rwlock.h /usr/include/alloca.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-bsearch.h \
  /usr/include/x86_64-linux-gnu/bits/stdlib-float.h \
- /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/system_error \
+ /usr/include/c++/12/bits/std_abs.h /usr/include/c++/12/cstring \
+ /usr/include/string.h /usr/include/strings.h \
+ /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
+ /usr/include/c++/12/system_error \
  /usr/include/x86_64-linux-gnu/c++/12/bits/error_constants.h \
  /usr/include/c++/12/cerrno /usr/include/errno.h \
  /usr/include/x86_64-linux-gnu/bits/errno.h /usr/include/linux/errno.h \
@@ -177,14 +179,16 @@ examples/CMakeFiles/whole_genome_pipeline.dir/whole_genome_pipeline.cpp.o: \
  /usr/include/c++/12/bits/align.h \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
- /root/repo/src/../src/core/consistency.hpp /usr/include/c++/12/vector \
- /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc \
+ /root/repo/src/../src/core/consistency.hpp \
  /root/repo/src/../src/core/snp_row.hpp \
  /root/repo/src/../src/common/types.hpp /usr/include/c++/12/array \
- /root/repo/src/../src/core/engine.hpp /usr/include/c++/12/optional \
+ /root/repo/src/../src/core/genome_pipeline.hpp \
+ /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/../src/core/engine.hpp \
  /root/repo/src/../src/common/timer.hpp /usr/include/c++/12/chrono \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/node_handle.h \
@@ -241,12 +245,13 @@ examples/CMakeFiles/whole_genome_pipeline.dir/whole_genome_pipeline.cpp.o: \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/common/error.hpp \
  /root/repo/src/../src/device/perf_model.hpp \
  /root/repo/src/../src/genome/karyotype.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
- /root/repo/src/../src/reads/alignment.hpp /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/quality_model.hpp

@@ -24,6 +24,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/posterior.cpp" "src/CMakeFiles/gsnp.dir/core/posterior.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/posterior.cpp.o.d"
   "/root/repo/src/core/prior.cpp" "src/CMakeFiles/gsnp.dir/core/prior.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/prior.cpp.o.d"
   "/root/repo/src/core/ranksum.cpp" "src/CMakeFiles/gsnp.dir/core/ranksum.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/ranksum.cpp.o.d"
+  "/root/repo/src/core/run_manifest.cpp" "src/CMakeFiles/gsnp.dir/core/run_manifest.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/run_manifest.cpp.o.d"
   "/root/repo/src/core/snp_row.cpp" "src/CMakeFiles/gsnp.dir/core/snp_row.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/snp_row.cpp.o.d"
   "/root/repo/src/core/vcf.cpp" "src/CMakeFiles/gsnp.dir/core/vcf.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/vcf.cpp.o.d"
   "/root/repo/src/core/window.cpp" "src/CMakeFiles/gsnp.dir/core/window.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/core/window.cpp.o.d"

@@ -192,6 +192,7 @@ src/CMakeFiles/gsnp.dir/compress/temp_input.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/../src/common/bitio.hpp \
  /root/repo/src/../src/common/error.hpp \
+ /root/repo/src/../src/common/crc32.hpp \
  /root/repo/src/../src/common/phred.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \

@@ -238,16 +238,16 @@ src/CMakeFiles/gsnp.dir/core/engine.cpp.o: /root/repo/src/core/engine.cpp \
  /usr/include/c++/12/bits/ranges_uninitialized.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h /usr/include/c++/12/span \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/common/error.hpp \
  /root/repo/src/../src/device/perf_model.hpp \
  /root/repo/src/../src/compress/device_rledict.hpp \
  /root/repo/src/../src/compress/codecs.hpp \
  /root/repo/src/../src/common/bitio.hpp \
  /root/repo/src/../src/compress/temp_input.hpp \
- /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/core/kernels.hpp \
  /root/repo/src/../src/core/base_occ.hpp /usr/include/c++/12/cstring \

@@ -202,4 +202,5 @@ src/CMakeFiles/gsnp.dir/core/output_codec.cpp.o: \
  /usr/include/string.h /usr/include/strings.h \
  /root/repo/src/../src/common/bitio.hpp \
  /root/repo/src/../src/common/error.hpp \
+ /root/repo/src/../src/common/crc32.hpp \
  /root/repo/src/../src/compress/codecs.hpp

@@ -320,8 +320,15 @@ tests/CMakeFiles/test_common.dir/test_common.cpp.o: \
  /root/repo/src/../src/common/bitio.hpp /usr/include/c++/12/span \
  /root/repo/src/../src/common/error.hpp \
  /root/repo/src/../src/common/types.hpp \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/common/phred.hpp \
  /root/repo/src/../src/common/rng.hpp \
  /root/repo/src/../src/common/strings.hpp /usr/include/c++/12/charconv \
- /root/repo/src/../src/common/timer.hpp /usr/include/c++/12/chrono \
- /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio
+ /root/repo/src/../src/common/timer.hpp /usr/include/c++/12/chrono

@@ -307,11 +307,11 @@ tests/CMakeFiles/test_compress.dir/test_compress.cpp.o: \
  /root/repo/src/../src/common/bitio.hpp \
  /root/repo/src/../src/compress/device_rledict.hpp \
  /root/repo/src/../src/device/device.hpp \
- /root/repo/src/../src/compress/temp_input.hpp \
- /usr/include/c++/12/fstream \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/compress/temp_input.hpp \
  /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/compress/zlibwrap.hpp \
  /root/repo/src/../src/genome/synthetic.hpp \

@@ -311,6 +311,10 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/span \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/common/error.hpp \
  /root/repo/src/../src/device/perf_model.hpp \
  /root/repo/src/../src/core/kernels.hpp \
@@ -322,10 +326,7 @@ tests/CMakeFiles/test_extensions.dir/test_extensions.cpp.o: \
  /root/repo/src/../src/core/posterior.hpp \
  /root/repo/src/../src/core/window.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/../src/reads/alignment.hpp /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp \
  /root/repo/src/../src/core/output_codec.hpp

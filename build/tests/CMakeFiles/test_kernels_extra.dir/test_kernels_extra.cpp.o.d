@@ -303,16 +303,20 @@ tests/CMakeFiles/test_kernels_extra.dir/test_kernels_extra.cpp.o: \
  /root/repo/src/../src/common/bitio.hpp \
  /root/repo/src/../src/common/error.hpp \
  /root/repo/src/../src/device/device.hpp \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/core/kernels.hpp \
  /root/repo/src/../src/core/base_occ.hpp /usr/include/c++/12/cstring \
  /root/repo/src/../src/core/base_word.hpp \
  /root/repo/src/../src/core/likelihood.hpp \
  /root/repo/src/../src/core/new_pmatrix.hpp \
- /root/repo/src/../src/core/pmatrix.hpp /usr/include/c++/12/filesystem \
- /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
- /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
- /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
- /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/../src/core/pmatrix.hpp \
  /root/repo/src/../src/core/posterior.hpp \
  /root/repo/src/../src/core/prior.hpp \
  /root/repo/src/../src/genome/dbsnp.hpp \
@@ -321,9 +325,6 @@ tests/CMakeFiles/test_kernels_extra.dir/test_kernels_extra.cpp.o: \
  /root/repo/src/../src/core/snp_row.hpp \
  /root/repo/src/../src/core/window.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/../src/reads/alignment.hpp /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp

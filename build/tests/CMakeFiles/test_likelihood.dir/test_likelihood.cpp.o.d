@@ -344,4 +344,5 @@ tests/CMakeFiles/test_likelihood.dir/test_likelihood.cpp.o: \
  /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp \
- /root/repo/src/../src/device/device.hpp
+ /root/repo/src/../src/device/device.hpp \
+ /root/repo/src/../src/common/crc32.hpp

@@ -297,9 +297,13 @@ tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o: \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/bits/fs_path.h /usr/include/c++/12/codecvt \
  /usr/include/c++/12/bits/fs_dir.h /usr/include/c++/12/bits/fs_ops.h \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/span \
  /root/repo/src/../src/common/error.hpp \
- /root/repo/src/../src/common/rng.hpp \
  /root/repo/src/../src/common/types.hpp \
+ /root/repo/src/../src/common/rng.hpp \
  /root/repo/src/../src/core/consistency.hpp \
  /root/repo/src/../src/core/snp_row.hpp \
  /root/repo/src/../src/core/genome_pipeline.hpp \
@@ -312,12 +316,10 @@ tests/CMakeFiles/test_pipeline.dir/test_pipeline.cpp.o: \
  /root/repo/src/../src/device/device.hpp /usr/include/c++/12/algorithm \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
- /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/span \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/../src/device/perf_model.hpp \
  /root/repo/src/../src/core/pmatrix.hpp \
+ /root/repo/src/../src/core/run_manifest.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
- /root/repo/src/../src/reads/alignment.hpp /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/quality_model.hpp

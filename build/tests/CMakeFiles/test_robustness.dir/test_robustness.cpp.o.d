@@ -318,7 +318,10 @@ tests/CMakeFiles/test_robustness.dir/test_robustness.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
+ /root/repo/src/../src/common/crc32.hpp \
  /root/repo/src/../src/device/perf_model.hpp \
+ /root/repo/src/../src/core/genome_pipeline.hpp \
  /root/repo/src/../src/core/output_codec.hpp \
+ /root/repo/src/../src/core/run_manifest.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp

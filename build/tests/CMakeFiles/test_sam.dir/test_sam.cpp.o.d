@@ -312,11 +312,12 @@ tests/CMakeFiles/test_sam.dir/test_sam.cpp.o: \
  /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /usr/include/c++/12/span \
- /root/repo/src/../src/device/perf_model.hpp \
- /root/repo/src/../src/reads/sam.hpp /usr/include/c++/12/fstream \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/fstream \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/device/perf_model.hpp \
+ /root/repo/src/../src/reads/sam.hpp \
  /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp

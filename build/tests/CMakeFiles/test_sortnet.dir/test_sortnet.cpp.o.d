@@ -301,6 +301,14 @@ tests/CMakeFiles/test_sortnet.dir/test_sortnet.cpp.o: \
  /root/repo/src/../src/common/types.hpp \
  /root/repo/src/../src/sortnet/batch_sort.hpp \
  /root/repo/src/../src/device/device.hpp /usr/include/c++/12/span \
+ /root/repo/src/../src/common/crc32.hpp /usr/include/c++/12/filesystem \
+ /usr/include/c++/12/bits/fs_fwd.h /usr/include/c++/12/bits/chrono.h \
+ /usr/include/c++/12/ratio /usr/include/c++/12/bits/fs_path.h \
+ /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
+ /usr/include/c++/12/bits/fs_ops.h /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
  /root/repo/src/../src/sortnet/bitonic.hpp \
  /root/repo/src/../src/sortnet/multipass.hpp \
  /root/repo/src/../src/sortnet/var_arrays.hpp

@@ -19,6 +19,8 @@
 #include <map>
 #include <string>
 
+#include "src/common/error.hpp"
+#include "src/compress/temp_input.hpp"
 #include "src/core/consistency.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/output_codec.hpp"
@@ -194,6 +196,11 @@ int cmd_eval(const Args& args) {
   std::map<u64, Genotype> truth;
   {
     std::ifstream in(truth_path);
+    if (!in.good()) {
+      std::fprintf(stderr, "eval: cannot open truth file %s\n",
+                   truth_path.string().c_str());
+      return 2;
+    }
     std::string line;
     while (std::getline(in, line)) {
       if (line.empty()) continue;
@@ -252,6 +259,48 @@ int cmd_vcf(const Args& args) {
   return 0;
 }
 
+int cmd_verify(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "verify: need at least one .snp or .tmp file\n");
+    return 2;
+  }
+  int rc = 0;
+  for (const std::string& path : args.positional()) {
+    char magic[8] = {};
+    {
+      std::ifstream in(path, std::ios::binary);
+      if (!in.good()) {
+        std::printf("%-40s FAIL (cannot open)\n", path.c_str());
+        rc = 1;
+        continue;
+      }
+      in.read(magic, sizeof(magic));
+    }
+    try {
+      if (std::memcmp(magic, core::kOutputMagic, sizeof(magic)) == 0) {
+        // Reading every window checks each frame's CRC.
+        std::string seq_name;
+        const auto rows = core::read_snp_compressed_file(path, seq_name);
+        std::printf("%-40s OK (snp output, %zu rows)\n", path.c_str(),
+                    rows.size());
+      } else if (std::memcmp(magic, compress::kTempMagic, sizeof(magic)) == 0) {
+        compress::TempInputReader reader(path);
+        u64 records = 0;
+        while (reader.next()) ++records;
+        std::printf("%-40s OK (temp input, %llu records)\n", path.c_str(),
+                    static_cast<unsigned long long>(records));
+      } else {
+        std::printf("%-40s FAIL (unrecognized magic)\n", path.c_str());
+        rc = 1;
+      }
+    } catch (const Error& e) {
+      std::printf("%-40s FAIL (%s)\n", path.c_str(), e.what());
+      rc = 1;
+    }
+  }
+  return rc;
+}
+
 int cmd_stats(const Args& args) {
   const fs::path align = args.get("--align", "");
   const u64 sites = std::stoull(args.get("--sites", "0"));
@@ -272,14 +321,20 @@ int cmd_stats(const Args& args) {
 int main(int argc, char** argv) {
   if (argc >= 2) {
     const Args args(argc, argv, 2);
-    if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(args);
-    if (std::strcmp(argv[1], "call") == 0) return cmd_call(args);
-    if (std::strcmp(argv[1], "compare") == 0) return cmd_compare(args);
-    if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(args);
-    if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(args);
-    if (std::strcmp(argv[1], "vcf") == 0) return cmd_vcf(args);
+    try {
+      if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(args);
+      if (std::strcmp(argv[1], "call") == 0) return cmd_call(args);
+      if (std::strcmp(argv[1], "compare") == 0) return cmd_compare(args);
+      if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(args);
+      if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(args);
+      if (std::strcmp(argv[1], "vcf") == 0) return cmd_vcf(args);
+      if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(args);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "gsnp_cli: %s\n", e.what());
+      return 1;
+    }
   }
-  std::printf("usage: gsnp_cli <simulate|call|compare|eval|vcf|stats> "
+  std::printf("usage: gsnp_cli <simulate|call|compare|eval|vcf|stats|verify> "
               "[options]\n"
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
@@ -287,6 +342,7 @@ int main(int argc, char** argv) {
               "  compare  A B\n"
               "  eval     --calls FILE --truth TSV [--min-q Q]\n"
               "  vcf      --calls FILE --out OUT.vcf [--min-q Q --all-sites]\n"
-              "  stats    --align SOAP --sites N\n");
+              "  stats    --align SOAP --sites N\n"
+              "  verify   FILE...   (check container frame CRCs)\n");
   return argc == 1 ? 0 : 2;
 }

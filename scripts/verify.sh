@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Full verification: tier-1 build + tests, then the robustness suite under
+# AddressSanitizer + UBSan (GSNP_SANITIZE=ON skips bench/, whose library is
+# not sanitizer-instrumented).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier-1: release build + full test suite =="
+cmake -B build -S . >/dev/null
+cmake --build build -j >/dev/null
+ctest --test-dir build --output-on-failure
+
+echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline =="
+cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-asan -j >/dev/null
+ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline'
+
+echo "verify: all green"

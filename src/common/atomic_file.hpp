@@ -1,0 +1,40 @@
+#pragma once
+// Crash-safe file publication: write to `<name>.part`, fsync, rename into
+// place, fsync the directory.  A reader (or a resumed run) therefore only
+// ever sees either the complete previous file or the complete new one —
+// never a torn write.  POSIX-only, like the rest of the build.
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "src/common/error.hpp"
+
+namespace gsnp {
+
+/// fsync a file (or, with `directory`, a directory entry) by path.
+inline void fsync_path(const std::filesystem::path& path,
+                       bool directory = false) {
+  const int fd =
+      ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
+  GSNP_CHECK_MSG(fd >= 0, "cannot open for fsync " << path);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  GSNP_CHECK_MSG(rc == 0, "fsync failed for " << path);
+}
+
+/// Atomically publish `tmp` as `target`: fsync the data, rename over any
+/// existing target, fsync the containing directory so the rename is durable.
+inline void atomic_publish(const std::filesystem::path& tmp,
+                           const std::filesystem::path& target) {
+  GSNP_CHECK_MSG(std::filesystem::exists(tmp),
+                 "atomic_publish: missing temp file " << tmp);
+  fsync_path(tmp);
+  std::filesystem::rename(tmp, target);
+  const std::filesystem::path dir = target.parent_path();
+  fsync_path(dir.empty() ? std::filesystem::path(".") : dir,
+             /*directory=*/true);
+}
+
+}  // namespace gsnp

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/bitio.hpp"
+#include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
 #include "src/common/phred.hpp"
 #include "src/compress/codecs.hpp"
@@ -157,7 +158,11 @@ void TempInputWriter::flush_chunk() {
              static_cast<std::streamsize>(prefix.size()));
   out_.write(reinterpret_cast<const char*>(chunk.data()),
              static_cast<std::streamsize>(chunk.size()));
-  bytes_ += prefix.size() + chunk.size();
+  const u32 crc = crc32(chunk.data(), chunk.size());
+  const u8 crc_le[4] = {static_cast<u8>(crc), static_cast<u8>(crc >> 8),
+                        static_cast<u8>(crc >> 16), static_cast<u8>(crc >> 24)};
+  out_.write(reinterpret_cast<const char*>(crc_le), sizeof(crc_le));
+  bytes_ += prefix.size() + chunk.size() + sizeof(crc_le);
   buffer_.clear();
 }
 
@@ -207,6 +212,14 @@ bool TempInputReader::load_chunk() {
            static_cast<std::streamsize>(chunk_size));
   GSNP_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(chunk_size),
                  "truncated temp input chunk");
+  u8 crc_le[4];
+  in_.read(reinterpret_cast<char*>(crc_le), sizeof(crc_le));
+  GSNP_CHECK_MSG(in_.gcount() == sizeof(crc_le), "truncated chunk CRC");
+  const u32 stored_crc =
+      static_cast<u32>(crc_le[0]) | (static_cast<u32>(crc_le[1]) << 8) |
+      (static_cast<u32>(crc_le[2]) << 16) | (static_cast<u32>(crc_le[3]) << 24);
+  GSNP_CHECK_MSG(crc32(buf.data(), buf.size()) == stored_crc,
+                 "temp input chunk CRC mismatch (corrupt file)");
   chunk_ = decode_alignment_chunk(buf, chr_name_);
   cursor_ = 0;
   return true;

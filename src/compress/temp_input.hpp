@@ -13,6 +13,12 @@
 //   varint n, varint first position, delta-varint positions,
 //   dict lengths, strand/pair bit arrays, RLE-DICT hit counts,
 //   2-bit packed bases + sparse 'N' exceptions, RLE-DICT qualities.
+//
+// File layout: 8-byte magic, varint(name length), name bytes, then chunks of
+// [varint chunk bytes][chunk payload][4-byte LE CRC-32 of the payload].
+// Container version 2 ("GSNPTMP2") added the trailing chunk CRC so a corrupt
+// temporary file fails fast instead of feeding garbage records to read_site;
+// version-1 files are rejected by the magic check.
 
 #include <filesystem>
 #include <span>
@@ -32,7 +38,7 @@ std::vector<u8> encode_alignment_chunk(
 std::vector<reads::AlignmentRecord> decode_alignment_chunk(
     std::span<const u8> data, const std::string& chr_name);
 
-inline constexpr char kTempMagic[8] = {'G', 'S', 'N', 'P', 'T', 'M', 'P', '1'};
+inline constexpr char kTempMagic[8] = {'G', 'S', 'N', 'P', 'T', 'M', 'P', '2'};
 
 /// Streaming writer: buffers records into fixed-size chunks.
 class TempInputWriter {

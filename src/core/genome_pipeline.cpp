@@ -1,6 +1,12 @@
 #include "src/core/genome_pipeline.hpp"
 
+#include <chrono>
+#include <thread>
+
+#include "src/common/atomic_file.hpp"
+#include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
+#include "src/core/run_manifest.hpp"
 
 namespace gsnp::core {
 
@@ -13,16 +19,92 @@ const char* engine_name(EngineKind kind) {
   return "?";
 }
 
+std::optional<EngineKind> engine_kind_from_name(std::string_view name) {
+  if (name == "soapsnp") return EngineKind::kSoapsnp;
+  if (name == "gsnp_cpu") return EngineKind::kGsnpCpu;
+  if (name == "gsnp") return EngineKind::kGsnp;
+  return std::nullopt;
+}
+
+namespace {
+
+RunReport run_engine(const EngineConfig& config, EngineKind kind,
+                     device::Device* dev) {
+  switch (kind) {
+    case EngineKind::kSoapsnp: return run_soapsnp(config);
+    case EngineKind::kGsnpCpu: return run_gsnp_cpu(config);
+    case EngineKind::kGsnp: return run_gsnp(config, *dev);
+  }
+  GSNP_CHECK_MSG(false, "bad engine kind");
+  return {};
+}
+
+/// Can a previously recorded chromosome be skipped on resume?  Requires a
+/// "done" manifest entry for the same requested engine whose output file
+/// still exists and matches the recorded CRC-32 (a torn or tampered output
+/// is re-run, not trusted).
+bool verified_done(const ManifestEntry* entry, EngineKind kind,
+                   const std::filesystem::path& output) {
+  if (entry == nullptr || entry->status != "done") return false;
+  if (entry->requested != engine_name(kind)) return false;
+  if (!std::filesystem::exists(output)) return false;
+  return crc32_file(output) == entry->output_crc32;
+}
+
+}  // namespace
+
 GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
                         device::Device* dev) {
   GSNP_CHECK_MSG(kind != EngineKind::kGsnp || dev != nullptr,
                  "the GSNP engine needs a device");
   std::filesystem::create_directories(config.output_dir);
+  const std::filesystem::path manifest_path =
+      config.manifest_file.empty() ? config.output_dir / "manifest.json"
+                                   : config.manifest_file;
+
+  RunManifest previous;
+  if (config.resume && std::filesystem::exists(manifest_path))
+    previous = read_run_manifest(manifest_path);
+
+  RunManifest manifest;
+  manifest.engine = engine_name(kind);
 
   GenomeReport report;
+  report.manifest_file = manifest_path;
+  const bool text_output = kind == EngineKind::kSoapsnp;
+  const char* extension = text_output ? ".txt" : ".snp";
+
   for (const ChromosomeJob& job : config.chromosomes) {
     GSNP_CHECK_MSG(job.reference != nullptr,
                    "chromosome " << job.name << " has no reference");
+    const std::string output_name =
+        job.name + "." + engine_name(kind) + extension;
+    const std::filesystem::path output_path = config.output_dir / output_name;
+
+    ChromosomeStatus status;
+    status.name = job.name;
+    status.requested = kind;
+    status.used = kind;
+
+    // -- resume: skip chromosomes whose recorded output still verifies.
+    if (config.resume &&
+        verified_done(previous.find(job.name), kind, output_path)) {
+      const ManifestEntry& done = *previous.find(job.name);
+      status.resumed = true;
+      status.used = engine_kind_from_name(done.engine).value_or(kind);
+      status.degraded = done.degraded;
+      status.output_crc = done.output_crc32;
+      report.total_sites += done.sites;
+      report.total_output_bytes += done.output_bytes;
+      report.output_files.push_back(output_path);
+      report.per_chromosome.emplace_back();  // no work done this run
+      report.statuses.push_back(status);
+      manifest.chromosomes.push_back(done);
+      write_run_manifest(manifest_path, manifest);
+      continue;
+    }
+
+    // -- run, retrying device faults, into an atomically published .part.
     EngineConfig engine_config;
     engine_config.alignment_file = job.alignment_file;
     engine_config.reference = job.reference;
@@ -32,23 +114,83 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     engine_config.soapsnp_threads = config.soapsnp_threads;
     engine_config.temp_file =
         config.output_dir / (job.name + "." + engine_name(kind) + ".tmp");
-    const bool text_output = kind == EngineKind::kSoapsnp;
-    engine_config.output_file =
-        config.output_dir /
-        (job.name + "." + engine_name(kind) + (text_output ? ".txt" : ".snp"));
+    engine_config.output_file = output_path.string() + ".part";
 
     RunReport run;
-    switch (kind) {
-      case EngineKind::kSoapsnp: run = run_soapsnp(engine_config); break;
-      case EngineKind::kGsnpCpu: run = run_gsnp_cpu(engine_config); break;
-      case EngineKind::kGsnp: run = run_gsnp(engine_config, *dev); break;
+    bool succeeded = false;
+    std::exception_ptr last_fault;
+    const int max_attempts = std::max(1, config.retry.max_attempts);
+    double backoff = config.retry.backoff_seconds;
+    for (int attempt = 1; attempt <= max_attempts && !succeeded; ++attempt) {
+      ++status.attempts;
+      try {
+        run = run_engine(engine_config, kind, dev);
+        succeeded = true;
+      } catch (const device::DeviceFaultError& fault) {
+        // Transient or persistent device trouble: retry; anything else
+        // (corrupt input, broken invariants) propagates immediately.
+        status.error = fault.what();
+        last_fault = std::current_exception();
+        if (attempt < max_attempts && backoff > 0.0) {
+          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+          backoff *= config.retry.backoff_multiplier;
+        }
+      }
     }
+
+    // -- graceful degradation: the GSNP algorithm without the GPU produces
+    // the same bytes (§IV-G), so a persistently faulty device costs speed,
+    // not the run.
+    if (!succeeded && kind == EngineKind::kGsnp &&
+        config.retry.allow_cpu_fallback) {
+      ++status.attempts;
+      run = run_engine(engine_config, EngineKind::kGsnpCpu, nullptr);
+      succeeded = true;
+      status.degraded = true;
+      status.used = EngineKind::kGsnpCpu;
+    }
+
+    if (!succeeded) {
+      // Record the failure so a later --resume run picks up right here,
+      // then surface the device fault to the caller.
+      ManifestEntry entry;
+      entry.name = job.name;
+      entry.status = "failed";
+      entry.requested = engine_name(kind);
+      entry.engine = engine_name(kind);
+      entry.attempts = status.attempts;
+      entry.output = output_name;
+      entry.sites = job.reference->size();
+      entry.error = status.error;
+      manifest.chromosomes.push_back(std::move(entry));
+      write_run_manifest(manifest_path, manifest);
+      std::rethrow_exception(last_fault);
+    }
+
+    atomic_publish(engine_config.output_file, output_path);
+    status.output_crc = crc32_file(output_path);
+
+    ManifestEntry entry;
+    entry.name = job.name;
+    entry.status = "done";
+    entry.requested = engine_name(kind);
+    entry.engine = engine_name(status.used);
+    entry.degraded = status.degraded;
+    entry.attempts = status.attempts;
+    entry.output = output_name;
+    entry.output_bytes = run.output_bytes;
+    entry.output_crc32 = status.output_crc;
+    entry.sites = run.sites;
+    entry.error = status.error;
+    manifest.chromosomes.push_back(std::move(entry));
+    write_run_manifest(manifest_path, manifest);
 
     report.total_seconds += run.total();
     report.total_sites += run.sites;
     report.total_output_bytes += run.output_bytes;
-    report.output_files.push_back(engine_config.output_file);
+    report.output_files.push_back(output_path);
     report.per_chromosome.push_back(std::move(run));
+    report.statuses.push_back(std::move(status));
   }
   return report;
 }

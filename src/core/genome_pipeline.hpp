@@ -2,8 +2,19 @@
 // Whole-genome driver: runs an engine over many chromosomes (the paper's
 // production setting — 24 per-chromosome alignment files processed in
 // sequence, Fig 12) and aggregates the per-component reports.
+//
+// Fault tolerance: each chromosome is a failure-isolation unit.  Device
+// faults (device::DeviceFaultError, including injected and real OOM) are
+// retried per RetryPolicy with exponential backoff; when they persist, the
+// kGsnp engine degrades to kGsnpCpu for that chromosome — bit-exact by the
+// paper's §IV-G consistency guarantee, so degraded output files are
+// byte-identical to GPU ones.  Outputs are published atomically
+// (write `.part`, fsync, rename) and a JSON manifest records per-chromosome
+// status + output CRC-32 after every chromosome, enabling `resume` to skip
+// verified completed chromosomes after an aborted run.
 
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -14,6 +25,8 @@ namespace gsnp::core {
 enum class EngineKind { kSoapsnp, kGsnpCpu, kGsnp };
 
 const char* engine_name(EngineKind kind);
+/// Inverse of engine_name; nullopt for unknown names (corrupt manifests).
+std::optional<EngineKind> engine_kind_from_name(std::string_view name);
 
 /// One chromosome's inputs; outputs are derived from `name` under the run's
 /// output directory.
@@ -24,26 +37,63 @@ struct ChromosomeJob {
   const genome::DbSnpTable* dbsnp = nullptr;
 };
 
+/// Per-chromosome retry/degradation policy for device faults.
+struct RetryPolicy {
+  int max_attempts = 2;            ///< engine attempts before giving up
+  double backoff_seconds = 0.0;    ///< sleep before the first retry
+  double backoff_multiplier = 2.0; ///< growth factor per subsequent retry
+  bool allow_cpu_fallback = true;  ///< degrade kGsnp -> kGsnpCpu on failure
+};
+
 struct GenomeRunConfig {
   std::vector<ChromosomeJob> chromosomes;
   std::filesystem::path output_dir;
   u32 window_size = 0;  ///< 0 = engine default
   PriorParams prior;
   int soapsnp_threads = 1;
+  RetryPolicy retry;
+  /// Skip chromosomes recorded as done in the manifest whose output files
+  /// verify against the recorded CRC-32 (checkpoint/resume).
+  bool resume = false;
+  /// Manifest location; empty = `<output_dir>/manifest.json`.
+  std::filesystem::path manifest_file;
+};
+
+/// What happened to one chromosome (mirrors its manifest entry).
+struct ChromosomeStatus {
+  std::string name;
+  EngineKind requested{};
+  EngineKind used{};
+  int attempts = 0;      ///< engine attempts consumed (0 when resumed)
+  bool degraded = false; ///< fell back from kGsnp to kGsnpCpu
+  bool resumed = false;  ///< skipped: manifest + CRC verified a previous run
+  u32 output_crc = 0;    ///< CRC-32 of the published output file
+  std::string error;     ///< last fault message when retries/fallback fired
 };
 
 struct GenomeReport {
-  std::vector<RunReport> per_chromosome;
+  std::vector<RunReport> per_chromosome;  ///< default-constructed if resumed
+  std::vector<ChromosomeStatus> statuses;
   std::vector<std::filesystem::path> output_files;
+  std::filesystem::path manifest_file;
   double total_seconds = 0.0;
   u64 total_sites = 0;
   u64 total_output_bytes = 0;
+
+  bool any_degraded() const {
+    for (const auto& s : statuses)
+      if (s.degraded) return true;
+    return false;
+  }
 };
 
 /// Run `kind` over every chromosome.  For kGsnp a device must be supplied;
 /// its counters accumulate across chromosomes (one card, many files — as in
 /// production).  Output files land in config.output_dir as
-/// <name>.<engine>.{txt,snp}.
+/// <name>.<engine>.{txt,snp} — named after the *requested* engine even when
+/// a chromosome degrades to the CPU engine (the streams are bit-identical).
+/// Throws (after recording progress in the manifest) only when a chromosome
+/// fails beyond retries with fallback unavailable or disabled.
 GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
                         device::Device* dev = nullptr);
 

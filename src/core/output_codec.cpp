@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "src/common/bitio.hpp"
+#include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
 #include "src/compress/codecs.hpp"
 
@@ -233,7 +234,11 @@ void SnpOutputWriter::write_window(std::span<const SnpRow> rows,
              static_cast<std::streamsize>(size_prefix.size()));
   out_.write(reinterpret_cast<const char*>(frame.data()),
              static_cast<std::streamsize>(frame.size()));
-  bytes_ += size_prefix.size() + frame.size();
+  const u32 crc = crc32(frame.data(), frame.size());
+  const u8 crc_le[4] = {static_cast<u8>(crc), static_cast<u8>(crc >> 8),
+                        static_cast<u8>(crc >> 16), static_cast<u8>(crc >> 24)};
+  out_.write(reinterpret_cast<const char*>(crc_le), sizeof(crc_le));
+  bytes_ += size_prefix.size() + frame.size() + sizeof(crc_le);
 }
 
 u64 SnpOutputWriter::finish() {
@@ -257,6 +262,16 @@ bool stream_varint(std::istream& in, u64& value) {
     shift += 7;
     GSNP_CHECK_MSG(shift < 64, "varint too long in stream");
   }
+}
+
+/// Read the trailing 4-byte little-endian frame CRC-32.
+bool stream_crc32(std::istream& in, u32& crc) {
+  u8 le[4];
+  in.read(reinterpret_cast<char*>(le), sizeof(le));
+  if (in.gcount() != sizeof(le)) return false;
+  crc = static_cast<u32>(le[0]) | (static_cast<u32>(le[1]) << 8) |
+        (static_cast<u32>(le[2]) << 16) | (static_cast<u32>(le[3]) << 24);
+  return true;
 }
 
 }  // namespace
@@ -286,6 +301,10 @@ bool SnpOutputReader::next_window(std::vector<SnpRow>& rows) {
            static_cast<std::streamsize>(frame_size));
   GSNP_CHECK_MSG(in_.gcount() == static_cast<std::streamsize>(frame_size),
                  "truncated frame");
+  u32 stored_crc = 0;
+  GSNP_CHECK_MSG(stream_crc32(in_, stored_crc), "truncated frame CRC");
+  GSNP_CHECK_MSG(crc32(frame.data(), frame.size()) == stored_crc,
+                 "SNP output frame CRC mismatch (corrupt file)");
   rows = decompress_snp_window(frame);
   return true;
 }
@@ -370,7 +389,9 @@ std::vector<SnpRow> read_snp_range(const std::filesystem::path& path, u64 lo,
 
     const bool overlaps = n > 0 && start < hi && start + n > lo;
     if (!overlaps) {
-      in.seekg(static_cast<std::streamoff>(frame_size - peek_len),
+      // Skip the rest of the payload plus its trailing CRC without
+      // reading (the CRC is only verified on frames we decompress).
+      in.seekg(static_cast<std::streamoff>(frame_size - peek_len + 4),
                std::ios::cur);
       continue;
     }
@@ -382,6 +403,10 @@ std::vector<SnpRow> read_snp_range(const std::filesystem::path& path, u64 lo,
     GSNP_CHECK_MSG(in.gcount() ==
                        static_cast<std::streamsize>(frame_size - peek_len),
                    "truncated frame");
+    u32 stored_crc = 0;
+    GSNP_CHECK_MSG(stream_crc32(in, stored_crc), "truncated frame CRC");
+    GSNP_CHECK_MSG(crc32(frame.data(), frame.size()) == stored_crc,
+                   "SNP output frame CRC mismatch (corrupt file)");
     for (SnpRow& row : decompress_snp_window(frame)) {
       if (row.pos >= lo && row.pos < hi) result.push_back(std::move(row));
     }

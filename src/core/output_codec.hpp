@@ -14,10 +14,14 @@
 //   col 17    : dbSNP flag, sparse
 //
 // File layout: 8-byte magic, varint(name length), name bytes, then frames of
-// [varint frame bytes][frame payload] until EOF.  Each frame is one window.
+// [varint frame bytes][frame payload][4-byte LE CRC-32 of the payload] until
+// EOF.  Each frame is one window.  Container version 2 ("GSNPOUT2") added
+// the trailing frame CRC so corruption is caught at read time instead of
+// decoding to garbage rows; version-1 files are rejected by the magic check.
 // Decompression is a sequential in-memory pass per window — the access
 // pattern downstream tools use (paper §V-B last paragraph); SnpOutputReader
-// is that tool API.
+// is that tool API.  Range queries still skip non-overlapping frames without
+// reading them (the CRC is only checked on frames actually decompressed).
 //
 // The RLE-DICT step is pluggable so the GSNP engine can route those six
 // columns through the device kernels (compress::device_encode_rle_dict)
@@ -49,7 +53,7 @@ std::vector<u8> compress_snp_window(std::span<const SnpRow> rows,
 std::vector<SnpRow> decompress_snp_window(std::span<const u8> data);
 
 inline constexpr char kOutputMagic[8] = {'G', 'S', 'N', 'P',
-                                         'O', 'U', 'T', '1'};
+                                         'O', 'U', 'T', '2'};
 
 /// Streaming writer of the compressed output file.
 class SnpOutputWriter {

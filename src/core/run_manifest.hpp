@@ -1,0 +1,45 @@
+#pragma once
+// The whole-genome run manifest (`manifest.json`): a crash-safe record of
+// per-chromosome completion written atomically after every chromosome by
+// core::run_genome.  A resumed run (`GenomeRunConfig::resume`) reads it back,
+// verifies each completed chromosome's output file against the recorded
+// CRC-32, and skips the verified ones.  Schema documented in FORMATS.md §10.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::core {
+
+struct ManifestEntry {
+  std::string name;        ///< chromosome / job name
+  std::string status;      ///< "done" | "failed"
+  std::string requested;   ///< engine requested for the run
+  std::string engine;      ///< engine that actually produced the output
+  bool degraded = false;   ///< true when engine != requested (CPU fallback)
+  int attempts = 0;        ///< engine attempts consumed (including fallback)
+  std::string output;      ///< output file name, relative to the output dir
+  u64 output_bytes = 0;    ///< size of the published output file
+  u32 output_crc32 = 0;    ///< CRC-32 of the published output file
+  u64 sites = 0;           ///< reference sites processed
+  std::string error;       ///< last fault message ("" when clean)
+};
+
+struct RunManifest {
+  int version = 1;
+  std::string engine;      ///< requested engine for the whole run
+  std::vector<ManifestEntry> chromosomes;
+
+  const ManifestEntry* find(const std::string& name) const;
+};
+
+/// Serialize and atomically publish (write to `<path>.part`, fsync, rename).
+void write_run_manifest(const std::filesystem::path& path,
+                        const RunManifest& manifest);
+
+/// Parse a manifest; throws gsnp::Error on missing file or malformed JSON.
+RunManifest read_run_manifest(const std::filesystem::path& path);
+
+}  // namespace gsnp::core

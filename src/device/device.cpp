@@ -4,21 +4,73 @@
 
 #include <algorithm>
 #include <functional>
+#include <sstream>
+
+#include "src/common/rng.hpp"
 
 namespace gsnp::device {
 
 Device::Device(const DeviceSpec& spec) : spec_(spec) {}
 
 void Device::reserve_global(u64 bytes) {
+  const u64 seq = alloc_seq_++;
+  if (spec_.fault.hits(spec_.fault.fail_alloc_at, seq)) {
+    std::ostringstream os;
+    os << "injected device OOM at allocation #" << seq << " (" << bytes
+       << " bytes requested, " << global_used_.load() << " allocated)";
+    throw DeviceOomError(os.str(), bytes, global_used_.load());
+  }
   const u64 used = global_used_.fetch_add(bytes) + bytes;
   if (used > spec_.global_bytes) {
     global_used_ -= bytes;
-    GSNP_CHECK_MSG(false, "device global memory exceeded: " << used << " > "
-                                                            << spec_.global_bytes);
+    std::ostringstream os;
+    os << "device global memory exceeded: " << bytes << " bytes requested, "
+       << (used - bytes) << " allocated of " << spec_.global_bytes;
+    throw DeviceOomError(os.str(), bytes, used - bytes);
   }
   u64 peak = global_peak_.load();
   while (peak < used && !global_peak_.compare_exchange_weak(peak, used)) {
   }
+}
+
+void Device::begin_launch() {
+  const u64 seq = launch_seq_++;
+  if (spec_.fault.hits(spec_.fault.fail_launch_at, seq)) {
+    std::ostringstream os;
+    os << "injected device fault: kernel launch #" << seq << " failed";
+    throw DeviceFaultError(os.str());
+  }
+}
+
+void Device::verify_transfer(const char* dir, std::span<std::byte> dst,
+                             u32 src_crc, u64 seq, bool corrupt) {
+  if (corrupt && !dst.empty()) {
+    // Deterministic corruption: one seeded-random byte XORed with a nonzero
+    // mask, different per transfer.
+    Rng rng(spec_.fault.seed ^ (seq * 0x9E3779B97F4A7C15ULL));
+    const u64 at = rng.uniform(dst.size());
+    dst[at] ^= static_cast<std::byte>(1 + rng.uniform(255));
+  }
+  const u32 dst_crc = crc32(dst.data(), dst.size());
+  if (dst_crc != src_crc) {
+    std::ostringstream os;
+    os << dir << " transfer #" << seq << " corrupted: crc " << std::hex
+       << dst_crc << " != " << src_crc << " over " << std::dec << dst.size()
+       << " bytes";
+    throw DeviceFaultError(os.str());
+  }
+}
+
+void Device::finish_h2d(std::span<std::byte> dst, u32 src_crc) {
+  const u64 seq = h2d_seq_++;
+  verify_transfer("h2d", dst, src_crc, seq,
+                  spec_.fault.hits(spec_.fault.corrupt_h2d_at, seq));
+}
+
+void Device::finish_d2h(std::span<std::byte> dst, u32 src_crc) {
+  const u64 seq = d2h_seq_++;
+  verify_transfer("d2h", dst, src_crc, seq,
+                  spec_.fault.hits(spec_.fault.corrupt_d2h_at, seq));
 }
 
 void Device::run_blocks(u32 grid_dim, u32 block_dim,

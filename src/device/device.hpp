@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
 #include "src/common/types.hpp"
 
@@ -50,12 +51,63 @@ inline constexpr int kWarpSize = 32;
 inline constexpr u64 kTranscendentalCost = 2;
 inline constexpr u64 kUpdateOverhead = 8;
 
+/// A device-level fault (failed kernel launch, corrupted transfer, wedged
+/// card).  Subclass of gsnp::Error so existing catch sites still work; the
+/// genome pipeline catches this type specifically to retry and degrade to
+/// the CPU engine.
+class DeviceFaultError : public Error {
+ public:
+  using Error::Error;
+};
+
+/// Device global-memory exhaustion, with the byte accounting that triggered
+/// it.  Raised both by real budget violations (DeviceSpec::global_bytes, the
+/// M2050's 3 GB) and by injected allocation faults.
+class DeviceOomError : public DeviceFaultError {
+ public:
+  DeviceOomError(const std::string& what, u64 requested, u64 allocated)
+      : DeviceFaultError(what), requested_bytes(requested),
+        allocated_bytes(allocated) {}
+
+  u64 requested_bytes;  ///< size of the allocation that failed
+  u64 allocated_bytes;  ///< bytes already allocated when it failed
+};
+
+/// Deterministic fault-injection plan.  Device operations are counted per
+/// category (allocations, kernel launches, H2D transfers, D2H transfers);
+/// an operation whose 0-based sequence number falls in
+/// [trigger, trigger + fault_count) fails.  `fault_count = -1` makes the
+/// fault persistent (every operation from the trigger on fails) — the model
+/// of a wedged card; a finite count models a transient glitch that heals,
+/// e.g. `fault_count = max_attempts` fails every retry of one chromosome
+/// and then clears.  Transfer corruption flips one seeded-random byte of the
+/// destination copy; the end-to-end transfer CRC then detects it.
+struct FaultPlan {
+  i64 fail_alloc_at = -1;    ///< allocation index to start failing (-1 = off)
+  i64 fail_launch_at = -1;   ///< kernel-launch index to start failing
+  i64 corrupt_h2d_at = -1;   ///< H2D transfer index to start corrupting
+  i64 corrupt_d2h_at = -1;   ///< D2H transfer index to start corrupting
+  i64 fault_count = 1;       ///< ops affected from the trigger on; -1 = all
+  u64 seed = 0x600D5EEDULL;  ///< corruption byte / mask selection
+
+  /// Does operation number `seq` of a category with trigger `at` fault?
+  bool hits(i64 at, u64 seq) const {
+    if (at < 0 || static_cast<i64>(seq) < at) return false;
+    return fault_count < 0 || static_cast<i64>(seq) < at + fault_count;
+  }
+  bool any() const {
+    return fail_alloc_at >= 0 || fail_launch_at >= 0 || corrupt_h2d_at >= 0 ||
+           corrupt_d2h_at >= 0;
+  }
+};
+
 /// Hardware parameters of the simulated device (defaults: Tesla M2050).
 struct DeviceSpec {
   u64 global_bytes = 3ULL << 30;   ///< 3 GB global memory
   u64 shared_bytes = 48 << 10;     ///< 48 KB shared memory per block
   u64 constant_bytes = 64 << 10;   ///< 64 KB constant memory
   int max_block_threads = 1024;
+  FaultPlan fault;                 ///< fault-injection plan (default: none)
 };
 
 /// Memory access pattern annotation for global accesses.  Kernel authors
@@ -370,27 +422,42 @@ class Device {
     return DeviceBuffer<T>(this, std::vector<T>(n, init));
   }
 
-  /// Copy host data to a fresh device buffer (counts H2D bytes).
+  /// Copy host data to a fresh device buffer (counts H2D bytes).  Every
+  /// transfer is CRC-verified end-to-end: the source checksum is compared to
+  /// the destination copy's, so (injected) DMA corruption raises
+  /// DeviceFaultError instead of propagating garbage into kernels.
   template <typename T>
   DeviceBuffer<T> to_device(std::span<const T> host) {
     reserve_global(host.size() * sizeof(T));
     counters_.h2d_bytes += host.size() * sizeof(T);
-    return DeviceBuffer<T>(this, std::vector<T>(host.begin(), host.end()));
+    std::vector<T> data(host.begin(), host.end());
+    finish_h2d({reinterpret_cast<std::byte*>(data.data()),
+                data.size() * sizeof(T)},
+               crc32(host.data(), host.size() * sizeof(T)));
+    return DeviceBuffer<T>(this, std::move(data));
   }
 
-  /// Copy a device buffer back to the host (counts D2H bytes).
+  /// Copy a device buffer back to the host (counts D2H bytes, CRC-verified).
   template <typename T>
   std::vector<T> to_host(const DeviceBuffer<T>& buf) {
     counters_.d2h_bytes += buf.bytes();
-    return buf.data_;
+    std::vector<T> host = buf.data_;
+    finish_d2h({reinterpret_cast<std::byte*>(host.data()),
+                host.size() * sizeof(T)},
+               crc32(buf.data_.data(), buf.bytes()));
+    return host;
   }
 
-  /// Overwrite device buffer contents from host data (sizes must match).
+  /// Overwrite device buffer contents from host data (sizes must match,
+  /// CRC-verified like to_device).
   template <typename T>
   void upload(DeviceBuffer<T>& buf, std::span<const T> host) {
     GSNP_CHECK_MSG(host.size() == buf.data_.size(), "upload size mismatch");
     counters_.h2d_bytes += host.size() * sizeof(T);
     std::copy(host.begin(), host.end(), buf.data_.begin());
+    finish_h2d({reinterpret_cast<std::byte*>(buf.data_.data()),
+                buf.data_.size() * sizeof(T)},
+               crc32(host.data(), host.size() * sizeof(T)));
   }
 
   /// Place a read-only table in constant memory (counts H2D bytes; enforces
@@ -403,7 +470,11 @@ class Device {
                                                 << " > " << spec_.constant_bytes);
     constant_used_ += bytes;
     counters_.h2d_bytes += bytes;
-    return ConstantTable<T>(this, std::vector<T>(host.begin(), host.end()));
+    std::vector<T> data(host.begin(), host.end());
+    finish_h2d({reinterpret_cast<std::byte*>(data.data()),
+                data.size() * sizeof(T)},
+               crc32(host.data(), host.size() * sizeof(T)));
+    return ConstantTable<T>(this, std::move(data));
   }
 
   /// Device-side fill (cudaMemset-style): counts coalesced stores for the
@@ -421,10 +492,15 @@ class Device {
   /// threads; each gets a private shared-memory arena.
   template <typename Kernel>
   void launch(u32 grid_dim, u32 block_dim, Kernel&& kernel) {
-    GSNP_CHECK_MSG(block_dim >= 1 &&
-                       block_dim <= static_cast<u32>(spec_.max_block_threads),
-                   "bad block_dim " << block_dim);
+    if (block_dim < 1 ||
+        block_dim > static_cast<u32>(spec_.max_block_threads)) {
+      std::ostringstream os;
+      os << "bad block_dim " << block_dim << " (max_block_threads "
+         << spec_.max_block_threads << ")";
+      throw DeviceFaultError(os.str());
+    }
     GSNP_CHECK(grid_dim >= 1);
+    begin_launch();
     counters_.kernel_launches++;
     run_blocks(grid_dim, block_dim, [&](BlockContext& blk) { kernel(blk); });
   }
@@ -436,6 +512,16 @@ class Device {
   u64 peak_allocated_bytes() const { return global_peak_.load(); }
   u64 constant_bytes_used() const { return constant_used_; }
 
+  /// Fault injection (see FaultPlan).  Operation sequence numbers keep
+  /// counting across the device's whole lifetime, so a plan can target the
+  /// Nth operation of a multi-chromosome run deterministically.
+  void set_fault_plan(const FaultPlan& plan) { spec_.fault = plan; }
+  const FaultPlan& fault_plan() const { return spec_.fault; }
+  u64 alloc_count() const { return alloc_seq_; }
+  u64 launch_count() const { return launch_seq_; }
+  u64 h2d_count() const { return h2d_seq_; }
+  u64 d2h_count() const { return d2h_seq_; }
+
  private:
   template <typename T>
   friend class DeviceBuffer;
@@ -445,6 +531,15 @@ class Device {
   void reserve_global(u64 bytes);
   void release_global(u64 bytes) { global_used_ -= bytes; }
   void release_constant(u64 bytes) { constant_used_ -= bytes; }
+
+  /// Fault-injection + CRC verification tail of every transfer: optionally
+  /// corrupts the destination copy per the plan, then compares its CRC to
+  /// the source's and throws DeviceFaultError on mismatch.
+  void begin_launch();
+  void finish_h2d(std::span<std::byte> dst, u32 src_crc);
+  void finish_d2h(std::span<std::byte> dst, u32 src_crc);
+  void verify_transfer(const char* dir, std::span<std::byte> dst, u32 src_crc,
+                       u64 seq, bool corrupt);
 
   /// Type-erased block loop (implemented in device.cpp so the OpenMP pragma
   /// lives in one translation unit).
@@ -456,6 +551,11 @@ class Device {
   std::atomic<u64> global_used_{0};
   std::atomic<u64> global_peak_{0};
   u64 constant_used_ = 0;
+  // Operation sequence counters driving FaultPlan triggers (host-side only).
+  u64 alloc_seq_ = 0;
+  u64 launch_seq_ = 0;
+  u64 h2d_seq_ = 0;
+  u64 d2h_seq_ = 0;
 };
 
 template <typename T>

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "src/common/bitio.hpp"
+#include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
 #include "src/common/phred.hpp"
 #include "src/common/rng.hpp"
@@ -325,6 +326,44 @@ TEST(Timer, ScopeAddsElapsed) {
   }
   EXPECT_GE(set.get("x"), 0.0);
   EXPECT_LT(set.get("x"), 1.0);
+}
+
+// ---- crc32 -----------------------------------------------------------------
+
+TEST(Crc32, KnownVector) {
+  // The IEEE CRC-32 check value: crc32("123456789") == 0xCBF43926.
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(Crc32, IncrementalMatchesOneShot) {
+  std::vector<u8> data(1337);
+  Rng rng(5);
+  for (auto& b : data) b = static_cast<u8>(rng.uniform(256));
+  const u32 oneshot = crc32(data.data(), data.size());
+
+  Crc32 crc;
+  // Feed in uneven slices, crossing the slicing-by-4 alignment boundaries.
+  std::size_t at = 0;
+  for (const std::size_t step : {1u, 3u, 4u, 7u, 64u, 1000u, 258u}) {
+    crc.update(data.data() + at, std::min(step, data.size() - at));
+    at += std::min(step, data.size() - at);
+  }
+  EXPECT_EQ(at, data.size());
+  EXPECT_EQ(crc.value(), oneshot);
+}
+
+TEST(Crc32, DetectsSingleBitFlips) {
+  std::vector<u8> data(256);
+  Rng rng(9);
+  for (auto& b : data) b = static_cast<u8>(rng.uniform(256));
+  const u32 clean = crc32(data.data(), data.size());
+  for (int trial = 0; trial < 64; ++trial) {
+    auto copy = data;
+    copy[rng.uniform(copy.size())] ^= static_cast<u8>(1u << rng.uniform(8));
+    if (copy == data) continue;
+    EXPECT_NE(crc32(copy.data(), copy.size()), clean);
+  }
 }
 
 }  // namespace

@@ -241,6 +241,106 @@ TEST(Counters, OutOfRangeAccessThrows) {
                Error);
 }
 
+// ---- fault injection --------------------------------------------------------------
+
+TEST(DeviceFaults, OomCarriesByteAccounting) {
+  DeviceSpec spec;
+  spec.global_bytes = 1024;
+  Device dev(spec);
+  auto ok = dev.alloc<u8>(1000);
+  try {
+    dev.alloc<u8>(100);
+    FAIL() << "allocation over budget must throw";
+  } catch (const DeviceOomError& e) {
+    EXPECT_EQ(e.requested_bytes, 100u);
+    EXPECT_EQ(e.allocated_bytes, 1000u);
+  }
+}
+
+TEST(DeviceFaults, InjectedAllocFailureHitsExactlyTheNth) {
+  DeviceSpec spec;
+  spec.fault.fail_alloc_at = 2;  // third allocation fails once
+  Device dev(spec);
+  auto a = dev.alloc<u32>(8);
+  auto b = dev.alloc<u32>(8);
+  EXPECT_THROW(dev.alloc<u32>(8), DeviceOomError);
+  auto c = dev.alloc<u32>(8);  // the transient fault has cleared
+  EXPECT_EQ(dev.alloc_count(), 4u);
+}
+
+TEST(DeviceFaults, FaultCountScopesARange) {
+  DeviceSpec spec;
+  spec.fault.fail_alloc_at = 1;
+  spec.fault.fault_count = 2;  // allocations 1 and 2 fail
+  Device dev(spec);
+  auto a = dev.alloc<u32>(8);
+  EXPECT_THROW(dev.alloc<u32>(8), DeviceOomError);
+  EXPECT_THROW(dev.alloc<u32>(8), DeviceOomError);
+  auto b = dev.alloc<u32>(8);
+}
+
+TEST(DeviceFaults, PersistentFaultNeverClears) {
+  DeviceSpec spec;
+  spec.fault.fail_launch_at = 0;
+  spec.fault.fault_count = -1;  // wedged card
+  Device dev(spec);
+  for (int i = 0; i < 4; ++i)
+    EXPECT_THROW(dev.launch(1, 1, [](BlockContext&) {}), DeviceFaultError);
+  EXPECT_EQ(dev.counters().kernel_launches, 0u);
+}
+
+TEST(DeviceFaults, InjectedLaunchFailure) {
+  DeviceSpec spec;
+  spec.fault.fail_launch_at = 1;
+  Device dev(spec);
+  dev.launch(1, 1, [](BlockContext&) {});
+  EXPECT_THROW(dev.launch(1, 1, [](BlockContext&) {}), DeviceFaultError);
+  dev.launch(1, 1, [](BlockContext&) {});
+  EXPECT_EQ(dev.counters().kernel_launches, 2u);
+}
+
+TEST(DeviceFaults, H2dCorruptionCaughtByTransferCrc) {
+  DeviceSpec spec;
+  spec.fault.corrupt_h2d_at = 0;
+  Device dev(spec);
+  std::vector<u32> host(256, 7);
+  EXPECT_THROW(dev.to_device(std::span<const u32>(host)), DeviceFaultError);
+  // The next transfer is clean and round-trips exactly.
+  auto buf = dev.to_device(std::span<const u32>(host));
+  EXPECT_EQ(dev.to_host(buf), host);
+}
+
+TEST(DeviceFaults, D2hCorruptionCaughtByTransferCrc) {
+  DeviceSpec spec;
+  spec.fault.corrupt_d2h_at = 0;
+  Device dev(spec);
+  std::vector<u32> host(256, 7);
+  auto buf = dev.to_device(std::span<const u32>(host));
+  EXPECT_THROW(dev.to_host(buf), DeviceFaultError);
+  EXPECT_EQ(dev.to_host(buf), host);  // device copy itself is intact
+}
+
+TEST(DeviceFaults, UploadAndConstantAreCrcVerifiedToo) {
+  DeviceSpec spec;
+  spec.fault.corrupt_h2d_at = 1;
+  spec.fault.fault_count = -1;
+  Device dev(spec);
+  std::vector<u32> host(16, 3);
+  auto buf = dev.to_device(std::span<const u32>(host));  // transfer 0: clean
+  EXPECT_THROW(dev.upload(buf, std::span<const u32>(host)), DeviceFaultError);
+  std::vector<double> table(8);
+  EXPECT_THROW(dev.to_constant(std::span<const double>(table)),
+               DeviceFaultError);
+}
+
+TEST(DeviceFaults, FaultsAreSubclassesOfError) {
+  // Callers that only know gsnp::Error keep working.
+  DeviceSpec spec;
+  spec.fault.fail_alloc_at = 0;
+  Device dev(spec);
+  EXPECT_THROW(dev.alloc<u8>(1), Error);
+}
+
 // ---- perf model -------------------------------------------------------------------
 
 TEST(PerfModel, HandComputedSeconds) {

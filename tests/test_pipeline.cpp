@@ -5,11 +5,13 @@
 
 #include <filesystem>
 
+#include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/consistency.hpp"
 #include "src/core/genome_pipeline.hpp"
 #include "src/core/pmatrix.hpp"
+#include "src/core/run_manifest.hpp"
 #include "src/genome/synthetic.hpp"
 #include "src/reads/simulator.hpp"
 
@@ -130,6 +132,85 @@ TEST_F(GenomePipeline, EngineNames) {
   EXPECT_STREQ(engine_name(EngineKind::kSoapsnp), "soapsnp");
   EXPECT_STREQ(engine_name(EngineKind::kGsnpCpu), "gsnp_cpu");
   EXPECT_STREQ(engine_name(EngineKind::kGsnp), "gsnp");
+  EXPECT_EQ(engine_kind_from_name("gsnp"), EngineKind::kGsnp);
+  EXPECT_EQ(engine_kind_from_name("gsnp_cpu"), EngineKind::kGsnpCpu);
+  EXPECT_EQ(engine_kind_from_name("soapsnp"), EngineKind::kSoapsnp);
+  EXPECT_EQ(engine_kind_from_name("cuda"), std::nullopt);
+}
+
+TEST_F(GenomePipeline, WritesVerifiableManifest) {
+  device::Device dev;
+  const GenomeReport report = run_genome(config_, EngineKind::kGsnp, &dev);
+  ASSERT_TRUE(fs::exists(report.manifest_file));
+  const RunManifest manifest = read_run_manifest(report.manifest_file);
+  EXPECT_EQ(manifest.engine, "gsnp");
+  ASSERT_EQ(manifest.chromosomes.size(), 3u);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const ManifestEntry& e = manifest.chromosomes[c];
+    EXPECT_EQ(e.name, config_.chromosomes[c].name);
+    EXPECT_EQ(e.status, "done");
+    EXPECT_EQ(e.requested, "gsnp");
+    EXPECT_EQ(e.engine, "gsnp");
+    EXPECT_FALSE(e.degraded);
+    EXPECT_EQ(e.attempts, 1);
+    // The recorded CRC matches the bytes on disk (resume trusts this).
+    EXPECT_EQ(crc32_file(config_.output_dir / e.output), e.output_crc32);
+    EXPECT_GT(e.sites, 0u);
+  }
+}
+
+// ---- run manifest serialization -------------------------------------------------
+
+TEST(RunManifestIo, RoundTripsAllFields) {
+  RunManifest manifest;
+  manifest.engine = "gsnp";
+  ManifestEntry e;
+  e.name = "chr\"weird\\name\"\n";  // exercises JSON escaping
+  e.status = "failed";
+  e.requested = "gsnp";
+  e.engine = "gsnp_cpu";
+  e.degraded = true;
+  e.attempts = 3;
+  e.output = "chr1.gsnp.snp";
+  e.output_bytes = 12345;
+  e.output_crc32 = 0xDEADBEEF;
+  e.sites = 8000;
+  e.error = "injected device OOM\tat allocation #7";
+  manifest.chromosomes.push_back(e);
+
+  const fs::path path = fs::temp_directory_path() / "gsnp_manifest_test.json";
+  write_run_manifest(path, manifest);
+  const RunManifest loaded = read_run_manifest(path);
+  EXPECT_EQ(loaded.version, 1);
+  EXPECT_EQ(loaded.engine, "gsnp");
+  ASSERT_EQ(loaded.chromosomes.size(), 1u);
+  const ManifestEntry& l = loaded.chromosomes[0];
+  EXPECT_EQ(l.name, e.name);
+  EXPECT_EQ(l.status, e.status);
+  EXPECT_EQ(l.requested, e.requested);
+  EXPECT_EQ(l.engine, e.engine);
+  EXPECT_EQ(l.degraded, e.degraded);
+  EXPECT_EQ(l.attempts, e.attempts);
+  EXPECT_EQ(l.output, e.output);
+  EXPECT_EQ(l.output_bytes, e.output_bytes);
+  EXPECT_EQ(l.output_crc32, e.output_crc32);
+  EXPECT_EQ(l.sites, e.sites);
+  EXPECT_EQ(l.error, e.error);
+  EXPECT_NE(loaded.find(e.name), nullptr);
+  EXPECT_EQ(loaded.find("chrMissing"), nullptr);
+  fs::remove(path);
+}
+
+TEST(RunManifestIo, RejectsMalformedJson) {
+  const fs::path path = fs::temp_directory_path() / "gsnp_manifest_bad.json";
+  for (const char* text :
+       {"", "{", "{\"version\": 1", "[1,2,3]", "{\"version\": 99, "
+        "\"engine\": \"gsnp\", \"chromosomes\": []}",
+        "{\"engine\": \"gsnp\", \"chromosomes\": []}"}) {
+    std::ofstream(path) << text;
+    EXPECT_THROW(read_run_manifest(path), Error) << "input: " << text;
+  }
+  fs::remove(path);
 }
 
 }  // namespace

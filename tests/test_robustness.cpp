@@ -13,7 +13,9 @@
 #include "src/compress/temp_input.hpp"
 #include "src/core/consistency.hpp"
 #include "src/core/engine.hpp"
+#include "src/core/genome_pipeline.hpp"
 #include "src/core/output_codec.hpp"
+#include "src/core/run_manifest.hpp"
 #include "src/genome/synthetic.hpp"
 #include "src/reads/simulator.hpp"
 
@@ -24,6 +26,7 @@ namespace fs = std::filesystem;
 
 std::vector<u8> read_bytes(const fs::path& path) {
   std::ifstream in(path, std::ios::binary);
+  GSNP_CHECK_MSG(in.good(), "cannot open " << path);
   return std::vector<u8>(std::istreambuf_iterator<char>(in), {});
 }
 
@@ -77,10 +80,11 @@ TEST_F(CorruptionFixture, TruncatedOutputRaises) {
   }
 }
 
-TEST_F(CorruptionFixture, BitflippedOutputNeverCrashes) {
-  // Any single-byte corruption must either decode to *something* or raise
-  // gsnp::Error — never crash.  (Bit flips inside a varint length can make a
-  // frame look shorter/longer; decoders bounds-check everything.)
+TEST_F(CorruptionFixture, BitflippedOutputAlwaysRaises) {
+  // Offsets >= 16 are past the 13-byte header, so every flip lands in frame
+  // data (length varint, payload, or trailing CRC).  Since container v2 each
+  // frame carries a payload CRC-32, so *any* such corruption must raise
+  // gsnp::Error — silently decoding garbage rows is no longer acceptable.
   const auto original = read_bytes(dir_ / "out.snp");
   Rng rng(7);
   for (int trial = 0; trial < 200; ++trial) {
@@ -89,13 +93,9 @@ TEST_F(CorruptionFixture, BitflippedOutputNeverCrashes) {
     bytes[at] ^= static_cast<u8>(1 + rng.uniform(255));
     write_bytes(dir_ / "flip.snp", bytes);
     std::string name;
-    try {
-      (void)read_snp_compressed_file(dir_ / "flip.snp", name);
-    } catch (const Error&) {
-      // acceptable
-    }
+    EXPECT_THROW(read_snp_compressed_file(dir_ / "flip.snp", name), Error)
+        << "trial " << trial << " flipped byte " << at;
   }
-  SUCCEED();
 }
 
 TEST_F(CorruptionFixture, TruncatedTempInputRaises) {
@@ -111,7 +111,9 @@ TEST_F(CorruptionFixture, TruncatedTempInputRaises) {
       Error);
 }
 
-TEST_F(CorruptionFixture, BitflippedTempInputNeverCrashes) {
+TEST_F(CorruptionFixture, BitflippedTempInputAlwaysRaises) {
+  // Same argument as for the output container: flips at >= 16 are always in
+  // chunk data, and every chunk is CRC-protected since GSNPTMP2.
   const auto original = read_bytes(dir_ / "a.tmp");
   Rng rng(11);
   for (int trial = 0; trial < 200; ++trial) {
@@ -119,15 +121,61 @@ TEST_F(CorruptionFixture, BitflippedTempInputNeverCrashes) {
     const std::size_t at = 16 + rng.uniform(bytes.size() - 16);
     bytes[at] ^= static_cast<u8>(1 + rng.uniform(255));
     write_bytes(dir_ / "flip.tmp", bytes);
-    try {
-      compress::TempInputReader reader(dir_ / "flip.tmp");
-      while (reader.next()) {
-      }
-    } catch (const Error&) {
-      // acceptable
-    }
+    EXPECT_THROW(
+        {
+          compress::TempInputReader reader(dir_ / "flip.tmp");
+          while (reader.next()) {
+          }
+        },
+        Error)
+        << "trial " << trial << " flipped byte " << at;
   }
-  SUCCEED();
+}
+
+TEST_F(CorruptionFixture, RejectsVersion1Containers) {
+  // Container v2 added frame CRCs; v1 files (magic ...OUT1 / ...TMP1) have no
+  // CRC and must be rejected up front by the magic check, not misparsed.
+  auto snp = read_bytes(dir_ / "out.snp");
+  ASSERT_EQ(snp[7], '2');
+  snp[7] = '1';
+  write_bytes(dir_ / "v1.snp", snp);
+  std::string name;
+  EXPECT_THROW(read_snp_compressed_file(dir_ / "v1.snp", name), Error);
+  EXPECT_THROW(read_snp_range(dir_ / "v1.snp", 0, 100, name), Error);
+
+  auto tmp = read_bytes(dir_ / "a.tmp");
+  ASSERT_EQ(tmp[7], '2');
+  tmp[7] = '1';
+  write_bytes(dir_ / "v1.tmp", tmp);
+  EXPECT_THROW(compress::TempInputReader reader(dir_ / "v1.tmp"), Error);
+}
+
+TEST_F(CorruptionFixture, RangeQuerySkipsFramesButVerifiesReadOnes) {
+  // Range queries seek past non-overlapping frames (payload + CRC) and must
+  // still land correctly on later frame boundaries; frames they decompress
+  // are CRC-verified.
+  std::string name;
+  const auto all = read_snp_compressed_file(dir_ / "out.snp", name);
+  const auto slice = read_snp_range(dir_ / "out.snp", 3'000, 4'000, name);
+  std::size_t expected = 0;
+  for (const auto& row : all)
+    if (row.pos >= 3'000 && row.pos < 4'000) ++expected;
+  EXPECT_EQ(slice.size(), expected);
+  EXPECT_GT(slice.size(), 0u);
+
+  // Corrupt a byte inside the *last* frame: a range query over early
+  // positions (frames are 1024 sites here) skips it unverified...
+  auto bytes = read_bytes(dir_ / "out.snp");
+  bytes[bytes.size() - 5] ^= 0xFF;
+  write_bytes(dir_ / "tail.snp", bytes);
+  const auto early = read_snp_range(dir_ / "tail.snp", 0, 1'000, name);
+  std::size_t expected_early = 0;
+  for (const auto& row : all)
+    if (row.pos < 1'000) ++expected_early;
+  EXPECT_EQ(early.size(), expected_early);
+  EXPECT_GT(early.size(), 0u);
+  // ...while a query touching the corrupt frame raises.
+  EXPECT_THROW(read_snp_range(dir_ / "tail.snp", 4'500, 5'000, name), Error);
 }
 
 // ---- degenerate datasets --------------------------------------------------------
@@ -192,6 +240,203 @@ TEST(Degenerate, SingleSiteWindows) {
   const auto report = compare_output_files(dir / "w1.snp", dir / "w300.snp");
   EXPECT_TRUE(report.identical) << report.detail;
   fs::remove_all(dir);
+}
+
+// ---- fault-tolerant genome pipeline ----------------------------------------------
+
+/// Three small chromosomes driven through core::run_genome with a fault-
+/// injecting device.  Fault triggers are derived from a probe run of
+/// chromosome 1 alone: device operation counters are deterministic, so
+/// "chromosome 2's first allocation" is exactly the probe's final count.
+class FaultTolerantGenome : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gsnp_fault_genome";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    for (int c = 0; c < 3; ++c) {
+      genome::GenomeSpec gspec;
+      gspec.name = "chr" + std::to_string(c + 1);
+      gspec.length = 4'000 - 1'000 * static_cast<u64>(c);
+      gspec.seed = 80 + static_cast<u64>(c);
+      refs_.push_back(genome::generate_reference(gspec));
+    }
+    for (int c = 0; c < 3; ++c) {
+      const genome::Diploid individual(refs_[c], {});
+      reads::ReadSimSpec rspec;
+      rspec.depth = 5.0;
+      rspec.seed = 90 + static_cast<u64>(c);
+      const fs::path align = dir_ / (refs_[c].name() + ".soap");
+      reads::write_alignment_file(align,
+                                  reads::simulate_reads(individual, rspec));
+      ChromosomeJob job;
+      job.name = refs_[c].name();
+      job.alignment_file = align;
+      job.reference = &refs_[c];
+      config_.chromosomes.push_back(job);
+    }
+    config_.window_size = 1'024;
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  struct OpCounts {
+    u64 allocs;
+    u64 h2d;
+  };
+  /// Device-operation counts consumed by chromosome 1 alone.
+  OpCounts probe_chr1() {
+    GenomeRunConfig one = config_;
+    one.chromosomes.resize(1);
+    one.output_dir = dir_ / "probe";
+    device::Device dev;
+    run_genome(one, EngineKind::kGsnp, &dev);
+    return {dev.alloc_count(), dev.h2d_count()};
+  }
+
+  GenomeReport clean_cpu_run(const fs::path& out) {
+    GenomeRunConfig clean = config_;
+    clean.output_dir = out;
+    return run_genome(clean, EngineKind::kGsnpCpu);
+  }
+
+  fs::path dir_;
+  std::vector<genome::Reference> refs_;
+  GenomeRunConfig config_;
+};
+
+TEST_F(FaultTolerantGenome, InjectedOomDegradesToCpuBitExact) {
+  const OpCounts ops = probe_chr1();
+  device::DeviceSpec spec;
+  spec.fault.fail_alloc_at = static_cast<i64>(ops.allocs);
+  spec.fault.fault_count = 2;  // == max_attempts: every retry of chr2 fails
+  device::Device dev(spec);
+
+  GenomeRunConfig cfg = config_;
+  cfg.output_dir = dir_ / "faulty";
+  cfg.retry.max_attempts = 2;
+  const GenomeReport report = run_genome(cfg, EngineKind::kGsnp, &dev);
+
+  ASSERT_EQ(report.statuses.size(), 3u);
+  EXPECT_FALSE(report.statuses[0].degraded);
+  EXPECT_EQ(report.statuses[0].attempts, 1);
+  EXPECT_TRUE(report.statuses[1].degraded);
+  EXPECT_EQ(report.statuses[1].used, EngineKind::kGsnpCpu);
+  EXPECT_EQ(report.statuses[1].attempts, 3);  // 2 device tries + CPU fallback
+  EXPECT_FALSE(report.statuses[1].error.empty());
+  EXPECT_FALSE(report.statuses[2].degraded);  // fault cleared: chr3 on GPU
+  EXPECT_TRUE(report.any_degraded());
+
+  const RunManifest manifest = read_run_manifest(report.manifest_file);
+  const ManifestEntry* entry = manifest.find("chr2");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(entry->status, "done");
+  EXPECT_TRUE(entry->degraded);
+  EXPECT_EQ(entry->requested, "gsnp");
+  EXPECT_EQ(entry->engine, "gsnp_cpu");
+
+  // The degraded chromosome's output is bit-identical to a clean CPU run
+  // (§IV-G) — degradation costs speed, never correctness.
+  const GenomeReport cpu = clean_cpu_run(dir_ / "clean");
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto check =
+        compare_output_files(report.output_files[c], cpu.output_files[c]);
+    EXPECT_TRUE(check.identical) << cfg.chromosomes[c].name << ": "
+                                 << check.detail;
+  }
+}
+
+TEST_F(FaultTolerantGenome, TransientTransferCorruptionRetriedNotPropagated) {
+  const OpCounts ops = probe_chr1();
+  device::DeviceSpec spec;
+  spec.fault.corrupt_h2d_at = static_cast<i64>(ops.h2d);
+  spec.fault.fault_count = 1;  // one glitched DMA, then healthy
+  device::Device dev(spec);
+
+  GenomeRunConfig cfg = config_;
+  cfg.output_dir = dir_ / "glitch";
+  const GenomeReport report = run_genome(cfg, EngineKind::kGsnp, &dev);
+
+  ASSERT_EQ(report.statuses.size(), 3u);
+  EXPECT_EQ(report.statuses[1].attempts, 2);  // CRC caught it, retry clean
+  EXPECT_FALSE(report.statuses[1].degraded);
+  EXPECT_FALSE(report.statuses[1].error.empty());
+
+  // The corrupted transfer never reached an output file: every chromosome
+  // is still bit-identical to a clean CPU run.
+  const GenomeReport cpu = clean_cpu_run(dir_ / "clean");
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto check =
+        compare_output_files(report.output_files[c], cpu.output_files[c]);
+    EXPECT_TRUE(check.identical) << cfg.chromosomes[c].name << ": "
+                                 << check.detail;
+  }
+}
+
+TEST_F(FaultTolerantGenome, CheckpointResumeSkipsVerifiedChromosomes) {
+  const OpCounts ops = probe_chr1();
+  GenomeRunConfig cfg = config_;
+  cfg.output_dir = dir_ / "run";
+  cfg.retry.max_attempts = 2;
+  cfg.retry.allow_cpu_fallback = false;
+
+  {
+    device::DeviceSpec spec;
+    spec.fault.fail_alloc_at = static_cast<i64>(ops.allocs);
+    spec.fault.fault_count = -1;  // wedged card: chr2 cannot complete
+    device::Device dev(spec);
+    EXPECT_THROW(run_genome(cfg, EngineKind::kGsnp, &dev),
+                 device::DeviceFaultError);
+  }
+
+  // The manifest recorded chr1 done and chr2 failed before the throw, and
+  // no torn chr2 output was published.
+  const RunManifest aborted =
+      read_run_manifest(cfg.output_dir / "manifest.json");
+  ASSERT_EQ(aborted.chromosomes.size(), 2u);
+  EXPECT_EQ(aborted.chromosomes[0].status, "done");
+  EXPECT_EQ(aborted.chromosomes[1].status, "failed");
+  EXPECT_EQ(aborted.chromosomes[1].attempts, 2);
+  EXPECT_TRUE(fs::exists(cfg.output_dir / "chr1.gsnp.snp"));
+  EXPECT_FALSE(fs::exists(cfg.output_dir / "chr2.gsnp.snp"));
+  const auto chr1_mtime = fs::last_write_time(cfg.output_dir / "chr1.gsnp.snp");
+
+  // Resume on a healthy card: chr1 is skipped (manifest + CRC verified),
+  // chr2 and chr3 run.
+  cfg.resume = true;
+  device::Device healthy;
+  const GenomeReport report = run_genome(cfg, EngineKind::kGsnp, &healthy);
+  ASSERT_EQ(report.statuses.size(), 3u);
+  EXPECT_TRUE(report.statuses[0].resumed);
+  EXPECT_EQ(report.statuses[0].attempts, 0);
+  EXPECT_FALSE(report.statuses[1].resumed);
+  EXPECT_FALSE(report.statuses[2].resumed);
+  EXPECT_EQ(fs::last_write_time(cfg.output_dir / "chr1.gsnp.snp"),
+            chr1_mtime);  // not rewritten
+
+  // Byte-for-byte equal to a never-interrupted run.
+  GenomeRunConfig clean = config_;
+  clean.output_dir = dir_ / "uninterrupted";
+  device::Device dev2;
+  const GenomeReport full = run_genome(clean, EngineKind::kGsnp, &dev2);
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_EQ(read_bytes(report.output_files[c]),
+              read_bytes(full.output_files[c]))
+        << cfg.chromosomes[c].name;
+
+  // Tampering with a recorded output invalidates its checkpoint: that
+  // chromosome is re-run instead of trusted.
+  {
+    auto bytes = read_bytes(cfg.output_dir / "chr1.gsnp.snp");
+    bytes.back() ^= 0xFF;
+    write_bytes(cfg.output_dir / "chr1.gsnp.snp", bytes);
+  }
+  device::Device dev3;
+  const GenomeReport again = run_genome(cfg, EngineKind::kGsnp, &dev3);
+  EXPECT_FALSE(again.statuses[0].resumed);
+  EXPECT_TRUE(again.statuses[1].resumed);
+  EXPECT_TRUE(again.statuses[2].resumed);
+  EXPECT_EQ(read_bytes(cfg.output_dir / "chr1.gsnp.snp"),
+            read_bytes(full.output_files[0]));
 }
 
 // ---- randomized end-to-end fuzz ---------------------------------------------------
