@@ -235,8 +235,35 @@ bench/CMakeFiles/bench_primitives.dir/bench_primitives.cpp.o: \
  /root/repo/src/../src/core/posterior.hpp \
  /root/repo/src/../src/core/prior.hpp \
  /root/repo/src/../src/genome/dbsnp.hpp \
- /root/repo/src/../src/genome/synthetic.hpp /usr/include/c++/12/optional \
+ /root/repo/src/../src/common/ingest.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
+ /root/repo/src/../src/common/strings.hpp /usr/include/c++/12/charconv \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
+ /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
+ /usr/include/x86_64-linux-gnu/bits/fp-fast.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-helper-functions.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls.h \
+ /usr/include/x86_64-linux-gnu/bits/mathcalls-narrow.h \
+ /usr/include/x86_64-linux-gnu/bits/iscanonical.h \
+ /usr/include/c++/12/bits/specfun.h /usr/include/c++/12/tr1/gamma.tcc \
+ /usr/include/c++/12/tr1/special_function_util.h \
+ /usr/include/c++/12/tr1/bessel_function.tcc \
+ /usr/include/c++/12/tr1/beta_function.tcc \
+ /usr/include/c++/12/tr1/ell_integral.tcc \
+ /usr/include/c++/12/tr1/exp_integral.tcc \
+ /usr/include/c++/12/tr1/hypergeometric.tcc \
+ /usr/include/c++/12/tr1/legendre_function.tcc \
+ /usr/include/c++/12/tr1/modified_bessel_func.tcc \
+ /usr/include/c++/12/tr1/poly_hermite.tcc \
+ /usr/include/c++/12/tr1/poly_laguerre.tcc \
+ /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/../src/genome/synthetic.hpp \
  /root/repo/src/../src/genome/reference.hpp \
  /root/repo/src/../src/core/snp_row.hpp \
  /root/repo/src/../src/core/window.hpp /usr/include/c++/12/deque \
@@ -245,10 +272,7 @@ bench/CMakeFiles/bench_primitives.dir/bench_primitives.cpp.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h \
- /root/repo/src/../src/reads/alignment.hpp /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp \
  /root/repo/src/../src/core/ranksum.hpp \

@@ -223,4 +223,7 @@ examples/CMakeFiles/calibration_report.dir/calibration_report.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/common/ingest.hpp \
+ /root/repo/src/../src/common/strings.hpp /usr/include/c++/12/charconv \
+ /root/repo/src/../src/common/error.hpp \
  /root/repo/src/../src/reads/quality_model.hpp

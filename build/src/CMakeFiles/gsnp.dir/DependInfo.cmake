@@ -8,6 +8,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 
 # The set of dependency files which are needed:
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/ingest.cpp" "src/CMakeFiles/gsnp.dir/common/ingest.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/common/ingest.cpp.o.d"
   "/root/repo/src/compress/codecs.cpp" "src/CMakeFiles/gsnp.dir/compress/codecs.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/compress/codecs.cpp.o.d"
   "/root/repo/src/compress/device_rledict.cpp" "src/CMakeFiles/gsnp.dir/compress/device_rledict.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/compress/device_rledict.cpp.o.d"
   "/root/repo/src/compress/temp_input.cpp" "src/CMakeFiles/gsnp.dir/compress/temp_input.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/compress/temp_input.cpp.o.d"
@@ -33,6 +34,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/genome/reference.cpp" "src/CMakeFiles/gsnp.dir/genome/reference.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/genome/reference.cpp.o.d"
   "/root/repo/src/genome/synthetic.cpp" "src/CMakeFiles/gsnp.dir/genome/synthetic.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/genome/synthetic.cpp.o.d"
   "/root/repo/src/reads/alignment.cpp" "src/CMakeFiles/gsnp.dir/reads/alignment.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/alignment.cpp.o.d"
+  "/root/repo/src/reads/fuzz.cpp" "src/CMakeFiles/gsnp.dir/reads/fuzz.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/fuzz.cpp.o.d"
   "/root/repo/src/reads/quality_model.cpp" "src/CMakeFiles/gsnp.dir/reads/quality_model.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/quality_model.cpp.o.d"
   "/root/repo/src/reads/sam.cpp" "src/CMakeFiles/gsnp.dir/reads/sam.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/sam.cpp.o.d"
   "/root/repo/src/reads/simulator.cpp" "src/CMakeFiles/gsnp.dir/reads/simulator.cpp.o" "gcc" "src/CMakeFiles/gsnp.dir/reads/simulator.cpp.o.d"

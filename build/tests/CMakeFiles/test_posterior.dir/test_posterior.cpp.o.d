@@ -330,16 +330,18 @@ tests/CMakeFiles/test_posterior.dir/test_posterior.cpp.o: \
  /usr/include/c++/12/codecvt /usr/include/c++/12/bits/fs_dir.h \
  /usr/include/c++/12/bits/fs_ops.h /root/repo/src/../src/core/prior.hpp \
  /root/repo/src/../src/genome/dbsnp.hpp \
+ /root/repo/src/../src/common/ingest.hpp /usr/include/c++/12/fstream \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
+ /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
+ /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/common/strings.hpp /usr/include/c++/12/charconv \
  /root/repo/src/../src/common/rng.hpp \
  /root/repo/src/../src/genome/synthetic.hpp \
  /root/repo/src/../src/genome/reference.hpp \
  /root/repo/src/../src/core/snp_row.hpp \
  /root/repo/src/../src/core/window.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/../src/reads/alignment.hpp /usr/include/c++/12/fstream \
- /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
- /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
- /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/reads/alignment.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/quality_model.hpp \
  /root/repo/src/../src/core/ranksum.hpp

@@ -331,6 +331,8 @@ tests/CMakeFiles/test_reads.dir/test_reads.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc \
+ /root/repo/src/../src/common/ingest.hpp \
+ /root/repo/src/../src/common/strings.hpp /usr/include/c++/12/charconv \
  /root/repo/src/../src/reads/quality_model.hpp \
  /root/repo/src/../src/reads/simulator.hpp \
  /root/repo/src/../src/reads/stats.hpp

@@ -7,9 +7,12 @@
 //   gsnp_cli call     --ref <fa> --align <soap|sam> --out <file>
 //                     [--engine gsnp|gsnp-cpu|soapsnp] [--dbsnp <file>]
 //                     [--window N] [--threads N] [--save-matrix <file>]
+//                     [--lenient] [--quarantine <file>] [--max-bad N]
+//                     [--max-bad-frac P]
 //   gsnp_cli compare  <a> <b>
 //   gsnp_cli eval     --calls <file> --truth <truth.tsv> [--min-q Q]
 //   gsnp_cli stats    --align <soap> --sites N
+//   gsnp_cli manifest <manifest.json>   (per-chromosome run + ingest table)
 //
 // Truth files are what `simulate` writes: "pos ref genotype" per line.
 
@@ -24,6 +27,7 @@
 #include "src/core/consistency.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/output_codec.hpp"
+#include "src/core/run_manifest.hpp"
 #include "src/core/vcf.hpp"
 #include "src/genome/dbsnp.hpp"
 #include "src/genome/synthetic.hpp"
@@ -119,18 +123,37 @@ int cmd_call(const Args& args) {
     return 2;
   }
 
-  // SAM input: convert to the SOAP format the engines consume.
+  // Malformed-input handling: strict by default (first bad record aborts
+  // with file:line:reason); --lenient skips bad records into the quarantine
+  // sidecar, bounded by the --max-bad / --max-bad-frac error budget.
+  IngestPolicy ingest;
+  if (args.has("--lenient")) {
+    ingest.mode = IngestMode::kLenient;
+    ingest.quarantine_file =
+        args.get("--quarantine", out_path.string() + ".quarantine.txt");
+  }
+  if (args.has("--max-bad"))
+    ingest.max_bad_records = std::stoull(args.get("--max-bad", ""));
+  if (args.has("--max-bad-frac"))
+    ingest.max_bad_fraction = std::stod(args.get("--max-bad-frac", ""));
+
+  // SAM input: convert to the SOAP format the engines consume.  The
+  // conversion applies the same ingest policy; a converted file is fully
+  // validated, so the engine pass below sees only clean records.
   if (align_path.extension() == ".sam") {
     const fs::path converted = out_path.string() + ".soap";
-    const u64 n = reads::sam_to_soap(align_path, converted);
-    std::printf("converted %llu SAM records\n",
-                static_cast<unsigned long long>(n));
+    IngestStats sam_stats;
+    const u64 n = reads::sam_to_soap(align_path, converted, ingest, &sam_stats);
+    std::printf("converted %llu SAM records (%s)\n",
+                static_cast<unsigned long long>(n),
+                sam_stats.summary().c_str());
     align_path = converted;
   }
 
   std::optional<genome::DbSnpTable> dbsnp;
   if (args.has("--dbsnp"))
-    dbsnp = genome::read_dbsnp_file(args.get("--dbsnp", ""));
+    dbsnp = genome::read_dbsnp_file(args.get("--dbsnp", ""), {}, nullptr,
+                                    refs[0].size());
 
   core::EngineConfig config;
   config.alignment_file = align_path;
@@ -140,6 +163,7 @@ int cmd_call(const Args& args) {
   config.temp_file = out_path.string() + ".tmp";
   config.window_size = static_cast<u32>(std::stoul(args.get("--window", "0")));
   config.soapsnp_threads = std::stoi(args.get("--threads", "1"));
+  config.ingest = ingest;
   if (args.has("--save-matrix")) config.p_matrix_out = args.get("--save-matrix", "");
   if (args.has("--load-matrix")) config.p_matrix_in = args.get("--load-matrix", "");
 
@@ -164,7 +188,48 @@ int cmd_call(const Args& args) {
   std::printf("%-8s %8.3f   (%llu sites, %llu bytes out)\n", "total",
               report.total(), static_cast<unsigned long long>(report.sites),
               static_cast<unsigned long long>(report.output_bytes));
+  if (ingest.lenient() || !report.ingest.clean()) {
+    std::printf("ingest   %s\n", report.ingest.summary().c_str());
+    if (report.ingest.records_quarantined > 0 &&
+        !ingest.quarantine_file.empty())
+      std::printf("quarantine: %s\n", ingest.quarantine_file.string().c_str());
+  }
 
+  return 0;
+}
+
+int cmd_manifest(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "manifest: need a manifest.json path\n");
+    return 2;
+  }
+  const core::RunManifest manifest =
+      core::read_run_manifest(args.positional()[0]);
+  std::printf("engine=%s chromosomes=%zu\n", manifest.engine.c_str(),
+              manifest.chromosomes.size());
+  std::printf("%-12s %-6s %-8s %-4s %10s %6s %6s %6s\n", "name", "status",
+              "engine", "try", "sites", "ok", "unsup", "quar");
+  IngestStats total;
+  for (const auto& e : manifest.chromosomes) {
+    std::printf("%-12s %-6s %-8s %-4d %10llu %6llu %6llu %6llu%s\n",
+                e.name.c_str(), e.status.c_str(), e.engine.c_str(), e.attempts,
+                static_cast<unsigned long long>(e.sites),
+                static_cast<unsigned long long>(e.ingest.records_ok),
+                static_cast<unsigned long long>(e.ingest.records_unsupported),
+                static_cast<unsigned long long>(e.ingest.records_quarantined),
+                e.degraded ? "  (degraded)" : "");
+    if (e.ingest.records_quarantined > 0) {
+      std::printf("%14s", "");
+      for (std::size_t r = 0; r < kNumIngestReasons; ++r)
+        if (e.ingest.by_reason[r] > 0)
+          std::printf(" %s=%llu",
+                      ingest_reason_name(static_cast<IngestReason>(r)),
+                      static_cast<unsigned long long>(e.ingest.by_reason[r]));
+      std::printf("\n");
+    }
+    total.merge(e.ingest);
+  }
+  std::printf("total: %s\n", total.summary().c_str());
   return 0;
 }
 
@@ -329,20 +394,24 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(args);
       if (std::strcmp(argv[1], "vcf") == 0) return cmd_vcf(args);
       if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(args);
+      if (std::strcmp(argv[1], "manifest") == 0) return cmd_manifest(args);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gsnp_cli: %s\n", e.what());
       return 1;
     }
   }
-  std::printf("usage: gsnp_cli <simulate|call|compare|eval|vcf|stats|verify> "
+  std::printf("usage: gsnp_cli "
+              "<simulate|call|compare|eval|vcf|stats|verify|manifest> "
               "[options]\n"
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
               "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
+              "           [--lenient --quarantine F --max-bad N --max-bad-frac P]\n"
               "  compare  A B\n"
               "  eval     --calls FILE --truth TSV [--min-q Q]\n"
               "  vcf      --calls FILE --out OUT.vcf [--min-q Q --all-sites]\n"
               "  stats    --align SOAP --sites N\n"
-              "  verify   FILE...   (check container frame CRCs)\n");
+              "  verify   FILE...   (check container frame CRCs)\n"
+              "  manifest MANIFEST.json   (per-chromosome run + ingest table)\n");
   return argc == 1 ? 0 : 2;
 }

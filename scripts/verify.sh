@@ -10,9 +10,9 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure
 
-echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline =="
+echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz =="
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null
-ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline'
+ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam'
 
 echo "verify: all green"

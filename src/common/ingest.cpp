@@ -1,0 +1,122 @@
+#include "src/common/ingest.hpp"
+
+#include <sstream>
+
+namespace gsnp {
+
+namespace {
+
+constexpr const char* kReasonNames[kNumIngestReasons] = {
+    "truncated_record",  "bad_integer",       "integer_overflow",
+    "bad_cigar",         "cigar_overflow",    "length_mismatch",
+    "bad_field",         "position_out_of_range",
+    "sort_order_violation", "line_too_long",  "read_too_long",
+    "bad_header",
+};
+
+std::string format_parse_error(const std::string& file, u64 line,
+                               const std::string& field, IngestReason reason,
+                               const std::string& detail) {
+  std::ostringstream os;
+  os << file << ':' << line << ": bad " << field << " ["
+     << ingest_reason_name(reason) << ']';
+  if (!detail.empty()) os << ": " << detail;
+  return os.str();
+}
+
+}  // namespace
+
+const char* ingest_reason_name(IngestReason reason) {
+  const auto i = static_cast<std::size_t>(reason);
+  return i < kNumIngestReasons ? kReasonNames[i] : "?";
+}
+
+std::optional<IngestReason> ingest_reason_from_name(std::string_view name) {
+  for (std::size_t i = 0; i < kNumIngestReasons; ++i)
+    if (name == kReasonNames[i]) return static_cast<IngestReason>(i);
+  return std::nullopt;
+}
+
+ParseError::ParseError(std::string file, u64 line, std::string field,
+                       IngestReason reason, const std::string& detail)
+    : Error(format_parse_error(file, line, field, reason, detail)),
+      file_(std::move(file)),
+      field_(std::move(field)),
+      line_(line),
+      reason_(reason) {}
+
+void IngestStats::merge(const IngestStats& other) {
+  records_ok += other.records_ok;
+  records_unsupported += other.records_unsupported;
+  records_quarantined += other.records_quarantined;
+  for (std::size_t i = 0; i < kNumIngestReasons; ++i)
+    by_reason[i] += other.by_reason[i];
+}
+
+std::string IngestStats::summary() const {
+  std::ostringstream os;
+  os << "ok=" << records_ok << " unsupported=" << records_unsupported
+     << " quarantined=" << records_quarantined;
+  if (records_quarantined > 0) {
+    os << " (";
+    bool first = true;
+    for (std::size_t i = 0; i < kNumIngestReasons; ++i) {
+      if (by_reason[i] == 0) continue;
+      if (!first) os << ", ";
+      os << kReasonNames[i] << '=' << by_reason[i];
+      first = false;
+    }
+    os << ')';
+  }
+  return os.str();
+}
+
+void QuarantineWriter::add(const ParseError& err, std::string_view line) {
+  if (!enabled()) return;
+  if (!out_.is_open()) {
+    out_.open(path_, std::ios::trunc);
+    GSNP_CHECK_MSG(out_.good(), "cannot open quarantine file " << path_);
+    out_ << "#GSNP-QUARANTINE\tv1\n"
+         << "#source:line\treason\tfield\toriginal_line\n";
+  }
+  out_ << err.file() << ':' << err.line() << '\t'
+       << ingest_reason_name(err.reason()) << '\t' << err.field() << '\t';
+  if (line.size() > kQuarantineLineCap) {
+    out_.write(line.data(), kQuarantineLineCap);
+    out_ << "...(+" << (line.size() - kQuarantineLineCap)
+         << " bytes truncated)";
+  } else {
+    out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+  }
+  // Flushed per record: the quarantine is a forensic sidecar and must be
+  // complete even if the run aborts right after this record.
+  out_ << '\n' << std::flush;
+  ++written_;
+}
+
+void quarantine_record(const IngestPolicy& policy, IngestStats& stats,
+                       QuarantineWriter* quarantine, const ParseError& err,
+                       std::string_view line) {
+  ++stats.records_quarantined;
+  ++stats.by_reason[static_cast<std::size_t>(err.reason())];
+  if (quarantine) quarantine->add(err, line);
+
+  if (stats.records_quarantined > policy.max_bad_records)
+    throw Error("ingest error budget exceeded: " +
+                std::to_string(stats.records_quarantined) +
+                " malformed records > max_bad_records=" +
+                std::to_string(policy.max_bad_records) +
+                "; last: " + err.what());
+  const u64 total = stats.total();
+  if (total >= policy.fraction_grace_records &&
+      static_cast<double>(stats.records_quarantined) >
+          policy.max_bad_fraction * static_cast<double>(total))
+    throw Error("ingest error budget exceeded: " +
+                std::to_string(stats.records_quarantined) + "/" +
+                std::to_string(total) +
+                " malformed records exceed max_bad_fraction=" +
+                std::to_string(policy.max_bad_fraction) +
+                "; last: " + err.what());
+}
+
+}  // namespace gsnp

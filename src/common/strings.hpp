@@ -3,6 +3,7 @@
 // (FASTA headers, SOAP alignment lines, dbSNP prior lines).
 
 #include <charconv>
+#include <cmath>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -34,15 +35,40 @@ inline std::string_view trim(std::string_view s) {
   return s;
 }
 
+/// Outcome of a non-throwing integer parse: overflow is distinguished from
+/// garbage bytes so ingest can classify the two differently.
+enum class IntParseStatus { kOk, kMalformed, kOverflow };
+
+/// Parse an integral field without throwing.  The whole field must be
+/// consumed; partial parses ("12x") are malformed.
+template <typename Int>
+IntParseStatus try_parse_int(std::string_view field, Int& value) {
+  value = Int{};
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  if (ec == std::errc::result_out_of_range) return IntParseStatus::kOverflow;
+  if (ec != std::errc() || ptr != field.data() + field.size())
+    return IntParseStatus::kMalformed;
+  return IntParseStatus::kOk;
+}
+
 /// Parse an integral field, throwing gsnp::Error on malformed input.
 template <typename Int>
 Int parse_int(std::string_view field, std::string_view what = "integer") {
   Int value{};
-  const auto [ptr, ec] =
-      std::from_chars(field.data(), field.data() + field.size(), value);
-  GSNP_CHECK_MSG(ec == std::errc() && ptr == field.data() + field.size(),
+  GSNP_CHECK_MSG(try_parse_int(field, value) == IntParseStatus::kOk,
                  "bad " << what << ": '" << field << "'");
   return value;
+}
+
+/// Parse a floating-point field without throwing; rejects NaN/inf and
+/// partial parses.
+inline bool try_parse_double(std::string_view field, double& value) {
+  value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(field.data(), field.data() + field.size(), value);
+  return ec == std::errc() && ptr == field.data() + field.size() &&
+         std::isfinite(value);
 }
 
 /// Parse a floating-point field, throwing gsnp::Error on malformed input.

@@ -32,6 +32,7 @@ struct CalPResult {
   PMatrix pm;
   u64 records = 0;
   u64 temp_bytes = 0;
+  IngestStats ingest;
 };
 
 CalPResult cal_p_pass(const EngineConfig& config, bool write_temp) {
@@ -43,14 +44,17 @@ CalPResult cal_p_pass(const EngineConfig& config, bool write_temp) {
   // whole input pass is skipped — the point of the matrix-reuse feature.
   if (reuse_matrix && !write_temp) {
     result.pm = read_p_matrix(config.p_matrix_in);
-    reads::AlignmentReader reader(config.alignment_file);
+    reads::AlignmentReader reader(config.alignment_file, config.ingest,
+                                  ref.size());
     while (reader.next()) ++result.records;  // count only (no calibration)
+    result.ingest = reader.stats();
     if (!config.p_matrix_out.empty())
       write_p_matrix(config.p_matrix_out, result.pm);
     return result;
   }
 
-  reads::AlignmentReader reader(config.alignment_file);
+  reads::AlignmentReader reader(config.alignment_file, config.ingest,
+                                ref.size());
   std::optional<compress::TempInputWriter> temp;
   if (write_temp) {
     GSNP_CHECK_MSG(!config.temp_file.empty(),
@@ -73,6 +77,7 @@ CalPResult cal_p_pass(const EngineConfig& config, bool write_temp) {
       counter.add(so.quality, so.coord, r, so.base);
     }
   }
+  result.ingest = reader.stats();
   if (temp) result.temp_bytes = temp->finish();
   result.pm = reuse_matrix ? read_p_matrix(config.p_matrix_in)
                            : finalize_p_matrix(counter);
@@ -119,8 +124,16 @@ void window_posterior(const EngineConfig& config, PriorCache& priors,
   }
 }
 
-WindowLoader::RecordSource text_source(const std::filesystem::path& path) {
-  auto reader = std::make_shared<reads::AlignmentReader>(path);
+/// Window-pass record source over the raw text (SOAPsnp engine).  The cal_p
+/// pass already quarantined and counted this file; the second pass must skip
+/// the same records without double-writing the quarantine, so the policy's
+/// quarantine_file is cleared here (skips are deterministic, so both passes
+/// see the identical surviving record stream).
+WindowLoader::RecordSource text_source(const std::filesystem::path& path,
+                                       IngestPolicy policy, u64 ref_len) {
+  policy.quarantine_file.clear();
+  auto reader = std::make_shared<reads::AlignmentReader>(
+      path, std::move(policy), ref_len);
   return [reader] { return reader->next(); };
 }
 
@@ -146,11 +159,13 @@ RunReport run_soapsnp(const EngineConfig& config) {
     CalPResult cal = cal_p_pass(config, /*write_temp=*/false);
     pm = std::move(cal.pm);
     report.records = cal.records;
+    report.ingest = cal.ingest;
   }
 
   BaseOccWindow dense(window_size);
-  WindowLoader loader(text_source(config.alignment_file), ref.size(),
-                      window_size);
+  WindowLoader loader(
+      text_source(config.alignment_file, config.ingest, ref.size()),
+      ref.size(), window_size);
   SnpTextWriter writer(config.output_file, ref.name());
   PriorCache priors(config.prior);
   const int threads = std::max(1, config.soapsnp_threads);
@@ -217,6 +232,7 @@ RunReport run_gsnp_cpu(const EngineConfig& config) {
     pm = std::move(cal.pm);
     report.records = cal.records;
     report.temp_bytes = cal.temp_bytes;
+    report.ingest = cal.ingest;
     npm.emplace(pm);
   }
 
@@ -302,6 +318,7 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
     pm = std::move(cal.pm);
     report.records = cal.records;
     report.temp_bytes = cal.temp_bytes;
+    report.ingest = cal.ingest;
     npm.emplace(pm);
     // load_table (Fig 2): tables uploaded once, before any likelihood work.
     device_scope("cal_p", [&] { tables.emplace(dev, pm, *npm); });

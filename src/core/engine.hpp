@@ -24,6 +24,7 @@
 #include <optional>
 #include <string>
 
+#include "src/common/ingest.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/prior.hpp"
 #include "src/device/device.hpp"
@@ -50,6 +51,12 @@ struct EngineConfig {
   /// 1 = the official single-threaded SOAPsnp used in all comparisons.
   int soapsnp_threads = 1;
 
+  /// How the alignment-file loaders treat malformed input: strict (default,
+  /// first bad record aborts with a ParseError) or lenient (skip into the
+  /// policy's quarantine file, bounded by its error budget).  The resulting
+  /// per-reason breakdown lands in RunReport::ingest.
+  IngestPolicy ingest;
+
   /// Reuse a calibration matrix from a previous run (core::write_p_matrix):
   /// cal_p_matrix skips the counting pass (SOAPsnp's matrix-reload feature).
   /// The GSNP engines still stream the input once to build the compressed
@@ -75,6 +82,9 @@ struct RunReport {
   u64 peak_host_bytes = 0;    ///< dominant buffer footprint estimate
   u64 peak_device_bytes = 0;  ///< device allocation high-water mark
   device::DeviceCounters device_counters;
+  /// Ingest outcome of the alignment file (ok / unsupported / quarantined
+  /// per reason), from the cal_p streaming pass.
+  IngestStats ingest;
 
   /// Combined (host + modeled device) seconds for one component.
   double component(const std::string& name) const {

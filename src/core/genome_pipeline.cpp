@@ -94,6 +94,8 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
       status.used = engine_kind_from_name(done.engine).value_or(kind);
       status.degraded = done.degraded;
       status.output_crc = done.output_crc32;
+      status.ingest = done.ingest;
+      report.total_ingest.merge(done.ingest);
       report.total_sites += done.sites;
       report.total_output_bytes += done.output_bytes;
       report.output_files.push_back(output_path);
@@ -112,6 +114,11 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     engine_config.window_size = config.window_size;
     engine_config.prior = config.prior;
     engine_config.soapsnp_threads = config.soapsnp_threads;
+    engine_config.ingest = config.ingest;
+    if (engine_config.ingest.lenient() &&
+        engine_config.ingest.quarantine_file.empty())
+      engine_config.ingest.quarantine_file =
+          config.output_dir / (job.name + ".quarantine.txt");
     engine_config.temp_file =
         config.output_dir / (job.name + "." + engine_name(kind) + ".tmp");
     engine_config.output_file = output_path.string() + ".part";
@@ -169,6 +176,8 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
 
     atomic_publish(engine_config.output_file, output_path);
     status.output_crc = crc32_file(output_path);
+    status.ingest = run.ingest;
+    report.total_ingest.merge(run.ingest);
 
     ManifestEntry entry;
     entry.name = job.name;
@@ -182,6 +191,7 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     entry.output_crc32 = status.output_crc;
     entry.sites = run.sites;
     entry.error = status.error;
+    entry.ingest = run.ingest;
     manifest.chromosomes.push_back(std::move(entry));
     write_run_manifest(manifest_path, manifest);
 

@@ -52,6 +52,10 @@ struct GenomeRunConfig {
   PriorParams prior;
   int soapsnp_threads = 1;
   RetryPolicy retry;
+  /// Malformed-input handling for every chromosome's alignment file.  In
+  /// lenient mode with no quarantine_file set, each chromosome defaults to
+  /// its own `<output_dir>/<name>.quarantine.txt` sidecar.
+  IngestPolicy ingest;
   /// Skip chromosomes recorded as done in the manifest whose output files
   /// verify against the recorded CRC-32 (checkpoint/resume).
   bool resume = false;
@@ -69,6 +73,9 @@ struct ChromosomeStatus {
   bool resumed = false;  ///< skipped: manifest + CRC verified a previous run
   u32 output_crc = 0;    ///< CRC-32 of the published output file
   std::string error;     ///< last fault message when retries/fallback fired
+  /// Ingest outcome for this chromosome's alignment file (restored from the
+  /// manifest when resumed).
+  IngestStats ingest;
 };
 
 struct GenomeReport {
@@ -79,6 +86,9 @@ struct GenomeReport {
   double total_seconds = 0.0;
   u64 total_sites = 0;
   u64 total_output_bytes = 0;
+  /// Aggregate ingest outcome across all chromosomes (resumed ones included,
+  /// from their manifest entries).
+  IngestStats total_ingest;
 
   bool any_degraded() const {
     for (const auto& s : statuses)

@@ -299,7 +299,19 @@ void write_run_manifest(const std::filesystem::path& path,
           << ", \"output_crc32\": " << e.output_crc32
           << ", \"sites\": " << e.sites << ", \"error\": ";
       append_escaped(out, e.error);
-      out << '}';
+      out << ", \"ingest\": {\"ok\": " << e.ingest.records_ok
+          << ", \"unsupported\": " << e.ingest.records_unsupported
+          << ", \"quarantined\": " << e.ingest.records_quarantined
+          << ", \"by_reason\": {";
+      bool first_reason = true;
+      for (std::size_t r = 0; r < kNumIngestReasons; ++r) {
+        if (e.ingest.by_reason[r] == 0) continue;
+        if (!first_reason) out << ", ";
+        first_reason = false;
+        append_escaped(out, ingest_reason_name(static_cast<IngestReason>(r)));
+        out << ": " << e.ingest.by_reason[r];
+      }
+      out << "}}}";
     }
     out << "\n  ]\n}\n";
     out.flush();
@@ -342,6 +354,27 @@ RunManifest read_run_manifest(const std::filesystem::path& path) {
     e.output_crc32 = static_cast<u32>(get_u64(c, "output_crc32"));
     e.sites = get_u64(c, "sites");
     e.error = get_string(c, "error");
+    // Optional: manifests written before the hardened-ingest layer have no
+    // "ingest" object; those entries read back with all-zero stats.
+    if (const JsonValue* ing = get(c, "ingest");
+        ing && ing->kind == JsonValue::Kind::kObject) {
+      e.ingest.records_ok = get_u64(*ing, "ok");
+      e.ingest.records_unsupported = get_u64(*ing, "unsupported");
+      e.ingest.records_quarantined = get_u64(*ing, "quarantined");
+      if (const JsonValue* by = get(*ing, "by_reason");
+          by && by->kind == JsonValue::Kind::kObject) {
+        for (const auto& [name, count] : by->object) {
+          const auto reason = ingest_reason_from_name(name);
+          GSNP_CHECK_MSG(reason.has_value(),
+                         "manifest: unknown ingest reason '" << name << "'");
+          GSNP_CHECK_MSG(count.kind == JsonValue::Kind::kNumber &&
+                             count.number >= 0,
+                         "manifest: bad ingest count for '" << name << "'");
+          e.ingest.by_reason[static_cast<std::size_t>(*reason)] =
+              static_cast<u64>(count.number);
+        }
+      }
+    }
     manifest.chromosomes.push_back(std::move(e));
   }
   return manifest;

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/ingest.hpp"
 #include "src/common/types.hpp"
 
 namespace gsnp::core {
@@ -25,6 +26,9 @@ struct ManifestEntry {
   u32 output_crc32 = 0;    ///< CRC-32 of the published output file
   u64 sites = 0;           ///< reference sites processed
   std::string error;       ///< last fault message ("" when clean)
+  /// Alignment ingest outcome (ok / unsupported / quarantined per reason).
+  /// Absent in pre-ingest manifests; reads back as all zeros then.
+  IngestStats ingest;
 };
 
 struct RunManifest {

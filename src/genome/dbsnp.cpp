@@ -91,33 +91,91 @@ void write_dbsnp_file(const std::filesystem::path& path,
   write_dbsnp(out, table);
 }
 
-DbSnpTable read_dbsnp(std::istream& in) {
+namespace {
+
+KnownSnpEntry parse_dbsnp_line(std::string_view body, const ParseContext& ctx,
+                               std::string& seq_name) {
+  const auto fields = split(body, '\t');
+  if (fields.size() != 7)
+    ctx.fail("record", IngestReason::kTruncatedRecord,
+             "expected 7 tab-separated fields, got " +
+                 std::to_string(fields.size()));
+  if (seq_name.empty()) seq_name = std::string(fields[0]);
+  if (fields[0] != seq_name)
+    ctx.fail("seq name", IngestReason::kBadField,
+             "file mixes sequences '" + seq_name + "' and '" +
+                 std::string(fields[0]) + "'");
+  KnownSnpEntry e;
+  e.pos = parse_int_ctx<u64>(fields[1], ctx, "dbSNP pos");
+  if (e.pos > kMaxIngestPosition)
+    ctx.fail("dbSNP pos", IngestReason::kPositionOutOfRange,
+             "position " + std::string(fields[1]) + " is absurd");
+  if (ctx.reference_length > 0 && e.pos >= ctx.reference_length)
+    ctx.fail("dbSNP pos", IngestReason::kPositionOutOfRange,
+             "position " + std::to_string(e.pos) +
+                 " beyond the reference end (" +
+                 std::to_string(ctx.reference_length) + ")");
+  for (int b = 0; b < kNumBases; ++b) {
+    double f = 0.0;
+    if (!try_parse_double(fields[static_cast<std::size_t>(2 + b)], f))
+      ctx.fail("dbSNP freq", IngestReason::kBadField,
+               "'" + std::string(fields[static_cast<std::size_t>(2 + b)]) +
+                   "' is not a finite number");
+    if (f < 0.0 || f > 1.0)
+      ctx.fail("dbSNP freq", IngestReason::kBadField,
+               "allele frequency " + std::to_string(f) +
+                   " outside [0, 1]");
+    e.freq[static_cast<std::size_t>(b)] = f;
+  }
+  e.validated = parse_int_ctx<int>(fields[6], ctx, "dbSNP validated") != 0;
+  return e;
+}
+
+}  // namespace
+
+DbSnpTable read_dbsnp(std::istream& in, const std::string& label,
+                      const IngestPolicy& policy, IngestStats* stats_out,
+                      u64 reference_length) {
   std::string seq_name;
   std::vector<KnownSnpEntry> entries;
   std::string line;
+  ParseContext ctx;
+  ctx.file = label;
+  ctx.reference_length = reference_length;
+  IngestStats stats;
+  QuarantineWriter quarantine(policy.quarantine_file);
   while (std::getline(in, line)) {
-    const auto body = trim(line);
-    if (body.empty() || body.front() == '#') continue;
-    const auto fields = split(body, '\t');
-    GSNP_CHECK_MSG(fields.size() == 7, "bad dbSNP line: '" << body << "'");
-    if (seq_name.empty()) seq_name = std::string(fields[0]);
-    GSNP_CHECK_MSG(fields[0] == seq_name,
-                   "dbSNP file mixes sequences: " << fields[0]);
-    KnownSnpEntry e;
-    e.pos = parse_int<u64>(fields[1], "dbSNP pos");
-    for (int b = 0; b < kNumBases; ++b)
-      e.freq[static_cast<std::size_t>(b)] =
-          parse_double(fields[static_cast<std::size_t>(2 + b)], "dbSNP freq");
-    e.validated = parse_int<int>(fields[6], "dbSNP validated") != 0;
-    entries.push_back(e);
+    ++ctx.line_no;
+    try {
+      if (line.size() > policy.max_line_bytes)
+        ctx.fail("line", IngestReason::kLineTooLong,
+                 std::to_string(line.size()) + " bytes > max_line_bytes=" +
+                     std::to_string(policy.max_line_bytes));
+      const auto body = trim(line);
+      if (body.empty() || body.front() == '#') continue;
+      KnownSnpEntry e = parse_dbsnp_line(body, ctx, seq_name);
+      if (!entries.empty() && e.pos <= entries.back().pos)
+        ctx.fail("dbSNP pos", IngestReason::kSortOrderViolation,
+                 "position " + std::to_string(e.pos) +
+                     " after position " + std::to_string(entries.back().pos) +
+                     " — entries must be strictly increasing");
+      entries.push_back(e);
+      ++stats.records_ok;
+    } catch (const ParseError& err) {
+      if (!policy.lenient()) throw;
+      quarantine_record(policy, stats, &quarantine, err, line);
+    }
   }
+  if (stats_out) *stats_out = stats;
   return DbSnpTable(std::move(seq_name), std::move(entries));
 }
 
-DbSnpTable read_dbsnp_file(const std::filesystem::path& path) {
+DbSnpTable read_dbsnp_file(const std::filesystem::path& path,
+                           const IngestPolicy& policy, IngestStats* stats_out,
+                           u64 reference_length) {
   std::ifstream in(path);
   GSNP_CHECK_MSG(in.good(), "cannot open dbSNP file " << path);
-  return read_dbsnp(in);
+  return read_dbsnp(in, path.string(), policy, stats_out, reference_length);
 }
 
 }  // namespace gsnp::genome

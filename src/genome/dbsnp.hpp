@@ -14,6 +14,7 @@
 #include <iosfwd>
 #include <vector>
 
+#include "src/common/ingest.hpp"
 #include "src/common/rng.hpp"
 #include "src/common/types.hpp"
 #include "src/genome/synthetic.hpp"
@@ -52,11 +53,22 @@ DbSnpTable make_dbsnp(const Reference& ref,
                       const std::vector<PlantedSnp>& snps,
                       double decoy_rate, u64 seed);
 
-/// Text serialization.
+/// Text serialization.  Reading validates every line (7 fields, frequencies
+/// finite and within [0, 1], positions strictly increasing and — when
+/// `reference_length` is non-zero — inside the reference); violations raise
+/// gsnp::ParseError with file/line/field/reason.  A lenient policy skips bad
+/// lines into its quarantine file instead, bounded by the error budget, with
+/// the breakdown reported through `stats_out`.
 void write_dbsnp(std::ostream& out, const DbSnpTable& table);
 void write_dbsnp_file(const std::filesystem::path& path,
                       const DbSnpTable& table);
-DbSnpTable read_dbsnp(std::istream& in);
-DbSnpTable read_dbsnp_file(const std::filesystem::path& path);
+DbSnpTable read_dbsnp(std::istream& in, const std::string& label = "<dbsnp>",
+                      const IngestPolicy& policy = {},
+                      IngestStats* stats_out = nullptr,
+                      u64 reference_length = 0);
+DbSnpTable read_dbsnp_file(const std::filesystem::path& path,
+                           const IngestPolicy& policy = {},
+                           IngestStats* stats_out = nullptr,
+                           u64 reference_length = 0);
 
 }  // namespace gsnp::genome

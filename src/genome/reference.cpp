@@ -5,9 +5,15 @@
 #include <ostream>
 
 #include "src/common/error.hpp"
+#include "src/common/ingest.hpp"
 #include "src/common/strings.hpp"
 
 namespace gsnp::genome {
+
+/// Memory-DoS guard for single-line FASTA (a whole human chromosome on one
+/// line is ~250 MB; 1 GiB leaves headroom without letting a corrupt stream
+/// buffer unbounded bytes).
+inline constexpr u64 kMaxFastaLineBytes = u64{1} << 30;
 
 std::string Reference::substring(u64 pos, u64 len) const {
   GSNP_CHECK_MSG(pos + len <= size(), "substring out of range");
@@ -17,11 +23,13 @@ std::string Reference::substring(u64 pos, u64 len) const {
   return s;
 }
 
-std::vector<Reference> read_fasta(std::istream& in) {
+std::vector<Reference> read_fasta(std::istream& in, const std::string& label) {
   std::vector<Reference> refs;
   std::string name;
   std::vector<u8> bases;
   bool have_seq = false;
+  ParseContext ctx;
+  ctx.file = label;
 
   const auto flush = [&] {
     if (have_seq) refs.emplace_back(std::move(name), std::move(bases));
@@ -31,6 +39,12 @@ std::vector<Reference> read_fasta(std::istream& in) {
 
   std::string line;
   while (std::getline(in, line)) {
+    ++ctx.line_no;
+    // Single-line FASTA puts a whole sequence on one line, so the cap here
+    // is a memory-DoS guard, not a format limit.
+    if (line.size() > kMaxFastaLineBytes)
+      ctx.fail("line", IngestReason::kLineTooLong,
+               std::to_string(line.size()) + " bytes in one FASTA line");
     const std::string_view body = trim(line);
     if (body.empty()) continue;
     if (body.front() == '>') {
@@ -41,11 +55,20 @@ std::vector<Reference> read_fasta(std::istream& in) {
       name = std::string(space == std::string_view::npos ? rest
                                                          : rest.substr(0, space));
       have_seq = true;
-      GSNP_CHECK_MSG(!name.empty(), "FASTA header without a name");
+      if (name.empty())
+        ctx.fail("header", IngestReason::kBadHeader,
+                 "FASTA header without a name");
     } else {
-      GSNP_CHECK_MSG(have_seq, "FASTA data before first '>' header");
+      if (!have_seq)
+        ctx.fail("sequence", IngestReason::kBadHeader,
+                 "FASTA data before the first '>' header");
       for (const char c : body) {
-        // Unknown / ambiguity codes are stored as 'N'.
+        // Letters only: known bases get their 2-bit code, IUPAC ambiguity
+        // codes are stored as 'N'; anything else is file corruption.
+        if (!((c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z')))
+          ctx.fail("sequence", IngestReason::kBadField,
+                   "non-base character 0x" + std::to_string(
+                       static_cast<unsigned>(static_cast<unsigned char>(c))));
         bases.push_back(base_from_char(c));
       }
     }
@@ -57,7 +80,7 @@ std::vector<Reference> read_fasta(std::istream& in) {
 std::vector<Reference> read_fasta_file(const std::filesystem::path& path) {
   std::ifstream in(path);
   GSNP_CHECK_MSG(in.good(), "cannot open FASTA file " << path);
-  return read_fasta(in);
+  return read_fasta(in, path.string());
 }
 
 void write_fasta(std::ostream& out, const Reference& ref, int line_width) {

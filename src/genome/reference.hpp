@@ -39,10 +39,15 @@ class Reference {
   std::vector<u8> bases_;
 };
 
-/// Parse all sequences from a FASTA stream.  Throws gsnp::Error on malformed
-/// input (data before the first header, or illegal characters other than
-/// IUPAC ambiguity codes, which are mapped to 'N').
-std::vector<Reference> read_fasta(std::istream& in);
+/// Parse all sequences from a FASTA stream.  Throws gsnp::ParseError (with
+/// `label` as the file name and a 1-based line number) on malformed input:
+/// data before the first header, a header without a name, or sequence
+/// characters that are not letters (IUPAC ambiguity codes are letters and
+/// map to 'N'; digits, punctuation, and control bytes are corruption).
+/// The reference is the coordinate system every other input is validated
+/// against, so FASTA parsing is always strict — there is no lenient mode.
+std::vector<Reference> read_fasta(std::istream& in,
+                                  const std::string& label = "<fasta>");
 std::vector<Reference> read_fasta_file(const std::filesystem::path& path);
 
 /// Write sequences in FASTA format with the given line width.

@@ -10,6 +10,14 @@
 //
 // Columns (tab separated):
 //   read_id  seq  qual  hit_count  pair_tag  length  strand(+/-)  chr  pos
+//
+// Parsing is hardened against malformed aligner output: every field is
+// validated (overflow-checked integers, read length capped at
+// IngestPolicy::max_read_length, quality characters in the Sanger range,
+// positions bounded by the reference when its length is known, coordinate
+// sort order enforced) and failures raise gsnp::ParseError with file/line/
+// field/reason.  AlignmentReader can run lenient (skip + quarantine, bounded
+// by the policy's error budget) instead of strict.
 
 #include <filesystem>
 #include <fstream>
@@ -18,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/ingest.hpp"
 #include "src/common/types.hpp"
 
 namespace gsnp::reads {
@@ -39,7 +48,9 @@ struct AlignmentRecord {
 /// Serialize one record as a SOAP-format line (pos written 1-based).
 std::string format_alignment(const AlignmentRecord& rec);
 
-/// Parse one SOAP-format line.  Throws gsnp::Error on malformed input.
+/// Parse one SOAP-format line.  Throws gsnp::ParseError (with the context's
+/// file/line and a reason code) on malformed input.
+AlignmentRecord parse_alignment(std::string_view line, const ParseContext& ctx);
 AlignmentRecord parse_alignment(std::string_view line);
 
 /// Write records to a stream, one line each.
@@ -49,16 +60,33 @@ void write_alignment_file(const std::filesystem::path& path,
                           const std::vector<AlignmentRecord>& recs);
 
 /// Streaming reader over an alignment file; `next()` yields records in file
-/// order and std::nullopt at end of file.
+/// order and std::nullopt at end of file.  Enforces coordinate sort order and
+/// a single sequence name per file.  In strict mode (the default) the first
+/// malformed line throws ParseError; in lenient mode malformed lines are
+/// skipped into the policy's quarantine file and counted in stats(), up to
+/// the policy's error budget.
 class AlignmentReader {
  public:
-  explicit AlignmentReader(const std::filesystem::path& path);
+  explicit AlignmentReader(const std::filesystem::path& path,
+                           IngestPolicy policy = {},
+                           u64 reference_length = 0);
 
   std::optional<AlignmentRecord> next();
+
+  const IngestStats& stats() const { return stats_; }
+  /// 1-based number of the last line read.
+  u64 line_number() const { return ctx_.line_no; }
 
  private:
   std::ifstream in_;
   std::string line_;
+  IngestPolicy policy_;
+  ParseContext ctx_;
+  IngestStats stats_;
+  QuarantineWriter quarantine_;
+  std::string chr_name_;  ///< sequence name locked by the first record
+  u64 last_pos_ = 0;
+  bool any_record_ = false;
 };
 
 /// Read a whole file into memory (tests and small examples).

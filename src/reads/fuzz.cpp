@@ -1,0 +1,162 @@
+#include "src/reads/fuzz.hpp"
+
+#include <fstream>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/strings.hpp"
+
+namespace gsnp::reads {
+
+namespace {
+
+constexpr const char* kMutationNames[kNumMutationKinds] = {
+    "truncate",     "delete_field", "swap_fields", "corrupt_bases",
+    "break_cigar",  "overflow_int", "zero_pos",    "unsort_pos",
+    "garbage",      "oversize_line",
+};
+
+bool all_digits(std::string_view s) {
+  if (s.empty()) return false;
+  for (const char c : s)
+    if (c < '0' || c > '9') return false;
+  return true;
+}
+
+std::string join_fields(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i) out.push_back('\t');
+    out += fields[i];
+  }
+  return out;
+}
+
+/// SAM record lines have >= 11 fields with a CIGAR-ish field 5; SOAP has 9.
+bool looks_like_sam(const std::vector<std::string>& fields) {
+  return fields.size() >= 11;
+}
+
+}  // namespace
+
+const char* mutation_name(MutationKind kind) {
+  const auto i = static_cast<std::size_t>(kind);
+  return i < kNumMutationKinds ? kMutationNames[i] : "?";
+}
+
+std::string LineMutator::mutate(std::string_view line,
+                                MutationKind* kind_out) {
+  const auto kind = static_cast<MutationKind>(rng_.uniform(kNumMutationKinds));
+  if (kind_out) *kind_out = kind;
+
+  std::vector<std::string> fields;
+  for (const auto f : split(line, '\t')) fields.emplace_back(f);
+  const bool sam = looks_like_sam(fields);
+  // Position field: SAM column 4 (index 3), SOAP column 9 (index 8).
+  const std::size_t pos_idx = sam ? 3 : (fields.size() > 8 ? 8 : 0);
+
+  switch (kind) {
+    case MutationKind::kTruncate:
+      return std::string(line.substr(0, rng_.uniform(line.size() + 1)));
+    case MutationKind::kDeleteField: {
+      if (fields.size() < 2) return std::string(line.substr(0, 1));
+      fields.erase(fields.begin() +
+                   static_cast<std::ptrdiff_t>(rng_.uniform(fields.size())));
+      return join_fields(fields);
+    }
+    case MutationKind::kSwapFields: {
+      if (fields.size() < 2) return std::string(line);
+      const std::size_t a = rng_.uniform(fields.size());
+      std::size_t b = rng_.uniform(fields.size() - 1);
+      if (b >= a) ++b;
+      std::swap(fields[a], fields[b]);
+      return join_fields(fields);
+    }
+    case MutationKind::kCorruptBases: {
+      // The sequence is the longest field in both formats.
+      std::size_t longest = 0;
+      for (std::size_t i = 1; i < fields.size(); ++i)
+        if (fields[i].size() > fields[longest].size()) longest = i;
+      std::string& seq = fields[longest];
+      static constexpr char kJunk[] = {'#', '5', '%', '?', '\x01', '\x7f'};
+      const std::size_t hits = 1 + rng_.uniform(3);
+      for (std::size_t h = 0; h < hits && !seq.empty(); ++h)
+        seq[rng_.uniform(seq.size())] = kJunk[rng_.uniform(sizeof(kJunk))];
+      return join_fields(fields);
+    }
+    case MutationKind::kBreakCigar: {
+      static constexpr const char* kBadCigars[] = {
+          "M", "0M", "4294967296M", "1?1M", "70000M", "5M3"};
+      const char* bad = kBadCigars[rng_.uniform(std::size(kBadCigars))];
+      if (sam) {
+        fields[5] = bad;
+      } else if (fields.size() > 5) {
+        fields[5] = "70000";  // SOAP length field: overlong read
+      }
+      return join_fields(fields);
+    }
+    case MutationKind::kOverflowInt: {
+      for (std::size_t i = 0; i < fields.size(); ++i) {
+        if (!all_digits(fields[i])) continue;
+        fields[i] = "184467440737095516159999";
+        break;
+      }
+      return join_fields(fields);
+    }
+    case MutationKind::kZeroPos:
+    case MutationKind::kUnsortPos: {
+      if (pos_idx < fields.size() && all_digits(fields[pos_idx]))
+        fields[pos_idx] = kind == MutationKind::kZeroPos ? "0" : "1";
+      return join_fields(fields);
+    }
+    case MutationKind::kGarbage: {
+      std::string out;
+      const std::size_t n = 8 + rng_.uniform(48);
+      for (std::size_t i = 0; i < n; ++i)
+        out.push_back(static_cast<char>(1 + rng_.uniform(255)));
+      return out;
+    }
+    case MutationKind::kOversizeLine: {
+      std::string out(line);
+      out.append(options_.oversize_bytes, 'A');
+      return out;
+    }
+    case MutationKind::kCount: break;
+  }
+  return std::string(line);
+}
+
+FuzzReport fuzz_file(const std::filesystem::path& in_path,
+                     const std::filesystem::path& out_path,
+                     const FuzzOptions& options) {
+  std::ifstream in(in_path);
+  GSNP_CHECK_MSG(in.good(), "cannot open fuzz input " << in_path);
+  std::ofstream out(out_path, std::ios::trunc);
+  GSNP_CHECK_MSG(out.good(), "cannot open fuzz output " << out_path);
+
+  LineMutator mutator(options);
+  FuzzReport report;
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto body = trim(line);
+    const bool header = body.empty() || body.front() == '@' ||
+                        body.front() == '#' || body.front() == '>';
+    if (header) {
+      out << line << '\n';
+      continue;
+    }
+    ++report.lines;
+    if (mutator.rng().uniform_double() < options.rate) {
+      MutationKind kind{};
+      out << mutator.mutate(line, &kind) << '\n';
+      ++report.mutated;
+      ++report.by_kind[static_cast<std::size_t>(kind)];
+    } else {
+      out << line << '\n';
+    }
+  }
+  GSNP_CHECK_MSG(out.good(), "fuzz output write failed " << out_path);
+  return report;
+}
+
+}  // namespace gsnp::reads
