@@ -139,7 +139,7 @@ void ablation_class_bounds() {
     const auto stats = sortnet::sort_device_multipass(dev, va, sweep.bounds);
     std::printf("    %s: %u passes, %llu padded elements, modeled %.4fs\n",
                 sweep.name, stats.passes,
-                static_cast<unsigned long long>(stats.elements_sorted),
+                static_cast<unsigned long long>(stats.elements_padded),
                 model.seconds(dev.counters()));
   }
   std::printf("    (coarser classes pad more; finer classes add launches "

@@ -1,0 +1,258 @@
+// bench_smoke — the benchmark-baseline harness.
+//
+// Runs a small deterministic whole-genome pipeline (two synthetic
+// chromosomes through the full GSNP engine, traced) and emits
+// BENCH_pipeline.json: per-stage seconds (host + modeled device), device
+// counters, and sites/s throughput.  The file is the regression baseline a
+// reviewer diffs against when a PR claims (or risks) a performance change —
+// scripts/bench_report regenerates it, scripts/verify.sh runs this binary
+// and fails when the file is missing or malformed.
+//
+//   bench_smoke [--out FILE] [--workdir DIR]   run + write + self-validate
+//   bench_smoke --validate FILE                schema-check an existing file
+//
+// Exit codes: 0 ok, 1 validation failure, 2 usage.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "src/common/error.hpp"
+#include "src/common/json.hpp"
+#include "src/common/timer.hpp"
+#include "src/core/genome_pipeline.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/obs/trace.hpp"
+#include "src/reads/alignment.hpp"
+#include "src/reads/simulator.hpp"
+
+namespace fs = std::filesystem;
+using namespace gsnp;
+
+namespace {
+
+/// Deterministic two-chromosome dataset: big enough that every pipeline
+/// stage, sort pass and compression call runs, small enough for CI.
+struct Dataset {
+  std::vector<genome::Reference> refs;
+  std::vector<core::ChromosomeJob> jobs;
+};
+
+Dataset make_dataset(const fs::path& dir) {
+  Dataset ds;
+  const struct { const char* name; u64 length; u64 seed; } specs[] = {
+      {"chrA", 50'000, 101}, {"chrB", 30'000, 202}};
+  ds.refs.reserve(std::size(specs));
+  for (const auto& s : specs) {
+    genome::GenomeSpec gspec;
+    gspec.name = s.name;
+    gspec.length = s.length;
+    gspec.seed = s.seed;
+    ds.refs.push_back(genome::generate_reference(gspec));
+    const genome::Reference& ref = ds.refs.back();
+
+    genome::SnpPlantSpec pspec;
+    pspec.seed = s.seed + 1;
+    const genome::Diploid individual(ref, plant_snps(ref, pspec));
+    reads::ReadSimSpec rspec;
+    rspec.depth = 6.0;
+    rspec.seed = s.seed + 2;
+    const fs::path align = dir / (std::string(s.name) + ".soap");
+    reads::write_alignment_file(align, reads::simulate_reads(individual, rspec));
+
+    core::ChromosomeJob job;
+    job.name = s.name;
+    job.alignment_file = align;
+    ds.jobs.push_back(std::move(job));
+  }
+  for (std::size_t i = 0; i < ds.refs.size(); ++i)
+    ds.jobs[i].reference = &ds.refs[i];
+  return ds;
+}
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+int validate(const fs::path& path) {
+  try {
+    std::ifstream in(path, std::ios::binary);
+    GSNP_CHECK_MSG(in.good(), "cannot open " << path);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const json::Value root = json::parse(buf.str());
+    GSNP_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+                   "top level is not an object");
+    GSNP_CHECK_MSG(json::get_string(root, "schema") == "gsnp-bench-pipeline",
+                   "wrong schema tag");
+    GSNP_CHECK_MSG(json::get_u64(root, "version") == 1, "unsupported version");
+    GSNP_CHECK_MSG(json::get_u64(root, "sites") > 0, "sites must be > 0");
+    GSNP_CHECK_MSG(json::get_u64(root, "windows") > 0, "windows must be > 0");
+    GSNP_CHECK_MSG(json::get_number(root, "throughput_sites_per_sec") > 0.0,
+                   "throughput must be > 0");
+    GSNP_CHECK_MSG(json::get_number(root, "table_seconds") > 0.0,
+                   "table_seconds must be > 0");
+
+    const json::Value* stages = json::find(root, "stages");
+    GSNP_CHECK_MSG(stages && stages->kind == json::Value::Kind::kObject,
+                   "'stages' object missing");
+    for (const char* name : core::kComponents) {
+      const json::Value* stage = json::find(*stages, name);
+      GSNP_CHECK_MSG(stage != nullptr, "stage '" << name << "' missing");
+      GSNP_CHECK_MSG(json::get_number(*stage, "seconds") >= 0.0,
+                     "stage '" << name << "' has negative seconds");
+      (void)json::get_number(*stage, "host_seconds");
+      (void)json::get_number(*stage, "modeled_seconds");
+    }
+
+    const json::Value* dev = json::find(root, "device");
+    GSNP_CHECK_MSG(dev && dev->kind == json::Value::Kind::kObject,
+                   "'device' object missing");
+    GSNP_CHECK_MSG(json::get_u64(*dev, "instructions") > 0,
+                   "device ran no instructions");
+    GSNP_CHECK_MSG(json::get_u64(*dev, "kernel_launches") > 0,
+                   "device launched no kernels");
+    (void)json::get_u64(*dev, "h2d_bytes");
+    (void)json::get_u64(*dev, "d2h_bytes");
+    (void)json::get_u64(*dev, "peak_global_bytes");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_smoke: %s is invalid: %s\n",
+                 path.string().c_str(), e.what());
+    return 1;
+  }
+  std::printf("bench_smoke: %s is schema-valid\n", path.string().c_str());
+  return 0;
+}
+
+int run(const fs::path& out, const fs::path& workdir) {
+  fs::create_directories(workdir);
+  const Dataset ds = make_dataset(workdir);
+
+  obs::Tracer tracer;
+  core::GenomeRunConfig config;
+  config.chromosomes = ds.jobs;
+  config.output_dir = workdir / "out";
+  config.tracer = &tracer;
+  config.trace_file = workdir / "trace.json";
+  config.metrics_file = workdir / "metrics.json";
+
+  device::Device dev;
+  const Timer wall;
+  const core::GenomeReport report =
+      core::run_genome(config, core::EngineKind::kGsnp, &dev);
+  const double wall_seconds = wall.seconds();
+
+  // Per-stage totals aggregated across chromosomes, host and modeled split.
+  StopwatchSet host, modeled;
+  u64 windows = 0, records = 0;
+  for (const core::RunReport& r : report.per_chromosome) {
+    for (const auto& [name, sec] : r.host.entries()) host.add(name, sec);
+    for (const auto& [name, sec] : r.device_modeled.entries())
+      modeled.add(name, sec);
+    windows += r.windows;
+    records += r.records;
+  }
+  const double table_seconds = report.total_seconds;
+  const double throughput =
+      table_seconds > 0.0
+          ? static_cast<double>(report.total_sites) / table_seconds
+          : 0.0;
+  const device::DeviceCounters& c = dev.counters();
+
+  const fs::path tmp = out.string() + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    GSNP_CHECK_MSG(os.good(), "cannot write " << tmp);
+    os << "{\n"
+       << "  \"schema\": \"gsnp-bench-pipeline\",\n"
+       << "  \"version\": 1,\n"
+       << "  \"engine\": \"gsnp\",\n"
+       << "  \"chromosomes\": " << report.statuses.size() << ",\n"
+       << "  \"sites\": " << report.total_sites << ",\n"
+       << "  \"windows\": " << windows << ",\n"
+       << "  \"records\": " << records << ",\n"
+       << "  \"output_bytes\": " << report.total_output_bytes << ",\n"
+       << "  \"wall_seconds\": " << fmt(wall_seconds) << ",\n"
+       << "  \"table_seconds\": " << fmt(table_seconds) << ",\n"
+       << "  \"throughput_sites_per_sec\": " << fmt(throughput) << ",\n"
+       << "  \"stages\": {";
+    bool first = true;
+    for (const char* name : core::kComponents) {
+      const double h = host.get(name);
+      const double m = modeled.get(name);
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      json::write_escaped(os, name);
+      os << ": {\"seconds\": " << fmt(h + m) << ", \"host_seconds\": " << fmt(h)
+         << ", \"modeled_seconds\": " << fmt(m) << "}";
+    }
+    os << "\n  },\n"
+       << "  \"device\": {"
+       << "\"instructions\": " << c.instructions
+       << ", \"global_loads\": " << c.global_loads()
+       << ", \"global_stores\": " << c.global_stores()
+       << ", \"shared_loads\": " << c.shared_loads
+       << ", \"shared_stores\": " << c.shared_stores
+       << ", \"h2d_bytes\": " << c.h2d_bytes
+       << ", \"d2h_bytes\": " << c.d2h_bytes
+       << ", \"kernel_launches\": " << c.kernel_launches
+       << ", \"peak_global_bytes\": " << dev.peak_allocated_bytes() << "}\n"
+       << "}\n";
+    os.flush();
+    GSNP_CHECK_MSG(os.good(), "write failed " << tmp);
+  }
+  fs::rename(tmp, out);
+
+  std::printf("%-8s %10s %10s %10s\n", "stage", "sec", "host", "modeled");
+  for (const char* name : core::kComponents)
+    std::printf("%-8s %10.4f %10.4f %10.4f\n", name,
+                host.get(name) + modeled.get(name), host.get(name),
+                modeled.get(name));
+  std::printf("%-8s %10.4f   (%llu sites, %.0f sites/s, %zu spans)\n", "total",
+              table_seconds, static_cast<unsigned long long>(report.total_sites),
+              throughput, tracer.spans().size());
+  std::printf("wrote %s\n", out.string().c_str());
+
+  // A baseline nobody can load is worse than none: self-validate.
+  return validate(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path out = "BENCH_pipeline.json";
+  fs::path workdir = fs::temp_directory_path() / "gsnp_bench_smoke";
+  fs::path validate_path;
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_smoke: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return fs::path(argv[++i]);
+    };
+    if (std::strcmp(argv[i], "--out") == 0) out = need_value("--out");
+    else if (std::strcmp(argv[i], "--workdir") == 0)
+      workdir = need_value("--workdir");
+    else if (std::strcmp(argv[i], "--validate") == 0)
+      validate_path = need_value("--validate");
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_smoke [--out FILE] [--workdir DIR] "
+                   "[--validate FILE]\n");
+      return 2;
+    }
+  }
+  try {
+    if (!validate_path.empty()) return validate(validate_path);
+    return run(out, workdir);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_smoke: %s\n", e.what());
+    return 1;
+  }
+}

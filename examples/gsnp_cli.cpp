@@ -8,7 +8,8 @@
 //                     [--engine gsnp|gsnp-cpu|soapsnp] [--dbsnp <file>]
 //                     [--window N] [--threads N] [--save-matrix <file>]
 //                     [--lenient] [--quarantine <file>] [--max-bad N]
-//                     [--max-bad-frac P]
+//                     [--max-bad-frac P] [--trace-out <json>]
+//                     [--metrics-out <json>]
 //   gsnp_cli compare  <a> <b>
 //   gsnp_cli eval     --calls <file> --truth <truth.tsv> [--min-q Q]
 //   gsnp_cli stats    --align <soap> --sites N
@@ -31,6 +32,7 @@
 #include "src/core/vcf.hpp"
 #include "src/genome/dbsnp.hpp"
 #include "src/genome/synthetic.hpp"
+#include "src/obs/trace.hpp"
 #include "src/reads/sam.hpp"
 #include "src/reads/simulator.hpp"
 #include "src/reads/stats.hpp"
@@ -167,6 +169,17 @@ int cmd_call(const Args& args) {
   if (args.has("--save-matrix")) config.p_matrix_out = args.get("--save-matrix", "");
   if (args.has("--load-matrix")) config.p_matrix_in = args.get("--load-matrix", "");
 
+  // --trace-out / --metrics-out attach a tracer for the run and export the
+  // span stream (Chrome trace_event JSON, for chrome://tracing / Perfetto)
+  // and/or the compact metrics JSON when the call finishes.
+  const fs::path trace_out = args.get("--trace-out", "");
+  const fs::path metrics_out = args.get("--metrics-out", "");
+  std::optional<obs::Tracer> tracer;
+  if (!trace_out.empty() || !metrics_out.empty()) {
+    tracer.emplace();
+    config.tracer = &*tracer;
+  }
+
   const std::string engine = args.get("--engine", "gsnp");
   core::RunReport report;
   std::optional<device::Device> dev;
@@ -193,6 +206,18 @@ int cmd_call(const Args& args) {
     if (report.ingest.records_quarantined > 0 &&
         !ingest.quarantine_file.empty())
       std::printf("quarantine: %s\n", ingest.quarantine_file.string().c_str());
+  }
+
+  if (tracer) {
+    if (!trace_out.empty()) {
+      obs::write_chrome_trace(trace_out, *tracer);
+      std::printf("trace:   %s (%zu spans)\n", trace_out.string().c_str(),
+                  tracer->spans().size());
+    }
+    if (!metrics_out.empty()) {
+      obs::write_metrics_json(metrics_out, *tracer);
+      std::printf("metrics: %s\n", metrics_out.string().c_str());
+    }
   }
 
   return 0;
@@ -407,6 +432,7 @@ int main(int argc, char** argv) {
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
               "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
               "           [--lenient --quarantine F --max-bad N --max-bad-frac P]\n"
+              "           [--trace-out TRACE.json --metrics-out METRICS.json]\n"
               "  compare  A B\n"
               "  eval     --calls FILE --truth TSV [--min-q Q]\n"
               "  vcf      --calls FILE --out OUT.vcf [--min-q Q --all-sites]\n"

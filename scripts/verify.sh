@@ -10,6 +10,13 @@ cmake -B build -S . >/dev/null
 cmake --build build -j >/dev/null
 ctest --test-dir build --output-on-failure
 
+echo "== bench_smoke: baseline harness emits schema-valid BENCH_pipeline.json =="
+cmake --build build -j --target bench_smoke >/dev/null
+./build/bench/bench_smoke --out build/BENCH_pipeline.json \
+                          --workdir build/bench_smoke_work >/dev/null
+[ -s build/BENCH_pipeline.json ] || { echo "BENCH_pipeline.json missing"; exit 1; }
+./build/bench/bench_smoke --validate build/BENCH_pipeline.json
+
 echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz =="
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null

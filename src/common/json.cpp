@@ -1,0 +1,256 @@
+#include "src/common/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::json {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Value parse() {
+    Value v = value();
+    skip_ws();
+    check(pos_ == text_.size(), "trailing bytes after JSON document");
+    return v;
+  }
+
+ private:
+  void check(bool cond, const char* what) const {
+    GSNP_CHECK_MSG(cond, "JSON: " << what << " at byte " << pos_);
+  }
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])))
+      ++pos_;
+  }
+  char peek() {
+    check(pos_ < text_.size(), "unexpected end of input");
+    return text_[pos_];
+  }
+  void expect(char c) {
+    check(pos_ < text_.size() && text_[pos_] == c, "unexpected character");
+    ++pos_;
+  }
+  bool consume(std::string_view word) {
+    if (text_.substr(pos_, word.size()) != word) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  Value value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': {
+        Value v;
+        v.kind = Value::Kind::kString;
+        v.string = string();
+        return v;
+      }
+      case 't': {
+        check(consume("true"), "bad literal");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      case 'f': {
+        check(consume("false"), "bad literal");
+        Value v;
+        v.kind = Value::Kind::kBool;
+        return v;
+      }
+      case 'n': {
+        check(consume("null"), "bad literal");
+        return Value{};
+      }
+      default: return number();
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      check(pos_ < text_.size(), "unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      check(pos_ < text_.size(), "unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'u': {
+          check(pos_ + 4 <= text_.size(), "truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else check(false, "bad \\u escape");
+          }
+          // Producers in this repo emit ASCII (paths, engine names, stage
+          // labels); store BMP code points naively as UTF-8.
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: check(false, "bad escape character");
+      }
+    }
+  }
+
+  Value number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-'))
+      ++pos_;
+    check(pos_ > start, "expected a value");
+    Value v;
+    v.kind = Value::Kind::kNumber;
+    try {
+      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
+    } catch (const std::exception&) {
+      check(false, "bad number");
+    }
+    return v;
+  }
+
+  Value array() {
+    expect('[');
+    Value v;
+    v.kind = Value::Kind::kArray;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(value());
+      skip_ws();
+      if (peek() == ']') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  Value object() {
+    expect('{');
+    Value v;
+    v.kind = Value::Kind::kObject;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = value();
+      skip_ws();
+      if (peek() == '}') {
+        ++pos_;
+        return v;
+      }
+      expect(',');
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Value parse(std::string_view text) { return Parser(text).parse(); }
+
+void write_escaped(std::ostream& os, std::string_view s) {
+  os << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': os << "\\\""; break;
+      case '\\': os << "\\\\"; break;
+      case '\n': os << "\\n"; break;
+      case '\r': os << "\\r"; break;
+      case '\t': os << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+  os << '"';
+}
+
+const Value* find(const Value& obj, const std::string& key) {
+  const auto it = obj.object.find(key);
+  return it == obj.object.end() ? nullptr : &it->second;
+}
+
+std::string get_string(const Value& obj, const std::string& key) {
+  const Value* v = find(obj, key);
+  GSNP_CHECK_MSG(v && v->kind == Value::Kind::kString,
+                 "JSON: missing string field '" << key << "'");
+  return v->string;
+}
+
+double get_number(const Value& obj, const std::string& key) {
+  const Value* v = find(obj, key);
+  GSNP_CHECK_MSG(v && v->kind == Value::Kind::kNumber,
+                 "JSON: missing numeric field '" << key << "'");
+  return v->number;
+}
+
+u64 get_u64(const Value& obj, const std::string& key) {
+  const Value* v = find(obj, key);
+  GSNP_CHECK_MSG(v && v->kind == Value::Kind::kNumber && v->number >= 0,
+                 "JSON: missing numeric field '" << key << "'");
+  return static_cast<u64>(v->number);
+}
+
+bool get_bool(const Value& obj, const std::string& key) {
+  const Value* v = find(obj, key);
+  GSNP_CHECK_MSG(v && v->kind == Value::Kind::kBool,
+                 "JSON: missing boolean field '" << key << "'");
+  return v->boolean;
+}
+
+}  // namespace gsnp::json

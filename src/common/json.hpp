@@ -1,0 +1,44 @@
+#pragma once
+// Minimal JSON reading shared by the run manifest, the observability
+// exporters' tests, and the benchmark-baseline validator.  Supports exactly
+// JSON's grammar for objects, arrays, strings, numbers, booleans and null;
+// parse errors throw gsnp::Error with a byte offset.  Writing stays with each
+// producer (streamed, schema-specific); this module only standardizes the
+// read side plus string escaping.
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::json {
+
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::map<std::string, Value> object;
+};
+
+/// Parse a complete JSON document; throws gsnp::Error on malformed input.
+Value parse(std::string_view text);
+
+/// Write `s` as a JSON string literal (quotes + escapes) to `os`.
+void write_escaped(std::ostream& os, std::string_view s);
+
+/// Field lookup on an object value; nullptr when absent.
+const Value* find(const Value& obj, const std::string& key);
+
+/// Typed field accessors: throw gsnp::Error naming the missing/mistyped key.
+std::string get_string(const Value& obj, const std::string& key);
+double get_number(const Value& obj, const std::string& key);
+u64 get_u64(const Value& obj, const std::string& key);
+bool get_bool(const Value& obj, const std::string& key);
+
+}  // namespace gsnp::json

@@ -3,7 +3,7 @@
 // times; it backs the per-component breakdown tables (paper Tables I and IV).
 
 #include <chrono>
-#include <map>
+#include <mutex>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,15 +30,46 @@ class Timer {
 /// A set of named accumulating stopwatches, used for component breakdowns.
 /// Components are registered lazily; iteration order is insertion order so
 /// breakdown tables print in pipeline order.
+///
+/// Thread-safe: the engines run Scope timers inside and around OpenMP
+/// regions (per-window worker loops, parallel likelihood), so every
+/// accumulation and read takes the internal mutex.  The hot path is a
+/// per-stage add — a few per window — never per-site, so one mutex is cheap.
 class StopwatchSet {
  public:
+  StopwatchSet() = default;
+  StopwatchSet(const StopwatchSet& o) {
+    const std::lock_guard<std::mutex> lock(o.mu_);
+    entries_ = o.entries_;
+  }
+  StopwatchSet(StopwatchSet&& o) noexcept {
+    const std::lock_guard<std::mutex> lock(o.mu_);
+    entries_ = std::move(o.entries_);
+  }
+  StopwatchSet& operator=(const StopwatchSet& o) {
+    if (this != &o) {
+      const std::scoped_lock lock(mu_, o.mu_);
+      entries_ = o.entries_;
+    }
+    return *this;
+  }
+  StopwatchSet& operator=(StopwatchSet&& o) noexcept {
+    if (this != &o) {
+      const std::scoped_lock lock(mu_, o.mu_);
+      entries_ = std::move(o.entries_);
+    }
+    return *this;
+  }
+
   /// Add `seconds` to the named component.
   void add(const std::string& name, double seconds) {
+    const std::lock_guard<std::mutex> lock(mu_);
     find_or_insert(name) += seconds;
   }
 
   /// Accumulated seconds for a component (0 if never recorded).
   double get(const std::string& name) const {
+    const std::lock_guard<std::mutex> lock(mu_);
     for (const auto& [key, value] : entries_)
       if (key == name) return value;
     return 0.0;
@@ -46,16 +77,22 @@ class StopwatchSet {
 
   /// Sum of all components.
   double total() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     double t = 0.0;
     for (const auto& [key, value] : entries_) t += value;
     return t;
   }
 
-  const std::vector<std::pair<std::string, double>>& entries() const {
+  /// Snapshot of (name, seconds) pairs in insertion order.
+  std::vector<std::pair<std::string, double>> entries() const {
+    const std::lock_guard<std::mutex> lock(mu_);
     return entries_;
   }
 
-  void clear() { entries_.clear(); }
+  void clear() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    entries_.clear();
+  }
 
   /// RAII scope that adds its lifetime to the named component on destruction.
   class Scope {
@@ -75,6 +112,7 @@ class StopwatchSet {
   Scope scope(std::string name) { return Scope(*this, std::move(name)); }
 
  private:
+  /// Callers must hold mu_.
   double& find_or_insert(const std::string& name) {
     for (auto& [key, value] : entries_)
       if (key == name) return value;
@@ -82,6 +120,7 @@ class StopwatchSet {
     return entries_.back().second;
   }
 
+  mutable std::mutex mu_;
   std::vector<std::pair<std::string, double>> entries_;
 };
 

@@ -11,6 +11,7 @@
 #include "src/core/output_codec.hpp"
 #include "src/core/posterior.hpp"
 #include "src/core/window.hpp"
+#include "src/obs/trace.hpp"
 #include "src/reads/alignment.hpp"
 #include "src/sortnet/multipass.hpp"
 
@@ -142,6 +143,55 @@ WindowLoader::RecordSource temp_source(const std::filesystem::path& path) {
   return [reader] { return reader->next(); };
 }
 
+/// One pipeline stage, measured once and recorded in both views: the
+/// RunReport stopwatch (the Tables I/IV breakdowns) and — when a tracer is
+/// attached — a span.  The stopwatch receives exactly the seconds the span
+/// reports as host_sec, so the two views cannot drift.
+class StageScope {
+ public:
+  StageScope(StopwatchSet& set, obs::Tracer* tracer, const char* name)
+      : set_(set), name_(name), span_(tracer, name, "stage") {}
+
+  /// Subtract simulator wall time misattributed to this stage: the GSNP
+  /// engine runs device kernels through the host simulator, and that wall
+  /// time belongs to the modeled device, not the host component.
+  void deduct(double seconds) { deduct_ += seconds; }
+
+  ~StageScope() {
+    const double sec = std::max(0.0, timer_.seconds() - deduct_);
+    set_.add(name_, sec);
+    span_.set_host_seconds(sec);
+  }
+  StageScope(const StageScope&) = delete;
+  StageScope& operator=(const StageScope&) = delete;
+
+ private:
+  StopwatchSet& set_;
+  const char* name_;
+  obs::Tracer::Scope span_;  // declared before timer_: dtor order measures
+  Timer timer_;              // the stage, then finishes the span
+  double deduct_ = 0.0;
+};
+
+/// Run totals into the tracer's metrics registry (exported with the run).
+void record_run_metrics(obs::Tracer* tracer, const char* engine,
+                        const RunReport& report) {
+  if (!tracer) return;
+  obs::Metrics& m = tracer->metrics();
+  m.add(std::string("runs_") + engine);
+  m.add("sites", report.sites);
+  m.add("windows", report.windows);
+  m.add("records", report.records);
+  m.add("output_bytes", report.output_bytes);
+  m.add("temp_bytes", report.temp_bytes);
+  m.add("records_quarantined", report.ingest.records_quarantined);
+  m.set_gauge("peak_host_bytes", static_cast<double>(report.peak_host_bytes));
+  m.set_gauge("peak_device_bytes",
+              static_cast<double>(report.peak_device_bytes));
+  if (const double total = report.total(); total > 0.0)
+    m.set_gauge("sites_per_sec", static_cast<double>(report.sites) / total);
+}
+
 }  // namespace
 
 RunReport run_soapsnp(const EngineConfig& config) {
@@ -152,10 +202,11 @@ RunReport run_soapsnp(const EngineConfig& config) {
                               : EngineConfig::kDefaultSoapsnpWindow;
   RunReport report;
   report.sites = ref.size();
+  obs::Tracer* const tracer = config.tracer;
 
   PMatrix pm;
   {
-    const auto scope = report.host.scope("cal_p");
+    const StageScope scope(report.host, tracer, "cal_p");
     CalPResult cal = cal_p_pass(config, /*write_temp=*/false);
     pm = std::move(cal.pm);
     report.records = cal.records;
@@ -178,16 +229,16 @@ RunReport run_soapsnp(const EngineConfig& config) {
 
   for (;;) {
     {
-      const auto scope = report.host.scope("read");
+      const StageScope scope(report.host, tracer, "read");
       if (!loader.next(win)) break;
     }
     ++report.windows;
     {
-      const auto scope = report.host.scope("count");
+      const StageScope scope(report.host, tracer, "count");
       count_window(win, obs, stats, &dense, nullptr);
     }
     {
-      const auto scope = report.host.scope("likeli");
+      const StageScope scope(report.host, tracer, "likeli");
       type_likely.resize(win.size);
 #pragma omp parallel for schedule(dynamic, 64) num_threads(threads) \
     if (threads > 1)
@@ -196,21 +247,22 @@ RunReport run_soapsnp(const EngineConfig& config) {
             likelihood_dense_site(dense.site(static_cast<u32>(s)), pm);
     }
     {
-      const auto scope = report.host.scope("post");
+      const StageScope scope(report.host, tracer, "post");
       window_posterior(config, priors, win, obs, stats, type_likely, rows,
                        nullptr, threads);
     }
     {
-      const auto scope = report.host.scope("output");
+      const StageScope scope(report.host, tracer, "output");
       writer.write_window(rows);
     }
     {
-      const auto scope = report.host.scope("recycle");
+      const StageScope scope(report.host, tracer, "recycle");
       dense.recycle();
     }
   }
   report.output_bytes = writer.finish();
   report.peak_host_bytes = dense.bytes() + pm.flat().size() * sizeof(double);
+  record_run_metrics(tracer, "soapsnp", report);
   return report;
 }
 
@@ -221,13 +273,14 @@ RunReport run_gsnp_cpu(const EngineConfig& config) {
       config.window_size ? config.window_size : EngineConfig::kDefaultGsnpWindow;
   RunReport report;
   report.sites = ref.size();
+  obs::Tracer* const tracer = config.tracer;
 
   PMatrix pm;
   std::optional<NewPMatrix> npm;
   {
     // cal_p includes temp-file generation plus the new score tables
     // (paper Table IV note).
-    const auto scope = report.host.scope("cal_p");
+    const StageScope scope(report.host, tracer, "cal_p");
     CalPResult cal = cal_p_pass(config, /*write_temp=*/true);
     pm = std::move(cal.pm);
     report.records = cal.records;
@@ -251,44 +304,50 @@ RunReport run_gsnp_cpu(const EngineConfig& config) {
 
   for (;;) {
     {
-      const auto scope = report.host.scope("read");
+      const StageScope scope(report.host, tracer, "read");
       if (!loader.next(win)) break;
     }
     ++report.windows;
     {
-      const auto scope = report.host.scope("count");
+      const StageScope scope(report.host, tracer, "count");
       count_window(win, obs, stats, nullptr, &sparse);
       max_words = std::max<u64>(max_words, sparse.words.size());
     }
     {
-      const auto sort_scope = report.host.scope("likeli_sort");
-      likelihood_sort_cpu(sparse);
+      // The aggregate "likeli" component is measured directly as the scope
+      // enclosing both phases (it used to be reconstructed afterwards as
+      // sort + comp, which silently drifted from what a wall clock around
+      // the stage would have read).
+      const StageScope likeli_scope(report.host, tracer, "likeli");
+      {
+        const StageScope sort_scope(report.host, tracer, "likeli_sort");
+        likelihood_sort_cpu(sparse);
+      }
+      {
+        const StageScope comp_scope(report.host, tracer, "likeli_comp");
+        type_likely.resize(win.size);
+        for (u32 s = 0; s < win.size; ++s)
+          type_likely[s] = likelihood_sparse_site(sparse.site(s), *npm);
+      }
     }
     {
-      const auto comp_scope = report.host.scope("likeli_comp");
-      type_likely.resize(win.size);
-      for (u32 s = 0; s < win.size; ++s)
-        type_likely[s] = likelihood_sparse_site(sparse.site(s), *npm);
-    }
-    {
-      const auto scope = report.host.scope("post");
+      const StageScope scope(report.host, tracer, "post");
       window_posterior(config, priors, win, obs, stats, type_likely, rows);
     }
     {
-      const auto scope = report.host.scope("output");
+      const StageScope scope(report.host, tracer, "output");
       writer.write_window(rows, rle);
     }
     {
-      const auto scope = report.host.scope("recycle");
+      const StageScope scope(report.host, tracer, "recycle");
       sparse.reset(window_size);
     }
   }
-  report.host.add("likeli",
-                  report.host.get("likeli_sort") + report.host.get("likeli_comp"));
   report.output_bytes = writer.finish();
   report.peak_host_bytes = max_words * sizeof(u32) +
                            npm->flat().size() * sizeof(double) +
                            pm.flat().size() * sizeof(double);
+  record_run_metrics(tracer, "gsnp_cpu", report);
   return report;
 }
 
@@ -300,8 +359,15 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
       config.window_size ? config.window_size : EngineConfig::kDefaultGsnpWindow;
   RunReport report;
   report.sites = ref.size();
+  obs::Tracer* const tracer = config.tracer;
 
+  // A device stage: the counter delta over `body` is modeled into GPU
+  // seconds (Table IV's device columns).  The span mirrors the same delta
+  // and model, with host_sec pinned to zero — the wall time `body` burns is
+  // simulator time, not time on the modeled hardware.
   const auto device_scope = [&](const char* name, auto&& body) {
+    obs::Tracer::Scope span(tracer, name, "stage", &dev, &model);
+    span.set_host_seconds(0.0);
     const device::DeviceCounters before = dev.counters();
     body();
     const device::DeviceCounters delta =
@@ -313,7 +379,7 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
   std::optional<NewPMatrix> npm;
   std::optional<DeviceScoreTables> tables;
   {
-    const auto scope = report.host.scope("cal_p");
+    const StageScope scope(report.host, tracer, "cal_p");
     CalPResult cal = cal_p_pass(config, /*write_temp=*/true);
     pm = std::move(cal.pm);
     report.records = cal.records;
@@ -333,8 +399,10 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
   // "output" time (the simulator is not the hardware being modeled).
   PriorCache priors(config.prior);
   double rle_sim_wall = 0.0;
-  const RleDictFn rle = [&dev, &rle_sim_wall](std::span<const u32> column,
-                                              std::vector<u8>& out) {
+  const RleDictFn rle = [&dev, &model, &rle_sim_wall, tracer](
+                            std::span<const u32> column, std::vector<u8>& out) {
+    obs::Tracer::Scope span(tracer, "rle_dict", "compress", &dev, &model);
+    span.set_host_seconds(0.0);
     const Timer t;
     compress::device_encode_rle_dict(dev, column, out);
     rle_sim_wall += t.seconds();
@@ -349,35 +417,51 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
 
   for (;;) {
     {
-      const auto scope = report.host.scope("read");
+      const StageScope scope(report.host, tracer, "read");
       if (!loader.next(win)) break;
     }
     ++report.windows;
     {
-      const auto scope = report.host.scope("count");
+      const StageScope scope(report.host, tracer, "count");
       count_window(win, obs, stats, nullptr, &sparse);
       max_words = std::max<u64>(max_words, sparse.words.size());
     }
 
     // The window's base_word data goes to the device once and stays
     // resident through sorting and likelihood (the production data flow);
-    // only the ten log-likelihoods per site come back.
+    // only the ten log-likelihoods per site come back.  The enclosing
+    // "likeli" span captures the combined counter delta, so its modeled
+    // seconds equal likeli_sort + likeli_comp (the model is linear in the
+    // counters) — the trace stays consistent with the aggregate component.
     {
+      obs::Tracer::Scope likeli_span(tracer, "likeli", "stage", &dev, &model);
+      likeli_span.set_host_seconds(0.0);
       std::optional<device::DeviceBuffer<u32>> words_dev;
       std::optional<device::DeviceBuffer<u64>> offsets_dev;
 
       // likelihood_sort: multipass batch bitonic, device-resident.
       device_scope("likeli_sort", [&] {
-        words_dev.emplace(
-            dev.to_device(std::span<const u32>(sparse.words)));
-        sortnet::sort_device_multipass_resident(dev, *words_dev,
-                                                sparse.offsets);
+        {
+          obs::Tracer::Scope h2d(tracer, "h2d:base_word", "transfer", &dev,
+                                 &model);
+          h2d.set_host_seconds(0.0);
+          words_dev.emplace(
+              dev.to_device(std::span<const u32>(sparse.words)));
+        }
+        sortnet::sort_device_multipass_resident(
+            dev, *words_dev, sparse.offsets, sortnet::kDefaultClassBounds,
+            tracer);
       });
 
       // likelihood_comp: the optimized kernel (shared memory + new table).
       device_scope("likeli_comp", [&] {
-        offsets_dev.emplace(
-            dev.to_device(std::span<const u64>(sparse.offsets)));
+        {
+          obs::Tracer::Scope h2d(tracer, "h2d:offsets", "transfer", &dev,
+                                 &model);
+          h2d.set_host_seconds(0.0);
+          offsets_dev.emplace(
+              dev.to_device(std::span<const u64>(sparse.offsets)));
+        }
         type_likely = device_likelihood_sparse_resident(
             dev, *words_dev, *offsets_dev, win.size, *tables);
       });
@@ -389,7 +473,7 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
       std::vector<GenotypePriors> window_priors(win.size);
       std::vector<PosteriorCall> calls;
       {
-        const auto scope = report.host.scope("post");
+        const StageScope scope(report.host, tracer, "post");
         for (u32 s = 0; s < win.size; ++s) {
           const u64 pos = win.start + s;
           const genome::KnownSnpEntry* known =
@@ -401,22 +485,23 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
                    [&] { calls = device_posterior(dev, type_likely,
                                                   window_priors); });
       {
-        const auto scope = report.host.scope("post");
+        const StageScope scope(report.host, tracer, "post");
         window_posterior(config, priors, win, obs, stats, type_likely, rows,
                          &calls);
       }
     }
     {
-      const Timer output_timer;
+      // Host output seconds = wall time minus the simulator wall burned
+      // inside the RLE-DICT kernels (their time is modeled, not measured).
+      StageScope scope(report.host, tracer, "output");
       rle_sim_wall = 0.0;
       device_scope("output", [&] { writer.write_window(rows, rle); });
-      report.host.add("output",
-                      std::max(0.0, output_timer.seconds() - rle_sim_wall));
+      scope.deduct(rle_sim_wall);
     }
     {
       // Sparse recycle: offsets reset on the host, device buffers are
       // per-window; the dense 131,072-byte-per-site memset is gone entirely.
-      const auto scope = report.host.scope("recycle");
+      const StageScope scope(report.host, tracer, "recycle");
       sparse.reset(window_size);
     }
   }
@@ -428,6 +513,7 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
                            pm.flat().size() * sizeof(double);
   report.peak_device_bytes = dev.peak_allocated_bytes();
   report.device_counters = dev.counters();
+  record_run_metrics(tracer, "gsnp", report);
   return report;
 }
 

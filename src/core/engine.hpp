@@ -32,6 +32,10 @@
 #include "src/genome/dbsnp.hpp"
 #include "src/genome/reference.hpp"
 
+namespace gsnp::obs {
+class Tracer;
+}
+
 namespace gsnp::core {
 
 /// Paper component names, in pipeline order.
@@ -64,6 +68,14 @@ struct EngineConfig {
   std::filesystem::path p_matrix_in;
   /// Save the calibration matrix computed by this run.
   std::filesystem::path p_matrix_out;
+
+  /// Optional span tracing + metrics (src/obs): when non-null, every
+  /// pipeline stage, sort pass, device compression call and host↔device
+  /// transfer emits a span, and run totals land in the tracer's metrics
+  /// registry.  The stopwatches in RunReport receive exactly the same
+  /// measurements, so trace exports and the Tables I/IV breakdowns cannot
+  /// drift.  Null = tracing off (zero overhead).
+  obs::Tracer* tracer = nullptr;
 
   /// Default windows: SOAPsnp 4,000; GSNP / GSNP_CPU 256,000 (paper §VI-A).
   static constexpr u32 kDefaultSoapsnpWindow = 4'000;

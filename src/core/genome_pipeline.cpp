@@ -7,6 +7,7 @@
 #include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
 #include "src/core/run_manifest.hpp"
+#include "src/obs/trace.hpp"
 
 namespace gsnp::core {
 
@@ -73,6 +74,22 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
   report.manifest_file = manifest_path;
   const bool text_output = kind == EngineKind::kSoapsnp;
   const char* extension = text_output ? ".txt" : ".snp";
+  obs::Tracer* const tracer = config.tracer;
+
+  // Exports are published on every exit path — a fatal fault still leaves
+  // the spans collected so far on disk for post-mortems.  The manifest
+  // records where they went.
+  const auto publish_observability = [&](RunManifest& m) {
+    if (tracer == nullptr) return;
+    if (!config.trace_file.empty()) {
+      obs::write_chrome_trace(config.trace_file, *tracer);
+      m.trace_file = config.trace_file.string();
+    }
+    if (!config.metrics_file.empty()) {
+      obs::write_metrics_json(config.metrics_file, *tracer);
+      m.metrics_file = config.metrics_file.string();
+    }
+  };
 
   for (const ChromosomeJob& job : config.chromosomes) {
     GSNP_CHECK_MSG(job.reference != nullptr,
@@ -86,11 +103,18 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     status.requested = kind;
     status.used = kind;
 
+    // One span per chromosome: the failure-isolation unit.  Engine stage
+    // spans nest inside; the notes record what fault handling did.
+    obs::Tracer::Scope chrom_span(tracer, "chromosome:" + job.name,
+                                  "pipeline");
+    chrom_span.note("requested", engine_name(kind));
+
     // -- resume: skip chromosomes whose recorded output still verifies.
     if (config.resume &&
         verified_done(previous.find(job.name), kind, output_path)) {
       const ManifestEntry& done = *previous.find(job.name);
       status.resumed = true;
+      chrom_span.note("resumed", "true");
       status.used = engine_kind_from_name(done.engine).value_or(kind);
       status.degraded = done.degraded;
       status.output_crc = done.output_crc32;
@@ -122,6 +146,7 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     engine_config.temp_file =
         config.output_dir / (job.name + "." + engine_name(kind) + ".tmp");
     engine_config.output_file = output_path.string() + ".part";
+    engine_config.tracer = tracer;
 
     RunReport run;
     bool succeeded = false;
@@ -130,18 +155,26 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     double backoff = config.retry.backoff_seconds;
     for (int attempt = 1; attempt <= max_attempts && !succeeded; ++attempt) {
       ++status.attempts;
-      try {
-        run = run_engine(engine_config, kind, dev);
-        succeeded = true;
-      } catch (const device::DeviceFaultError& fault) {
-        // Transient or persistent device trouble: retry; anything else
-        // (corrupt input, broken invariants) propagates immediately.
-        status.error = fault.what();
-        last_fault = std::current_exception();
-        if (attempt < max_attempts && backoff > 0.0) {
-          std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
-          backoff *= config.retry.backoff_multiplier;
+      {
+        obs::Tracer::Scope attempt_span(tracer, "attempt", "pipeline");
+        attempt_span.note("attempt", std::to_string(attempt));
+        try {
+          run = run_engine(engine_config, kind, dev);
+          succeeded = true;
+          attempt_span.note("outcome", "ok");
+        } catch (const device::DeviceFaultError& fault) {
+          // Transient or persistent device trouble: retry; anything else
+          // (corrupt input, broken invariants) propagates immediately.
+          status.error = fault.what();
+          last_fault = std::current_exception();
+          attempt_span.note("outcome", "device_fault");
+          if (tracer) tracer->metrics().add("device_faults");
         }
+      }
+      // Backoff sleeps outside the attempt span: idle time is not work.
+      if (!succeeded && attempt < max_attempts && backoff > 0.0) {
+        std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+        backoff *= config.retry.backoff_multiplier;
       }
     }
 
@@ -151,10 +184,14 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     if (!succeeded && kind == EngineKind::kGsnp &&
         config.retry.allow_cpu_fallback) {
       ++status.attempts;
+      obs::Tracer::Scope fallback_span(tracer, "attempt", "pipeline");
+      fallback_span.note("attempt", std::to_string(status.attempts));
+      fallback_span.note("outcome", "degraded_to_cpu");
       run = run_engine(engine_config, EngineKind::kGsnpCpu, nullptr);
       succeeded = true;
       status.degraded = true;
       status.used = EngineKind::kGsnpCpu;
+      if (tracer) tracer->metrics().add("chromosomes_degraded");
     }
 
     if (!succeeded) {
@@ -170,6 +207,8 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
       entry.sites = job.reference->size();
       entry.error = status.error;
       manifest.chromosomes.push_back(std::move(entry));
+      chrom_span.note("outcome", "failed");
+      publish_observability(manifest);
       write_run_manifest(manifest_path, manifest);
       std::rethrow_exception(last_fault);
     }
@@ -200,7 +239,22 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     report.total_output_bytes += run.output_bytes;
     report.output_files.push_back(output_path);
     report.per_chromosome.push_back(std::move(run));
+    chrom_span.note("engine", engine_name(status.used));
+    chrom_span.note("attempts", std::to_string(status.attempts));
+    if (status.degraded) chrom_span.note("degraded", "true");
+    if (tracer) tracer->metrics().add("chromosomes");
     report.statuses.push_back(std::move(status));
+  }
+
+  if (tracer) {
+    tracer->metrics().set_gauge("genome_total_seconds", report.total_seconds);
+    if (report.total_seconds > 0.0)
+      tracer->metrics().set_gauge(
+          "genome_sites_per_sec",
+          static_cast<double>(report.total_sites) / report.total_seconds);
+    publish_observability(manifest);
+    if (!manifest.trace_file.empty() || !manifest.metrics_file.empty())
+      write_run_manifest(manifest_path, manifest);
   }
   return report;
 }

@@ -61,6 +61,16 @@ struct GenomeRunConfig {
   bool resume = false;
   /// Manifest location; empty = `<output_dir>/manifest.json`.
   std::filesystem::path manifest_file;
+
+  /// Optional tracing (src/obs): when non-null, the run emits one
+  /// "pipeline"-category span per chromosome (annotated with attempts,
+  /// retries, degradation and resume outcomes) around the engine's own stage
+  /// spans.  `trace_file` / `metrics_file` select exports written when the
+  /// run finishes — or before a fatal fault is rethrown, so aborted runs
+  /// leave a trace for post-mortems; both paths are recorded in the manifest.
+  obs::Tracer* tracer = nullptr;
+  std::filesystem::path trace_file;    ///< Chrome trace_event JSON
+  std::filesystem::path metrics_file;  ///< compact metrics JSON
 };
 
 /// What happened to one chromosome (mirrors its manifest entry).

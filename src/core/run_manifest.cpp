@@ -1,271 +1,13 @@
 #include "src/core/run_manifest.hpp"
 
-#include <cctype>
-#include <cstdio>
 #include <fstream>
-#include <map>
 #include <sstream>
 
 #include "src/common/atomic_file.hpp"
 #include "src/common/error.hpp"
+#include "src/common/json.hpp"
 
 namespace gsnp::core {
-
-namespace {
-
-// ---- JSON writing ---------------------------------------------------------------
-
-void append_escaped(std::ostream& os, const std::string& s) {
-  os << '"';
-  for (const char c : s) {
-    switch (c) {
-      case '"': os << "\\\""; break;
-      case '\\': os << "\\\\"; break;
-      case '\n': os << "\\n"; break;
-      case '\r': os << "\\r"; break;
-      case '\t': os << "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          os << buf;
-        } else {
-          os << c;
-        }
-    }
-  }
-  os << '"';
-}
-
-// ---- minimal JSON parsing -------------------------------------------------------
-// The manifest schema only needs objects, arrays, strings, integers, and
-// booleans; the parser supports exactly JSON's grammar for those (plus null)
-// and throws gsnp::Error with a byte offset on any malformed input.
-
-struct JsonValue {
-  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
-  Kind kind = Kind::kNull;
-  bool boolean = false;
-  double number = 0.0;
-  std::string string;
-  std::vector<JsonValue> array;
-  std::map<std::string, JsonValue> object;
-};
-
-class JsonParser {
- public:
-  explicit JsonParser(std::string_view text) : text_(text) {}
-
-  JsonValue parse() {
-    JsonValue v = value();
-    skip_ws();
-    check(pos_ == text_.size(), "trailing bytes after JSON document");
-    return v;
-  }
-
- private:
-  void check(bool cond, const char* what) const {
-    GSNP_CHECK_MSG(cond, "manifest JSON: " << what << " at byte " << pos_);
-  }
-  void skip_ws() {
-    while (pos_ < text_.size() &&
-           std::isspace(static_cast<unsigned char>(text_[pos_])))
-      ++pos_;
-  }
-  char peek() {
-    check(pos_ < text_.size(), "unexpected end of input");
-    return text_[pos_];
-  }
-  void expect(char c) {
-    check(pos_ < text_.size() && text_[pos_] == c, "unexpected character");
-    ++pos_;
-  }
-  bool consume(std::string_view word) {
-    if (text_.substr(pos_, word.size()) != word) return false;
-    pos_ += word.size();
-    return true;
-  }
-
-  JsonValue value() {
-    skip_ws();
-    switch (peek()) {
-      case '{': return object();
-      case '[': return array();
-      case '"': {
-        JsonValue v;
-        v.kind = JsonValue::Kind::kString;
-        v.string = string();
-        return v;
-      }
-      case 't': {
-        check(consume("true"), "bad literal");
-        JsonValue v;
-        v.kind = JsonValue::Kind::kBool;
-        v.boolean = true;
-        return v;
-      }
-      case 'f': {
-        check(consume("false"), "bad literal");
-        JsonValue v;
-        v.kind = JsonValue::Kind::kBool;
-        return v;
-      }
-      case 'n': {
-        check(consume("null"), "bad literal");
-        return JsonValue{};
-      }
-      default: return number();
-    }
-  }
-
-  std::string string() {
-    expect('"');
-    std::string out;
-    for (;;) {
-      check(pos_ < text_.size(), "unterminated string");
-      const char c = text_[pos_++];
-      if (c == '"') return out;
-      if (c != '\\') {
-        out.push_back(c);
-        continue;
-      }
-      check(pos_ < text_.size(), "unterminated escape");
-      const char e = text_[pos_++];
-      switch (e) {
-        case '"': out.push_back('"'); break;
-        case '\\': out.push_back('\\'); break;
-        case '/': out.push_back('/'); break;
-        case 'n': out.push_back('\n'); break;
-        case 'r': out.push_back('\r'); break;
-        case 't': out.push_back('\t'); break;
-        case 'b': out.push_back('\b'); break;
-        case 'f': out.push_back('\f'); break;
-        case 'u': {
-          check(pos_ + 4 <= text_.size(), "truncated \\u escape");
-          unsigned code = 0;
-          for (int i = 0; i < 4; ++i) {
-            const char h = text_[pos_++];
-            code <<= 4;
-            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
-            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
-            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
-            else check(false, "bad \\u escape");
-          }
-          // Manifest strings are ASCII (paths, engine names, messages);
-          // store BMP code points naively as UTF-8.
-          if (code < 0x80) {
-            out.push_back(static_cast<char>(code));
-          } else if (code < 0x800) {
-            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          } else {
-            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
-            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
-            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
-          }
-          break;
-        }
-        default: check(false, "bad escape character");
-      }
-    }
-  }
-
-  JsonValue number() {
-    const std::size_t start = pos_;
-    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
-    while (pos_ < text_.size() &&
-           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
-            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
-            text_[pos_] == '+' || text_[pos_] == '-'))
-      ++pos_;
-    check(pos_ > start, "expected a value");
-    JsonValue v;
-    v.kind = JsonValue::Kind::kNumber;
-    try {
-      v.number = std::stod(std::string(text_.substr(start, pos_ - start)));
-    } catch (const std::exception&) {
-      check(false, "bad number");
-    }
-    return v;
-  }
-
-  JsonValue array() {
-    expect('[');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kArray;
-    skip_ws();
-    if (peek() == ']') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      v.array.push_back(value());
-      skip_ws();
-      if (peek() == ']') {
-        ++pos_;
-        return v;
-      }
-      expect(',');
-    }
-  }
-
-  JsonValue object() {
-    expect('{');
-    JsonValue v;
-    v.kind = JsonValue::Kind::kObject;
-    skip_ws();
-    if (peek() == '}') {
-      ++pos_;
-      return v;
-    }
-    for (;;) {
-      skip_ws();
-      std::string key = string();
-      skip_ws();
-      expect(':');
-      v.object[std::move(key)] = value();
-      skip_ws();
-      if (peek() == '}') {
-        ++pos_;
-        return v;
-      }
-      expect(',');
-    }
-  }
-
-  std::string_view text_;
-  std::size_t pos_ = 0;
-};
-
-// ---- schema mapping -------------------------------------------------------------
-
-const JsonValue* get(const JsonValue& obj, const std::string& key) {
-  const auto it = obj.object.find(key);
-  return it == obj.object.end() ? nullptr : &it->second;
-}
-
-std::string get_string(const JsonValue& obj, const std::string& key) {
-  const JsonValue* v = get(obj, key);
-  GSNP_CHECK_MSG(v && v->kind == JsonValue::Kind::kString,
-                 "manifest: missing string field '" << key << "'");
-  return v->string;
-}
-
-u64 get_u64(const JsonValue& obj, const std::string& key) {
-  const JsonValue* v = get(obj, key);
-  GSNP_CHECK_MSG(v && v->kind == JsonValue::Kind::kNumber && v->number >= 0,
-                 "manifest: missing numeric field '" << key << "'");
-  return static_cast<u64>(v->number);
-}
-
-bool get_bool(const JsonValue& obj, const std::string& key) {
-  const JsonValue* v = get(obj, key);
-  GSNP_CHECK_MSG(v && v->kind == JsonValue::Kind::kBool,
-                 "manifest: missing boolean field '" << key << "'");
-  return v->boolean;
-}
-
-}  // namespace
 
 const ManifestEntry* RunManifest::find(const std::string& name) const {
   for (const ManifestEntry& e : chromosomes)
@@ -280,25 +22,33 @@ void write_run_manifest(const std::filesystem::path& path,
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     GSNP_CHECK_MSG(out.good(), "cannot open manifest for write " << tmp);
     out << "{\n  \"version\": " << manifest.version << ",\n  \"engine\": ";
-    append_escaped(out, manifest.engine);
+    json::write_escaped(out, manifest.engine);
+    if (!manifest.trace_file.empty()) {
+      out << ",\n  \"trace_file\": ";
+      json::write_escaped(out, manifest.trace_file);
+    }
+    if (!manifest.metrics_file.empty()) {
+      out << ",\n  \"metrics_file\": ";
+      json::write_escaped(out, manifest.metrics_file);
+    }
     out << ",\n  \"chromosomes\": [";
     for (std::size_t i = 0; i < manifest.chromosomes.size(); ++i) {
       const ManifestEntry& e = manifest.chromosomes[i];
       out << (i ? ",\n    {" : "\n    {") << "\"name\": ";
-      append_escaped(out, e.name);
+      json::write_escaped(out, e.name);
       out << ", \"status\": ";
-      append_escaped(out, e.status);
+      json::write_escaped(out, e.status);
       out << ", \"requested\": ";
-      append_escaped(out, e.requested);
+      json::write_escaped(out, e.requested);
       out << ", \"engine\": ";
-      append_escaped(out, e.engine);
+      json::write_escaped(out, e.engine);
       out << ", \"degraded\": " << (e.degraded ? "true" : "false")
           << ", \"attempts\": " << e.attempts << ", \"output\": ";
-      append_escaped(out, e.output);
+      json::write_escaped(out, e.output);
       out << ", \"output_bytes\": " << e.output_bytes
           << ", \"output_crc32\": " << e.output_crc32
           << ", \"sites\": " << e.sites << ", \"error\": ";
-      append_escaped(out, e.error);
+      json::write_escaped(out, e.error);
       out << ", \"ingest\": {\"ok\": " << e.ingest.records_ok
           << ", \"unsupported\": " << e.ingest.records_unsupported
           << ", \"quarantined\": " << e.ingest.records_quarantined
@@ -308,7 +58,8 @@ void write_run_manifest(const std::filesystem::path& path,
         if (e.ingest.by_reason[r] == 0) continue;
         if (!first_reason) out << ", ";
         first_reason = false;
-        append_escaped(out, ingest_reason_name(static_cast<IngestReason>(r)));
+        json::write_escaped(out,
+                            ingest_reason_name(static_cast<IngestReason>(r)));
         out << ": " << e.ingest.by_reason[r];
       }
       out << "}}}";
@@ -327,47 +78,52 @@ RunManifest read_run_manifest(const std::filesystem::path& path) {
   buf << in.rdbuf();
   const std::string text = buf.str();
 
-  const JsonValue root = JsonParser(text).parse();
-  GSNP_CHECK_MSG(root.kind == JsonValue::Kind::kObject,
+  const json::Value root = json::parse(text);
+  GSNP_CHECK_MSG(root.kind == json::Value::Kind::kObject,
                  "manifest " << path << " is not a JSON object");
   RunManifest manifest;
-  manifest.version = static_cast<int>(get_u64(root, "version"));
+  manifest.version = static_cast<int>(json::get_u64(root, "version"));
   GSNP_CHECK_MSG(manifest.version == 1,
                  "unsupported manifest version " << manifest.version << " in "
                                                  << path);
-  manifest.engine = get_string(root, "engine");
-  const JsonValue* chroms = get(root, "chromosomes");
-  GSNP_CHECK_MSG(chroms && chroms->kind == JsonValue::Kind::kArray,
+  manifest.engine = json::get_string(root, "engine");
+  // Optional: runs without tracing record no export paths.
+  if (const json::Value* t = json::find(root, "trace_file"))
+    manifest.trace_file = t->string;
+  if (const json::Value* m = json::find(root, "metrics_file"))
+    manifest.metrics_file = m->string;
+  const json::Value* chroms = json::find(root, "chromosomes");
+  GSNP_CHECK_MSG(chroms && chroms->kind == json::Value::Kind::kArray,
                  "manifest " << path << " has no chromosome list");
-  for (const JsonValue& c : chroms->array) {
-    GSNP_CHECK_MSG(c.kind == JsonValue::Kind::kObject,
+  for (const json::Value& c : chroms->array) {
+    GSNP_CHECK_MSG(c.kind == json::Value::Kind::kObject,
                    "manifest chromosome entry is not an object");
     ManifestEntry e;
-    e.name = get_string(c, "name");
-    e.status = get_string(c, "status");
-    e.requested = get_string(c, "requested");
-    e.engine = get_string(c, "engine");
-    e.degraded = get_bool(c, "degraded");
-    e.attempts = static_cast<int>(get_u64(c, "attempts"));
-    e.output = get_string(c, "output");
-    e.output_bytes = get_u64(c, "output_bytes");
-    e.output_crc32 = static_cast<u32>(get_u64(c, "output_crc32"));
-    e.sites = get_u64(c, "sites");
-    e.error = get_string(c, "error");
+    e.name = json::get_string(c, "name");
+    e.status = json::get_string(c, "status");
+    e.requested = json::get_string(c, "requested");
+    e.engine = json::get_string(c, "engine");
+    e.degraded = json::get_bool(c, "degraded");
+    e.attempts = static_cast<int>(json::get_u64(c, "attempts"));
+    e.output = json::get_string(c, "output");
+    e.output_bytes = json::get_u64(c, "output_bytes");
+    e.output_crc32 = static_cast<u32>(json::get_u64(c, "output_crc32"));
+    e.sites = json::get_u64(c, "sites");
+    e.error = json::get_string(c, "error");
     // Optional: manifests written before the hardened-ingest layer have no
     // "ingest" object; those entries read back with all-zero stats.
-    if (const JsonValue* ing = get(c, "ingest");
-        ing && ing->kind == JsonValue::Kind::kObject) {
-      e.ingest.records_ok = get_u64(*ing, "ok");
-      e.ingest.records_unsupported = get_u64(*ing, "unsupported");
-      e.ingest.records_quarantined = get_u64(*ing, "quarantined");
-      if (const JsonValue* by = get(*ing, "by_reason");
-          by && by->kind == JsonValue::Kind::kObject) {
+    if (const json::Value* ing = json::find(c, "ingest");
+        ing && ing->kind == json::Value::Kind::kObject) {
+      e.ingest.records_ok = json::get_u64(*ing, "ok");
+      e.ingest.records_unsupported = json::get_u64(*ing, "unsupported");
+      e.ingest.records_quarantined = json::get_u64(*ing, "quarantined");
+      if (const json::Value* by = json::find(*ing, "by_reason");
+          by && by->kind == json::Value::Kind::kObject) {
         for (const auto& [name, count] : by->object) {
           const auto reason = ingest_reason_from_name(name);
           GSNP_CHECK_MSG(reason.has_value(),
                          "manifest: unknown ingest reason '" << name << "'");
-          GSNP_CHECK_MSG(count.kind == JsonValue::Kind::kNumber &&
+          GSNP_CHECK_MSG(count.kind == json::Value::Kind::kNumber &&
                              count.number >= 0,
                          "manifest: bad ingest count for '" << name << "'");
           e.ingest.by_reason[static_cast<std::size_t>(*reason)] =

@@ -34,6 +34,11 @@ struct ManifestEntry {
 struct RunManifest {
   int version = 1;
   std::string engine;      ///< requested engine for the whole run
+  /// Observability exports published alongside the run ("" = tracing off):
+  /// the Chrome trace_event JSON and the compact metrics JSON (DESIGN.md,
+  /// "Observability").  Optional on read for pre-tracing manifests.
+  std::string trace_file;
+  std::string metrics_file;
   std::vector<ManifestEntry> chromosomes;
 
   const ManifestEntry* find(const std::string& name) const;

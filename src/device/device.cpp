@@ -86,22 +86,31 @@ void Device::run_blocks(u32 grid_dim, u32 block_dim,
 
   // Exceptions cannot cross an OpenMP region boundary; capture the first one
   // and rethrow after the loop (kernels throw on contract violations such as
-  // out-of-range accesses or shared-memory overflow).
+  // out-of-range accesses or shared-memory overflow).  The cancellation flag
+  // makes the abort prompt: once any block has thrown, remaining blocks are
+  // skipped instead of executing the whole grid against a known-failed
+  // launch (OpenMP cannot break out of a parallel for).
   std::exception_ptr first_error;
+  std::atomic<bool> cancelled{false};
 
 #pragma omp parallel for schedule(dynamic, 16) num_threads(n_workers)
   for (i64 b = 0; b < static_cast<i64>(grid_dim); ++b) {
+    if (cancelled.load(std::memory_order_relaxed)) continue;
     const auto w = static_cast<std::size_t>(omp_get_thread_num());
     BlockContext blk(static_cast<u32>(b), grid_dim, block_dim,
                      std::span<std::byte>(arenas[w]), &shards[w]);
     try {
       body(blk);
     } catch (...) {
+      cancelled.store(true, std::memory_order_relaxed);
 #pragma omp critical
       if (!first_error) first_error = std::current_exception();
     }
   }
 
+  // Shards are reduced exactly once, aborted launch or not: blocks that ran
+  // before the cancellation still count (their work happened), blocks that
+  // were skipped contributed nothing to their shard.
   for (const auto& shard : shards) counters_ += shard;
   if (first_error) std::rethrow_exception(first_error);
 }

@@ -25,14 +25,20 @@ void sort_cpu_batch(VarArrays& va) {
 namespace {
 
 /// Gather the member arrays of one size class into a padded batch, sort on
-/// the device, and scatter the sorted prefixes back.
+/// the device, and scatter the sorted prefixes back.  Each class is one
+/// "sort_pass" span, annotated with its batch geometry.
 void sort_class(Device& dev, VarArrays& va, std::span<const u64> members,
-                u32 batch_size, SortStats& stats) {
+                u32 batch_size, SortStats& stats,
+                obs::Tracer* tracer = nullptr) {
   if (members.empty()) return;
+  obs::Tracer::Scope span(tracer, "sort_pass", "sort", &dev);
+  span.note("batch_size", std::to_string(batch_size));
+  span.note("arrays", std::to_string(members.size()));
   std::vector<u32> batch(members.size() * batch_size, kPadValue);
   for (std::size_t m = 0; m < members.size(); ++m) {
     const auto a = va.array(members[m]);
     std::copy(a.begin(), a.end(), batch.begin() + m * batch_size);
+    stats.elements_real += a.size();
   }
   DeviceBuffer<u32> buf = dev.to_device(std::span<const u32>(batch));
   batch_bitonic_sort(dev, buf, batch_size, members.size());
@@ -43,14 +49,15 @@ void sort_class(Device& dev, VarArrays& va, std::span<const u64> members,
     std::copy_n(batch.begin() + m * batch_size, a.size(), a.begin());
   }
   stats.arrays_sorted += members.size();
-  stats.elements_sorted += members.size() * batch_size;
+  stats.elements_padded += members.size() * batch_size;
   stats.passes += 1;
 }
 
 }  // namespace
 
 SortStats sort_device_multipass(Device& dev, VarArrays& va,
-                                std::span<const u32> class_bounds) {
+                                std::span<const u32> class_bounds,
+                                obs::Tracer* tracer) {
   GSNP_CHECK(std::is_sorted(class_bounds.begin(), class_bounds.end()));
   SortStats stats;
 
@@ -71,7 +78,7 @@ SortStats sort_device_multipass(Device& dev, VarArrays& va,
   for (std::size_t c = 0; c < n_classes; ++c) {
     if (classes[c].empty()) continue;
     const u32 upper = c < class_bounds.size() ? class_bounds[c] : max_size;
-    sort_class(dev, va, classes[c], next_pow2(upper), stats);
+    sort_class(dev, va, classes[c], next_pow2(upper), stats, tracer);
   }
   return stats;
 }
@@ -135,7 +142,8 @@ void class_copy_kernel(Device& dev, DeviceBuffer<u32>& words,
 
 SortStats sort_device_multipass_resident(Device& dev, DeviceBuffer<u32>& words,
                                          std::span<const u64> offsets_host,
-                                         std::span<const u32> class_bounds) {
+                                         std::span<const u32> class_bounds,
+                                         obs::Tracer* tracer) {
   GSNP_CHECK(std::is_sorted(class_bounds.begin(), class_bounds.end()));
   GSNP_CHECK(!offsets_host.empty());
   GSNP_CHECK_MSG(offsets_host.back() == words.size(),
@@ -159,13 +167,18 @@ SortStats sort_device_multipass_resident(Device& dev, DeviceBuffer<u32>& words,
     if (classes[c].empty()) continue;
     const u32 upper = c < class_bounds.size() ? class_bounds[c] : max_size;
     const u32 batch_size = next_pow2(upper);
+    obs::Tracer::Scope span(tracer, "sort_pass", "sort", &dev);
+    span.note("batch_size", std::to_string(batch_size));
+    span.note("arrays", std::to_string(classes[c].size()));
     const ClassMeta meta = upload_class(dev, offsets_host, classes[c]);
     DeviceBuffer<u32> batch = dev.alloc<u32>(meta.count * batch_size);
     class_copy_kernel(dev, words, batch, meta, batch_size, /*gather=*/true);
     batch_bitonic_sort(dev, batch, batch_size, meta.count);
     class_copy_kernel(dev, words, batch, meta, batch_size, /*gather=*/false);
+    for (const u64 i : classes[c])
+      stats.elements_real += offsets_host[i + 1] - offsets_host[i];
     stats.arrays_sorted += meta.count;
-    stats.elements_sorted += meta.count * batch_size;
+    stats.elements_padded += meta.count * batch_size;
     stats.passes += 1;
   }
   return stats;
@@ -209,7 +222,8 @@ SortStats sort_device_noneq(Device& dev, VarArrays& va) {
     pow2[m] = next_pow2(static_cast<u32>(a.size()));
     packed.insert(packed.end(), a.begin(), a.end());
     packed.resize(base[m] + pow2[m], kPadValue);
-    stats.elements_sorted += pow2[m];
+    stats.elements_real += a.size();
+    stats.elements_padded += pow2[m];
   }
   stats.arrays_sorted = members.size();
   stats.passes = 1;
@@ -283,7 +297,8 @@ SortStats sort_device_radix_seq(Device& dev, VarArrays& va) {
     const auto sorted = dev.to_host(buf);
     std::copy(sorted.begin(), sorted.end(), a.begin());
     stats.arrays_sorted += 1;
-    stats.elements_sorted += a.size();
+    stats.elements_real += a.size();
+    stats.elements_padded += a.size();  // radix pads nothing
     stats.passes += 1;
   }
   return stats;

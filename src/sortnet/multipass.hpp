@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "src/device/device.hpp"
+#include "src/obs/trace.hpp"
 #include "src/sortnet/batch_sort.hpp"
 #include "src/sortnet/var_arrays.hpp"
 
@@ -37,16 +38,23 @@ inline constexpr std::array<u32, 5> kDefaultClassBounds = {1, 8, 16, 32, 64};
 
 void sort_cpu_batch(VarArrays& va);
 
-/// Statistics a strategy reports (for the Fig 7b analysis).
+/// Statistics a strategy reports (for the Fig 7b analysis).  One definition
+/// across every strategy: `elements_real` counts the input elements of the
+/// arrays a strategy actually sorted (arrays of size <= 1 are skipped and not
+/// counted anywhere), so it is identical for the same VarArrays no matter the
+/// path; `elements_padded` counts compare-network slots including padding —
+/// the device work actually done, and the number Fig 7(b) compares.
 struct SortStats {
   u64 arrays_sorted = 0;
-  u64 elements_sorted = 0;  ///< including padding — the work actually done
+  u64 elements_real = 0;    ///< input elements of the sorted arrays
+  u64 elements_padded = 0;  ///< network slots incl. padding (work done)
   u32 passes = 0;
 };
 
 SortStats sort_device_multipass(
     device::Device& dev, VarArrays& va,
-    std::span<const u32> class_bounds = kDefaultClassBounds);
+    std::span<const u32> class_bounds = kDefaultClassBounds,
+    obs::Tracer* tracer = nullptr);
 
 /// Device-resident multipass sort: the concatenated arrays stay in device
 /// global memory; per-class gather/scatter between the CSR layout and the
@@ -58,7 +66,8 @@ SortStats sort_device_multipass(
 SortStats sort_device_multipass_resident(
     device::Device& dev, device::DeviceBuffer<u32>& words,
     std::span<const u64> offsets_host,
-    std::span<const u32> class_bounds = kDefaultClassBounds);
+    std::span<const u32> class_bounds = kDefaultClassBounds,
+    obs::Tracer* tracer = nullptr);
 
 SortStats sort_device_singlepass(device::Device& dev, VarArrays& va);
 

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <numeric>
+#include <stdexcept>
 #include <vector>
 
 #include "src/common/error.hpp"
@@ -381,6 +383,33 @@ TEST(PerfModel, CountersDelta) {
   EXPECT_EQ(d.instructions, 15u);
   EXPECT_EQ(d.global_loads_random, 5u);
   EXPECT_EQ(d.shared_stores, 3u);
+}
+
+TEST(KernelLaunch, CancelsRemainingBlocksAfterThrow) {
+  // Regression: run_blocks used to execute every block of the grid even
+  // after one had thrown, so a failed launch burned the whole grid's
+  // simulation time before surfacing the fault.  With the cancellation flag
+  // the abort is prompt: blocks scheduled after the throw are skipped.
+  Device dev;
+  constexpr u32 kGrid = 8192;
+  std::atomic<u64> executed{0};
+  EXPECT_THROW(
+      dev.launch(kGrid, 1,
+                 [&](BlockContext& blk) {
+                   executed.fetch_add(1, std::memory_order_relaxed);
+                   blk.single_thread([](ThreadContext& t) { t.inst(1); });
+                   if (blk.block_idx() == 0)
+                     throw std::runtime_error("block 0 failed");
+                 }),
+      std::runtime_error);
+  // Block 0 sits in the first scheduled chunk, so the flag is raised almost
+  // immediately; only blocks already in flight on other workers may finish.
+  EXPECT_LT(executed.load(), kGrid);
+  // Counter shards are reduced exactly once, aborted launch or not: the
+  // device must account precisely the blocks that ran, with nothing dropped
+  // and nothing double-counted.
+  EXPECT_EQ(dev.counters().instructions, executed.load());
+  EXPECT_EQ(dev.counters().kernel_launches, 1u);
 }
 
 TEST(DeviceSpecDefaults, MatchPaperHardware) {

@@ -179,9 +179,54 @@ TEST(Multipass, SortsFewerElementsThanSinglePass) {
   const SortStats sp = sort_device_singlepass(dev, b);
 
   EXPECT_EQ(mp.arrays_sorted, sp.arrays_sorted);
-  EXPECT_GT(sp.elements_sorted, 2 * mp.elements_sorted);
+  EXPECT_GT(sp.elements_padded, 2 * mp.elements_padded);
+  // Padding never changes the real element count.
+  EXPECT_EQ(mp.elements_real, sp.elements_real);
   EXPECT_GT(mp.passes, 1u);
   EXPECT_EQ(sp.passes, 1u);
+}
+
+TEST(Multipass, ElementsRealIdenticalAcrossStrategies) {
+  // Regression: elements_sorted used to mix definitions — multipass counted
+  // padded network slots, noneq counted per-array next_pow2 — so the same
+  // input reported different "elements sorted" depending on the path.  The
+  // split into elements_real / elements_padded pins one definition:
+  // elements_real is a property of the input alone.
+  const VarArrays original =
+      random_var_arrays(1500, 9.0, 110, 1u << 18, 2024);
+  u64 expected_real = 0;
+  for (u64 i = 0; i < original.count(); ++i)
+    if (original.size_of(i) > 1) expected_real += original.size_of(i);
+  device::Device dev;
+
+  VarArrays a = clone(original);
+  const SortStats mp = sort_device_multipass(dev, a);
+  VarArrays b = clone(original);
+  const SortStats sp = sort_device_singlepass(dev, b);
+  VarArrays c = clone(original);
+  const SortStats ne = sort_device_noneq(dev, c);
+  VarArrays d = clone(original);
+  const SortStats rs = sort_device_radix_seq(dev, d);
+
+  EXPECT_EQ(mp.elements_real, expected_real);
+  EXPECT_EQ(sp.elements_real, expected_real);
+  EXPECT_EQ(ne.elements_real, expected_real);
+  EXPECT_EQ(rs.elements_real, expected_real);
+
+  // The resident path sorts the same data from a device-side CSR buffer.
+  VarArrays e = clone(original);
+  auto words = dev.to_device(std::span<const u32>(e.values));
+  const SortStats res = sort_device_multipass_resident(
+      dev, words, std::span<const u64>(e.offsets));
+  EXPECT_EQ(res.elements_real, expected_real);
+  EXPECT_EQ(res.elements_padded, mp.elements_padded);
+
+  // Padded work is strategy-specific but always >= the real work; radix
+  // pads nothing by construction.
+  EXPECT_GE(mp.elements_padded, mp.elements_real);
+  EXPECT_GE(sp.elements_padded, sp.elements_real);
+  EXPECT_GE(ne.elements_padded, ne.elements_real);
+  EXPECT_EQ(rs.elements_padded, rs.elements_real);
 }
 
 TEST(Multipass, PaperClassBounds) {
