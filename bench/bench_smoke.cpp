@@ -10,9 +10,20 @@
 //
 //   bench_smoke [--out FILE] [--workdir DIR]   run + write + self-validate
 //   bench_smoke --validate FILE                schema-check an existing file
+//   bench_smoke --check BASELINE --candidate FILE [--history F --sha SHA]
+//                                              perf-regression sentinel:
+//                                              exact compare of deterministic
+//                                              counters, loose compare of
+//                                              host timings; on pass, append
+//                                              the candidate to the history
+//   bench_smoke --append-history FILE --from BENCH.json --sha SHA
+//                                              append one history entry
+//                                              (used to seed the trajectory)
 //
-// Exit codes: 0 ok, 1 validation failure, 2 usage.
+// Exit codes: 0 ok, 1 validation/check failure, 2 usage.
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -129,6 +140,164 @@ int validate(const fs::path& path) {
   return 0;
 }
 
+json::Value load_json(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GSNP_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const json::Value root = json::parse(buf.str());
+  GSNP_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+                 "top level is not an object in " << path);
+  GSNP_CHECK_MSG(json::get_string(root, "schema") == "gsnp-bench-pipeline",
+                 "wrong schema tag in " << path);
+  GSNP_CHECK_MSG(json::get_u64(root, "version") == 1,
+                 "unsupported version in " << path);
+  return root;
+}
+
+/// Append one line to the bench trajectory (never rewrites existing lines).
+/// `sha` is passed in by scripts/bench_report — the binary itself never
+/// shells out to git.
+int append_history(const fs::path& hist, const fs::path& from,
+                   const std::string& sha) {
+  const json::Value root = load_json(from);
+  const json::Value* dev = json::find(root, "device");
+  GSNP_CHECK_MSG(dev != nullptr, "'device' object missing in " << from);
+  std::ofstream os(hist, std::ios::binary | std::ios::app);
+  GSNP_CHECK_MSG(os.good(), "cannot append to " << hist);
+  os << "{\"schema\": \"gsnp-bench-history\", \"version\": 1, \"git_sha\": ";
+  json::write_escaped(os, sha);
+  os << ", \"sites\": " << json::get_u64(root, "sites")
+     << ", \"windows\": " << json::get_u64(root, "windows")
+     << ", \"records\": " << json::get_u64(root, "records")
+     << ", \"output_bytes\": " << json::get_u64(root, "output_bytes")
+     << ", \"wall_seconds\": " << fmt(json::get_number(root, "wall_seconds"))
+     << ", \"table_seconds\": " << fmt(json::get_number(root, "table_seconds"))
+     << ", \"throughput_sites_per_sec\": "
+     << fmt(json::get_number(root, "throughput_sites_per_sec"))
+     << ", \"instructions\": " << json::get_u64(*dev, "instructions")
+     << ", \"global_loads\": " << json::get_u64(*dev, "global_loads")
+     << ", \"global_stores\": " << json::get_u64(*dev, "global_stores")
+     << ", \"shared_loads\": " << json::get_u64(*dev, "shared_loads")
+     << ", \"shared_stores\": " << json::get_u64(*dev, "shared_stores")
+     << ", \"h2d_bytes\": " << json::get_u64(*dev, "h2d_bytes")
+     << ", \"d2h_bytes\": " << json::get_u64(*dev, "d2h_bytes")
+     << ", \"kernel_launches\": " << json::get_u64(*dev, "kernel_launches")
+     << ", \"peak_global_bytes\": " << json::get_u64(*dev, "peak_global_bytes")
+     << "}\n";
+  os.flush();
+  GSNP_CHECK_MSG(os.good(), "history append failed " << hist);
+  std::printf("bench_smoke: appended %s (sha %s) to %s\n",
+              from.string().c_str(), sha.c_str(), hist.string().c_str());
+  return 0;
+}
+
+/// The regression sentinel.  Counters and dataset shape are deterministic
+/// (seeded input, deterministic simulator), so they must match *exactly*;
+/// modeled seconds derive linearly from counters, so they get a float
+/// round-off tolerance; host/wall seconds depend on the machine and get a
+/// loose factor-of-N band.  Every offending metric is named; all metrics are
+/// checked before failing so one regression doesn't mask another.
+int check(const fs::path& baseline_path, const fs::path& candidate_path) {
+  const json::Value base = load_json(baseline_path);
+  const json::Value cand = load_json(candidate_path);
+
+  int failures = 0;
+  const auto fail = [&](const std::string& metric, const std::string& detail) {
+    std::fprintf(stderr, "bench check FAILED: metric '%s': %s\n",
+                 metric.c_str(), detail.c_str());
+    failures++;
+  };
+
+  const auto exact_u64 = [&](const json::Value& a, const json::Value& b,
+                             const std::string& metric, const char* key) {
+    const u64 av = json::get_u64(a, key);
+    const u64 bv = json::get_u64(b, key);
+    if (av != bv) {
+      std::ostringstream os;
+      os << "baseline=" << av << " candidate=" << bv
+         << " (deterministic counter, must match exactly)";
+      fail(metric, os.str());
+    }
+  };
+  // Modeled seconds: counters are exact, so only accumulation-order round-off
+  // is tolerable.
+  const auto tight = [&](double av, double bv, const std::string& metric) {
+    const double tol = 1e-6 * std::max(std::abs(av), std::abs(bv)) + 1e-12;
+    if (std::abs(av - bv) > tol) {
+      std::ostringstream os;
+      os << "baseline=" << fmt(av) << " candidate=" << fmt(bv)
+         << " (modeled from deterministic counters; tolerance " << fmt(tol)
+         << ")";
+      fail(metric, os.str());
+    }
+  };
+  // Host/wall timings: machine-dependent.  Accept anything within a factor
+  // band or an absolute slack (tiny stages are all noise).
+  const auto loose = [&](double av, double bv, const std::string& metric,
+                         double factor, double slack) {
+    if (std::abs(av - bv) <= slack) return;
+    if (av > 0.0 && bv > 0.0 && bv <= av * factor && av <= bv * factor) return;
+    std::ostringstream os;
+    os << "baseline=" << fmt(av) << " candidate=" << fmt(bv)
+       << " (outside x" << factor << " band and " << fmt(slack)
+       << " absolute slack)";
+    fail(metric, os.str());
+  };
+
+  for (const char* key :
+       {"chromosomes", "sites", "windows", "records", "output_bytes"}) {
+    exact_u64(base, cand, key, key);
+  }
+
+  const json::Value* bdev = json::find(base, "device");
+  const json::Value* cdev = json::find(cand, "device");
+  GSNP_CHECK_MSG(bdev && cdev, "'device' object missing");
+  for (const char* key :
+       {"instructions", "global_loads", "global_stores", "shared_loads",
+        "shared_stores", "h2d_bytes", "d2h_bytes", "kernel_launches",
+        "peak_global_bytes"}) {
+    exact_u64(*bdev, *cdev, std::string("device.") + key, key);
+  }
+
+  const json::Value* bstages = json::find(base, "stages");
+  const json::Value* cstages = json::find(cand, "stages");
+  GSNP_CHECK_MSG(bstages && cstages, "'stages' object missing");
+  for (const char* name : core::kComponents) {
+    const json::Value* bs = json::find(*bstages, name);
+    const json::Value* cs = json::find(*cstages, name);
+    if (bs == nullptr || cs == nullptr) {
+      fail(std::string("stages.") + name, "missing stage entry");
+      continue;
+    }
+    tight(json::get_number(*bs, "modeled_seconds"),
+          json::get_number(*cs, "modeled_seconds"),
+          std::string("stages.") + name + ".modeled_seconds");
+    loose(json::get_number(*bs, "host_seconds"),
+          json::get_number(*cs, "host_seconds"),
+          std::string("stages.") + name + ".host_seconds", 5.0, 0.05);
+  }
+
+  loose(json::get_number(base, "wall_seconds"),
+        json::get_number(cand, "wall_seconds"), "wall_seconds", 5.0, 0.25);
+  loose(json::get_number(base, "table_seconds"),
+        json::get_number(cand, "table_seconds"), "table_seconds", 5.0, 0.25);
+  loose(json::get_number(base, "throughput_sites_per_sec"),
+        json::get_number(cand, "throughput_sites_per_sec"),
+        "throughput_sites_per_sec", 5.0, 0.0);
+
+  if (failures > 0) {
+    std::fprintf(stderr, "bench check: %d metric(s) out of tolerance (%s vs %s)\n",
+                 failures, baseline_path.string().c_str(),
+                 candidate_path.string().c_str());
+    return 1;
+  }
+  std::printf("bench check OK: %s matches %s "
+              "(counters exact, timings within tolerance)\n",
+              candidate_path.string().c_str(), baseline_path.string().c_str());
+  return 0;
+}
+
 int run(const fs::path& out, const fs::path& workdir) {
   fs::create_directories(workdir);
   const Dataset ds = make_dataset(workdir);
@@ -227,7 +396,9 @@ int run(const fs::path& out, const fs::path& workdir) {
 int main(int argc, char** argv) {
   fs::path out = "BENCH_pipeline.json";
   fs::path workdir = fs::temp_directory_path() / "gsnp_bench_smoke";
-  fs::path validate_path;
+  fs::path validate_path, check_baseline, check_candidate;
+  fs::path history_path, history_from;
+  std::string sha = "unknown";
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) {
       if (i + 1 >= argc) {
@@ -241,15 +412,50 @@ int main(int argc, char** argv) {
       workdir = need_value("--workdir");
     else if (std::strcmp(argv[i], "--validate") == 0)
       validate_path = need_value("--validate");
+    else if (std::strcmp(argv[i], "--check") == 0)
+      check_baseline = need_value("--check");
+    else if (std::strcmp(argv[i], "--candidate") == 0)
+      check_candidate = need_value("--candidate");
+    else if (std::strcmp(argv[i], "--history") == 0)
+      history_path = need_value("--history");
+    else if (std::strcmp(argv[i], "--append-history") == 0)
+      history_path = need_value("--append-history");
+    else if (std::strcmp(argv[i], "--from") == 0)
+      history_from = need_value("--from");
+    else if (std::strcmp(argv[i], "--sha") == 0)
+      sha = need_value("--sha").string();
     else {
       std::fprintf(stderr,
                    "usage: bench_smoke [--out FILE] [--workdir DIR] "
-                   "[--validate FILE]\n");
+                   "[--validate FILE]\n"
+                   "       bench_smoke --check BASELINE --candidate FILE "
+                   "[--history FILE --sha SHA]\n"
+                   "       bench_smoke --append-history FILE --from FILE "
+                   "--sha SHA\n");
       return 2;
     }
   }
   try {
     if (!validate_path.empty()) return validate(validate_path);
+    if (!check_baseline.empty()) {
+      if (check_candidate.empty()) {
+        std::fprintf(stderr, "bench_smoke: --check needs --candidate FILE\n");
+        return 2;
+      }
+      const int rc = check(check_baseline, check_candidate);
+      // Only accepted runs enter the trajectory.
+      if (rc == 0 && !history_path.empty())
+        return append_history(history_path, check_candidate, sha);
+      return rc;
+    }
+    if (!history_path.empty()) {
+      if (history_from.empty()) {
+        std::fprintf(stderr,
+                     "bench_smoke: --append-history needs --from FILE\n");
+        return 2;
+      }
+      return append_history(history_path, history_from, sha);
+    }
     return run(out, workdir);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_smoke: %s\n", e.what());

@@ -12,15 +12,40 @@
 // accesses ~51%.
 
 #include <cstdio>
+#include <memory>
 
 #include "bench_util.hpp"
 #include "src/core/kernels.hpp"
 #include "src/core/likelihood.hpp"
 #include "src/core/window.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/reads/alignment.hpp"
 
 using namespace gsnp;
 using namespace gsnp::bench;
+
+namespace {
+
+/// Load, count and sort the dataset into BaseWordWindow units (the sparse
+/// representation both kernels consume).
+std::vector<core::BaseWordWindow> make_windows(const Dataset& data) {
+  std::vector<core::BaseWordWindow> windows;
+  auto reader = std::make_shared<reads::AlignmentReader>(data.align_file);
+  core::WindowLoader loader([reader] { return reader->next(); },
+                            data.ref.size(), 65'536);
+  core::WindowRecords win;
+  core::WindowObs obs;
+  std::vector<core::SiteStats> stats;
+  while (loader.next(win)) {
+    core::BaseWordWindow sparse(0);
+    core::count_window(win, obs, stats, nullptr, &sparse);
+    core::likelihood_sort_cpu(sparse);
+    windows.push_back(std::move(sparse));
+  }
+  return windows;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
   const u64 chr1_sites = flag_u64(argc, argv, "--chr1-sites", 120'000);
@@ -52,21 +77,7 @@ int main(int argc, char** argv) {
   const core::DeviceScoreTables tables(dev, pm, npm);
 
   // Sorted windows.
-  std::vector<core::BaseWordWindow> windows;
-  {
-    auto reader = std::make_shared<reads::AlignmentReader>(data.align_file);
-    core::WindowLoader loader([reader] { return reader->next(); },
-                              data.ref.size(), 65'536);
-    core::WindowRecords win;
-    core::WindowObs obs;
-    std::vector<core::SiteStats> stats;
-    while (loader.next(win)) {
-      core::BaseWordWindow sparse(0);
-      core::count_window(win, obs, stats, nullptr, &sparse);
-      core::likelihood_sort_cpu(sparse);
-      windows.push_back(std::move(sparse));
-    }
-  }
+  const std::vector<core::BaseWordWindow> windows = make_windows(data);
 
   const struct {
     const char* name;
@@ -81,10 +92,15 @@ int main(int argc, char** argv) {
   std::printf("%-14s %12s %12s %12s %12s %12s\n", "", "#inst.PW", "#g_load",
               "#g_store", "#s_load PW", "#s_store PW");
   device::DeviceCounters baseline;
+  std::vector<obs::ProfileReport> variant_profiles;
   for (const auto& variant : kVariants) {
     const auto before = dev.counters();
-    for (const auto& window : windows)
-      (void)core::device_likelihood_sparse(dev, window, tables, variant.opts);
+    {
+      obs::Profiler profiler(dev);
+      for (const auto& window : windows)
+        (void)core::device_likelihood_sparse(dev, window, tables, variant.opts);
+      variant_profiles.push_back(profiler.report());
+    }
     const auto c = device::counters_delta(before, dev.counters());
     if (std::string(variant.name) == "baseline") baseline = c;
     std::printf("%-14s %12.3g %12.3g %12.3g %12.3g %12.3g\n", variant.name,
@@ -106,5 +122,44 @@ int main(int argc, char** argv) {
   print_paper_note("paper Ch.1: baseline 3.3e10 / 3.3e8 / 3.7e8 / 0 / 0; "
                    "w/shared -> loads 70%, stores 68%; w/table -> inst 73%, "
                    "loads 64%; optimized -> inst 70%, total accesses 51%");
+
+  // Live per-kernel view of the same comparison through the profiler:
+  // optimized vs baseline, attributed by kernel name.
+  std::printf("\n");
+  std::fputs(obs::format_profile_diff(variant_profiles.front(),
+                                      variant_profiles.back(), "baseline",
+                                      "optimized")
+                 .c_str(),
+             stdout);
+
+  // Dense base_occ vs sparse base_word (the paper's headline Table III
+  // contrast), profiled over one shared smaller dataset — the dense kernel
+  // streams the full 4^9-cell matrix per site, so it gets its own site cap.
+  const u64 dense_sites = flag_u64(argc, argv, "--dense-sites", 8'192);
+  if (dense_sites > 0) {
+    const Dataset small =
+        make_dataset(ch1_spec(dense_sites), bench_dir("table3_dense"));
+    const std::vector<core::BaseWordWindow> small_windows =
+        make_windows(small);
+    obs::ProfileReport dense_prof, sparse_prof;
+    {
+      obs::Profiler profiler(dev);
+      for (const auto& window : small_windows)
+        (void)core::device_likelihood_dense(dev, window, tables);
+      dense_prof = profiler.report();
+    }
+    {
+      obs::Profiler profiler(dev);
+      for (const auto& window : small_windows)
+        (void)core::device_likelihood_sparse(dev, window, tables, {true, true});
+      sparse_prof = profiler.report();
+    }
+    std::printf("\ndense base_occ vs sparse base_word (%llu sites):\n",
+                static_cast<unsigned long long>(dense_sites));
+    std::fputs(
+        obs::format_profile_diff(dense_prof, sparse_prof, "dense", "sparse")
+            .c_str(),
+        stdout);
+  }
   return 0;
 }

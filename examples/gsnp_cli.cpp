@@ -9,7 +9,11 @@
 //                     [--window N] [--threads N] [--save-matrix <file>]
 //                     [--lenient] [--quarantine <file>] [--max-bad N]
 //                     [--max-bad-frac P] [--trace-out <json>]
-//                     [--metrics-out <json>]
+//                     [--metrics-out <json>] [--profile-out <json>]
+//   gsnp_cli profile  --ref <fa> --align <soap> [--dbsnp <file>] [--window N]
+//                     [--out <file>] [--profile-out <json>]
+//   gsnp_cli profile  --diff <base.json> <other.json>
+//   gsnp_cli profile  --validate <profile.json>
 //   gsnp_cli compare  <a> <b>
 //   gsnp_cli eval     --calls <file> --truth <truth.tsv> [--min-q Q]
 //   gsnp_cli stats    --align <soap> --sites N
@@ -32,6 +36,7 @@
 #include "src/core/vcf.hpp"
 #include "src/genome/dbsnp.hpp"
 #include "src/genome/synthetic.hpp"
+#include "src/obs/profiler.hpp"
 #include "src/obs/trace.hpp"
 #include "src/reads/sam.hpp"
 #include "src/reads/simulator.hpp"
@@ -181,10 +186,13 @@ int cmd_call(const Args& args) {
   }
 
   const std::string engine = args.get("--engine", "gsnp");
+  const fs::path profile_out = args.get("--profile-out", "");
   core::RunReport report;
   std::optional<device::Device> dev;
+  std::optional<obs::Profiler> profiler;
   if (engine == "gsnp") {
     dev.emplace();
+    if (!profile_out.empty()) profiler.emplace(*dev);
     report = core::run_gsnp(config, *dev);
   } else if (engine == "gsnp-cpu") {
     report = core::run_gsnp_cpu(config);
@@ -219,7 +227,95 @@ int cmd_call(const Args& args) {
       std::printf("metrics: %s\n", metrics_out.string().c_str());
     }
   }
+  if (profiler) {
+    const obs::ProfileReport prof = profiler->report();
+    obs::write_profile_json(profile_out, prof);
+    std::printf("profile: %s (%zu kernels, %llu launches)\n",
+                profile_out.string().c_str(), prof.kernels.size(),
+                static_cast<unsigned long long>(prof.launches));
+  } else if (!profile_out.empty()) {
+    std::fprintf(stderr,
+                 "call: --profile-out needs --engine gsnp (the profiler "
+                 "instruments the device simulator); no profile written\n");
+  }
 
+  return 0;
+}
+
+int cmd_profile(const Args& args) {
+  // Diff mode: gsnp_cli profile --diff BASE.json OTHER.json
+  if (args.has("--diff")) {
+    if (args.positional().empty()) {
+      std::fprintf(stderr, "profile: --diff needs two profile.json paths\n");
+      return 2;
+    }
+    const fs::path base_path = args.get("--diff", "");
+    const fs::path other_path = args.positional()[0];
+    const obs::ProfileReport base = obs::read_profile_json(base_path);
+    const obs::ProfileReport other = obs::read_profile_json(other_path);
+    std::fputs(obs::format_profile_diff(base, other,
+                                        base_path.stem().string(),
+                                        other_path.stem().string())
+                   .c_str(),
+               stdout);
+    return 0;
+  }
+
+  // Validate mode: schema check for CI (nonzero exit on mismatch).
+  if (args.has("--validate")) {
+    const fs::path path = args.get("--validate", "");
+    const obs::ProfileReport rep = obs::read_profile_json(path);
+    std::printf("%s: OK (gsnp-profile v1, %zu kernels, %llu launches, "
+                "%.3f modeled ms)\n",
+                path.string().c_str(), rep.kernels.size(),
+                static_cast<unsigned long long>(rep.launches),
+                rep.modeled_sec * 1e3);
+    return 0;
+  }
+
+  // Run mode: profile the gsnp engine over a dataset and print the table.
+  const fs::path ref_path = args.get("--ref", "");
+  const fs::path align_path = args.get("--align", "");
+  if (ref_path.empty() || align_path.empty()) {
+    std::fprintf(stderr, "profile: --ref and --align are required\n");
+    return 2;
+  }
+  const auto refs = genome::read_fasta_file(ref_path);
+  if (refs.size() != 1) {
+    std::fprintf(stderr, "profile: expected exactly one sequence in %s\n",
+                 ref_path.string().c_str());
+    return 2;
+  }
+  std::optional<genome::DbSnpTable> dbsnp;
+  if (args.has("--dbsnp"))
+    dbsnp = genome::read_dbsnp_file(args.get("--dbsnp", ""), {}, nullptr,
+                                    refs[0].size());
+
+  const fs::path out_path = args.get("--out", "profile_out.snp");
+  core::EngineConfig config;
+  config.alignment_file = align_path;
+  config.reference = &refs[0];
+  config.dbsnp = dbsnp ? &*dbsnp : nullptr;
+  config.output_file = out_path;
+  config.temp_file = out_path.string() + ".tmp";
+  config.window_size = static_cast<u32>(std::stoul(args.get("--window", "0")));
+
+  device::Device dev;
+  obs::Profiler profiler(dev);
+  const core::RunReport report = core::run_gsnp(config, dev);
+  const obs::ProfileReport prof = profiler.report();
+
+  std::fputs(obs::format_profile_table(prof).c_str(), stdout);
+  std::printf("\n%llu sites, %llu bytes out, %.3f s wall\n",
+              static_cast<unsigned long long>(report.sites),
+              static_cast<unsigned long long>(report.output_bytes),
+              report.total());
+
+  const fs::path profile_out = args.get("--profile-out", "");
+  if (!profile_out.empty()) {
+    obs::write_profile_json(profile_out, prof);
+    std::printf("profile: %s\n", profile_out.string().c_str());
+  }
   return 0;
 }
 
@@ -414,6 +510,7 @@ int main(int argc, char** argv) {
     try {
       if (std::strcmp(argv[1], "simulate") == 0) return cmd_simulate(args);
       if (std::strcmp(argv[1], "call") == 0) return cmd_call(args);
+      if (std::strcmp(argv[1], "profile") == 0) return cmd_profile(args);
       if (std::strcmp(argv[1], "compare") == 0) return cmd_compare(args);
       if (std::strcmp(argv[1], "eval") == 0) return cmd_eval(args);
       if (std::strcmp(argv[1], "stats") == 0) return cmd_stats(args);
@@ -426,13 +523,18 @@ int main(int argc, char** argv) {
     }
   }
   std::printf("usage: gsnp_cli "
-              "<simulate|call|compare|eval|vcf|stats|verify|manifest> "
+              "<simulate|call|profile|compare|eval|vcf|stats|verify|manifest> "
               "[options]\n"
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
               "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
               "           [--lenient --quarantine F --max-bad N --max-bad-frac P]\n"
               "           [--trace-out TRACE.json --metrics-out METRICS.json]\n"
+              "           [--profile-out PROFILE.json]\n"
+              "  profile  --ref FA --align SOAP [--dbsnp F --window N --out FILE]\n"
+              "           [--profile-out PROFILE.json]   (per-kernel table)\n"
+              "  profile  --diff BASE.json OTHER.json   (Table III-style diff)\n"
+              "  profile  --validate PROFILE.json       (schema check)\n"
               "  compare  A B\n"
               "  eval     --calls FILE --truth TSV [--min-q Q]\n"
               "  vcf      --calls FILE --out OUT.vcf [--min-q Q --all-sites]\n"

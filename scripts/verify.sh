@@ -17,6 +17,20 @@ cmake --build build -j --target bench_smoke >/dev/null
 [ -s build/BENCH_pipeline.json ] || { echo "BENCH_pipeline.json missing"; exit 1; }
 ./build/bench/bench_smoke --validate build/BENCH_pipeline.json
 
+echo "== perf sentinel: fresh bench vs committed baseline (+ history append) =="
+scripts/bench_report --check
+
+echo "== profiler: per-kernel profile is schema-valid and sums exactly =="
+cmake --build build -j --target gsnp_cli >/dev/null
+./build/examples/gsnp_cli simulate --out build/profile_sim --sites 20000 \
+                                   --depth 6 --seed 7 >/dev/null
+./build/examples/gsnp_cli profile --ref build/profile_sim/ref.fa \
+                                  --align build/profile_sim/align.soap \
+                                  --out build/profile_sim/out.snp \
+                                  --profile-out build/profile_sim/profile.json \
+                                  >/dev/null
+./build/examples/gsnp_cli profile --validate build/profile_sim/profile.json
+
 echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz =="
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null

@@ -27,7 +27,7 @@ u32 grid_for(u64 n) {
 u32 device_inclusive_scan(Device& dev, DeviceBuffer<u32>& flags) {
   const u64 n = flags.size();
   DeviceBuffer<u32> total = dev.alloc<u32>(1);
-  dev.launch(1, 1, [&](BlockContext& blk) {
+  dev.launch("rle_inclusive_scan", 1, 1, [&](BlockContext& blk) {
     blk.single_thread([&](ThreadContext& t) {
       u32 running = 0;
       for (u64 i = 0; i < n; ++i) {
@@ -53,7 +53,8 @@ RunDecomposition device_run_decompose(Device& dev,
   DeviceBuffer<u32> flags = dev.alloc<u32>(n);
 
   // Kernel 1: run-boundary flags (coalesced neighbour reads).
-  dev.launch(grid_for(n), kBlockThreads, [&](BlockContext& blk) {
+  dev.launch("rle_boundary_flags", grid_for(n), kBlockThreads,
+             [&](BlockContext& blk) {
     blk.threads([&](ThreadContext& t) {
       const u64 i = static_cast<u64>(blk.block_idx()) * kBlockThreads + t.tid();
       if (i >= n) return;
@@ -72,7 +73,8 @@ RunDecomposition device_run_decompose(Device& dev,
   // index; lengths follow from consecutive starts.
   DeviceBuffer<u32> run_values = dev.alloc<u32>(n_runs);
   DeviceBuffer<u32> run_starts = dev.alloc<u32>(n_runs);
-  dev.launch(grid_for(n), kBlockThreads, [&](BlockContext& blk) {
+  dev.launch("rle_emit_runs", grid_for(n), kBlockThreads,
+             [&](BlockContext& blk) {
     blk.threads([&](ThreadContext& t) {
       const u64 i = static_cast<u64>(blk.block_idx()) * kBlockThreads + t.tid();
       if (i >= n) return;
@@ -108,7 +110,8 @@ DictMapping device_build_dict(Device& dev, std::span<const u32> column) {
   sortnet::device_radix_sort(dev, sorted);
 
   DeviceBuffer<u32> uniq_flags = dev.alloc<u32>(n);
-  dev.launch(grid_for(n), kBlockThreads, [&](BlockContext& blk) {
+  dev.launch("dict_uniq_flags", grid_for(n), kBlockThreads,
+             [&](BlockContext& blk) {
     blk.threads([&](ThreadContext& t) {
       const u64 i = static_cast<u64>(blk.block_idx()) * kBlockThreads + t.tid();
       if (i >= n) return;
@@ -122,7 +125,8 @@ DictMapping device_build_dict(Device& dev, std::span<const u32> column) {
   const u32 dict_size = device_inclusive_scan(dev, uniq_flags);
 
   DeviceBuffer<u32> dict = dev.alloc<u32>(dict_size);
-  dev.launch(grid_for(n), kBlockThreads, [&](BlockContext& blk) {
+  dev.launch("dict_emit", grid_for(n), kBlockThreads,
+             [&](BlockContext& blk) {
     blk.threads([&](ThreadContext& t) {
       const u64 i = static_cast<u64>(blk.block_idx()) * kBlockThreads + t.tid();
       if (i >= n) return;
@@ -147,7 +151,8 @@ DictMapping device_build_dict(Device& dev, std::span<const u32> column) {
 
   DeviceBuffer<u32> values = dev.to_device(column);
   DeviceBuffer<u32> indices = dev.alloc<u32>(n);
-  dev.launch(grid_for(n), kBlockThreads, [&](BlockContext& blk) {
+  dev.launch("dict_lookup", grid_for(n), kBlockThreads,
+             [&](BlockContext& blk) {
     blk.threads([&](ThreadContext& t) {
       const u64 i = static_cast<u64>(blk.block_idx()) * kBlockThreads + t.tid();
       if (i >= n) return;

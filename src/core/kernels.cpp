@@ -78,7 +78,8 @@ std::vector<TypeLikely> device_likelihood_sparse_resident(
   const u32 grid =
       (w + kLikelihoodBlockThreads - 1) / kLikelihoodBlockThreads;
 
-  dev.launch(grid, kLikelihoodBlockThreads, [&](BlockContext& blk) {
+  dev.launch("likelihood_comp", grid, kLikelihoodBlockThreads,
+             [&](BlockContext& blk) {
     std::span<double> s_tl;
     if (opts.use_shared)
       s_tl = blk.shared_array<double>(kLikelihoodBlockThreads * kNumGenotypes);
@@ -205,7 +206,7 @@ std::vector<TypeLikely> device_likelihood_dense(
     dev.fill(dense, u8{0});  // per-chunk recycle of the dense matrices
 
     // Counting kernel: one block per site scatters its words into base_occ.
-    dev.launch(n_sites, 256, [&](BlockContext& blk) {
+    dev.launch("base_occ_count", n_sites, 256, [&](BlockContext& blk) {
       const u32 site = chunk_start + blk.block_idx();
       blk.threads([&](ThreadContext& t) {
         const u64 begin = t.gload(offsets, site, Access::kCoalesced);
@@ -227,7 +228,7 @@ std::vector<TypeLikely> device_likelihood_dense(
     // Likelihood kernel: one block per site streams the full 131,072-cell
     // matrix with coalesced reads (Algorithm 1's canonical order), paying
     // likely_update's cost on each occurrence.
-    dev.launch(n_sites, 1, [&](BlockContext& blk) {
+    dev.launch("likelihood_comp_dense", n_sites, 1, [&](BlockContext& blk) {
       const u32 site = chunk_start + blk.block_idx();
       blk.single_thread([&](ThreadContext& t) {
         // The block's threads cooperatively stream the matrix; the simulator
@@ -319,7 +320,7 @@ std::vector<PosteriorCall> device_posterior(
 
   constexpr u32 kBlock = 256;
   const u32 grid = static_cast<u32>((w + kBlock - 1) / kBlock);
-  dev.launch(grid, kBlock, [&](BlockContext& blk) {
+  dev.launch("posterior_select", grid, kBlock, [&](BlockContext& blk) {
     blk.threads([&](ThreadContext& t) {
       const u64 site = t.global_tid();
       t.inst();

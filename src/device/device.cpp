@@ -7,6 +7,7 @@
 #include <sstream>
 
 #include "src/common/rng.hpp"
+#include "src/device/perf_model.hpp"
 
 namespace gsnp::device {
 
@@ -113,6 +114,19 @@ void Device::run_blocks(u32 grid_dim, u32 block_dim,
   // were skipped contributed nothing to their shard.
   for (const auto& shard : shards) counters_ += shard;
   if (first_error) std::rethrow_exception(first_error);
+}
+
+void Device::notify_launch(std::string_view name, u32 grid_dim, u32 block_dim,
+                           const DeviceCounters& before, bool failed) {
+  LaunchInfo info;
+  info.name = name;
+  info.grid_dim = grid_dim;
+  info.block_dim = block_dim;
+  info.failed = failed;
+  info.delta = counters_delta(before, counters_);
+  info.allocated_bytes = global_used_.load();
+  info.peak_global_bytes = global_peak_.load();
+  listener_->on_kernel_launch(info);
 }
 
 }  // namespace gsnp::device

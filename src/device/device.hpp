@@ -33,6 +33,7 @@
 #include <memory>
 #include <span>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "src/common/crc32.hpp"
@@ -162,6 +163,29 @@ struct DeviceCounters {
 };
 
 class Device;
+
+/// Everything the device knows about one finished (or failed) kernel launch.
+/// `name` points at the launch site's string literal and is only valid for
+/// the duration of the callback.
+struct LaunchInfo {
+  std::string_view name;      ///< kernel name ("" for unnamed legacy launches)
+  u32 grid_dim = 0;
+  u32 block_dim = 0;
+  bool failed = false;        ///< a block threw; delta covers blocks that ran
+  DeviceCounters delta;       ///< counter movement attributable to the launch
+  u64 allocated_bytes = 0;    ///< global bytes live when the launch finished
+  u64 peak_global_bytes = 0;  ///< device-lifetime allocation high-water mark
+};
+
+/// Observer for kernel launches (the profiler implements this; the device
+/// layer cannot depend on src/obs).  At most one listener per Device; the
+/// callback runs on the launching host thread after block shards have been
+/// reduced into the device aggregate, and must not launch kernels or throw.
+class LaunchListener {
+ public:
+  virtual ~LaunchListener() = default;
+  virtual void on_kernel_launch(const LaunchInfo& info) = 0;
+};
 
 /// A typed allocation in simulated device global memory.  Host code must not
 /// dereference it directly; kernels access it through ThreadContext, host
@@ -489,9 +513,12 @@ class Device {
 
   /// Launch `grid_dim` blocks of `block_dim` threads running `kernel`, a
   /// callable taking BlockContext&.  Blocks run in parallel across host
-  /// threads; each gets a private shared-memory arena.
+  /// threads; each gets a private shared-memory arena.  `name` identifies the
+  /// kernel to an attached LaunchListener (the profiler aggregates by it);
+  /// pass a string literal so LaunchInfo::name stays valid in the callback.
   template <typename Kernel>
-  void launch(u32 grid_dim, u32 block_dim, Kernel&& kernel) {
+  void launch(std::string_view name, u32 grid_dim, u32 block_dim,
+              Kernel&& kernel) {
     if (block_dim < 1 ||
         block_dim > static_cast<u32>(spec_.max_block_threads)) {
       std::ostringstream os;
@@ -501,9 +528,36 @@ class Device {
     }
     GSNP_CHECK(grid_dim >= 1);
     begin_launch();
+    // Snapshot before bumping kernel_launches so the launch's own fixed cost
+    // lands inside its delta.
+    const DeviceCounters before = counters_;
     counters_.kernel_launches++;
-    run_blocks(grid_dim, block_dim, [&](BlockContext& blk) { kernel(blk); });
+    if (listener_ == nullptr) {
+      run_blocks(grid_dim, block_dim, [&](BlockContext& blk) { kernel(blk); });
+      return;
+    }
+    try {
+      run_blocks(grid_dim, block_dim, [&](BlockContext& blk) { kernel(blk); });
+    } catch (...) {
+      // run_blocks has already reduced the shards of the blocks that ran, so
+      // the listener still sees an exact delta for the partial launch.
+      notify_launch(name, grid_dim, block_dim, before, /*failed=*/true);
+      throw;
+    }
+    notify_launch(name, grid_dim, block_dim, before, /*failed=*/false);
   }
+
+  /// Unnamed launch (legacy sites and one-off test kernels).  Profilers
+  /// aggregate these under "(unnamed)".
+  template <typename Kernel>
+  void launch(u32 grid_dim, u32 block_dim, Kernel&& kernel) {
+    launch(std::string_view{}, grid_dim, block_dim,
+           std::forward<Kernel>(kernel));
+  }
+
+  /// Attach/detach a launch observer (at most one; nullptr detaches).
+  void set_launch_listener(LaunchListener* listener) { listener_ = listener; }
+  LaunchListener* launch_listener() const { return listener_; }
 
   const DeviceCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = DeviceCounters{}; }
@@ -546,8 +600,13 @@ class Device {
   void run_blocks(u32 grid_dim, u32 block_dim,
                   const std::function<void(BlockContext&)>& body);
 
+  /// Non-template listener notification (device.cpp) so launch() stays lean.
+  void notify_launch(std::string_view name, u32 grid_dim, u32 block_dim,
+                     const DeviceCounters& before, bool failed);
+
   DeviceSpec spec_;
   DeviceCounters counters_;
+  LaunchListener* listener_ = nullptr;
   std::atomic<u64> global_used_{0};
   std::atomic<u64> global_peak_{0};
   u64 constant_used_ = 0;

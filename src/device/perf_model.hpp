@@ -29,28 +29,44 @@ struct PerfModel {
   /// Fixed cost per kernel launch (seconds).
   double launch_overhead_sec = 5.0e-6;
 
+  /// The additive terms of the model, individually.  The profiler
+  /// (src/obs/profiler) uses these for roofline attribution: a kernel is
+  /// classified by whichever term dominates its modeled time.
+  struct Terms {
+    double instructions = 0.0;
+    double coalesced = 0.0;
+    double random = 0.0;
+    double shared = 0.0;
+    double transfer = 0.0;
+    double launch = 0.0;
+
+    double total() const {
+      return instructions + coalesced + random + shared + transfer + launch;
+    }
+  };
+
+  Terms terms(const DeviceCounters& c) const {
+    Terms t;
+    t.instructions =
+        static_cast<double>(c.instructions) / instructions_per_sec;
+    t.coalesced = static_cast<double>(c.global_load_bytes_coalesced +
+                                      c.global_store_bytes_coalesced) /
+                  coalesced_bytes_per_sec;
+    t.random = static_cast<double>(c.global_load_bytes_random +
+                                   c.global_store_bytes_random) /
+               random_bytes_per_sec;
+    t.shared = static_cast<double>(c.shared_bytes) / shared_bytes_per_sec;
+    t.transfer =
+        static_cast<double>(c.h2d_bytes + c.d2h_bytes) / pcie_bytes_per_sec;
+    t.launch = static_cast<double>(c.kernel_launches) * launch_overhead_sec;
+    return t;
+  }
+
   /// Estimated seconds to execute the work described by `c`.
   /// Compute and memory are summed (a deliberately simple, monotone model;
   /// the paper's own Formula 1 estimate is the same style of
   /// bytes-over-bandwidth reasoning).
-  double seconds(const DeviceCounters& c) const {
-    const double inst = static_cast<double>(c.instructions) / instructions_per_sec;
-    const double coal =
-        static_cast<double>(c.global_load_bytes_coalesced +
-                            c.global_store_bytes_coalesced) /
-        coalesced_bytes_per_sec;
-    const double rand =
-        static_cast<double>(c.global_load_bytes_random +
-                            c.global_store_bytes_random) /
-        random_bytes_per_sec;
-    const double shared =
-        static_cast<double>(c.shared_bytes) / shared_bytes_per_sec;
-    const double xfer = static_cast<double>(c.h2d_bytes + c.d2h_bytes) /
-                        pcie_bytes_per_sec;
-    const double launch =
-        static_cast<double>(c.kernel_launches) * launch_overhead_sec;
-    return inst + coal + rand + shared + xfer + launch;
-  }
+  double seconds(const DeviceCounters& c) const { return terms(c).total(); }
 };
 
 /// Difference of two counter snapshots (end - begin), for timing a region.

@@ -1,0 +1,469 @@
+#include "src/obs/profiler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <iomanip>
+#include <map>
+#include <sstream>
+
+#include "src/common/atomic_file.hpp"
+#include "src/common/error.hpp"
+#include "src/common/json.hpp"
+
+namespace gsnp::obs {
+
+namespace {
+
+std::string fmt(double v) {
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+u64 global_bytes(const device::DeviceCounters& c) {
+  return c.global_load_bytes_coalesced + c.global_load_bytes_random +
+         c.global_store_bytes_coalesced + c.global_store_bytes_random;
+}
+
+bool any_counter(const device::DeviceCounters& c) {
+  return c.instructions || c.global_loads() || c.global_stores() ||
+         global_bytes(c) || c.shared_loads || c.shared_stores ||
+         c.shared_bytes || c.h2d_bytes || c.d2h_bytes || c.kernel_launches;
+}
+
+}  // namespace
+
+const char* roofline_name(RooflineBound b) {
+  switch (b) {
+    case RooflineBound::kCompute:
+      return "compute";
+    case RooflineBound::kCoalescedBandwidth:
+      return "coalesced-bw";
+    case RooflineBound::kRandomAccess:
+      return "random-access";
+    case RooflineBound::kNone:
+      return "n/a";
+  }
+  return "n/a";
+}
+
+RooflineBound classify_roofline(const device::DeviceCounters& c,
+                                const device::PerfModel& model) {
+  const device::PerfModel::Terms t = model.terms(c);
+  if (t.instructions <= 0.0 && t.coalesced <= 0.0 && t.random <= 0.0) {
+    return RooflineBound::kNone;
+  }
+  if (t.instructions >= t.coalesced && t.instructions >= t.random) {
+    return RooflineBound::kCompute;
+  }
+  if (t.coalesced >= t.random) return RooflineBound::kCoalescedBandwidth;
+  return RooflineBound::kRandomAccess;
+}
+
+double arithmetic_intensity(const device::DeviceCounters& c) {
+  const u64 bytes = std::max<u64>(1, global_bytes(c));
+  return static_cast<double>(c.instructions) / static_cast<double>(bytes);
+}
+
+// ---- Profiler --------------------------------------------------------------
+
+Profiler::Profiler(device::Device& dev, const device::PerfModel& model)
+    : dev_(&dev), model_(model), attach_(dev.counters()), last_seen_(attach_) {
+  GSNP_CHECK_MSG(dev.launch_listener() == nullptr,
+                 "device already has a launch listener attached");
+  dev.set_launch_listener(this);
+}
+
+Profiler::~Profiler() {
+  if (dev_->launch_listener() == this) dev_->set_launch_listener(nullptr);
+}
+
+void Profiler::on_kernel_launch(const device::LaunchInfo& info) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Anything the device aggregate moved since the previous launch beyond this
+  // launch's own delta happened outside kernels (fill / transfers); bank it
+  // under "(memops)" so per-kernel sums stay exact.
+  const device::DeviceCounters now = dev_->counters();
+  const device::DeviceCounters since_last = counters_delta(last_seen_, now);
+  memops_ += counters_delta(info.delta, since_last);
+  last_seen_ = now;
+
+  KernelRecord rec;
+  rec.name = std::string(info.name);
+  rec.grid_dim = info.grid_dim;
+  rec.block_dim = info.block_dim;
+  rec.failed = info.failed;
+  rec.delta = info.delta;
+  rec.allocated_bytes = info.allocated_bytes;
+  rec.peak_global_bytes = info.peak_global_bytes;
+  rec.modeled_sec = model_.seconds(info.delta);
+  records_.push_back(std::move(rec));
+}
+
+std::vector<KernelRecord> Profiler::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+ProfileReport Profiler::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const device::DeviceCounters now = dev_->counters();
+
+  std::map<std::string, KernelStats> by_name;
+  for (const KernelRecord& rec : records_) {
+    const std::string key =
+        rec.name.empty() ? std::string(kUnnamedName) : rec.name;
+    KernelStats& st = by_name[key];
+    st.name = key;
+    st.launches++;
+    st.blocks += rec.grid_dim;
+    st.block_dim = rec.block_dim;
+    if (rec.failed) st.failed++;
+    st.total += rec.delta;
+    st.peak_global_bytes = std::max(st.peak_global_bytes, rec.peak_global_bytes);
+  }
+
+  // Movement since the last recorded launch is (so far) unattributed memops.
+  device::DeviceCounters memops = memops_;
+  memops += counters_delta(last_seen_, now);
+  if (any_counter(memops)) {
+    KernelStats& st = by_name[std::string(kMemOpsName)];
+    st.name = std::string(kMemOpsName);
+    st.total += memops;
+    st.peak_global_bytes = dev_->peak_allocated_bytes();
+  }
+
+  ProfileReport rep;
+  rep.total = counters_delta(attach_, now);
+  rep.peak_global_bytes = dev_->peak_allocated_bytes();
+  rep.launches = records_.size();
+  for (auto& [name, st] : by_name) {
+    st.modeled_sec = model_.seconds(st.total);
+    st.intensity = arithmetic_intensity(st.total);
+    st.bound = (name == kMemOpsName) ? RooflineBound::kNone
+                                     : classify_roofline(st.total, model_);
+    rep.modeled_sec += st.modeled_sec;
+    rep.kernels.push_back(std::move(st));
+  }
+  std::sort(rep.kernels.begin(), rep.kernels.end(),
+            [](const KernelStats& a, const KernelStats& b) {
+              if (a.modeled_sec != b.modeled_sec)
+                return a.modeled_sec > b.modeled_sec;
+              return a.name < b.name;
+            });
+  return rep;
+}
+
+// ---- exporters -------------------------------------------------------------
+
+namespace {
+
+/// Compact human form for large counts (table only; JSON keeps exact u64s).
+std::string human(u64 v) {
+  char buf[32];
+  if (v < 100000) {
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.3g", static_cast<double>(v));
+  }
+  return buf;
+}
+
+std::string human_ms(double sec) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", sec * 1e3);
+  return buf;
+}
+
+void table_row(std::ostringstream& os, std::string_view name,
+               const std::string& launches, const std::string& blocks,
+               const device::DeviceCounters& c, u64 peak, double modeled,
+               double total_modeled, const std::string& intensity,
+               const char* bound) {
+  char buf[256];
+  const double pct = total_modeled > 0.0 ? 100.0 * modeled / total_modeled : 0.0;
+  std::snprintf(buf, sizeof(buf),
+                "%-22.22s %8s %8s %10s %10s %10s %10s %10s %8s %9s %5.1f %8s  %s\n",
+                std::string(name).c_str(), launches.c_str(), blocks.c_str(),
+                human(c.instructions).c_str(), human(c.global_loads()).c_str(),
+                human(c.global_stores()).c_str(),
+                human(global_bytes(c)).c_str(), human(c.shared_loads + c.shared_stores).c_str(),
+                human(peak >> 20).c_str(), human_ms(modeled).c_str(), pct,
+                intensity.c_str(), bound);
+  os << buf;
+}
+
+std::string intensity_str(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", v);
+  return buf;
+}
+
+void write_counters_json(std::ostream& out, const device::DeviceCounters& c) {
+  out << "{\"instructions\": " << c.instructions
+      << ", \"global_loads_coalesced\": " << c.global_loads_coalesced
+      << ", \"global_loads_random\": " << c.global_loads_random
+      << ", \"global_stores_coalesced\": " << c.global_stores_coalesced
+      << ", \"global_stores_random\": " << c.global_stores_random
+      << ", \"global_load_bytes_coalesced\": " << c.global_load_bytes_coalesced
+      << ", \"global_load_bytes_random\": " << c.global_load_bytes_random
+      << ", \"global_store_bytes_coalesced\": " << c.global_store_bytes_coalesced
+      << ", \"global_store_bytes_random\": " << c.global_store_bytes_random
+      << ", \"shared_loads\": " << c.shared_loads
+      << ", \"shared_stores\": " << c.shared_stores
+      << ", \"shared_bytes\": " << c.shared_bytes
+      << ", \"h2d_bytes\": " << c.h2d_bytes
+      << ", \"d2h_bytes\": " << c.d2h_bytes
+      << ", \"kernel_launches\": " << c.kernel_launches << "}";
+}
+
+device::DeviceCounters read_counters_json(const json::Value& obj) {
+  device::DeviceCounters c;
+  c.instructions = json::get_u64(obj, "instructions");
+  c.global_loads_coalesced = json::get_u64(obj, "global_loads_coalesced");
+  c.global_loads_random = json::get_u64(obj, "global_loads_random");
+  c.global_stores_coalesced = json::get_u64(obj, "global_stores_coalesced");
+  c.global_stores_random = json::get_u64(obj, "global_stores_random");
+  c.global_load_bytes_coalesced =
+      json::get_u64(obj, "global_load_bytes_coalesced");
+  c.global_load_bytes_random = json::get_u64(obj, "global_load_bytes_random");
+  c.global_store_bytes_coalesced =
+      json::get_u64(obj, "global_store_bytes_coalesced");
+  c.global_store_bytes_random =
+      json::get_u64(obj, "global_store_bytes_random");
+  c.shared_loads = json::get_u64(obj, "shared_loads");
+  c.shared_stores = json::get_u64(obj, "shared_stores");
+  c.shared_bytes = json::get_u64(obj, "shared_bytes");
+  c.h2d_bytes = json::get_u64(obj, "h2d_bytes");
+  c.d2h_bytes = json::get_u64(obj, "d2h_bytes");
+  c.kernel_launches = json::get_u64(obj, "kernel_launches");
+  return c;
+}
+
+RooflineBound bound_from_name(const std::string& s) {
+  if (s == "compute") return RooflineBound::kCompute;
+  if (s == "coalesced-bw") return RooflineBound::kCoalescedBandwidth;
+  if (s == "random-access") return RooflineBound::kRandomAccess;
+  return RooflineBound::kNone;
+}
+
+}  // namespace
+
+std::string format_profile_table(const ProfileReport& report) {
+  std::ostringstream os;
+  char hdr[256];
+  std::snprintf(hdr, sizeof(hdr),
+                "%-22s %8s %8s %10s %10s %10s %10s %10s %8s %9s %5s %8s  %s\n",
+                "kernel", "launches", "blocks", "inst", "g_load", "g_store",
+                "g_bytes", "shared", "peak_MB", "model_ms", "%", "inst/B",
+                "bound");
+  os << hdr;
+  os << std::string(138, '-') << "\n";
+  for (const KernelStats& st : report.kernels) {
+    table_row(os, st.name, human(st.launches), human(st.blocks), st.total,
+              st.peak_global_bytes, st.modeled_sec, report.modeled_sec,
+              intensity_str(st.intensity), roofline_name(st.bound));
+  }
+  os << std::string(138, '-') << "\n";
+  table_row(os, "total", human(report.launches), "-", report.total,
+            report.peak_global_bytes, report.modeled_sec, report.modeled_sec,
+            intensity_str(arithmetic_intensity(report.total)), "");
+  return os.str();
+}
+
+std::string format_profile_diff(const ProfileReport& base,
+                                const ProfileReport& other,
+                                std::string_view base_label,
+                                std::string_view other_label) {
+  // Union of kernel names: base order first, then other-only extras.
+  std::vector<std::string> names;
+  std::map<std::string, const KernelStats*> base_by, other_by;
+  for (const KernelStats& st : base.kernels) {
+    base_by[st.name] = &st;
+    names.push_back(st.name);
+  }
+  for (const KernelStats& st : other.kernels) {
+    other_by[st.name] = &st;
+    if (!base_by.count(st.name)) names.push_back(st.name);
+  }
+
+  std::ostringstream os;
+  os << "profile diff: " << other_label << " vs " << base_label
+     << " (100% = " << base_label << ")\n";
+  char hdr[256];
+  std::snprintf(hdr, sizeof(hdr), "%-22s %-12s %12s %12s %12s %12s %12s %10s\n",
+                "kernel", "run", "inst", "g_load", "g_store", "s_load",
+                "s_store", "model_ms");
+  os << hdr;
+  os << std::string(110, '-') << "\n";
+
+  const auto row = [&](std::string_view kname, std::string_view run,
+                       const KernelStats* st) {
+    char buf[256];
+    if (st == nullptr) {
+      std::snprintf(buf, sizeof(buf), "%-22.22s %-12.12s %12s %12s %12s %12s %12s %10s\n",
+                    std::string(kname).c_str(), std::string(run).c_str(), "-",
+                    "-", "-", "-", "-", "-");
+    } else {
+      std::snprintf(buf, sizeof(buf),
+                    "%-22.22s %-12.12s %12s %12s %12s %12s %12s %10s\n",
+                    std::string(kname).c_str(), std::string(run).c_str(),
+                    human(st->total.instructions).c_str(),
+                    human(st->total.global_loads()).c_str(),
+                    human(st->total.global_stores()).c_str(),
+                    human(st->total.shared_loads).c_str(),
+                    human(st->total.shared_stores).c_str(),
+                    human_ms(st->modeled_sec).c_str());
+    }
+    os << buf;
+  };
+  const auto pct = [](u64 a, u64 b) {
+    char buf[32];
+    if (a == 0) {
+      std::snprintf(buf, sizeof(buf), "%s", b == 0 ? "100%" : "inf");
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.1f%%",
+                    100.0 * static_cast<double>(b) / static_cast<double>(a));
+    }
+    return std::string(buf);
+  };
+  const auto ratio_row = [&](const KernelStats* a, const KernelStats* b) {
+    if (a == nullptr || b == nullptr) return;
+    char buf[256];
+    const std::string pm =
+        a->modeled_sec > 0.0
+            ? pct(static_cast<u64>(a->modeled_sec * 1e9),
+                  static_cast<u64>(b->modeled_sec * 1e9))
+            : "-";
+    std::snprintf(buf, sizeof(buf),
+                  "%-22.22s %-12.12s %12s %12s %12s %12s %12s %10s\n", "",
+                  "ratio", pct(a->total.instructions, b->total.instructions).c_str(),
+                  pct(a->total.global_loads(), b->total.global_loads()).c_str(),
+                  pct(a->total.global_stores(), b->total.global_stores()).c_str(),
+                  pct(a->total.shared_loads, b->total.shared_loads).c_str(),
+                  pct(a->total.shared_stores, b->total.shared_stores).c_str(),
+                  pm.c_str());
+    os << buf;
+  };
+
+  for (const std::string& name : names) {
+    const KernelStats* a = base_by.count(name) ? base_by[name] : nullptr;
+    const KernelStats* b = other_by.count(name) ? other_by[name] : nullptr;
+    row(name, base_label, a);
+    row(name, other_label, b);
+    ratio_row(a, b);
+  }
+
+  // Totals.
+  KernelStats ta, tb;
+  ta.name = tb.name = "total";
+  ta.total = base.total;
+  tb.total = other.total;
+  ta.modeled_sec = base.modeled_sec;
+  tb.modeled_sec = other.modeled_sec;
+  os << std::string(110, '-') << "\n";
+  row("total", base_label, &ta);
+  row("total", other_label, &tb);
+  ratio_row(&ta, &tb);
+  return os.str();
+}
+
+void write_profile_json(const std::filesystem::path& path,
+                        const ProfileReport& report) {
+  // std::map iteration gives lexicographic kernel order: deterministic output
+  // for deterministic runs (no timestamps anywhere in this document).
+  std::map<std::string, const KernelStats*> by_name;
+  for (const KernelStats& st : report.kernels) by_name[st.name] = &st;
+
+  const std::filesystem::path tmp = path.string() + ".part";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    GSNP_CHECK_MSG(out.good(), "cannot open profile for write " << tmp);
+    out << "{\n  \"schema\": \"gsnp-profile\",\n  \"version\": 1,\n"
+        << "  \"launches\": " << report.launches << ",\n"
+        << "  \"modeled_seconds\": " << fmt(report.modeled_sec) << ",\n"
+        << "  \"peak_global_bytes\": " << report.peak_global_bytes << ",\n"
+        << "  \"total\": ";
+    write_counters_json(out, report.total);
+    out << ",\n  \"kernels\": {";
+    bool first = true;
+    for (const auto& [name, st] : by_name) {
+      out << (first ? "\n    " : ",\n    ");
+      first = false;
+      json::write_escaped(out, name);
+      out << ": {\"launches\": " << st->launches
+          << ", \"blocks\": " << st->blocks
+          << ", \"block_dim\": " << st->block_dim
+          << ", \"failed\": " << st->failed
+          << ", \"peak_global_bytes\": " << st->peak_global_bytes
+          << ", \"modeled_seconds\": " << fmt(st->modeled_sec)
+          << ", \"arithmetic_intensity\": " << fmt(st->intensity)
+          << ", \"bound\": \"" << roofline_name(st->bound) << "\""
+          << ", \"counters\": ";
+      write_counters_json(out, st->total);
+      out << "}";
+    }
+    out << "\n  }\n}\n";
+    out.flush();
+    GSNP_CHECK_MSG(out.good(), "profile write failed " << tmp);
+  }
+  atomic_publish(tmp, path);
+}
+
+ProfileReport read_profile_json(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GSNP_CHECK_MSG(in.good(), "cannot open profile " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const json::Value doc = json::parse(buf.str());
+
+  GSNP_CHECK_MSG(json::get_string(doc, "schema") == "gsnp-profile",
+                 "not a gsnp-profile document: " << path);
+  GSNP_CHECK_MSG(json::get_u64(doc, "version") == 1,
+                 "unsupported gsnp-profile version in " << path);
+
+  ProfileReport rep;
+  rep.launches = json::get_u64(doc, "launches");
+  rep.modeled_sec = json::get_number(doc, "modeled_seconds");
+  rep.peak_global_bytes = json::get_u64(doc, "peak_global_bytes");
+  const json::Value* total = json::find(doc, "total");
+  GSNP_CHECK_MSG(total != nullptr &&
+                     total->kind == json::Value::Kind::kObject,
+                 "profile missing total counters: " << path);
+  rep.total = read_counters_json(*total);
+
+  const json::Value* kernels = json::find(doc, "kernels");
+  GSNP_CHECK_MSG(kernels != nullptr &&
+                     kernels->kind == json::Value::Kind::kObject,
+                 "profile missing kernels object: " << path);
+  for (const auto& [name, v] : kernels->object) {
+    GSNP_CHECK_MSG(v.kind == json::Value::Kind::kObject,
+                   "profile kernel entry is not an object: " << name);
+    KernelStats st;
+    st.name = name;
+    st.launches = json::get_u64(v, "launches");
+    st.blocks = json::get_u64(v, "blocks");
+    st.block_dim = static_cast<u32>(json::get_u64(v, "block_dim"));
+    st.failed = json::get_u64(v, "failed");
+    st.peak_global_bytes = json::get_u64(v, "peak_global_bytes");
+    st.modeled_sec = json::get_number(v, "modeled_seconds");
+    st.intensity = json::get_number(v, "arithmetic_intensity");
+    st.bound = bound_from_name(json::get_string(v, "bound"));
+    const json::Value* counters = json::find(v, "counters");
+    GSNP_CHECK_MSG(counters != nullptr &&
+                       counters->kind == json::Value::Kind::kObject,
+                   "profile kernel missing counters: " << name);
+    st.total = read_counters_json(*counters);
+    rep.kernels.push_back(std::move(st));
+  }
+  std::sort(rep.kernels.begin(), rep.kernels.end(),
+            [](const KernelStats& a, const KernelStats& b) {
+              if (a.modeled_sec != b.modeled_sec)
+                return a.modeled_sec > b.modeled_sec;
+              return a.name < b.name;
+            });
+  return rep;
+}
+
+}  // namespace gsnp::obs

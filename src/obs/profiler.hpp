@@ -1,0 +1,148 @@
+#pragma once
+// gsnp::obs — per-kernel-launch profiler over the device simulator.
+//
+// A Profiler attaches to a Device as its LaunchListener and records one
+// KernelRecord per launch: grid/block dims, the exact counter delta the
+// launch produced (blocks that ran before a cancellation included), the
+// allocation high-water mark, modeled seconds from PerfModel, arithmetic
+// intensity, and a roofline classification derived from which PerfModel term
+// dominates.  report() aggregates records by kernel name into a
+// ProfileReport whose per-kernel counters sum *exactly* to the device-global
+// aggregate since attach: counter movement that happens outside any launch
+// (Device::fill, h2d/d2h transfers) is attributed to a synthetic "(memops)"
+// row instead of being dropped.
+//
+// Exporters: a fixed-width text table, a Table III-style diff of two
+// reports, and a deterministic JSON document (schema "gsnp-profile" v1,
+// atomic publish, no timestamps — two identical runs produce bit-identical
+// files).
+
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/device/device.hpp"
+#include "src/device/perf_model.hpp"
+
+namespace gsnp::obs {
+
+/// Synthetic kernel name for counter movement outside any launch
+/// (Device::fill, host<->device transfers).
+inline constexpr std::string_view kMemOpsName = "(memops)";
+/// Aggregation bucket for launches made through the unnamed legacy overload.
+inline constexpr std::string_view kUnnamedName = "(unnamed)";
+
+/// Which PerfModel term dominates a kernel's modeled time.  Only the three
+/// kernel-execution terms compete; kNone marks rows where classification is
+/// meaningless (the "(memops)" row, or an all-zero delta).
+enum class RooflineBound : u8 {
+  kCompute,             ///< instruction issue dominates
+  kCoalescedBandwidth,  ///< streaming global traffic dominates
+  kRandomAccess,        ///< scattered global traffic dominates
+  kNone,
+};
+
+const char* roofline_name(RooflineBound b);
+
+/// Classify by the largest of the instruction / coalesced / random model
+/// terms.  Ties break toward the cheaper-to-fix bound in the order
+/// compute > coalesced > random (a tie means either lens is valid).
+RooflineBound classify_roofline(const device::DeviceCounters& c,
+                                const device::PerfModel& model);
+
+/// Instructions per global-memory byte moved (the roofline x-axis).
+/// Zero-byte kernels report instructions-per-one-byte to stay finite.
+double arithmetic_intensity(const device::DeviceCounters& c);
+
+/// One kernel launch as the profiler saw it.
+struct KernelRecord {
+  std::string name;  // "" for unnamed launches
+  u32 grid_dim = 0;
+  u32 block_dim = 0;
+  bool failed = false;
+  device::DeviceCounters delta;
+  u64 allocated_bytes = 0;    // live global bytes when the launch finished
+  u64 peak_global_bytes = 0;  // device high-water mark at launch end
+  double modeled_sec = 0.0;
+};
+
+/// Aggregate of all launches sharing a kernel name.
+struct KernelStats {
+  std::string name;
+  u64 launches = 0;
+  u64 blocks = 0;     // total grid blocks across launches
+  u32 block_dim = 0;  // of the most recent launch
+  u64 failed = 0;
+  device::DeviceCounters total;
+  u64 peak_global_bytes = 0;  // max over launches
+  double modeled_sec = 0.0;
+  double intensity = 0.0;
+  RooflineBound bound = RooflineBound::kNone;
+};
+
+struct ProfileReport {
+  /// Sorted by modeled seconds descending, then name ascending.
+  std::vector<KernelStats> kernels;
+  /// Exact device-global counter movement since the profiler attached;
+  /// equals the field-wise sum over `kernels` (including "(memops)").
+  device::DeviceCounters total;
+  double modeled_sec = 0.0;
+  u64 peak_global_bytes = 0;  // run high-water mark
+  u64 launches = 0;           // individual launch records
+};
+
+/// Attaches to `dev` on construction, detaches on destruction.  Thread-safe
+/// with respect to concurrent launches (the simulator notifies from the
+/// launching host thread).
+class Profiler final : public device::LaunchListener {
+ public:
+  explicit Profiler(device::Device& dev,
+                    const device::PerfModel& model = device::PerfModel{});
+  ~Profiler() override;
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  void on_kernel_launch(const device::LaunchInfo& info) override;
+
+  std::vector<KernelRecord> records() const;
+
+  /// Aggregate everything seen so far (plus any counter movement since the
+  /// last launch, folded into "(memops)").  Callable repeatedly.
+  ProfileReport report() const;
+
+  const device::PerfModel& model() const { return model_; }
+
+ private:
+  device::Device* dev_;
+  device::PerfModel model_;
+  device::DeviceCounters attach_;  // device aggregate at attach time
+
+  mutable std::mutex mu_;
+  device::DeviceCounters last_seen_;  // device aggregate at last record
+  device::DeviceCounters memops_;     // between-launch movement accumulated
+  std::vector<KernelRecord> records_;
+};
+
+/// Fixed-width per-kernel table (one row per KernelStats plus a totals row).
+std::string format_profile_table(const ProfileReport& report);
+
+/// Table III-style comparison of two reports: for every kernel in either,
+/// base and other counter rows plus an other/base percentage row.
+std::string format_profile_diff(const ProfileReport& base,
+                                const ProfileReport& other,
+                                std::string_view base_label,
+                                std::string_view other_label);
+
+/// Deterministic JSON export (schema "gsnp-profile" v1): kernels keyed by
+/// name in lexicographic order, no timestamps, atomic publish via a .part
+/// sibling.  Throws gsnp::Error on I/O failure.
+void write_profile_json(const std::filesystem::path& path,
+                        const ProfileReport& report);
+
+/// Parse a document written by write_profile_json.  Throws gsnp::Error on
+/// malformed input or schema mismatch.
+ProfileReport read_profile_json(const std::filesystem::path& path);
+
+}  // namespace gsnp::obs

@@ -26,7 +26,8 @@ void batch_bitonic_sort(Device& dev, DeviceBuffer<u32>& data, u32 array_size,
   const u32 grid = static_cast<u32>(
       (num_arrays + arrays_per_block - 1) / arrays_per_block);
 
-  dev.launch(grid, block_threads, [&](BlockContext& blk) {
+  dev.launch("batch_bitonic_sort", grid, block_threads,
+             [&](BlockContext& blk) {
     auto sh = blk.shared_array<u32>(block_threads);
     const u64 block_base =
         static_cast<u64>(blk.block_idx()) * block_threads;
@@ -99,7 +100,8 @@ void device_radix_sort(Device& dev, DeviceBuffer<u32>& data) {
     // Kernel 1: per-block digit histogram.  Threads within a simulator block
     // run sequentially, so shared-memory accumulation needs no atomics (on
     // hardware this would be shared-memory atomics).
-    dev.launch(grid, kRadixBlockThreads, [&](BlockContext& blk) {
+    dev.launch("radix_histogram", grid, kRadixBlockThreads,
+               [&](BlockContext& blk) {
       auto hist = blk.shared_array<u64>(kRadixBuckets);
       blk.threads([&](ThreadContext& t) {
         const u64 g = static_cast<u64>(blk.block_idx()) * kRadixBlockThreads +
@@ -123,7 +125,7 @@ void device_radix_sort(Device& dev, DeviceBuffer<u32>& data) {
     // for each (block, bucket) its global scatter base.  Small problem, one
     // block — exactly the kind of serial bottleneck real GPU scans amortize;
     // size here is grid*256 entries.
-    dev.launch(1, 1, [&](BlockContext& blk) {
+    dev.launch("radix_scan", 1, 1, [&](BlockContext& blk) {
       blk.single_thread([&](ThreadContext& t) {
         u64 running = 0;
         for (u32 b = 0; b < kRadixBuckets; ++b) {
@@ -142,7 +144,8 @@ void device_radix_sort(Device& dev, DeviceBuffer<u32>& data) {
     // Kernel 3: scatter.  Each block re-reads its chunk and places elements
     // at block_hist[block][digit]++ (stable within a block because simulator
     // threads run in tid order; hardware uses a local ranking pass).
-    dev.launch(grid, kRadixBlockThreads, [&](BlockContext& blk) {
+    dev.launch("radix_scatter", grid, kRadixBlockThreads,
+               [&](BlockContext& blk) {
       auto local_base = blk.shared_array<u64>(kRadixBuckets);
       blk.threads([&](ThreadContext& t) {
         if (t.tid() < kRadixBuckets)

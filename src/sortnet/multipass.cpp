@@ -114,7 +114,8 @@ void class_copy_kernel(Device& dev, DeviceBuffer<u32>& words,
   const u64 total = meta.count * batch_size;
   constexpr u32 kBlock = 256;
   const u32 grid = static_cast<u32>((total + kBlock - 1) / kBlock);
-  dev.launch(grid, kBlock, [&](BlockContext& blk) {
+  dev.launch(gather ? "sort_class_gather" : "sort_class_scatter", grid, kBlock,
+             [&](BlockContext& blk) {
     blk.threads([&](ThreadContext& t) {
       const u64 slot = t.global_tid();
       t.inst();
@@ -235,8 +236,8 @@ SortStats sort_device_noneq(Device& dev, VarArrays& va) {
   // One block per array, but a *uniform* block size set by the largest array:
   // blocks sorting small arrays leave most threads idle every phase, which is
   // exactly the imbalance the paper's Fig 7(b) attributes the slowdown to.
-  dev.launch(static_cast<u32>(members.size()), block_threads,
-             [&](BlockContext& blk) {
+  dev.launch("bitonic_noneq_sort", static_cast<u32>(members.size()),
+             block_threads, [&](BlockContext& blk) {
                auto sh = blk.shared_array<u32>(block_threads);
                u64 my_base = 0;
                u32 my_n = 0;

@@ -1,0 +1,120 @@
+// Tests for src/device/perf_model: a golden hand-computed seconds value,
+// the per-term breakdown the profiler's roofline classification relies on,
+// monotonicity in every counter field, and the counters_delta round trip.
+
+#include <gtest/gtest.h>
+
+#include "src/device/device.hpp"
+#include "src/device/perf_model.hpp"
+
+namespace gsnp::device {
+namespace {
+
+/// Every u64 field of DeviceCounters, so field-sweeping tests cannot
+/// silently miss one added later (a new field shows up in sizeof).
+constexpr u64 DeviceCounters::* kAllFields[] = {
+    &DeviceCounters::instructions,
+    &DeviceCounters::global_loads_coalesced,
+    &DeviceCounters::global_loads_random,
+    &DeviceCounters::global_stores_coalesced,
+    &DeviceCounters::global_stores_random,
+    &DeviceCounters::global_load_bytes_coalesced,
+    &DeviceCounters::global_load_bytes_random,
+    &DeviceCounters::global_store_bytes_coalesced,
+    &DeviceCounters::global_store_bytes_random,
+    &DeviceCounters::shared_loads,
+    &DeviceCounters::shared_stores,
+    &DeviceCounters::shared_bytes,
+    &DeviceCounters::h2d_bytes,
+    &DeviceCounters::d2h_bytes,
+    &DeviceCounters::kernel_launches,
+};
+static_assert(sizeof(DeviceCounters) ==
+                  sizeof(kAllFields) / sizeof(kAllFields[0]) * sizeof(u64),
+              "DeviceCounters gained a field; update kAllFields");
+
+/// The subset of fields that carry a nonzero cost in the model (counts
+/// without bytes are free: the model charges per byte, not per access).
+constexpr u64 DeviceCounters::* kCostFields[] = {
+    &DeviceCounters::instructions,
+    &DeviceCounters::global_load_bytes_coalesced,
+    &DeviceCounters::global_load_bytes_random,
+    &DeviceCounters::global_store_bytes_coalesced,
+    &DeviceCounters::global_store_bytes_random,
+    &DeviceCounters::shared_bytes,
+    &DeviceCounters::h2d_bytes,
+    &DeviceCounters::d2h_bytes,
+    &DeviceCounters::kernel_launches,
+};
+
+TEST(PerfModel, GoldenHandComputedSeconds) {
+  // Each term sized to contribute exactly 1 ms at the default M2050 rates,
+  // except instructions (whose rate is not a round number).
+  DeviceCounters c;
+  c.instructions = 1'000'000;              // 1e6 / (448 * 1.15e9) s
+  c.global_load_bytes_coalesced = 41'000'000;   // +
+  c.global_store_bytes_coalesced = 41'000'000;  // = 82 MB / 82 GB/s = 1 ms
+  c.global_load_bytes_random = 1'600'000;       // +
+  c.global_store_bytes_random = 1'600'000;      // = 3.2 MB / 3.2 GB/s = 1 ms
+  c.shared_bytes = 1'000'000'000;          // 1 GB / 1000 GB/s = 1 ms
+  c.h2d_bytes = 2'500'000;                 // +
+  c.d2h_bytes = 2'500'000;                 // = 5 MB / 5 GB/s = 1 ms
+  c.kernel_launches = 200;                 // 200 * 5 us = 1 ms
+
+  const PerfModel m;
+  const double inst_sec = 1.0e6 / (448.0 * 1.15e9);  // ~1.941e-6
+  EXPECT_NEAR(m.seconds(c), 0.005 + inst_sec, 1e-12);
+
+  const PerfModel::Terms t = m.terms(c);
+  EXPECT_NEAR(t.instructions, inst_sec, 1e-15);
+  EXPECT_NEAR(t.coalesced, 1e-3, 1e-12);
+  EXPECT_NEAR(t.random, 1e-3, 1e-12);
+  EXPECT_NEAR(t.shared, 1e-3, 1e-12);
+  EXPECT_NEAR(t.transfer, 1e-3, 1e-12);
+  EXPECT_NEAR(t.launch, 1e-3, 1e-12);
+  EXPECT_DOUBLE_EQ(t.total(), m.seconds(c));
+}
+
+TEST(PerfModel, MonotoneInEveryCounterField) {
+  // Base point with every field populated, so monotonicity is checked away
+  // from zero as well.
+  DeviceCounters base;
+  int i = 1;
+  for (auto field : kAllFields) base.*field = static_cast<u64>(1000 * i++);
+
+  const PerfModel m;
+  const double s0 = m.seconds(base);
+  for (std::size_t f = 0; f < std::size(kAllFields); ++f) {
+    DeviceCounters bumped = base;
+    bumped.*kAllFields[f] += 1'000'000;
+    EXPECT_GE(m.seconds(bumped), s0) << "field index " << f;
+  }
+  for (std::size_t f = 0; f < std::size(kCostFields); ++f) {
+    DeviceCounters bumped = base;
+    bumped.*kCostFields[f] += 1'000'000;
+    EXPECT_GT(m.seconds(bumped), s0) << "cost field index " << f;
+  }
+}
+
+TEST(PerfModel, CountersDeltaRoundTripsAllFields) {
+  // begin + delta == end  must imply  counters_delta(begin, end) == delta,
+  // field for field.
+  DeviceCounters begin, delta;
+  int i = 1;
+  for (auto field : kAllFields) {
+    begin.*field = static_cast<u64>(7919 * i);        // arbitrary distinct
+    delta.*field = static_cast<u64>(104'729 * i + 1); // values per field
+    i++;
+  }
+  DeviceCounters end = begin;
+  end += delta;
+
+  const DeviceCounters round = counters_delta(begin, end);
+  for (std::size_t f = 0; f < std::size(kAllFields); ++f) {
+    EXPECT_EQ(round.*kAllFields[f], delta.*kAllFields[f])
+        << "field index " << f;
+  }
+}
+
+}  // namespace
+}  // namespace gsnp::device
