@@ -6,7 +6,9 @@
 //                     [--snp-rate R] [--name chrS] [--sam]
 //   gsnp_cli call     --ref <fa> --align <soap|sam> --out <file>
 //                     [--engine gsnp|gsnp-cpu|soapsnp] [--dbsnp <file>]
-//                     [--window N] [--threads N] [--save-matrix <file>]
+//                     [--window N] [--threads N] [--streams N]
+//                     [--pipeline-depth D] [--host-threads T]
+//                     [--save-matrix <file>]
 //                     [--lenient] [--quarantine <file>] [--max-bad N]
 //                     [--max-bad-frac P] [--trace-out <json>]
 //                     [--metrics-out <json>] [--profile-out <json>]
@@ -170,6 +172,13 @@ int cmd_call(const Args& args) {
   config.temp_file = out_path.string() + ".tmp";
   config.window_size = static_cast<u32>(std::stoul(args.get("--window", "0")));
   config.soapsnp_threads = std::stoi(args.get("--threads", "1"));
+  // Overlapped pipeline: --streams 1 (default) = serial reference path;
+  // --streams N>=2 = double-buffered pipeline, byte-identical output.
+  config.streams = static_cast<u32>(std::stoul(args.get("--streams", "1")));
+  config.pipeline_depth =
+      static_cast<u32>(std::stoul(args.get("--pipeline-depth", "2")));
+  config.host_threads =
+      static_cast<u32>(std::stoul(args.get("--host-threads", "2")));
   config.ingest = ingest;
   if (args.has("--save-matrix")) config.p_matrix_out = args.get("--save-matrix", "");
   if (args.has("--load-matrix")) config.p_matrix_in = args.get("--load-matrix", "");
@@ -209,6 +218,13 @@ int cmd_call(const Args& args) {
   std::printf("%-8s %8.3f   (%llu sites, %llu bytes out)\n", "total",
               report.total(), static_cast<unsigned long long>(report.sites),
               static_cast<unsigned long long>(report.output_bytes));
+  if (report.streams_used >= 2)
+    std::printf("streams  %8u   modeled wall %.3fs vs serial %.3fs (%.2fx)\n",
+                report.streams_used, report.modeled_wall_seconds,
+                report.modeled_serial_seconds,
+                report.modeled_wall_seconds > 0.0
+                    ? report.modeled_serial_seconds / report.modeled_wall_seconds
+                    : 0.0);
   if (ingest.lenient() || !report.ingest.clean()) {
     std::printf("ingest   %s\n", report.ingest.summary().c_str());
     if (report.ingest.records_quarantined > 0 &&
@@ -299,6 +315,11 @@ int cmd_profile(const Args& args) {
   config.output_file = out_path;
   config.temp_file = out_path.string() + ".tmp";
   config.window_size = static_cast<u32>(std::stoul(args.get("--window", "0")));
+  config.streams = static_cast<u32>(std::stoul(args.get("--streams", "1")));
+  config.pipeline_depth =
+      static_cast<u32>(std::stoul(args.get("--pipeline-depth", "2")));
+  config.host_threads =
+      static_cast<u32>(std::stoul(args.get("--host-threads", "2")));
 
   device::Device dev;
   obs::Profiler profiler(dev);
@@ -528,6 +549,7 @@ int main(int argc, char** argv) {
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
               "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
+              "           [--streams N --pipeline-depth D --host-threads T]\n"
               "           [--lenient --quarantine F --max-bad N --max-bad-frac P]\n"
               "           [--trace-out TRACE.json --metrics-out METRICS.json]\n"
               "           [--profile-out PROFILE.json]\n"

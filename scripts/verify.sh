@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build + tests, then the robustness suite under
-# AddressSanitizer + UBSan (GSNP_SANITIZE=ON skips bench/, whose library is
-# not sanitizer-instrumented).
+# Full verification: tier-1 build + tests, the robustness suite under
+# AddressSanitizer + UBSan, the stream-overlap harness, and the determinism/
+# concurrency suites under ThreadSanitizer (sanitizer builds skip bench/,
+# whose library is not sanitizer-instrumented).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -35,5 +36,19 @@ echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz =="
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null
 ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam'
+
+echo "== overlap: serial vs streamed runs are bit-identical, wall strictly lower =="
+cmake --build build -j --target bench_overlap >/dev/null
+./build/bench/bench_overlap --workdir build/bench_overlap_work
+
+echo "== TSan: determinism battery + obs/profiler/device under ThreadSanitizer =="
+# GSNP_OPENMP=OFF: libgomp is not TSan-instrumented and trips false
+# positives on its internal barriers; the thread-pool/stream machinery is
+# what this stage is after.
+cmake -B build-tsan -S . -DGSNP_SANITIZE=thread -DGSNP_OPENMP=OFF \
+      -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
+cmake --build build-tsan -j >/dev/null
+ctest --test-dir build-tsan --output-on-failure \
+      -R 'determinism|test_obs|profiler|device'
 
 echo "verify: all green"

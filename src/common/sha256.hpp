@@ -1,0 +1,47 @@
+#pragma once
+// SHA-256 (FIPS 180-4) — used for the golden end-to-end output corpus and
+// run-manifest digests.  Self-contained so the repo takes no dependency on a
+// crypto library; this is an integrity fingerprint, not a security boundary.
+
+#include <array>
+#include <filesystem>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "src/common/types.hpp"
+
+namespace gsnp {
+
+/// Incremental SHA-256 hasher.
+class Sha256 {
+ public:
+  Sha256() { reset(); }
+
+  void reset();
+  void update(const void* data, std::size_t len);
+  void update(std::string_view s) { update(s.data(), s.size()); }
+
+  /// Finalize and return the 32-byte digest.  The hasher must be reset()
+  /// before further use.
+  std::array<u8, 32> digest();
+
+  /// Finalize and return the digest as 64 lowercase hex characters.
+  std::string hex_digest();
+
+ private:
+  void compress(const u8* block);
+
+  std::array<u32, 8> state_{};
+  std::array<u8, 64> buffer_{};
+  u64 total_bytes_ = 0;
+  std::size_t buffered_ = 0;
+};
+
+/// One-shot helpers.
+std::string sha256_hex(std::span<const u8> data);
+std::string sha256_hex(std::string_view data);
+/// Hashes a file's raw bytes; throws gsnp::Error if it cannot be opened.
+std::string sha256_file_hex(const std::filesystem::path& path);
+
+}  // namespace gsnp

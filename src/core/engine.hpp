@@ -23,6 +23,7 @@
 #include <filesystem>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "src/common/ingest.hpp"
 #include "src/common/timer.hpp"
@@ -77,6 +78,26 @@ struct EngineConfig {
   /// drift.  Null = tracing off (zero overhead).
   obs::Tracer* tracer = nullptr;
 
+  /// Overlapped-pipeline knobs.  `streams <= 1` selects the serial reference
+  /// path (unchanged, the bit-exactness baseline).  `streams >= 2` runs the
+  /// double-buffered pipeline: the GSNP engine issues device work onto a
+  /// StreamPool of `streams` async streams (compute / h2d / output lanes)
+  /// while a host thread pool prefetches (ingests + packs) the next window
+  /// and the previous window's output+compression drains on its own stream;
+  /// the CPU engines prefetch the next window and defer output (SOAPsnp
+  /// text, GSNP_CPU host RLE-DICT) to ordered thread-pool tasks.  All
+  /// arithmetic runs in the same order on the same data as the serial path,
+  /// so output is byte-identical by construction (tests/test_determinism).
+  u32 streams = 1;
+  /// Window slots in flight for the overlapped path (clamped to >= 2).
+  /// SOAPsnp note: each slot owns a dense base_occ window, so memory scales
+  /// with depth there; the sparse engines pay ~0.1% of that per slot.
+  u32 pipeline_depth = 2;
+  /// Host worker threads for ingest prefetch + deferred output tasks.  Any
+  /// size (including 1) produces identical output; it only changes how much
+  /// host work overlaps.
+  u32 host_threads = 2;
+
   /// Default windows: SOAPsnp 4,000; GSNP / GSNP_CPU 256,000 (paper §VI-A).
   static constexpr u32 kDefaultSoapsnpWindow = 4'000;
   static constexpr u32 kDefaultGsnpWindow = 256'000;
@@ -97,6 +118,21 @@ struct RunReport {
   /// Ingest outcome of the alignment file (ok / unsupported / quarantined
   /// per reason), from the cal_p streaming pass.
   IngestStats ingest;
+
+  /// Number of device streams the run actually used (1 = serial path).
+  u32 streams_used = 1;
+  /// Overlap-aware modeled device wall seconds for the whole run: stream
+  /// timelines replayed with event dependencies (max across concurrent
+  /// streams), plus non-stream device work charged serially.  For the
+  /// serial path this equals modeled_serial_seconds.  GSNP engine only.
+  double modeled_wall_seconds = 0.0;
+  /// No-overlap baseline: PerfModel seconds over the run's whole device
+  /// counter delta.  Identical for serial and overlapped runs of the same
+  /// input (the counters are identical).  GSNP engine only.
+  double modeled_serial_seconds = 0.0;
+  /// Exact per-stream counter movement (overlapped GSNP runs; index =
+  /// stream id - 1).  Sums to the stream-issued part of device_counters.
+  std::vector<device::DeviceCounters> stream_counters;
 
   /// Combined (host + modeled device) seconds for one component.
   double component(const std::string& name) const {

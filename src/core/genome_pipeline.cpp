@@ -108,6 +108,8 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     obs::Tracer::Scope chrom_span(tracer, "chromosome:" + job.name,
                                   "pipeline");
     chrom_span.note("requested", engine_name(kind));
+    if (config.streams >= 2)
+      chrom_span.note("streams", std::to_string(config.streams));
 
     // -- resume: skip chromosomes whose recorded output still verifies.
     if (config.resume &&
@@ -138,6 +140,9 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
     engine_config.window_size = config.window_size;
     engine_config.prior = config.prior;
     engine_config.soapsnp_threads = config.soapsnp_threads;
+    engine_config.streams = config.streams;
+    engine_config.pipeline_depth = config.pipeline_depth;
+    engine_config.host_threads = config.host_threads;
     engine_config.ingest = config.ingest;
     if (engine_config.ingest.lenient() &&
         engine_config.ingest.quarantine_file.empty())

@@ -51,6 +51,13 @@ struct GenomeRunConfig {
   u32 window_size = 0;  ///< 0 = engine default
   PriorParams prior;
   int soapsnp_threads = 1;
+  /// Overlapped-pipeline knobs, passed through to every chromosome's
+  /// EngineConfig (see there): streams <= 1 = serial reference path,
+  /// streams >= 2 = double-buffered pipeline.  Output is byte-identical
+  /// either way.
+  u32 streams = 1;
+  u32 pipeline_depth = 2;
+  u32 host_threads = 2;
   RetryPolicy retry;
   /// Malformed-input handling for every chromosome's alignment file.  In
   /// lenient mode with no quarantine_file set, each chromosome defaults to

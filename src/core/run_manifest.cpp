@@ -6,6 +6,7 @@
 #include "src/common/atomic_file.hpp"
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
+#include "src/common/sha256.hpp"
 
 namespace gsnp::core {
 
@@ -134,6 +135,25 @@ RunManifest read_run_manifest(const std::filesystem::path& path) {
     manifest.chromosomes.push_back(std::move(e));
   }
   return manifest;
+}
+
+std::string manifest_digest(const RunManifest& manifest) {
+  // Canonical text form: stable field order, newline-separated, machine-
+  // dependent fields omitted (see the header comment).
+  std::ostringstream os;
+  os << "gsnp-manifest-digest.v1\n";
+  os << "engine=" << manifest.engine << "\n";
+  for (const ManifestEntry& e : manifest.chromosomes) {
+    os << "chromosome=" << e.name << "\nstatus=" << e.status
+       << "\nrequested=" << e.requested << "\nengine=" << e.engine
+       << "\ndegraded=" << (e.degraded ? 1 : 0) << "\noutput=" << e.output
+       << "\noutput_bytes=" << e.output_bytes
+       << "\noutput_crc32=" << e.output_crc32 << "\nsites=" << e.sites
+       << "\ningest_ok=" << e.ingest.records_ok
+       << "\ningest_unsupported=" << e.ingest.records_unsupported
+       << "\ningest_quarantined=" << e.ingest.records_quarantined << "\n";
+  }
+  return sha256_hex(os.str());
 }
 
 }  // namespace gsnp::core

@@ -51,4 +51,14 @@ void write_run_manifest(const std::filesystem::path& path,
 /// Parse a manifest; throws gsnp::Error on missing file or malformed JSON.
 RunManifest read_run_manifest(const std::filesystem::path& path);
 
+/// Canonical SHA-256 digest of a manifest's *results*: engine, and per
+/// chromosome the name/status/engines/degraded flag/output name/size/CRC/
+/// site count and ingest totals.  Machine-dependent fields (trace and
+/// metrics export paths, error prose, attempt counts — which legitimately
+/// vary across retries of the same deterministic result) are excluded, so
+/// two runs that produced identical outputs digest identically even on
+/// different machines or run directories.  The determinism battery compares
+/// serial vs overlapped runs with this.
+std::string manifest_digest(const RunManifest& manifest);
+
 }  // namespace gsnp::core

@@ -1,8 +1,11 @@
 #include "src/device/device.hpp"
 
+#ifdef _OPENMP
 #include <omp.h>
+#endif
 
 #include <algorithm>
+#include <mutex>
 #include <functional>
 #include <sstream>
 
@@ -76,7 +79,13 @@ void Device::finish_d2h(std::span<std::byte> dst, u32 src_crc) {
 
 void Device::run_blocks(u32 grid_dim, u32 block_dim,
                         const std::function<void(BlockContext&)>& body) {
+#ifdef _OPENMP
   const int n_workers = std::max(1, omp_get_max_threads());
+#else
+  // Built without OpenMP (e.g. the TSan preset, whose runtime cannot see
+  // into libgomp): blocks run sequentially on the calling thread.
+  const int n_workers = 1;
+#endif
 
   // Per-worker shared-memory arenas and counter shards, reduced at the end;
   // kernels therefore never contend on the device-wide counter struct.
@@ -93,18 +102,25 @@ void Device::run_blocks(u32 grid_dim, u32 block_dim,
   // launch (OpenMP cannot break out of a parallel for).
   std::exception_ptr first_error;
   std::atomic<bool> cancelled{false};
+  std::mutex error_mu;
 
+#ifdef _OPENMP
 #pragma omp parallel for schedule(dynamic, 16) num_threads(n_workers)
+#endif
   for (i64 b = 0; b < static_cast<i64>(grid_dim); ++b) {
     if (cancelled.load(std::memory_order_relaxed)) continue;
+#ifdef _OPENMP
     const auto w = static_cast<std::size_t>(omp_get_thread_num());
+#else
+    const std::size_t w = 0;
+#endif
     BlockContext blk(static_cast<u32>(b), grid_dim, block_dim,
                      std::span<std::byte>(arenas[w]), &shards[w]);
     try {
       body(blk);
     } catch (...) {
       cancelled.store(true, std::memory_order_relaxed);
-#pragma omp critical
+      const std::lock_guard<std::mutex> lock(error_mu);
       if (!first_error) first_error = std::current_exception();
     }
   }
@@ -122,11 +138,13 @@ void Device::notify_launch(std::string_view name, u32 grid_dim, u32 block_dim,
   info.name = name;
   info.grid_dim = grid_dim;
   info.block_dim = block_dim;
+  info.stream_id = current_stream_;
   info.failed = failed;
   info.delta = counters_delta(before, counters_);
   info.allocated_bytes = global_used_.load();
   info.peak_global_bytes = global_peak_.load();
-  listener_->on_kernel_launch(info);
+  if (auto* listener = listener_.load(std::memory_order_acquire))
+    listener->on_kernel_launch(info);
 }
 
 }  // namespace gsnp::device

@@ -171,6 +171,7 @@ struct LaunchInfo {
   std::string_view name;      ///< kernel name ("" for unnamed legacy launches)
   u32 grid_dim = 0;
   u32 block_dim = 0;
+  u32 stream_id = 0;          ///< issuing stream (1-based); 0 = default queue
   bool failed = false;        ///< a block threw; delta covers blocks that ran
   DeviceCounters delta;       ///< counter movement attributable to the launch
   u64 allocated_bytes = 0;    ///< global bytes live when the launch finished
@@ -532,7 +533,7 @@ class Device {
     // lands inside its delta.
     const DeviceCounters before = counters_;
     counters_.kernel_launches++;
-    if (listener_ == nullptr) {
+    if (listener_.load(std::memory_order_acquire) == nullptr) {
       run_blocks(grid_dim, block_dim, [&](BlockContext& blk) { kernel(blk); });
       return;
     }
@@ -555,9 +556,22 @@ class Device {
            std::forward<Kernel>(kernel));
   }
 
-  /// Attach/detach a launch observer (at most one; nullptr detaches).
-  void set_launch_listener(LaunchListener* listener) { listener_ = listener; }
-  LaunchListener* launch_listener() const { return listener_; }
+  /// Attach/detach a launch observer (at most one; nullptr detaches).  The
+  /// pointer is atomic so registration from one thread is visible to
+  /// launches on another without a data race (ThreadSanitizer-clean); the
+  /// listener object itself must outlive any launch that can observe it.
+  void set_launch_listener(LaunchListener* listener) {
+    listener_.store(listener, std::memory_order_release);
+  }
+  LaunchListener* launch_listener() const {
+    return listener_.load(std::memory_order_acquire);
+  }
+
+  /// The stream currently draining ops on this device (set by StreamPool
+  /// around each op; 0 = default synchronous queue).  Stamped into
+  /// LaunchInfo::stream_id so profilers can key rows by (kernel, stream).
+  void set_current_stream(u32 stream_id) { current_stream_ = stream_id; }
+  u32 current_stream() const { return current_stream_; }
 
   const DeviceCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = DeviceCounters{}; }
@@ -606,7 +620,8 @@ class Device {
 
   DeviceSpec spec_;
   DeviceCounters counters_;
-  LaunchListener* listener_ = nullptr;
+  std::atomic<LaunchListener*> listener_{nullptr};
+  u32 current_stream_ = 0;
   std::atomic<u64> global_used_{0};
   std::atomic<u64> global_peak_{0};
   u64 constant_used_ = 0;

@@ -1,0 +1,189 @@
+#include "src/device/stream.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_map>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::device {
+
+const char* stream_op_kind_name(StreamOpKind kind) {
+  switch (kind) {
+    case StreamOpKind::kLaunch: return "launch";
+    case StreamOpKind::kH2d: return "h2d";
+    case StreamOpKind::kD2h: return "d2h";
+    case StreamOpKind::kRecord: return "record";
+    case StreamOpKind::kWait: return "wait";
+  }
+  return "?";
+}
+
+void Stream::enqueue(StreamOpKind kind, std::string name,
+                     std::function<void(Device&)> fn) {
+  GSNP_CHECK_MSG(kind != StreamOpKind::kRecord && kind != StreamOpKind::kWait,
+                 "use Stream::record/wait for event ops");
+  PendingOp op;
+  op.kind = kind;
+  op.name = std::move(name);
+  op.fn = std::move(fn);
+  queue_.push_back(std::move(op));
+}
+
+void Stream::record(const Event& event) {
+  GSNP_CHECK_MSG(event.valid(), "cannot record a null Event");
+  PendingOp op;
+  op.kind = StreamOpKind::kRecord;
+  op.name = "record";
+  op.event = event.id();
+  queue_.push_back(std::move(op));
+}
+
+void Stream::wait(const Event& event) {
+  GSNP_CHECK_MSG(event.valid(), "cannot wait on a null Event");
+  PendingOp op;
+  op.kind = StreamOpKind::kWait;
+  op.name = "wait";
+  op.event = event.id();
+  queue_.push_back(std::move(op));
+}
+
+StreamPool::StreamPool(Device& dev, u32 n_streams) : dev_(&dev) {
+  GSNP_CHECK_MSG(n_streams >= 1, "StreamPool needs at least one stream");
+  streams_.reserve(n_streams);
+  for (u32 i = 0; i < n_streams; ++i) {
+    streams_.emplace_back(new Stream(this, i + 1));
+  }
+  per_stream_.resize(n_streams);
+  recorded_.push_back(false);  // slot 0: the null event, never recorded
+}
+
+StreamPool::~StreamPool() {
+  // Dropped (e.g. during exception unwind) with work still queued: discard
+  // it rather than run side effects from a destructor.
+  for (auto& s : streams_) s->queue_.clear();
+}
+
+Event StreamPool::create_event() {
+  recorded_.push_back(false);
+  return Event(next_event_++);
+}
+
+bool StreamPool::event_recorded(const Event& event) const {
+  return event.valid() && event.id() < recorded_.size() &&
+         recorded_[event.id()];
+}
+
+bool StreamPool::idle() const {
+  return std::all_of(streams_.begin(), streams_.end(),
+                     [](const auto& s) { return s->queue_.empty(); });
+}
+
+DeviceCounters StreamPool::total_stream_counters() const {
+  DeviceCounters total;
+  for (const auto& c : per_stream_) total += c;
+  return total;
+}
+
+void StreamPool::run_op(Stream& s, Stream::PendingOp op) {
+  StreamOpRecord rec;
+  rec.stream = s.id();
+  rec.kind = op.kind;
+  rec.name = op.name;
+  rec.event = op.event;
+
+  if (op.kind == StreamOpKind::kRecord) {
+    recorded_[op.event] = true;
+    log_.push_back(std::move(rec));
+    return;
+  }
+  if (op.kind == StreamOpKind::kWait) {
+    // The scheduler only dispatches a wait once its event is recorded.
+    log_.push_back(std::move(rec));
+    return;
+  }
+
+  if (listener_ != nullptr) listener_->on_op_begin(rec.stream, rec.kind, rec.name);
+  const DeviceCounters before = dev_->counters();
+  dev_->set_current_stream(s.id());
+  try {
+    op.fn(*dev_);
+  } catch (...) {
+    // Exactly-once accounting even on failure: the device reduces its
+    // counter shards before rethrowing, so the delta is already final.
+    dev_->set_current_stream(0);
+    rec.failed = true;
+    rec.delta = counters_delta(before, dev_->counters());
+    per_stream_[s.id() - 1] += rec.delta;
+    log_.push_back(rec);
+    if (listener_ != nullptr) listener_->on_op_end(log_.back());
+    for (auto& stream : streams_) stream->queue_.clear();
+    throw;
+  }
+  dev_->set_current_stream(0);
+  rec.delta = counters_delta(before, dev_->counters());
+  per_stream_[s.id() - 1] += rec.delta;
+  log_.push_back(std::move(rec));
+  if (listener_ != nullptr) listener_->on_op_end(log_.back());
+}
+
+void StreamPool::sync() {
+  while (!idle()) {
+    bool progress = false;
+    for (auto& sp : streams_) {
+      Stream& s = *sp;
+      if (s.queue_.empty()) continue;
+      Stream::PendingOp& head = s.queue_.front();
+      if (head.kind == StreamOpKind::kWait &&
+          !(head.event < recorded_.size() && recorded_[head.event])) {
+        continue;  // blocked on an unrecorded event
+      }
+      Stream::PendingOp op = std::move(head);
+      s.queue_.pop_front();
+      run_op(s, std::move(op));  // throws after clearing queues on failure
+      progress = true;
+    }
+    if (!progress) {
+      std::ostringstream oss;
+      oss << "stream sync deadlock: every pending stream heads a wait on an "
+             "unrecorded event (";
+      for (const auto& sp : streams_) {
+        if (sp->queue_.empty()) continue;
+        oss << "s" << sp->id() << ":event=" << sp->queue_.front().event << " ";
+      }
+      oss << ")";
+      for (auto& stream : streams_) stream->queue_.clear();
+      throw DeviceFaultError(oss.str());
+    }
+  }
+}
+
+double StreamPool::modeled_wall_seconds(const PerfModel& model) const {
+  std::vector<double> clock(streams_.size(), 0.0);
+  std::unordered_map<u64, double> event_time;
+  for (const auto& rec : log_) {
+    double& t = clock[rec.stream - 1];
+    switch (rec.kind) {
+      case StreamOpKind::kRecord:
+        event_time[rec.event] = t;
+        break;
+      case StreamOpKind::kWait: {
+        const auto it = event_time.find(rec.event);
+        if (it != event_time.end()) t = std::max(t, it->second);
+        break;
+      }
+      default:
+        t += model.seconds(rec.delta);
+        break;
+    }
+  }
+  return clock.empty() ? 0.0 : *std::max_element(clock.begin(), clock.end());
+}
+
+double StreamPool::modeled_serial_seconds(const PerfModel& model) const {
+  double total = 0.0;
+  for (const auto& rec : log_) total += model.seconds(rec.delta);
+  return total;
+}
+
+}  // namespace gsnp::device

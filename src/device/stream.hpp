@@ -1,0 +1,211 @@
+#pragma once
+// Asynchronous device streams for the simulator (CUDA-stream-shaped).
+//
+// A Stream is a FIFO command queue: `launch`, `memcpy_h2d`, `memcpy_d2h` (and
+// the generic `enqueue`) defer work instead of executing it.  `record` /
+// `wait` provide CUDA-event-style cross-stream ordering.  Nothing runs until
+// StreamPool::sync(), which drains every queue with a deterministic
+// round-robin scheduler: visit streams in id order, execute exactly one ready
+// operation per visit, skip a stream whose head is a wait on an event that
+// has not been recorded yet, and fail loudly (rather than hang) if every
+// non-empty stream is blocked.  The schedule is a pure function of the
+// enqueue sequence — no wall-clock, no thread scheduling — so any pipeline
+// built on streams replays the exact same interleaving every run, which is
+// what makes the overlapped engine bit-identical to the serial one.
+//
+// Accounting: the pool snapshots the device counters around every operation,
+// so each op owns an exact counter delta (per-stream sums equal the device
+// aggregate over the drained ops).  The execution-order op log doubles as a
+// timeline for the overlap-aware wall-clock model: replaying it with one
+// clock per stream — ops advance their stream's clock by
+// PerfModel::seconds(delta), `record` stamps the event, `wait` advances the
+// clock to max(clock, event stamp) — yields `modeled_wall_seconds`, which
+// charges max(compute, transfer) across streams that genuinely overlap
+// while `modeled_serial_seconds` (the plain sum) is the no-overlap baseline.
+
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+#include "src/device/device.hpp"
+#include "src/device/perf_model.hpp"
+
+namespace gsnp::device {
+
+class StreamPool;
+
+/// A cross-stream synchronization point (CUDA event).  Created by
+/// StreamPool::create_event(); a default-constructed Event is null.
+class Event {
+ public:
+  Event() = default;
+  u64 id() const { return id_; }
+  bool valid() const { return id_ != 0; }
+
+ private:
+  friend class StreamPool;
+  explicit Event(u64 id) : id_(id) {}
+  u64 id_ = 0;
+};
+
+/// What kind of work a stream operation is (drives trace lanes and lets the
+/// wall-clock model distinguish compute from transfer if it ever needs to).
+enum class StreamOpKind : u8 { kLaunch, kH2d, kD2h, kRecord, kWait };
+
+const char* stream_op_kind_name(StreamOpKind kind);
+
+/// One executed stream operation.  The pool appends these in execution order
+/// (the deterministic round-robin order), each with its exact counter delta.
+struct StreamOpRecord {
+  u32 stream = 0;  ///< 1-based owning stream id
+  StreamOpKind kind = StreamOpKind::kLaunch;
+  std::string name;
+  u64 event = 0;        ///< event id for kRecord / kWait, else 0
+  bool failed = false;  ///< op threw (delta still captured exactly-once)
+  DeviceCounters delta;
+};
+
+/// Observer of stream op execution.  The obs layer bridges this into tracer
+/// spans; the device layer itself must not depend on obs.
+class StreamOpListener {
+ public:
+  virtual ~StreamOpListener() = default;
+  virtual void on_op_begin(u32 stream, StreamOpKind kind,
+                           const std::string& name) = 0;
+  virtual void on_op_end(const StreamOpRecord& record) = 0;
+};
+
+/// One asynchronous command queue.  Obtain from StreamPool::stream(i);
+/// ids are 1-based so that stream 0 can mean "the default synchronous
+/// queue" in LaunchInfo.
+class Stream {
+ public:
+  Stream(const Stream&) = delete;
+  Stream& operator=(const Stream&) = delete;
+
+  u32 id() const { return id_; }
+  std::size_t pending() const { return queue_.size(); }
+
+  /// Enqueue an arbitrary deferred device operation.  `fn` runs on the
+  /// draining thread during StreamPool::sync(); everything it captures by
+  /// reference must stay alive until then.
+  void enqueue(StreamOpKind kind, std::string name,
+               std::function<void(Device&)> fn);
+
+  /// Deferred kernel launch (same shape as Device::launch).
+  template <typename Kernel>
+  void launch(std::string name, u32 grid_dim, u32 block_dim, Kernel kernel) {
+    auto label = name;
+    enqueue(StreamOpKind::kLaunch, std::move(name),
+            [label = std::move(label), grid_dim, block_dim,
+             kernel = std::move(kernel)](Device& dev) {
+              dev.launch(label, grid_dim, block_dim, kernel);
+            });
+  }
+
+  /// Deferred host->device copy into `dst` (allocated at execution time, so
+  /// a fresh upload each drain).  `src` must stay alive until sync().
+  template <typename T>
+  void memcpy_h2d(std::optional<DeviceBuffer<T>>& dst, std::span<const T> src,
+                  std::string name = "h2d") {
+    enqueue(StreamOpKind::kH2d, std::move(name),
+            [&dst, src](Device& dev) { dst.emplace(dev.to_device(src)); });
+  }
+
+  /// Deferred device->host copy.  `src` must hold a buffer by the time the
+  /// op executes.
+  template <typename T>
+  void memcpy_d2h(std::vector<T>& dst,
+                  const std::optional<DeviceBuffer<T>>& src,
+                  std::string name = "d2h") {
+    enqueue(StreamOpKind::kD2h, std::move(name),
+            [&dst, &src](Device& dev) { dst = dev.to_host(*src); });
+  }
+
+  /// Enqueue an event record: when the scheduler reaches it, `event` becomes
+  /// signalled and any stream waiting on it may proceed.
+  void record(const Event& event);
+
+  /// Enqueue a wait: the scheduler will not run anything later in this
+  /// stream until `event` has been recorded (by any stream).
+  void wait(const Event& event);
+
+ private:
+  friend class StreamPool;
+  struct PendingOp {
+    StreamOpKind kind = StreamOpKind::kLaunch;
+    std::string name;
+    u64 event = 0;
+    std::function<void(Device&)> fn;
+  };
+  Stream(StreamPool* pool, u32 id) : pool_(pool), id_(id) {}
+
+  StreamPool* pool_ = nullptr;
+  u32 id_ = 0;
+  std::deque<PendingOp> queue_;
+};
+
+/// Owns N streams over one Device and drains them deterministically.
+class StreamPool {
+ public:
+  StreamPool(Device& dev, u32 n_streams);
+  ~StreamPool();
+
+  StreamPool(const StreamPool&) = delete;
+  StreamPool& operator=(const StreamPool&) = delete;
+
+  u32 size() const { return static_cast<u32>(streams_.size()); }
+  Stream& stream(u32 i) { return *streams_.at(i); }
+
+  Event create_event();
+  bool event_recorded(const Event& event) const;
+
+  /// True when every stream's queue is empty.
+  bool idle() const;
+
+  /// Drain every queue (deterministic round-robin; see file comment).
+  /// Throws DeviceFaultError on a wait-dependency deadlock, and rethrows the
+  /// first failing op's exception after clearing all queues (so a retry
+  /// starts from a clean pool).
+  void sync();
+
+  /// Exact counter movement attributed to stream `i` (0-based index, i.e.
+  /// stream id i+1) across every sync() so far.
+  const DeviceCounters& stream_counters(u32 i) const {
+    return per_stream_.at(i);
+  }
+  /// Sum of all per-stream counters (== device aggregate over drained ops).
+  DeviceCounters total_stream_counters() const;
+
+  /// Execution-order log of every drained op with exact deltas.
+  const std::vector<StreamOpRecord>& log() const { return log_; }
+
+  void set_listener(StreamOpListener* listener) { listener_ = listener; }
+
+  /// Overlap-aware modeled wall-clock over the executed log (see file
+  /// comment).  Strictly <= modeled_serial_seconds(), with equality iff no
+  /// two ops overlapped.
+  double modeled_wall_seconds(const PerfModel& model = {}) const;
+  /// The no-overlap baseline: plain sum of per-op modeled seconds.
+  double modeled_serial_seconds(const PerfModel& model = {}) const;
+
+ private:
+  friend class Stream;
+
+  void run_op(Stream& s, Stream::PendingOp op);
+
+  Device* dev_ = nullptr;
+  std::vector<std::unique_ptr<Stream>> streams_;
+  std::vector<DeviceCounters> per_stream_;
+  std::vector<StreamOpRecord> log_;
+  std::vector<bool> recorded_;  // indexed by event id (slot 0 unused)
+  u64 next_event_ = 1;
+  StreamOpListener* listener_ = nullptr;
+};
+
+}  // namespace gsnp::device

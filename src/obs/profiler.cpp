@@ -93,6 +93,7 @@ void Profiler::on_kernel_launch(const device::LaunchInfo& info) {
   rec.name = std::string(info.name);
   rec.grid_dim = info.grid_dim;
   rec.block_dim = info.block_dim;
+  rec.stream = info.stream_id;
   rec.failed = info.failed;
   rec.delta = info.delta;
   rec.allocated_bytes = info.allocated_bytes;
@@ -112,10 +113,12 @@ ProfileReport Profiler::report() const {
 
   std::map<std::string, KernelStats> by_name;
   for (const KernelRecord& rec : records_) {
-    const std::string key =
-        rec.name.empty() ? std::string(kUnnamedName) : rec.name;
+    std::string key = rec.name.empty() ? std::string(kUnnamedName) : rec.name;
+    // Stream-issued launches get one row per (kernel, stream).
+    if (rec.stream != 0) key += "@s" + std::to_string(rec.stream);
     KernelStats& st = by_name[key];
     st.name = key;
+    st.stream = rec.stream;
     st.launches++;
     st.blocks += rec.grid_dim;
     st.block_dim = rec.block_dim;
@@ -395,6 +398,7 @@ void write_profile_json(const std::filesystem::path& path,
       out << ": {\"launches\": " << st->launches
           << ", \"blocks\": " << st->blocks
           << ", \"block_dim\": " << st->block_dim
+          << ", \"stream\": " << st->stream
           << ", \"failed\": " << st->failed
           << ", \"peak_global_bytes\": " << st->peak_global_bytes
           << ", \"modeled_seconds\": " << fmt(st->modeled_sec)
@@ -445,6 +449,10 @@ ProfileReport read_profile_json(const std::filesystem::path& path) {
     st.launches = json::get_u64(v, "launches");
     st.blocks = json::get_u64(v, "blocks");
     st.block_dim = static_cast<u32>(json::get_u64(v, "block_dim"));
+    // "stream" was added with the stream abstraction; absent (pre-stream
+    // documents) means the default queue.
+    if (json::find(v, "stream") != nullptr)
+      st.stream = static_cast<u32>(json::get_u64(v, "stream"));
     st.failed = json::get_u64(v, "failed");
     st.peak_global_bytes = json::get_u64(v, "peak_global_bytes");
     st.modeled_sec = json::get_number(v, "modeled_seconds");

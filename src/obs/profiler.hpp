@@ -61,6 +61,7 @@ struct KernelRecord {
   std::string name;  // "" for unnamed launches
   u32 grid_dim = 0;
   u32 block_dim = 0;
+  u32 stream = 0;  // issuing stream (LaunchInfo::stream_id); 0 = default
   bool failed = false;
   device::DeviceCounters delta;
   u64 allocated_bytes = 0;    // live global bytes when the launch finished
@@ -68,9 +69,13 @@ struct KernelRecord {
   double modeled_sec = 0.0;
 };
 
-/// Aggregate of all launches sharing a kernel name.
+/// Aggregate of all launches sharing a kernel name and issuing stream.
+/// Stream-issued launches aggregate under the composite key "name@sN" (the
+/// (kernel, stream) row); default-queue launches keep the bare name, so
+/// serial runs produce exactly the same rows as before streams existed.
 struct KernelStats {
-  std::string name;
+  std::string name;  // aggregation key, "name" or "name@sN"
+  u32 stream = 0;    // 0 = default queue
   u64 launches = 0;
   u64 blocks = 0;     // total grid blocks across launches
   u32 block_dim = 0;  // of the most recent launch

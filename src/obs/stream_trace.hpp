@@ -1,0 +1,53 @@
+#pragma once
+// Bridges device stream execution into the tracer: attached to a StreamPool
+// as its StreamOpListener, it opens one span per executed stream op on that
+// stream's trace lane (category "stream", SpanRecord::stream = stream id, so
+// the Chrome exporter renders each stream as its own row and overlap is
+// visible as parallel bars).  Host seconds are pinned to 0 — draining runs
+// on the host simulator thread, but the time that matters is the modeled
+// device seconds of the op's counter delta, which the span captures the
+// same way engine device stages do.
+//
+// Lives in src/obs because the device layer must not depend on obs.
+
+#include <memory>
+#include <string>
+
+#include "src/device/stream.hpp"
+#include "src/obs/trace.hpp"
+
+namespace gsnp::obs {
+
+class StreamSpanListener final : public device::StreamOpListener {
+ public:
+  /// `tracer` may be null (the listener then does nothing, like every
+  /// null-sink path in obs).  `dev`/`model` drive the span's device-counter
+  /// delta and modeled seconds exactly as engine device scopes do.
+  StreamSpanListener(Tracer* tracer, device::Device* dev,
+                     const device::PerfModel* model = nullptr)
+      : tracer_(tracer), dev_(dev), model_(model) {}
+
+  void on_op_begin(u32 stream, device::StreamOpKind kind,
+                   const std::string& name) override {
+    if (tracer_ == nullptr) return;
+    open_ = std::make_unique<Tracer::Scope>(tracer_, name, "stream", dev_,
+                                            model_);
+    open_->set_stream(stream);
+    open_->set_host_seconds(0.0);
+    open_->note("kind", device::stream_op_kind_name(kind));
+  }
+
+  void on_op_end(const device::StreamOpRecord& record) override {
+    if (open_ == nullptr) return;
+    if (record.failed) open_->note("failed", "1");
+    open_.reset();  // closes the span; counters have not moved since the op
+  }
+
+ private:
+  Tracer* tracer_ = nullptr;
+  device::Device* dev_ = nullptr;
+  const device::PerfModel* model_ = nullptr;
+  std::unique_ptr<Tracer::Scope> open_;
+};
+
+}  // namespace gsnp::obs

@@ -219,6 +219,11 @@ void Tracer::Scope::set_host_seconds(double sec) {
   host_sec_override_ = std::max(0.0, sec);
 }
 
+void Tracer::Scope::set_stream(u32 stream_id) {
+  if (!tracer_) return;
+  pending_->stream = stream_id;
+}
+
 // ---- exporters ------------------------------------------------------------
 
 void write_chrome_trace(const std::filesystem::path& path,
@@ -231,8 +236,11 @@ void write_chrome_trace(const std::filesystem::path& path,
     const auto spans = tracer.spans();
     for (std::size_t i = 0; i < spans.size(); ++i) {
       const SpanRecord& s = spans[i];
+      // Stream-tagged spans get their own lane per stream (tid 1000+N) so
+      // overlap across streams is visible as parallel rows in the viewer.
+      const u32 tid = s.stream != 0 ? 1000 + s.stream : s.thread;
       out << (i ? ",\n " : "\n ") << "{\"ph\": \"X\", \"pid\": 1, \"tid\": "
-          << s.thread << ", \"name\": ";
+          << tid << ", \"name\": ";
       json::write_escaped(out, s.name);
       out << ", \"cat\": ";
       json::write_escaped(out, s.category.empty() ? "span" : s.category);
@@ -243,6 +251,7 @@ void write_chrome_trace(const std::filesystem::path& path,
           << ", \"table_sec\": " << fmt(s.table_seconds())
           << ", \"host_sec\": " << fmt(s.host_sec)
           << ", \"modeled_sec\": " << fmt(s.modeled_sec);
+      if (s.stream != 0) out << ", \"stream\": " << s.stream;
       if (s.has_device) {
         const device::DeviceCounters& d = s.device;
         out << ", \"dev_instructions\": " << d.instructions

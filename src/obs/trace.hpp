@@ -49,6 +49,7 @@ struct SpanRecord {
   u64 start_ns = 0;      ///< relative to the tracer's epoch
   u64 duration_ns = 0;   ///< wall time the scope was open
   u32 thread = 0;        ///< tracer-local thread index
+  u32 stream = 0;        ///< device stream lane (1-based; 0 = host/default)
   /// Extra annotations ("engine" = "gsnp", "attempt" = "2", ...).
   std::vector<std::pair<std::string, std::string>> args;
 
@@ -114,6 +115,9 @@ class Tracer {
     /// Override the seconds this span contributes to the breakdown tables
     /// (default: its wall duration).  See SpanRecord::host_sec.
     void set_host_seconds(double sec);
+    /// Assign the span to a device stream lane (Chrome exporter renders
+    /// each stream as its own row).  See SpanRecord::stream.
+    void set_stream(u32 stream_id);
 
    private:
     Tracer* tracer_;  // null = disabled scope: every member stays untouched

@@ -1,0 +1,266 @@
+// The determinism battery (overlapped-pipeline lockdown).
+//
+// The overlapped engine paths (EngineConfig::streams >= 2) promise output
+// *byte-identical* to the serial reference path, for any stream count, any
+// pipeline depth and any host thread-pool size.  This file is the contract's
+// enforcement: it runs the full pipeline repeatedly — twice serially and
+// under several overlapped configurations — across all three engines, and
+// asserts byte-identical raw output, byte-identical VCF conversion,
+// identical manifest digests and identical device counters.
+//
+// A second section pins the end-to-end result against committed golden
+// SHA-256 hashes (tests/corpus/golden/), so a cross-PR behavioral drift is
+// caught even if serial and overlapped paths drift *together*.  Regenerate
+// with GSNP_UPDATE_GOLDEN=1 after an intentional output change.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "src/common/sha256.hpp"
+#include "src/core/consistency.hpp"
+#include "src/core/genome_pipeline.hpp"
+#include "src/core/run_manifest.hpp"
+#include "src/core/vcf.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+
+namespace gsnp::core {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// One overlapped-pipeline configuration under test.
+struct PipelineVariant {
+  const char* label;
+  u32 streams;
+  u32 pipeline_depth;
+  u32 host_threads;
+};
+
+/// Everything a run produced that determinism covers: raw output bytes per
+/// chromosome, the VCF conversion of each, the canonical manifest digest,
+/// and (GSNP engine) the device counters.
+struct RunFingerprint {
+  std::vector<std::string> output_bytes;
+  std::vector<std::string> vcf_bytes;
+  std::string manifest_digest;
+  device::DeviceCounters counters;
+};
+
+class DeterminismBattery : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gsnp_determinism_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    // Two chromosomes, window 2,048 => several windows each, so the
+    // double-buffered pipeline genuinely rotates slots and every stage
+    // overlaps at least once.
+    const struct { const char* name; u64 length; u64 seed; } specs[] = {
+        {"chrD1", 9'000, 70}, {"chrD2", 6'500, 80}};
+    for (const auto& s : specs) {
+      genome::GenomeSpec gspec;
+      gspec.name = s.name;
+      gspec.length = s.length;
+      gspec.seed = s.seed;
+      refs_.push_back(genome::generate_reference(gspec));
+    }
+    for (std::size_t c = 0; c < refs_.size(); ++c) {
+      genome::SnpPlantSpec pspec;
+      pspec.seed = specs[c].seed + 1;
+      const genome::Diploid individual(refs_[c],
+                                       plant_snps(refs_[c], pspec));
+      reads::ReadSimSpec rspec;
+      rspec.depth = 6.0;
+      rspec.seed = specs[c].seed + 2;
+      const fs::path align = dir_ / (refs_[c].name() + ".soap");
+      reads::write_alignment_file(align,
+                                  reads::simulate_reads(individual, rspec));
+      ChromosomeJob job;
+      job.name = refs_[c].name();
+      job.alignment_file = align;
+      job.reference = &refs_[c];
+      jobs_.push_back(job);
+    }
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  RunFingerprint run(EngineKind kind, const PipelineVariant& v) {
+    GenomeRunConfig config;
+    config.chromosomes = jobs_;
+    config.output_dir =
+        dir_ / (std::string(engine_name(kind)) + "_" + v.label);
+    config.window_size = 2'048;
+    config.streams = v.streams;
+    config.pipeline_depth = v.pipeline_depth;
+    config.host_threads = v.host_threads;
+
+    device::Device dev;  // fresh per run: counters comparable across runs
+    const GenomeReport report = run_genome(
+        config, kind, kind == EngineKind::kGsnp ? &dev : nullptr);
+
+    RunFingerprint fp;
+    for (const fs::path& out : report.output_files) {
+      fp.output_bytes.push_back(read_file_bytes(out));
+      std::string seq_name;
+      const auto rows = read_snp_output(out, seq_name);
+      const fs::path vcf = out.string() + ".vcf";
+      write_vcf_file(vcf, seq_name, rows.size(), rows);
+      fp.vcf_bytes.push_back(read_file_bytes(vcf));
+    }
+    fp.manifest_digest =
+        manifest_digest(read_run_manifest(report.manifest_file));
+    fp.counters = dev.counters();
+    return fp;
+  }
+
+  void expect_identical(const RunFingerprint& a, const RunFingerprint& b,
+                        EngineKind kind, const char* label) {
+    ASSERT_EQ(a.output_bytes.size(), b.output_bytes.size()) << label;
+    for (std::size_t c = 0; c < a.output_bytes.size(); ++c) {
+      EXPECT_EQ(a.output_bytes[c] == b.output_bytes[c], true)
+          << engine_name(kind) << " " << label << ": chromosome " << c
+          << " raw output differs from serial";
+      EXPECT_EQ(a.vcf_bytes[c] == b.vcf_bytes[c], true)
+          << engine_name(kind) << " " << label << ": chromosome " << c
+          << " VCF differs from serial";
+    }
+    EXPECT_EQ(a.manifest_digest, b.manifest_digest)
+        << engine_name(kind) << " " << label << ": manifest digest differs";
+    if (kind == EngineKind::kGsnp) {
+      // Identical op multiset + commutative u64 adds: the final device
+      // counters must match the serial run exactly, whatever the interleave.
+      EXPECT_EQ(0, std::memcmp(&a.counters, &b.counters,
+                               sizeof(device::DeviceCounters)))
+          << label << ": device counters differ from serial";
+    }
+  }
+
+  /// The battery itself: serial twice (reproducibility with itself — seeded
+  /// input, deterministic code), then every overlapped variant vs serial.
+  void run_battery(EngineKind kind) {
+    static constexpr PipelineVariant kVariants[] = {
+        {"s2_p1", 2, 2, 1},  // overlapped, single host worker
+        {"s2_p2", 2, 2, 2},  // overlapped, default host pool
+        {"s4_p8", 4, 3, 8},  // wide: 4 streams, depth 3, oversubscribed pool
+    };
+    const RunFingerprint serial = run(kind, {"serial", 1, 2, 2});
+    expect_identical(run(kind, {"serial2", 1, 2, 2}), serial, kind,
+                     "serial rerun");
+    for (const PipelineVariant& v : kVariants)
+      expect_identical(run(kind, v), serial, kind, v.label);
+  }
+
+  fs::path dir_;
+  std::vector<genome::Reference> refs_;
+  std::vector<ChromosomeJob> jobs_;
+};
+
+TEST_F(DeterminismBattery, SoapsnpOverlappedMatchesSerial) {
+  run_battery(EngineKind::kSoapsnp);
+}
+
+TEST_F(DeterminismBattery, GsnpCpuOverlappedMatchesSerial) {
+  run_battery(EngineKind::kGsnpCpu);
+}
+
+TEST_F(DeterminismBattery, GsnpOverlappedMatchesSerial) {
+  run_battery(EngineKind::kGsnp);
+}
+
+TEST_F(DeterminismBattery, EnginesAgreeUnderOverlap) {
+  // The §IV-G cross-engine guarantee must survive overlap: an overlapped
+  // GSNP run and an overlapped SOAPsnp run still call identical rows.
+  const PipelineVariant v = {"cross", 2, 2, 2};
+  GenomeRunConfig config;
+  config.chromosomes = jobs_;
+  config.window_size = 2'048;
+  config.streams = v.streams;
+  config.pipeline_depth = v.pipeline_depth;
+  config.host_threads = v.host_threads;
+
+  device::Device dev;
+  config.output_dir = dir_ / "cross_gsnp";
+  const auto gsnp = run_genome(config, EngineKind::kGsnp, &dev);
+  config.output_dir = dir_ / "cross_soapsnp";
+  const auto soapsnp = run_genome(config, EngineKind::kSoapsnp);
+  ASSERT_EQ(gsnp.output_files.size(), soapsnp.output_files.size());
+  for (std::size_t c = 0; c < gsnp.output_files.size(); ++c) {
+    const auto report =
+        compare_output_files(gsnp.output_files[c], soapsnp.output_files[c]);
+    EXPECT_TRUE(report.identical) << jobs_[c].name << ": " << report.detail;
+  }
+}
+
+// ---- golden end-to-end corpus -----------------------------------------------
+
+/// Golden file format: one "key<space>sha256-hex" per line, sorted by key.
+std::map<std::string, std::string> read_golden(const fs::path& path) {
+  std::map<std::string, std::string> golden;
+  std::ifstream in(path);
+  std::string key, hash;
+  while (in >> key >> hash) golden[key] = hash;
+  return golden;
+}
+
+TEST_F(DeterminismBattery, GoldenEndToEndHashes) {
+  const fs::path golden_path =
+      fs::path(GSNP_TEST_CORPUS_DIR) / "golden" / "e2e.sha256";
+
+  // Hash the serial GSNP and SOAPsnp runs' raw outputs and VCFs — the same
+  // artifacts the battery above proves the overlapped paths reproduce, so
+  // pinning serial pins everything.
+  std::map<std::string, std::string> actual;
+  for (const EngineKind kind : {EngineKind::kGsnp, EngineKind::kSoapsnp}) {
+    const RunFingerprint fp = run(kind, {"golden", 1, 2, 2});
+    for (std::size_t c = 0; c < fp.output_bytes.size(); ++c) {
+      const std::string base =
+          std::string(engine_name(kind)) + "/" + jobs_[c].name;
+      actual[base + ".out"] = sha256_hex(fp.output_bytes[c]);
+      actual[base + ".vcf"] = sha256_hex(fp.vcf_bytes[c]);
+    }
+    actual[std::string(engine_name(kind)) + "/manifest"] =
+        fp.manifest_digest;
+  }
+
+  if (std::getenv("GSNP_UPDATE_GOLDEN") != nullptr) {
+    fs::create_directories(golden_path.parent_path());
+    std::ofstream out(golden_path, std::ios::trunc);
+    for (const auto& [key, hash] : actual) out << key << ' ' << hash << '\n';
+    GTEST_SKIP() << "regenerated " << golden_path;
+  }
+
+  const auto golden = read_golden(golden_path);
+  ASSERT_FALSE(golden.empty())
+      << "missing golden file " << golden_path
+      << " — run once with GSNP_UPDATE_GOLDEN=1 to generate it";
+  for (const auto& [key, hash] : golden) {
+    const auto it = actual.find(key);
+    ASSERT_NE(it, actual.end()) << "golden key '" << key << "' not produced";
+    EXPECT_EQ(it->second, hash)
+        << "end-to-end output drift for '" << key
+        << "' (intentional? regenerate with GSNP_UPDATE_GOLDEN=1)";
+  }
+  EXPECT_EQ(actual.size(), golden.size())
+      << "run produced keys the golden file does not pin";
+}
+
+}  // namespace
+}  // namespace gsnp::core

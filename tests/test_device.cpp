@@ -12,6 +12,7 @@
 #include "src/common/error.hpp"
 #include "src/device/device.hpp"
 #include "src/device/perf_model.hpp"
+#include "src/device/stream.hpp"
 
 namespace gsnp::device {
 namespace {
@@ -410,6 +411,226 @@ TEST(KernelLaunch, CancelsRemainingBlocksAfterThrow) {
   // and nothing double-counted.
   EXPECT_EQ(dev.counters().instructions, executed.load());
   EXPECT_EQ(dev.counters().kernel_launches, 1u);
+}
+
+// ---- streams and events -----------------------------------------------------
+
+TEST(Streams, WaitBeforeRecordStillOrdersCorrectly) {
+  // Stream 1's head is a wait on an event that stream 2 records *later* in
+  // the enqueue order.  The scheduler must skip the blocked stream, run the
+  // record, and only then let stream 1 proceed — the waiting launch must
+  // observe the dependency's write.
+  Device dev;
+  StreamPool pool(dev, 2);
+  const Event e = pool.create_event();
+
+  auto cell = dev.alloc<u32>(1);
+  dev.launch(1, 1, [&](BlockContext& blk) {
+    blk.single_thread(
+        [&](ThreadContext& t) { t.gstore(cell, 0, 0u, Access::kCoalesced); });
+  });
+
+  pool.stream(0).wait(e);
+  pool.stream(0).launch("reader", 1, 1, [&](BlockContext& blk) {
+    blk.single_thread([&](ThreadContext& t) {
+      const u32 v = t.gload<u32>(cell, 0, Access::kCoalesced);
+      t.gstore(cell, 0, v + 1, Access::kCoalesced);
+    });
+  });
+  pool.stream(1).launch("writer", 1, 1, [&](BlockContext& blk) {
+    blk.single_thread(
+        [&](ThreadContext& t) { t.gstore(cell, 0, 41u, Access::kCoalesced); });
+  });
+  pool.stream(1).record(e);
+  pool.sync();
+
+  EXPECT_EQ(dev.to_host(cell)[0], 42u);  // reader saw the writer's 41
+  EXPECT_TRUE(pool.idle());
+  // The log records execution order: writer, record, wait, reader.
+  ASSERT_EQ(pool.log().size(), 4u);
+  EXPECT_EQ(pool.log()[0].name, "writer");
+  EXPECT_EQ(pool.log()[1].kind, StreamOpKind::kRecord);
+  EXPECT_EQ(pool.log()[2].kind, StreamOpKind::kWait);
+  EXPECT_EQ(pool.log()[3].name, "reader");
+}
+
+TEST(Streams, CrossStreamDependencyChain) {
+  // s1 -> s2 -> s3 chained through two events: each stage increments the
+  // cell, so the final value proves every stage ran after its predecessor.
+  Device dev;
+  StreamPool pool(dev, 3);
+  const Event ab = pool.create_event();
+  const Event bc = pool.create_event();
+
+  auto cell = dev.alloc<u32>(1);
+  dev.launch(1, 1, [&](BlockContext& blk) {
+    blk.single_thread(
+        [&](ThreadContext& t) { t.gstore(cell, 0, 1u, Access::kCoalesced); });
+  });
+  const auto triple = [&](BlockContext& blk) {
+    blk.single_thread([&](ThreadContext& t) {
+      const u32 v = t.gload<u32>(cell, 0, Access::kCoalesced);
+      t.gstore(cell, 0, v * 3, Access::kCoalesced);
+    });
+  };
+  // Enqueue the chain back-to-front so the scheduler has to resolve both
+  // events before the tail stages can run.
+  pool.stream(2).wait(bc);
+  pool.stream(2).launch("c", 1, 1, triple);
+  pool.stream(1).wait(ab);
+  pool.stream(1).launch("b", 1, 1, triple);
+  pool.stream(1).record(bc);
+  pool.stream(0).launch("a", 1, 1, triple);
+  pool.stream(0).record(ab);
+  pool.sync();
+
+  EXPECT_EQ(dev.to_host(cell)[0], 27u);
+  EXPECT_TRUE(pool.event_recorded(ab));
+  EXPECT_TRUE(pool.event_recorded(bc));
+}
+
+TEST(Streams, DeadlockDetectedNotHung) {
+  // A wait on an event nobody records must fail loudly, not spin forever,
+  // and must leave the pool clean (queues cleared) for reuse.
+  Device dev;
+  StreamPool pool(dev, 2);
+  const Event never = pool.create_event();
+  pool.stream(0).wait(never);
+  pool.stream(0).launch("unreachable", 1, 1, [](BlockContext&) {});
+  EXPECT_THROW(pool.sync(), DeviceFaultError);
+  EXPECT_TRUE(pool.idle());
+  pool.sync();  // clean pool: draining nothing succeeds
+}
+
+TEST(Streams, ThrowMidStreamKeepsCountersExactlyOnce) {
+  // A kernel that throws mid-launch: the device reduces its counter shards
+  // exactly once before the exception propagates, and the pool must capture
+  // that delta for the failing op (nothing dropped, nothing double-counted),
+  // then clear all queues so a retry starts clean.
+  Device dev;
+  StreamPool pool(dev, 2);
+  const DeviceCounters before = dev.counters();
+
+  pool.stream(0).launch("ok", 4, 32, [&](BlockContext& blk) {
+    blk.threads([](ThreadContext& t) { t.inst(2); });
+  });
+  pool.stream(1).launch("boom", 4, 1, [&](BlockContext& blk) {
+    blk.single_thread([](ThreadContext& t) { t.inst(1); });
+    if (blk.block_idx() == 0) throw std::runtime_error("mid-stream failure");
+  });
+  pool.stream(1).launch("after_boom", 1, 1, [](BlockContext&) {});
+  EXPECT_THROW(pool.sync(), std::runtime_error);
+  EXPECT_TRUE(pool.idle());  // queues cleared, including "after_boom"
+
+  // Per-stream sums must equal the device aggregate over what actually ran.
+  const DeviceCounters ran = counters_delta(before, dev.counters());
+  const DeviceCounters streamed = pool.total_stream_counters();
+  EXPECT_EQ(streamed.instructions, ran.instructions);
+  EXPECT_EQ(streamed.kernel_launches, ran.kernel_launches);
+  EXPECT_EQ(ran.kernel_launches, 2u);
+
+  // The failing op is in the log, flagged, with its delta captured.
+  bool saw_failed = false;
+  for (const auto& rec : pool.log())
+    if (rec.name == "boom") {
+      saw_failed = true;
+      EXPECT_TRUE(rec.failed);
+      EXPECT_GE(rec.delta.instructions, 1u);
+    }
+  EXPECT_TRUE(saw_failed);
+}
+
+TEST(Streams, PerStreamCountersSumToDeviceAggregate) {
+  Device dev;
+  StreamPool pool(dev, 3);
+  const DeviceCounters before = dev.counters();
+
+  std::vector<u32> host(128);  // exactly the 2x64 grid below
+  std::iota(host.begin(), host.end(), 0u);
+  std::optional<DeviceBuffer<u32>> buf;
+  pool.stream(0).memcpy_h2d(buf, std::span<const u32>(host), "up");
+  const Event up = pool.create_event();
+  pool.stream(0).record(up);
+  pool.stream(1).wait(up);
+  pool.stream(1).launch("sum", 2, 64, [&](BlockContext& blk) {
+    blk.threads([&](ThreadContext& t) {
+      const u32 v = t.gload<u32>(*buf, t.global_tid(), Access::kCoalesced);
+      t.gstore(*buf, t.global_tid(), v + 1, Access::kCoalesced);
+      t.inst(1);
+    });
+  });
+  std::vector<u32> back;
+  const Event done = pool.create_event();
+  pool.stream(1).record(done);
+  pool.stream(2).wait(done);
+  pool.stream(2).memcpy_d2h(back, buf, "down");
+  pool.sync();
+
+  ASSERT_EQ(back.size(), host.size());
+  for (u32 i = 0; i < back.size(); ++i) EXPECT_EQ(back[i], i + 1);
+
+  const DeviceCounters ran = counters_delta(before, dev.counters());
+  const DeviceCounters streamed = pool.total_stream_counters();
+  EXPECT_EQ(streamed.instructions, ran.instructions);
+  EXPECT_EQ(streamed.h2d_bytes, ran.h2d_bytes);
+  EXPECT_EQ(streamed.d2h_bytes, ran.d2h_bytes);
+  EXPECT_EQ(streamed.kernel_launches, ran.kernel_launches);
+  EXPECT_EQ(streamed.global_loads(), ran.global_loads());
+  EXPECT_EQ(streamed.global_stores(), ran.global_stores());
+  // Individual streams saw only their own ops.
+  EXPECT_EQ(pool.stream_counters(0).h2d_bytes, ran.h2d_bytes);
+  EXPECT_EQ(pool.stream_counters(0).kernel_launches, 0u);
+  EXPECT_EQ(pool.stream_counters(1).kernel_launches, 1u);
+  EXPECT_EQ(pool.stream_counters(2).d2h_bytes, ran.d2h_bytes);
+}
+
+TEST(Streams, OverlapWallBelowSerialSum) {
+  // Two independent streams with real work must overlap in the replayed
+  // timeline: wall < serial sum.  A single stream cannot overlap: equal.
+  Device dev;
+  const PerfModel model;
+  const auto busy = [](BlockContext& blk) {
+    blk.threads([](ThreadContext& t) { t.inst(100); });
+  };
+  {
+    StreamPool pool(dev, 2);
+    pool.stream(0).launch("a", 8, 64, busy);
+    pool.stream(1).launch("b", 8, 64, busy);
+    pool.sync();
+    EXPECT_LT(pool.modeled_wall_seconds(model),
+              pool.modeled_serial_seconds(model));
+  }
+  {
+    StreamPool pool(dev, 1);
+    pool.stream(0).launch("a", 8, 64, busy);
+    pool.stream(0).launch("b", 8, 64, busy);
+    pool.sync();
+    EXPECT_DOUBLE_EQ(pool.modeled_wall_seconds(model),
+                     pool.modeled_serial_seconds(model));
+  }
+}
+
+TEST(Streams, LaunchInfoCarriesStreamId) {
+  // The profiler keys rows by (kernel, stream): LaunchInfo.stream_id must be
+  // the issuing stream's 1-based id, and 0 for default-queue launches.
+  struct Capture final : LaunchListener {
+    std::vector<u32> ids;
+    void on_kernel_launch(const LaunchInfo& info) override {
+      ids.push_back(info.stream_id);
+    }
+  } capture;
+  Device dev;
+  dev.set_launch_listener(&capture);
+  dev.launch(1, 1, [](BlockContext&) {});
+  StreamPool pool(dev, 2);
+  pool.stream(1).launch("on_s2", 1, 1, [](BlockContext&) {});
+  pool.sync();
+  dev.launch(1, 1, [](BlockContext&) {});
+  dev.set_launch_listener(nullptr);
+  ASSERT_EQ(capture.ids.size(), 3u);
+  EXPECT_EQ(capture.ids[0], 0u);  // default queue
+  EXPECT_EQ(capture.ids[1], 2u);  // stream id is 1-based
+  EXPECT_EQ(capture.ids[2], 0u);  // restored after the drain
 }
 
 TEST(DeviceSpecDefaults, MatchPaperHardware) {
