@@ -1,0 +1,444 @@
+// bench_service — the gsnpd chaos harness (plain harness, like bench_smoke /
+// bench_overlap: no google-benchmark dependency, deterministic,
+// self-checking).  DESIGN.md "Service".
+//
+// Drives N concurrent jobs (default 10) through a seeded fault schedule
+// (transient launch faults, transient transfer corruption, one wedged-device
+// job that must degrade to the CPU engine) plus a crash-point schedule that
+// kills the daemon mid-run at a post_publish durability edge, then restarts
+// it and recovers the spool.  Asserts, for every admitted job:
+//
+//   * terminal state kDone after recovery — resumed exactly once,
+//   * output files byte-identical to a serial core::run_genome of the same
+//     spec (manifest digests equal for non-degraded jobs; the degraded job
+//     matches byte-for-byte and CRC-for-CRC, its digest legitimately differs
+//     only in the engine/degraded fields),
+//   * over-quota and over-capacity submissions rejected with typed
+//     ServiceErrors instead of hanging,
+//
+// and reports p50/p99 job completion latency (clean concurrent phase) and
+// the shed rate of the backpressure probe.
+//
+//   bench_service [--workdir DIR] [--jobs N] [--seed S] [--length N]
+//
+// Exit codes: 0 ok, 1 a check failed, 2 bad usage.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/common/error.hpp"
+#include "src/common/rng.hpp"
+#include "src/core/genome_pipeline.hpp"
+#include "src/core/run_manifest.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+#include "src/service/daemon.hpp"
+#include "src/service/protocol.hpp"
+
+namespace fs = std::filesystem;
+using namespace gsnp;
+using namespace std::chrono_literals;
+
+namespace {
+
+int g_failures = 0;
+
+#define BENCH_CHECK(cond, ...)                      \
+  do {                                              \
+    if (!(cond)) {                                  \
+      std::fprintf(stderr, "FAIL: " __VA_ARGS__);   \
+      std::fprintf(stderr, "\n");                   \
+      ++g_failures;                                 \
+    }                                               \
+  } while (0)
+
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GSNP_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+u64 fnv1a(std::string_view s) {
+  u64 h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<u8>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+double percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p * static_cast<double>(values.size())));
+  return values[std::min(values.size() - 1, rank == 0 ? 0 : rank - 1)];
+}
+
+/// One synthesized chromosome dataset on disk.
+struct Dataset {
+  std::string name;
+  fs::path fasta;
+  fs::path soap;
+};
+
+service::ErrorCode expect_rejected(service::Daemon& daemon,
+                                   service::JobSpec spec, const char* what) {
+  try {
+    daemon.submit(std::move(spec));
+  } catch (const service::ServiceError& e) {
+    return e.code();
+  }
+  std::fprintf(stderr, "FAIL: %s was admitted instead of rejected\n", what);
+  ++g_failures;
+  return service::ErrorCode::kInternal;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path workdir = fs::temp_directory_path() / "gsnp_bench_service";
+  std::size_t jobs = 10;
+  u64 seed = 1;
+  u64 length = 1'000;
+  for (int i = 1; i < argc; ++i) {
+    const auto need_value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "bench_service: %s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--workdir") == 0)
+      workdir = need_value("--workdir");
+    else if (std::strcmp(argv[i], "--jobs") == 0)
+      jobs = std::stoull(need_value("--jobs"));
+    else if (std::strcmp(argv[i], "--seed") == 0)
+      seed = std::stoull(need_value("--seed"));
+    else if (std::strcmp(argv[i], "--length") == 0)
+      length = std::stoull(need_value("--length"));
+    else {
+      std::fprintf(stderr,
+                   "usage: bench_service [--workdir DIR] [--jobs N] "
+                   "[--seed S] [--length N]\n");
+      return 2;
+    }
+  }
+  if (jobs < 8) {
+    std::fprintf(stderr,
+                 "bench_service: the chaos contract needs >= 8 concurrent "
+                 "jobs (got %zu)\n",
+                 jobs);
+    return 2;
+  }
+
+  try {
+    fs::remove_all(workdir);
+    fs::create_directories(workdir);
+
+    // ---- synthesize a pool of chromosome datasets -------------------------------
+    constexpr std::size_t kPool = 6;
+    std::vector<Dataset> pool;
+    for (std::size_t c = 0; c < kPool; ++c) {
+      Dataset d;
+      d.name = "chr" + std::to_string(c + 1);
+      genome::GenomeSpec gspec;
+      gspec.name = d.name;
+      gspec.length = length + 200 * c;
+      gspec.seed = seed * 100 + c;
+      const genome::Reference ref = genome::generate_reference(gspec);
+      d.fasta = workdir / (d.name + ".fa");
+      genome::write_fasta_file(d.fasta, {ref});
+      const genome::Diploid individual(ref, {});
+      reads::ReadSimSpec rspec;
+      rspec.depth = 4.0;
+      rspec.seed = seed * 200 + c;
+      d.soap = workdir / (d.name + ".soap");
+      reads::write_alignment_file(d.soap,
+                                  reads::simulate_reads(individual, rspec));
+      pool.push_back(std::move(d));
+    }
+
+    // ---- seeded job mix: 2-3 chromosomes each from the pool ---------------------
+    std::vector<service::JobSpec> specs;
+    for (std::size_t i = 0; i < jobs; ++i) {
+      Rng rng(seed * 1'000 + i);
+      service::JobSpec spec;
+      spec.job_id = "chaos-" + std::to_string(i);
+      spec.engine = "gsnp";
+      spec.window_size = 512;
+      const std::size_t count = 2 + rng.uniform(2);  // 2 or 3
+      std::size_t at = rng.uniform(kPool);
+      for (std::size_t k = 0; k < count; ++k) {
+        const Dataset& d = pool[(at + k) % kPool];  // distinct names per job
+        service::ChromosomeSpec cs;
+        cs.name = d.name;
+        cs.alignment_file = d.soap.string();
+        cs.reference_file = d.fasta.string();
+        spec.chromosomes.push_back(cs);
+      }
+      specs.push_back(std::move(spec));
+    }
+
+    // Schedule landmarks: one wedged-device job (degrades to CPU, byte-exact)
+    // and one crash point mid-schedule.
+    const std::string wedge_job = "chaos-1";
+    const std::string wedge_chrom = specs[1].chromosomes.back().name;
+    const std::string crash_job = "chaos-" + std::to_string(jobs / 2);
+    const std::string crash_chrom = specs[jobs / 2].chromosomes.front().name;
+
+    // Seeded fault arming, deterministic per (job, chromosome) and relative
+    // to the worker device's live operation counters — independent of
+    // scheduling order.
+    const auto fault_arm = [&](device::Device& dev, const std::string& job_id,
+                               const std::string& chromosome) {
+      device::FaultPlan plan;  // empty plan clears any wedge left on the card
+      if (job_id == wedge_job && chromosome == wedge_chrom) {
+        plan.fail_alloc_at = static_cast<i64>(dev.alloc_count());
+        plan.fault_count = -1;  // wedged for every retry -> CPU fallback
+      } else {
+        const u64 h = fnv1a(job_id + ":" + chromosome) ^ seed;
+        if (h % 3 == 0) {
+          plan.fail_launch_at = static_cast<i64>(dev.launch_count());
+          plan.fault_count = 1;  // one failed launch, clean on retry
+        } else if (h % 5 == 1) {
+          plan.corrupt_h2d_at = static_cast<i64>(dev.h2d_count());
+          plan.fault_count = 1;  // one glitched DMA, caught by CRC, retried
+        }
+      }
+      dev.set_fault_plan(plan);
+    };
+
+    const auto daemon_config = [&](const std::string& spool) {
+      service::DaemonConfig config;
+      config.spool_dir = workdir / spool;
+      config.workers = 4;
+      config.queue_capacity = jobs + 4;
+      config.tenant_quota = jobs + 4;
+      config.retry.max_attempts = 3;
+      config.retry.backoff_seconds = 0.001;
+      config.retry.jitter_fraction = 0.5;
+      config.retry.jitter_seed = seed;
+      config.fault_arm = fault_arm;
+      return config;
+    };
+
+    // ---- serial oracle: one core::run_genome per job spec -----------------------
+    std::map<std::string, std::string> serial_digest;
+    std::map<std::string, core::RunManifest> serial_manifest;
+    std::map<std::string, fs::path> serial_dir;
+    for (const service::JobSpec& spec : specs) {
+      std::vector<genome::Reference> refs;
+      refs.reserve(spec.chromosomes.size());
+      core::GenomeRunConfig cfg;
+      cfg.output_dir = workdir / "serial" / spec.job_id;
+      cfg.window_size = spec.window_size;
+      for (const service::ChromosomeSpec& cs : spec.chromosomes) {
+        refs.push_back(std::move(genome::read_fasta_file(cs.reference_file).at(0)));
+        core::ChromosomeJob job;
+        job.name = cs.name;
+        job.alignment_file = cs.alignment_file;
+        job.reference = &refs.back();
+        cfg.chromosomes.push_back(job);
+      }
+      device::Device dev;
+      const core::GenomeReport report =
+          core::run_genome(cfg, core::EngineKind::kGsnp, &dev);
+      const core::RunManifest m = core::read_run_manifest(report.manifest_file);
+      serial_digest[spec.job_id] = core::manifest_digest(m);
+      serial_manifest[spec.job_id] = m;
+      serial_dir[spec.job_id] = cfg.output_dir;
+    }
+    std::printf("bench_service: %zu jobs, pool of %zu chromosomes, seed %llu\n",
+                jobs, kPool, static_cast<unsigned long long>(seed));
+
+    // ---- phase A: chaos run with a mid-run daemon kill + restart ----------------
+    std::atomic<service::Daemon*> live{nullptr};
+    std::atomic<bool> crashed{false};
+    std::size_t resumed = 0;
+    {
+      service::DaemonConfig config = daemon_config("spool");
+      config.checkpoint_hook = [&](std::string_view point,
+                                   const std::string& job_id,
+                                   const std::string& chromosome) {
+        if (point == "post_publish" && job_id == crash_job &&
+            chromosome == crash_chrom && !crashed.exchange(true)) {
+          live.load()->simulate_crash();
+          throw Error("bench_service: injected crash at post_publish");
+        }
+      };
+      service::Daemon daemon(config);
+      live.store(&daemon);
+      for (const service::JobSpec& spec : specs) daemon.submit(spec);
+      daemon.wait_idle();  // returns the moment the crash flag goes up
+      BENCH_CHECK(crashed.load(), "the crash point never fired");
+      // Daemon dies here with unfinished jobs parked in the spool.
+    }
+    {
+      service::Daemon daemon(daemon_config("spool"));
+      resumed = daemon.recover();
+      BENCH_CHECK(resumed >= 1,
+                  "mid-run crash left nothing to resume (resumed=%zu)",
+                  resumed);
+      for (const service::JobSpec& spec : specs) {
+        if (!daemon.wait_job(spec.job_id, 300.0)) {
+          BENCH_CHECK(false, "job %s hung after recovery",
+                      spec.job_id.c_str());
+          continue;
+        }
+        const service::JobStatus status = daemon.status(spec.job_id);
+        BENCH_CHECK(status.state == service::JobState::kDone,
+                    "job %s ended %s (%s), want done", spec.job_id.c_str(),
+                    service::job_state_name(status.state),
+                    status.error.c_str());
+        if (status.state != service::JobState::kDone) continue;
+
+        // Byte identity against the serial oracle, chromosome by chromosome.
+        const core::RunManifest chaos =
+            core::read_run_manifest(workdir / "spool" / "jobs" / spec.job_id /
+                                    "manifest.json");
+        const core::RunManifest& serial = serial_manifest[spec.job_id];
+        BENCH_CHECK(chaos.chromosomes.size() == serial.chromosomes.size(),
+                    "job %s manifest has %zu chromosomes, serial %zu",
+                    spec.job_id.c_str(), chaos.chromosomes.size(),
+                    serial.chromosomes.size());
+        for (const core::ManifestEntry& entry : serial.chromosomes) {
+          const core::ManifestEntry* got = chaos.find(entry.name);
+          if (got == nullptr) {
+            BENCH_CHECK(false, "job %s missing chromosome %s",
+                        spec.job_id.c_str(), entry.name.c_str());
+            continue;
+          }
+          BENCH_CHECK(got->output_crc32 == entry.output_crc32 &&
+                          got->output_bytes == entry.output_bytes,
+                      "job %s chromosome %s output differs from serial",
+                      spec.job_id.c_str(), entry.name.c_str());
+          const std::string serial_bytes =
+              read_file_bytes(serial_dir[spec.job_id] / entry.output);
+          const std::string chaos_bytes =
+              read_file_bytes(status.output_dir / got->output);
+          BENCH_CHECK(serial_bytes == chaos_bytes,
+                      "job %s chromosome %s bytes differ from serial",
+                      spec.job_id.c_str(), entry.name.c_str());
+        }
+        if (spec.job_id == wedge_job) {
+          // The wedged job degraded: digest differs only in engine fields.
+          const core::ManifestEntry* got = chaos.find(wedge_chrom);
+          BENCH_CHECK(got != nullptr && got->degraded &&
+                          got->engine == "gsnp_cpu",
+                      "wedged job %s did not degrade on %s",
+                      wedge_job.c_str(), wedge_chrom.c_str());
+        } else {
+          BENCH_CHECK(status.manifest_digest == serial_digest[spec.job_id],
+                      "job %s manifest digest differs from serial run",
+                      spec.job_id.c_str());
+        }
+      }
+      std::printf(
+          "  chaos: crash at %s/%s post_publish; %zu job(s) resumed; all %zu "
+          "jobs done, outputs byte-identical to serial\n",
+          crash_job.c_str(), crash_chrom.c_str(), resumed, jobs);
+    }
+
+    // ---- phase B: backpressure probe (typed shedding, never hangs) --------------
+    double shed_rate = 0.0;
+    {
+      service::DaemonConfig config = daemon_config("spool_probe");
+      config.workers = 1;
+      config.queue_capacity = 2;
+      config.tenant_quota = 1;
+      std::atomic<bool> release{false};
+      config.fault_arm = [&release](device::Device&, const std::string&,
+                                    const std::string&) {
+        while (!release.load()) std::this_thread::sleep_for(1ms);
+      };
+      service::Daemon daemon(config);
+
+      service::JobSpec held = specs[0];
+      held.job_id = "probe-0";
+      held.tenant = "alice";
+      daemon.submit(held);
+
+      service::JobSpec quota = specs[1];
+      quota.job_id = "probe-1";
+      quota.tenant = "alice";
+      const service::ErrorCode quota_code =
+          expect_rejected(daemon, std::move(quota), "over-quota job");
+      BENCH_CHECK(quota_code == service::ErrorCode::kQuotaExceeded,
+                  "over-quota rejection was %s",
+                  service::error_code_name(quota_code));
+
+      service::JobSpec fits = specs[2];
+      fits.job_id = "probe-2";
+      fits.tenant = "bob";
+      daemon.submit(fits);
+
+      service::JobSpec overflow = specs[3];
+      overflow.job_id = "probe-3";
+      overflow.tenant = "carol";
+      const service::ErrorCode full_code =
+          expect_rejected(daemon, std::move(overflow), "over-capacity job");
+      BENCH_CHECK(full_code == service::ErrorCode::kQueueFull,
+                  "over-capacity rejection was %s",
+                  service::error_code_name(full_code));
+
+      release.store(true);
+      daemon.wait_idle();
+      const service::DaemonStats stats = daemon.stats();
+      BENCH_CHECK(stats.completed == 2, "probe completed %llu jobs, want 2",
+                  static_cast<unsigned long long>(stats.completed));
+      shed_rate = static_cast<double>(stats.shed_total()) /
+                  static_cast<double>(stats.submitted);
+      std::printf(
+          "  backpressure: %llu/%llu submissions shed typed "
+          "(quota_exceeded, queue_full) -> shed rate %.0f%%\n",
+          static_cast<unsigned long long>(stats.shed_total()),
+          static_cast<unsigned long long>(stats.submitted), 100.0 * shed_rate);
+    }
+
+    // ---- phase C: clean concurrent run, completion percentiles ------------------
+    {
+      service::Daemon daemon(daemon_config("spool_clean"));
+      for (const service::JobSpec& spec : specs) daemon.submit(spec);
+      std::vector<double> latencies;
+      for (const service::JobSpec& spec : specs) {
+        daemon.wait_job(spec.job_id, 300.0);
+        const service::JobStatus status = daemon.status(spec.job_id);
+        BENCH_CHECK(status.state == service::JobState::kDone,
+                    "clean-phase job %s ended %s", spec.job_id.c_str(),
+                    service::job_state_name(status.state));
+        latencies.push_back(status.run_seconds);
+      }
+      std::printf(
+          "  latency over %zu concurrent jobs (4 workers): p50 %.1f ms, "
+          "p99 %.1f ms\n",
+          jobs, 1e3 * percentile(latencies, 0.50),
+          1e3 * percentile(latencies, 0.99));
+    }
+
+    if (g_failures > 0) {
+      std::fprintf(stderr, "bench_service: %d check(s) failed\n", g_failures);
+      return 1;
+    }
+    std::printf(
+        "bench_service OK: every admitted job survived faults, a mid-run "
+        "crash, and recovery with byte-identical outputs; overload was shed "
+        "with typed errors\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_service: %s\n", e.what());
+    return 1;
+  }
+}

@@ -20,15 +20,34 @@
 //   gsnp_cli eval     --calls <file> --truth <truth.tsv> [--min-q Q]
 //   gsnp_cli stats    --align <soap> --sites N
 //   gsnp_cli manifest <manifest.json>   (per-chromosome run + ingest table)
+//   gsnp_cli serve    --socket <path> --spool <dir> [--workers N]
+//                     [--queue N --quota N --max-payload-mb M]
+//                     [--retries N --backoff S --jitter F]
+//   gsnp_cli submit   --socket <path> --ref <fa> --align <soap>
+//                     [--name chr --dbsnp F --engine E --tenant T]
+//                     [--out DIR --window N --deadline S --job ID --wait]
+//   gsnp_cli status   --socket <path> [--job ID]
+//   gsnp_cli cancel   --socket <path> --job ID
+//   gsnp_cli shutdown --socket <path>
 //
 // Truth files are what `simulate` writes: "pos ref genotype" per line.
+// Long runs handle SIGINT/SIGTERM cooperatively: `call` discards its staged
+// `.part` output (the published file is only ever renamed into place whole)
+// and `serve` parks unfinished jobs as "interrupted" so the next daemon's
+// recovery resumes them.
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
 #include <string>
+#include <thread>
 
+#include "src/common/atomic_file.hpp"
+#include "src/common/cancel.hpp"
 #include "src/common/error.hpp"
 #include "src/compress/temp_input.hpp"
 #include "src/core/consistency.hpp"
@@ -43,11 +62,29 @@
 #include "src/reads/sam.hpp"
 #include "src/reads/simulator.hpp"
 #include "src/reads/stats.hpp"
+#include "src/service/daemon.hpp"
+#include "src/service/dispatch.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/socket.hpp"
 
 namespace fs = std::filesystem;
 using namespace gsnp;
 
 namespace {
+
+/// Process-wide interrupt token: the SIGINT/SIGTERM handler only flips this
+/// (an async-signal-safe relaxed atomic store); the long-running verbs poll
+/// it at their cancellation points and unwind cleanly.
+CancelToken g_interrupt;
+
+extern "C" void handle_interrupt(int) {
+  g_interrupt.cancel(CancelReason::kSignal);
+}
+
+void install_signal_handlers() {
+  std::signal(SIGINT, handle_interrupt);
+  std::signal(SIGTERM, handle_interrupt);
+}
 
 /// Minimal --flag value parser.
 class Args {
@@ -164,12 +201,19 @@ int cmd_call(const Args& args) {
     dbsnp = genome::read_dbsnp_file(args.get("--dbsnp", ""), {}, nullptr,
                                     refs[0].size());
 
+  // Stage the output and publish it atomically at the end: an interrupt
+  // (SIGINT/SIGTERM) mid-run discards the staging file instead of leaving a
+  // torn `.part` where the caller expects a complete output.
+  install_signal_handlers();
+  const fs::path staged_out = out_path.string() + ".part";
+
   core::EngineConfig config;
   config.alignment_file = align_path;
   config.reference = &refs[0];
   config.dbsnp = dbsnp ? &*dbsnp : nullptr;
-  config.output_file = out_path;
+  config.output_file = staged_out;
   config.temp_file = out_path.string() + ".tmp";
+  config.cancel = &g_interrupt;
   config.window_size = static_cast<u32>(std::stoul(args.get("--window", "0")));
   config.soapsnp_threads = std::stoi(args.get("--threads", "1"));
   // Overlapped pipeline: --streams 1 (default) = serial reference path;
@@ -199,18 +243,29 @@ int cmd_call(const Args& args) {
   core::RunReport report;
   std::optional<device::Device> dev;
   std::optional<obs::Profiler> profiler;
-  if (engine == "gsnp") {
-    dev.emplace();
-    if (!profile_out.empty()) profiler.emplace(*dev);
-    report = core::run_gsnp(config, *dev);
-  } else if (engine == "gsnp-cpu") {
-    report = core::run_gsnp_cpu(config);
-  } else if (engine == "soapsnp") {
-    report = core::run_soapsnp(config);
-  } else {
-    std::fprintf(stderr, "call: unknown engine '%s'\n", engine.c_str());
-    return 2;
+  try {
+    if (engine == "gsnp") {
+      dev.emplace();
+      if (!profile_out.empty()) profiler.emplace(*dev);
+      report = core::run_gsnp(config, *dev);
+    } else if (engine == "gsnp-cpu") {
+      report = core::run_gsnp_cpu(config);
+    } else if (engine == "soapsnp") {
+      report = core::run_soapsnp(config);
+    } else {
+      std::fprintf(stderr, "call: unknown engine '%s'\n", engine.c_str());
+      return 2;
+    }
+  } catch (const CancelledError& e) {
+    std::error_code ec;
+    fs::remove(staged_out, ec);
+    fs::remove(config.temp_file, ec);
+    std::fprintf(stderr,
+                 "call: %s — staged output discarded, nothing published\n",
+                 e.what());
+    return 130;
   }
+  atomic_publish(staged_out, out_path);
 
   std::printf("%-8s %8s\n", "component", "sec");
   for (const char* c : core::kComponents)
@@ -523,6 +578,182 @@ int cmd_stats(const Args& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------------------
+// gsnpd verbs: serve runs the daemon on an AF_UNIX socket; submit/status/
+// cancel/shutdown are thin line-protocol clients (FORMATS.md §12).
+
+int cmd_serve(const Args& args) {
+  const fs::path socket_path = args.get("--socket", "gsnpd.sock");
+  service::DaemonConfig config;
+  config.spool_dir = args.get("--spool", "gsnpd_spool");
+  config.workers = std::stoul(args.get("--workers", "2"));
+  config.queue_capacity = std::stoul(args.get("--queue", "8"));
+  config.tenant_quota = std::stoul(args.get("--quota", "4"));
+  config.max_payload_bytes = std::stoull(args.get("--max-payload-mb", "64"))
+                             << 20;
+  config.retry.max_attempts = std::stoi(args.get("--retries", "2"));
+  config.retry.backoff_seconds = std::stod(args.get("--backoff", "0.05"));
+  config.retry.jitter_fraction = std::stod(args.get("--jitter", "0.5"));
+  install_signal_handlers();
+
+  service::Daemon daemon(config);
+  const std::size_t resumed = daemon.recover();
+  if (resumed > 0)
+    std::printf("gsnpd: resumed %zu incomplete job(s) from %s\n", resumed,
+                config.spool_dir.string().c_str());
+
+  std::atomic<bool> stop_requested{false};
+  service::LineServer server(
+      socket_path, [&daemon, &stop_requested](const std::string& line) {
+        try {
+          const service::Request request = service::parse_request(line);
+          const service::Response response =
+              service::handle_request(daemon, request);
+          if (request.op == "shutdown" && response.ok)
+            stop_requested.store(true);
+          return service::encode_response(response);
+        } catch (const std::exception& e) {
+          service::Response response;
+          response.error = service::ErrorCode::kBadRequest;
+          response.message = e.what();
+          return service::encode_response(response);
+        }
+      });
+  std::printf("gsnpd: listening on %s (spool %s, %zu workers, queue %zu)\n",
+              socket_path.string().c_str(), config.spool_dir.string().c_str(),
+              config.workers, config.queue_capacity);
+
+  while (!stop_requested.load() && !g_interrupt.cancelled())
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+
+  std::printf("gsnpd: draining (%s)\n",
+              stop_requested.load() ? "shutdown requested" : "signal");
+  server.stop();
+  // The daemon destructor parks unfinished jobs as "interrupted" in their
+  // journals; the next serve's recover() resumes them exactly once.
+  return 0;
+}
+
+int cmd_submit(const Args& args) {
+  const fs::path ref_path = args.get("--ref", "");
+  const fs::path align_path = args.get("--align", "");
+  if (ref_path.empty() || align_path.empty()) {
+    std::fprintf(stderr, "submit: --ref and --align are required\n");
+    return 2;
+  }
+  service::Request request;
+  request.op = "submit";
+  request.job.job_id = args.get("--job", "");
+  request.job.tenant = args.get("--tenant", "default");
+  request.job.engine = args.get("--engine", "gsnp");
+  request.job.output_dir = args.get("--out", "");
+  request.job.window_size =
+      static_cast<u32>(std::stoul(args.get("--window", "0")));
+  request.job.deadline_seconds = std::stod(args.get("--deadline", "0"));
+  service::ChromosomeSpec chrom;
+  chrom.name = args.get("--name", "chrS");
+  chrom.alignment_file = align_path.string();
+  chrom.reference_file = ref_path.string();
+  chrom.dbsnp_file = args.get("--dbsnp", "");
+  request.job.chromosomes.push_back(std::move(chrom));
+
+  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::Response response =
+      service::parse_response(client.request(service::encode_request(request)));
+  if (!response.ok) {
+    std::fprintf(stderr, "submit: rejected [%s] %s\n",
+                 service::error_code_name(response.error),
+                 response.message.c_str());
+    return 3;
+  }
+  const std::string job_id = response.fields["job_id"];
+  std::printf("job %s admitted\n", job_id.c_str());
+
+  if (args.has("--wait")) {
+    service::Request poll;
+    poll.op = "status";
+    poll.job_id = job_id;
+    const std::string poll_line = service::encode_request(poll);
+    for (;;) {
+      response = service::parse_response(client.request(poll_line));
+      if (!response.ok) {
+        std::fprintf(stderr, "submit: status failed: %s\n",
+                     response.message.c_str());
+        return 3;
+      }
+      const std::string& state = response.fields["state"];
+      if (state != "queued" && state != "running") {
+        std::printf("job %s %s (%s/%s chromosomes, %ss)%s%s\n",
+                    job_id.c_str(), state.c_str(),
+                    response.fields["chromosomes_done"].c_str(),
+                    response.fields["chromosomes_total"].c_str(),
+                    response.fields["run_seconds"].c_str(),
+                    response.fields.count("degraded") ? " [degraded]" : "",
+                    response.fields.count("error")
+                        ? (" error=" + response.fields["error"]).c_str()
+                        : "");
+        return state == "done" ? 0 : 1;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    }
+  }
+  return 0;
+}
+
+int cmd_status(const Args& args) {
+  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::Request request;
+  request.op = args.has("--stats") ? "stats" : "status";
+  request.job_id = args.get("--job", "");
+  const service::Response response =
+      service::parse_response(client.request(service::encode_request(request)));
+  if (!response.ok) {
+    std::fprintf(stderr, "status: [%s] %s\n",
+                 service::error_code_name(response.error),
+                 response.message.c_str());
+    return 3;
+  }
+  for (const auto& [key, value] : response.fields)
+    std::printf("%s=%s\n", key.c_str(), value.c_str());
+  return 0;
+}
+
+int cmd_cancel(const Args& args) {
+  const std::string job_id = args.get("--job", "");
+  if (job_id.empty()) {
+    std::fprintf(stderr, "cancel: --job is required\n");
+    return 2;
+  }
+  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::Request request;
+  request.op = "cancel";
+  request.job_id = job_id;
+  const service::Response response =
+      service::parse_response(client.request(service::encode_request(request)));
+  if (!response.ok) {
+    std::fprintf(stderr, "cancel: [%s] %s\n",
+                 service::error_code_name(response.error),
+                 response.message.c_str());
+    return 3;
+  }
+  std::printf("job %s cancel requested\n", job_id.c_str());
+  return 0;
+}
+
+int cmd_shutdown(const Args& args) {
+  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::Request request;
+  request.op = "shutdown";
+  const service::Response response =
+      service::parse_response(client.request(service::encode_request(request)));
+  if (!response.ok) {
+    std::fprintf(stderr, "shutdown: %s\n", response.message.c_str());
+    return 3;
+  }
+  std::printf("gsnpd stopping\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -538,14 +769,19 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[1], "vcf") == 0) return cmd_vcf(args);
       if (std::strcmp(argv[1], "verify") == 0) return cmd_verify(args);
       if (std::strcmp(argv[1], "manifest") == 0) return cmd_manifest(args);
+      if (std::strcmp(argv[1], "serve") == 0) return cmd_serve(args);
+      if (std::strcmp(argv[1], "submit") == 0) return cmd_submit(args);
+      if (std::strcmp(argv[1], "status") == 0) return cmd_status(args);
+      if (std::strcmp(argv[1], "cancel") == 0) return cmd_cancel(args);
+      if (std::strcmp(argv[1], "shutdown") == 0) return cmd_shutdown(args);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gsnp_cli: %s\n", e.what());
       return 1;
     }
   }
   std::printf("usage: gsnp_cli "
-              "<simulate|call|profile|compare|eval|vcf|stats|verify|manifest> "
-              "[options]\n"
+              "<simulate|call|profile|compare|eval|vcf|stats|verify|manifest|"
+              "serve|submit|status|cancel|shutdown> [options]\n"
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
               "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
@@ -562,6 +798,13 @@ int main(int argc, char** argv) {
               "  vcf      --calls FILE --out OUT.vcf [--min-q Q --all-sites]\n"
               "  stats    --align SOAP --sites N\n"
               "  verify   FILE...   (check container frame CRCs)\n"
-              "  manifest MANIFEST.json   (per-chromosome run + ingest table)\n");
+              "  manifest MANIFEST.json   (per-chromosome run + ingest table)\n"
+              "  serve    --socket SOCK --spool DIR [--workers N --queue N]\n"
+              "           [--quota N --max-payload-mb M --retries N]\n"
+              "  submit   --socket SOCK --ref FA --align SOAP [--name CHR]\n"
+              "           [--engine E --tenant T --deadline S --wait]\n"
+              "  status   --socket SOCK [--job ID | --stats]\n"
+              "  cancel   --socket SOCK --job ID\n"
+              "  shutdown --socket SOCK\n");
   return argc == 1 ? 0 : 2;
 }

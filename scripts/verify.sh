@@ -1,8 +1,9 @@
 #!/usr/bin/env bash
-# Full verification: tier-1 build + tests, the robustness suite under
-# AddressSanitizer + UBSan, the stream-overlap harness, and the determinism/
-# concurrency suites under ThreadSanitizer (sanitizer builds skip bench/,
-# whose library is not sanitizer-instrumented).
+# Full verification: tier-1 build + tests, the robustness + service suites
+# under AddressSanitizer + UBSan, the stream-overlap harness, the gsnpd
+# chaos smoke (bench_service) under both sanitizers, and the determinism/
+# concurrency suites under ThreadSanitizer (sanitizer builds skip only the
+# google-benchmark binaries, whose library is not sanitizer-instrumented).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,10 +33,30 @@ cmake --build build -j --target gsnp_cli >/dev/null
                                   >/dev/null
 ./build/examples/gsnp_cli profile --validate build/profile_sim/profile.json
 
-echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz =="
+# Short gsnpd chaos smoke under a sanitizer build: concurrent jobs, seeded
+# faults, a mid-run daemon kill/restart, typed shedding.  8 jobs is the
+# contract floor; the small --length keeps sanitized runs quick.
+run_service_chaos_smoke() {
+  local builddir="$1"
+  if [ ! -x "${builddir}/bench/bench_service" ]; then
+    echo "==============================================================="
+    echo "bench_service: SKIPPED — ${builddir}/bench/bench_service missing."
+    echo "The harness should build under sanitizers (bench/CMakeLists.txt"
+    echo "gates only the google-benchmark targets); investigate."
+    echo "==============================================================="
+    return 0
+  fi
+  "${builddir}/bench/bench_service" --jobs 8 --length 500 \
+      --workdir "${builddir}/bench_service_work"
+}
+
+echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz + service =="
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null
-ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam'
+ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam|test_service'
+
+echo "== service chaos smoke under ASan: crash/recover byte-identical, typed shedding =="
+run_service_chaos_smoke build-asan
 
 echo "== overlap: serial vs streamed runs are bit-identical, wall strictly lower =="
 cmake --build build -j --target bench_overlap >/dev/null
@@ -49,6 +70,9 @@ cmake -B build-tsan -S . -DGSNP_SANITIZE=thread -DGSNP_OPENMP=OFF \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure \
-      -R 'determinism|test_obs|profiler|device'
+      -R 'determinism|test_obs|profiler|device|test_service'
+
+echo "== service chaos smoke under TSan: worker pool + watchdog + journal races =="
+run_service_chaos_smoke build-tsan
 
 echo "verify: all green"

@@ -1,0 +1,101 @@
+#pragma once
+// Cooperative cancellation.  A CancelToken is an atomic flag plus a reason;
+// long-running code (the engines' window loops, the genome pipeline's retry
+// sleeps) polls it at natural checkpoints and unwinds with CancelledError.
+// Cancellation is always *cooperative* and always *clean*: the code that
+// observes the token finishes or discards its current unit of work (a torn
+// `.part` output is removed, the manifest is flushed) before the exception
+// propagates, so an interrupted run can be resumed instead of repaired.
+//
+// Producers of cancellation:
+//  * the CLI's SIGINT/SIGTERM handler (reason kSignal),
+//  * the service watchdog when a job overruns its deadline (kDeadline),
+//  * a client cancel request (kClient),
+//  * daemon shutdown, which parks jobs for later resume (kShutdown).
+
+#include <atomic>
+#include <string>
+
+#include "src/common/error.hpp"
+
+namespace gsnp {
+
+/// Why a token was cancelled; kNone means "not cancelled".
+enum class CancelReason : int {
+  kNone = 0,
+  kSignal,    ///< SIGINT/SIGTERM delivered to the process
+  kDeadline,  ///< job ran past its deadline (service watchdog)
+  kClient,    ///< explicit cancel request from a client
+  kShutdown,  ///< daemon stopping; work is parked for resume, not abandoned
+};
+
+const char* cancel_reason_name(CancelReason reason);
+
+/// Thrown when a cancellation point observes a cancelled token.
+class CancelledError : public Error {
+ public:
+  CancelledError(CancelReason reason, const std::string& where)
+      : Error("cancelled (" + std::string(cancel_reason_name(reason)) +
+              ") at " + where),
+        reason_(reason) {}
+
+  CancelReason reason() const { return reason_; }
+
+ private:
+  CancelReason reason_;
+};
+
+/// A cancellation flag shared between a controller (signal handler, watchdog)
+/// and the worker code polling it.  cancel() is async-signal-safe (a relaxed
+/// atomic store); check() is the cancellation point.
+class CancelToken {
+ public:
+  /// Request cancellation.  The first reason wins; later calls are no-ops so
+  /// a deadline firing during shutdown keeps its original attribution.
+  void cancel(CancelReason reason) noexcept {
+    int expected = static_cast<int>(CancelReason::kNone);
+    reason_.compare_exchange_strong(expected, static_cast<int>(reason),
+                                    std::memory_order_relaxed);
+  }
+
+  bool cancelled() const noexcept {
+    return reason_.load(std::memory_order_relaxed) !=
+           static_cast<int>(CancelReason::kNone);
+  }
+
+  CancelReason reason() const noexcept {
+    return static_cast<CancelReason>(reason_.load(std::memory_order_relaxed));
+  }
+
+  /// Reset to the uncancelled state (between CLI runs reusing one token).
+  void reset() noexcept {
+    reason_.store(static_cast<int>(CancelReason::kNone),
+                  std::memory_order_relaxed);
+  }
+
+  /// Cancellation point: throws CancelledError when cancelled.
+  void check(const char* where) const {
+    if (cancelled()) throw CancelledError(reason(), where);
+  }
+
+ private:
+  std::atomic<int> reason_{static_cast<int>(CancelReason::kNone)};
+};
+
+inline const char* cancel_reason_name(CancelReason reason) {
+  switch (reason) {
+    case CancelReason::kNone: return "none";
+    case CancelReason::kSignal: return "signal";
+    case CancelReason::kDeadline: return "deadline";
+    case CancelReason::kClient: return "client";
+    case CancelReason::kShutdown: return "shutdown";
+  }
+  return "?";
+}
+
+/// Convenience for optional tokens threaded through config structs.
+inline void check_cancel(const CancelToken* token, const char* where) {
+  if (token != nullptr) token->check(where);
+}
+
+}  // namespace gsnp

@@ -52,7 +52,9 @@ CalPResult cal_p_pass(const EngineConfig& config, bool write_temp) {
     result.pm = read_p_matrix(config.p_matrix_in);
     reads::AlignmentReader reader(config.alignment_file, config.ingest,
                                   ref.size());
-    while (reader.next()) ++result.records;  // count only (no calibration)
+    while (reader.next()) {  // count only (no calibration)
+      if ((++result.records & 0xFFF) == 0) check_cancel(config.cancel, "cal_p");
+    }
     result.ingest = reader.stats();
     if (!config.p_matrix_out.empty())
       write_p_matrix(config.p_matrix_out, result.pm);
@@ -70,7 +72,7 @@ CalPResult cal_p_pass(const EngineConfig& config, bool write_temp) {
 
   PMatrixCounter counter;
   while (auto rec = reader.next()) {
-    ++result.records;
+    if ((++result.records & 0xFFF) == 0) check_cancel(config.cancel, "cal_p");
     if (temp) temp->add(*rec);
     if (reuse_matrix || rec->hit_count != 1) continue;
     const u64 lo = rec->pos;
@@ -261,6 +263,9 @@ RunReport run_soapsnp_overlapped(const EngineConfig& config) {
   // "before count" of the slot's next occupant — numerically identical (a
   // zeroed matrix is a zeroed matrix), and it rides the prefetch thread.
   const auto load_into = [&](Slot& slot) {
+    // Cancellation point for the overlapped paths: the CancelledError unwinds
+    // through the prefetch future into the main loop's get().
+    check_cancel(config.cancel, "window");
     {
       const StageScope scope(report.host, tracer, "read");
       slot.loaded = loader.next(slot.win);
@@ -373,6 +378,9 @@ RunReport run_gsnp_cpu_overlapped(const EngineConfig& config) {
   u64 max_words = 0;
 
   const auto load_into = [&](Slot& slot) {
+    // Cancellation point for the overlapped paths: the CancelledError unwinds
+    // through the prefetch future into the main loop's get().
+    check_cancel(config.cancel, "window");
     {
       const StageScope scope(report.host, tracer, "read");
       slot.loaded = loader.next(slot.win);
@@ -549,6 +557,9 @@ RunReport run_gsnp_overlapped(const EngineConfig& config, device::Device& dev,
 
   u64 max_words = 0;
   const auto load_into = [&](Slot& slot) {
+    // Cancellation point for the overlapped paths: the CancelledError unwinds
+    // through the prefetch future into the main loop's get().
+    check_cancel(config.cancel, "window");
     {
       const StageScope scope(report.host, tracer, "read");
       slot.loaded = loader.next(slot.win);
@@ -719,6 +730,7 @@ RunReport run_soapsnp(const EngineConfig& config) {
   std::vector<SnpRow> rows;
 
   for (;;) {
+    check_cancel(config.cancel, "window");
     {
       const StageScope scope(report.host, tracer, "read");
       if (!loader.next(win)) break;
@@ -795,6 +807,7 @@ RunReport run_gsnp_cpu(const EngineConfig& config) {
   u64 max_words = 0;
 
   for (;;) {
+    check_cancel(config.cancel, "window");
     {
       const StageScope scope(report.host, tracer, "read");
       if (!loader.next(win)) break;
@@ -910,6 +923,7 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
   u64 max_words = 0;
 
   for (;;) {
+    check_cancel(config.cancel, "window");
     {
       const StageScope scope(report.host, tracer, "read");
       if (!loader.next(win)) break;

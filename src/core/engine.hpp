@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/cancel.hpp"
 #include "src/common/ingest.hpp"
 #include "src/common/timer.hpp"
 #include "src/core/prior.hpp"
@@ -97,6 +98,14 @@ struct EngineConfig {
   /// size (including 1) produces identical output; it only changes how much
   /// host work overlaps.
   u32 host_threads = 2;
+
+  /// Optional cooperative cancellation.  The engines poll the token at
+  /// window boundaries and periodically inside the cal_p streaming pass, and
+  /// unwind with CancelledError — the output/temp writers are abandoned
+  /// mid-file, so the caller owns cleanup of the partial `.part` artifacts
+  /// (the genome pipeline removes them; the CLI unlinks on interrupt).
+  /// Null = never cancelled (zero overhead beyond one branch per window).
+  const CancelToken* cancel = nullptr;
 
   /// Default windows: SOAPsnp 4,000; GSNP / GSNP_CPU 256,000 (paper §VI-A).
   static constexpr u32 kDefaultSoapsnpWindow = 4'000;

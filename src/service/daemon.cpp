@@ -1,0 +1,666 @@
+#include "src/service/daemon.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+
+#include "src/common/atomic_file.hpp"
+#include "src/genome/dbsnp.hpp"
+#include "src/genome/reference.hpp"
+
+namespace gsnp::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+/// Has the job reached a resting state (nothing left for this daemon to do)?
+/// kInterrupted rests too — only a future recover() wakes it.
+bool settled(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled || state == JobState::kInterrupted;
+}
+
+/// Is a journaled state terminal across restarts (recover() must not rerun)?
+bool terminal(JobState state) {
+  return state == JobState::kDone || state == JobState::kFailed ||
+         state == JobState::kCancelled;
+}
+
+std::optional<JobState> job_state_from_name(std::string_view name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "cancelled") return JobState::kCancelled;
+  if (name == "interrupted") return JobState::kInterrupted;
+  return std::nullopt;
+}
+
+}  // namespace
+
+const char* job_state_name(JobState state) {
+  switch (state) {
+    case JobState::kQueued: return "queued";
+    case JobState::kRunning: return "running";
+    case JobState::kDone: return "done";
+    case JobState::kFailed: return "failed";
+    case JobState::kCancelled: return "cancelled";
+    case JobState::kInterrupted: return "interrupted";
+  }
+  return "?";
+}
+
+/// All mutable job state is guarded by the daemon's single mutex; workers
+/// only touch it through the record/finish helpers, so the heavy engine work
+/// runs unlocked.
+struct Daemon::Job {
+  JobSpec spec;
+  std::string id;
+  JobState state = JobState::kQueued;
+  core::EngineKind kind = core::EngineKind::kGsnp;
+  CancelToken token;
+  bool resume = false;  ///< re-admitted by recover(); skip verified work
+  core::RunManifest previous;  ///< prior manifest (resume verification)
+  std::vector<std::optional<core::ManifestEntry>> entries;
+  std::size_t remaining = 0;   ///< chromosome tasks not yet finished
+  std::size_t done_count = 0;
+  bool failing = false;        ///< a chromosome failed beyond retries
+  bool degraded = false;
+  std::string error;
+  CancelReason observed = CancelReason::kNone;
+  std::string manifest_digest;
+  std::filesystem::path dir;
+  std::filesystem::path manifest_path;
+  std::filesystem::path output_dir;
+  Clock::time_point submitted{};
+  Clock::time_point started{};
+  Clock::time_point finished{};
+  bool started_any = false;
+  double wait_seconds = 0.0;
+  double run_seconds = 0.0;
+};
+
+Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
+  GSNP_CHECK_MSG(!config_.spool_dir.empty(), "daemon needs a spool_dir");
+  if (config_.workers < 1) config_.workers = 1;
+  std::filesystem::create_directories(config_.spool_dir / "jobs");
+  devices_.reserve(config_.workers);
+  for (std::size_t i = 0; i < config_.workers; ++i)
+    devices_.push_back(std::make_unique<device::Device>());
+  pool_ = std::make_unique<ThreadPool>(config_.workers);
+  watchdog_ = std::thread([this] { watchdog_loop(); });
+}
+
+Daemon::~Daemon() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    shutting_down_ = true;
+    if (!crashed_.load()) {
+      // Park unfinished work for the next incarnation: kShutdown journals
+      // as "interrupted", which recover() re-admits.
+      for (auto& [id, job] : jobs_)
+        if (!settled(job->state)) job->token.cancel(CancelReason::kShutdown);
+    }
+  }
+  // Drain the pool first: queued tasks short-circuit on the cancelled token
+  // (or on crashed_) and finalize their jobs before the maps go away.
+  pool_.reset();
+  watchdog_stop_.store(true);
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+device::Device& Daemon::worker_device() {
+  // Dense per-thread slot: each pool worker claims one device the first time
+  // it runs a GSNP chromosome and keeps it for life, so fault plans armed
+  // against "the device this attempt will use" stay attached to it.
+  thread_local std::size_t slot = static_cast<std::size_t>(-1);
+  if (slot == static_cast<std::size_t>(-1))
+    slot = next_worker_slot_.fetch_add(1);
+  return *devices_[slot % devices_.size()];
+}
+
+void Daemon::write_job_journal(const Job& job) {
+  if (crashed_.load()) return;  // a dead process writes nothing
+  std::ostringstream os;
+  os << "{\"version\":1,\"id\":";
+  json::write_escaped(os, job.id);
+  os << ",\"state\":";
+  json::write_escaped(os, job_state_name(job.state));
+  os << ",\"resumed\":" << (job.resume ? "true" : "false");
+  if (!job.error.empty()) {
+    os << ",\"error\":";
+    json::write_escaped(os, job.error);
+  }
+  if (!job.manifest_digest.empty()) {
+    os << ",\"digest\":";
+    json::write_escaped(os, job.manifest_digest);
+  }
+  os << ",\"spec\":";
+  encode_job_spec(os, job.spec);
+  os << "}\n";
+  const std::filesystem::path target = job.dir / "job.json";
+  const std::filesystem::path part = job.dir / "job.json.part";
+  {
+    std::ofstream out(part, std::ios::binary | std::ios::trunc);
+    GSNP_CHECK_MSG(out.good(), "cannot write job journal " << part);
+    out << os.str();
+  }
+  atomic_publish(part, target);
+}
+
+std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
+                                 std::unique_lock<std::mutex>& lock) {
+  metrics_.add("jobs_submitted");
+  if (shutting_down_ || crashed_.load())
+    throw ServiceError(ErrorCode::kShuttingDown, "daemon is draining");
+
+  const auto reject = [&](ErrorCode code, const std::string& counter,
+                          const std::string& message) -> ServiceError {
+    metrics_.add(counter);
+    return ServiceError(code, message);
+  };
+
+  const auto kind = core::engine_kind_from_name(spec.engine);
+  if (!kind)
+    throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
+                 "unknown engine '" + spec.engine + "'");
+  if (spec.chromosomes.empty())
+    throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
+                 "job has no chromosomes");
+
+  u64 payload = 0;
+  for (std::size_t i = 0; i < spec.chromosomes.size(); ++i) {
+    const ChromosomeSpec& c = spec.chromosomes[i];
+    if (c.name.empty() || c.alignment_file.empty() || c.reference_file.empty())
+      throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
+                   "chromosome " + std::to_string(i) +
+                       " needs name/align/ref");
+    for (std::size_t j = 0; j < i; ++j)
+      if (spec.chromosomes[j].name == c.name)
+        throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
+                     "duplicate chromosome '" + c.name + "'");
+    std::error_code ec;
+    const u64 bytes = std::filesystem::file_size(c.alignment_file, ec);
+    if (ec)
+      throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
+                   "missing alignment file " + c.alignment_file);
+    if (!std::filesystem::exists(c.reference_file))
+      throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
+                   "missing reference file " + c.reference_file);
+    payload += bytes;
+  }
+
+  // Recovery bypasses the load-shedding gates: this work was admitted (and
+  // paid for) by a previous incarnation; dropping it would break the
+  // exactly-once resume contract.  The payload cap still applies on first
+  // admission only, where the files were measured.
+  if (!resume) {
+    if (payload > config_.max_payload_bytes)
+      throw reject(ErrorCode::kPayloadTooLarge, "jobs_shed_payload",
+                   "payload " + std::to_string(payload) + " bytes > cap " +
+                       std::to_string(config_.max_payload_bytes));
+    if (active_jobs_ >= config_.queue_capacity)
+      throw reject(ErrorCode::kQueueFull, "jobs_shed_queue_full",
+                   "admission queue at capacity (" +
+                       std::to_string(config_.queue_capacity) + " jobs)");
+    const auto it = tenant_active_.find(spec.tenant);
+    if (it != tenant_active_.end() && it->second >= config_.tenant_quota)
+      throw reject(ErrorCode::kQuotaExceeded, "jobs_shed_quota",
+                   "tenant '" + spec.tenant + "' at quota (" +
+                       std::to_string(config_.tenant_quota) + " jobs)");
+  }
+
+  if (spec.job_id.empty())
+    spec.job_id = "job-" + std::to_string(next_job_number_++);
+  if (jobs_.count(spec.job_id) != 0 && !resume)
+    throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
+                 "duplicate job id '" + spec.job_id + "'");
+
+  auto job = std::make_shared<Job>();
+  job->id = spec.job_id;
+  job->kind = *kind;
+  job->resume = resume;
+  job->dir = config_.spool_dir / "jobs" / job->id;
+  job->manifest_path = job->dir / "manifest.json";
+  std::filesystem::create_directories(job->dir);
+  if (spec.output_dir.empty())
+    spec.output_dir = (job->dir / "out").string();  // journaled resolved
+  job->output_dir = spec.output_dir;
+  std::filesystem::create_directories(job->output_dir);
+  job->spec = std::move(spec);
+  job->entries.resize(job->spec.chromosomes.size());
+  job->remaining = job->spec.chromosomes.size();
+  job->submitted = Clock::now();
+  if (resume && std::filesystem::exists(job->manifest_path))
+    job->previous = core::read_run_manifest(job->manifest_path);
+
+  write_job_journal(*job);  // durable before any work runs
+
+  if (jobs_.count(job->id) == 0) job_order_.push_back(job->id);
+  jobs_[job->id] = job;
+  ++active_jobs_;
+  ++tenant_active_[job->spec.tenant];
+  metrics_.add("jobs_admitted");
+  metrics_.set_gauge("jobs_active", static_cast<double>(active_jobs_));
+
+  lock.unlock();
+  enqueue_job(job);
+  return job->id;
+}
+
+std::string Daemon::submit(JobSpec spec) {
+  std::unique_lock<std::mutex> lock(mu_);
+  return admit_locked(std::move(spec), /*resume=*/false, lock);
+}
+
+void Daemon::enqueue_job(const std::shared_ptr<Job>& job) {
+  for (std::size_t i = 0; i < job->spec.chromosomes.size(); ++i)
+    // Futures dropped on purpose: run_chromosome never lets an exception
+    // escape, and the pool destructor drains everything submitted.
+    (void)pool_->submit([this, job, i] { run_chromosome(job, i); });
+}
+
+core::GenomeRunConfig Daemon::job_run_config(const Job& job) {
+  core::GenomeRunConfig cfg;
+  cfg.output_dir = job.output_dir;
+  cfg.window_size = job.spec.window_size;
+  cfg.streams = config_.streams;
+  cfg.retry = config_.retry;
+  cfg.ingest = config_.ingest;
+  cfg.resume = job.resume;
+  cfg.manifest_file = job.manifest_path;
+  cfg.run_id = job.id;  // namespaces quarantine/temp/.part per job
+  cfg.cancel = &job.token;
+  if (config_.checkpoint_hook)
+    cfg.checkpoint_hook = [this, id = job.id](std::string_view point,
+                                              const std::string& chrom) {
+      config_.checkpoint_hook(point, id, chrom);
+    };
+  return cfg;
+}
+
+void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) {
+  if (crashed_.load()) return;  // the "process" died; leave everything as-is
+  Job& j = *job;
+  const ChromosomeSpec& cs = j.spec.chromosomes[index];
+
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!j.started_any) {
+      j.started_any = true;
+      j.started = Clock::now();
+      j.wait_seconds = seconds_between(j.submitted, j.started);
+      j.state = JobState::kRunning;
+      write_job_journal(j);
+    }
+    if (j.failing) {
+      // A sibling chromosome already failed the job; don't start new work.
+      lock.unlock();
+      chromosome_finished(job);
+      return;
+    }
+  }
+  if (j.token.cancelled()) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (j.observed == CancelReason::kNone) j.observed = j.token.reason();
+    // fall through to finished below, outside this lock
+  }
+  if (j.token.cancelled()) {
+    chromosome_finished(job);
+    return;
+  }
+
+  try {
+    // Inputs load on the worker, per chromosome: jobs reference files, the
+    // daemon never holds a genome in memory longer than the attempt.
+    const std::vector<genome::Reference> refs =
+        genome::read_fasta_file(cs.reference_file);
+    GSNP_CHECK_MSG(refs.size() == 1, "reference " << cs.reference_file
+                                                  << " must hold exactly one "
+                                                     "sequence");
+    std::optional<genome::DbSnpTable> dbsnp;
+    if (!cs.dbsnp_file.empty())
+      dbsnp = genome::read_dbsnp_file(cs.dbsnp_file, {}, nullptr,
+                                      refs[0].size());
+
+    core::ChromosomeJob chrom;
+    chrom.name = cs.name;
+    chrom.alignment_file = cs.alignment_file;
+    chrom.reference = &refs[0];
+    chrom.dbsnp = dbsnp ? &*dbsnp : nullptr;
+
+    device::Device* dev = nullptr;
+    if (j.kind == core::EngineKind::kGsnp) {
+      dev = &worker_device();
+      if (config_.fault_arm) config_.fault_arm(*dev, j.id, cs.name);
+    }
+
+    const core::GenomeRunConfig cfg = job_run_config(j);
+    core::ChromosomeRunResult r = core::run_one_chromosome(
+        cfg, j.kind, dev, chrom, j.resume ? &j.previous : nullptr);
+
+    if (r.fault != nullptr) {
+      // Retries + fallback exhausted: journal the failed entry first, then
+      // fail the whole job (siblings short-circuit; running ones complete).
+      record_entry(job, index, std::move(r.entry));
+      const std::string why = std::move(r.status.error);
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        j.failing = true;
+        if (j.error.empty()) j.error = why;
+      }
+      metrics_.add("chromosomes_failed");
+    } else {
+      record_entry(job, index, std::move(r.entry));
+      {
+        const std::lock_guard<std::mutex> lock(mu_);
+        ++j.done_count;
+        if (r.status.degraded) j.degraded = true;
+      }
+      metrics_.add("chromosomes_done");
+      if (r.status.degraded) metrics_.add("chromosomes_degraded");
+    }
+  } catch (const CancelledError& cancelled) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    if (j.observed == CancelReason::kNone) j.observed = cancelled.reason();
+  } catch (const std::exception& e) {
+    if (crashed_.load()) return;  // simulated crash unwound through the hook
+    const std::lock_guard<std::mutex> lock(mu_);
+    j.failing = true;
+    if (j.error.empty()) j.error = e.what();
+  }
+  chromosome_finished(job);
+}
+
+void Daemon::record_entry(const std::shared_ptr<Job>& job, std::size_t index,
+                          core::ManifestEntry entry) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  job->entries[index] = std::move(entry);
+  flush_manifest_locked(*job);
+}
+
+void Daemon::flush_manifest_locked(Job& job) {
+  if (crashed_.load()) return;
+  // Entries appear in submission (chromosome) order with gaps elided, so a
+  // complete job's manifest is byte-comparable with a serial run_genome of
+  // the same spec — the chaos harness compares manifest digests.
+  core::RunManifest m;
+  m.engine = core::engine_name(job.kind);
+  for (const auto& e : job.entries)
+    if (e.has_value()) m.chromosomes.push_back(*e);
+  core::write_run_manifest(job.manifest_path, m);
+}
+
+void Daemon::chromosome_finished(const std::shared_ptr<Job>& job) {
+  if (crashed_.load()) return;
+  bool last = false;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    last = (--job->remaining == 0);
+  }
+  if (last) finalize(job);
+}
+
+void Daemon::finalize(const std::shared_ptr<Job>& job) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Job& j = *job;
+  if (settled(j.state)) return;
+
+  JobState final_state;
+  if (j.done_count == j.entries.size()) {
+    final_state = JobState::kDone;  // a cancel that raced the finish loses
+  } else if (j.failing) {
+    final_state = JobState::kFailed;
+  } else if (j.observed == CancelReason::kDeadline) {
+    final_state = JobState::kFailed;
+    j.error = error_code_name(ErrorCode::kDeadlineExceeded);
+  } else if (j.observed == CancelReason::kClient) {
+    final_state = JobState::kCancelled;
+    if (j.error.empty()) j.error = "cancelled_by_client";
+  } else if (j.observed != CancelReason::kNone) {
+    final_state = JobState::kInterrupted;  // shutdown/signal: park for resume
+  } else {
+    final_state = JobState::kFailed;  // incomplete without a recorded cause
+    if (j.error.empty()) j.error = "internal: chromosomes unaccounted for";
+  }
+
+  j.state = final_state;
+  j.finished = Clock::now();
+  j.run_seconds = seconds_between(j.submitted, j.finished);
+  if (final_state == JobState::kDone) {
+    // Every entry landed: derive the canonical result digest from the same
+    // manifest the journal holds (computed here, not in record_entry, because
+    // concurrent workers record entries before siblings have finished).
+    core::RunManifest m;
+    m.engine = core::engine_name(j.kind);
+    for (const auto& e : j.entries) m.chromosomes.push_back(*e);
+    j.manifest_digest = core::manifest_digest(m);
+  } else {
+    j.manifest_digest.clear();
+  }
+  write_job_journal(j);
+
+  --active_jobs_;
+  auto it = tenant_active_.find(j.spec.tenant);
+  if (it != tenant_active_.end() && --it->second == 0)
+    tenant_active_.erase(it);
+
+  switch (final_state) {
+    case JobState::kDone: metrics_.add("jobs_completed"); break;
+    case JobState::kFailed: metrics_.add("jobs_failed"); break;
+    case JobState::kCancelled: metrics_.add("jobs_cancelled"); break;
+    case JobState::kInterrupted: metrics_.add("jobs_interrupted"); break;
+    default: break;
+  }
+  metrics_.set_gauge("jobs_active", static_cast<double>(active_jobs_));
+  cv_.notify_all();
+}
+
+JobStatus Daemon::status_locked(const Job& job) const {
+  JobStatus s;
+  s.job_id = job.id;
+  s.tenant = job.spec.tenant;
+  s.engine = job.spec.engine;
+  s.state = job.state;
+  s.chromosomes_total = job.entries.size();
+  s.chromosomes_done = job.done_count;
+  s.degraded = job.degraded;
+  s.resumed = job.resume;
+  s.error = job.error;
+  s.manifest_digest = job.manifest_digest;
+  s.manifest_file = job.manifest_path;
+  s.output_dir = job.output_dir;
+  s.wait_seconds = job.wait_seconds;
+  s.run_seconds = settled(job.state)
+                      ? job.run_seconds
+                      : seconds_between(job.submitted, Clock::now());
+  return s;
+}
+
+JobStatus Daemon::status(const std::string& job_id) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end())
+    throw ServiceError(ErrorCode::kNotFound, "unknown job '" + job_id + "'");
+  return status_locked(*it->second);
+}
+
+std::vector<JobStatus> Daemon::jobs() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<JobStatus> all;
+  all.reserve(job_order_.size());
+  for (const std::string& id : job_order_) {
+    const auto it = jobs_.find(id);
+    if (it != jobs_.end()) all.push_back(status_locked(*it->second));
+  }
+  return all;
+}
+
+void Daemon::cancel(const std::string& job_id) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end())
+    throw ServiceError(ErrorCode::kNotFound, "unknown job '" + job_id + "'");
+  if (!settled(it->second->state))
+    it->second->token.cancel(CancelReason::kClient);
+}
+
+DaemonStats Daemon::stats() const {
+  DaemonStats s;
+  s.submitted = metrics_.counter("jobs_submitted");
+  s.admitted = metrics_.counter("jobs_admitted");
+  s.completed = metrics_.counter("jobs_completed");
+  s.failed = metrics_.counter("jobs_failed");
+  s.cancelled = metrics_.counter("jobs_cancelled");
+  s.interrupted = metrics_.counter("jobs_interrupted");
+  s.shed_queue_full = metrics_.counter("jobs_shed_queue_full");
+  s.shed_quota = metrics_.counter("jobs_shed_quota");
+  s.shed_payload = metrics_.counter("jobs_shed_payload");
+  s.rejected_bad_request = metrics_.counter("jobs_rejected_bad_request");
+  s.chromosomes_done = metrics_.counter("chromosomes_done");
+  s.chromosomes_degraded = metrics_.counter("chromosomes_degraded");
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    s.active = active_jobs_;
+  }
+  return s;
+}
+
+std::size_t Daemon::recover() {
+  const std::filesystem::path jobs_root = config_.spool_dir / "jobs";
+  if (!std::filesystem::exists(jobs_root)) return 0;
+
+  std::vector<std::filesystem::path> dirs;
+  for (const auto& entry : std::filesystem::directory_iterator(jobs_root))
+    if (entry.is_directory()) dirs.push_back(entry.path());
+  std::sort(dirs.begin(), dirs.end());  // deterministic resume order
+
+  std::size_t resumed = 0;
+  for (const std::filesystem::path& dir : dirs) {
+    const std::filesystem::path journal = dir / "job.json";
+    if (!std::filesystem::exists(journal)) continue;
+
+    std::string text;
+    {
+      std::ifstream in(journal, std::ios::binary);
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      text = buf.str();
+    }
+    json::Value doc;
+    JobSpec spec;
+    JobState state;
+    std::string error, digest;
+    try {
+      doc = json::parse(text);
+      spec = parse_job_spec(*json::find(doc, "spec"));
+      spec.job_id = json::get_string(doc, "id");
+      const auto parsed = job_state_from_name(json::get_string(doc, "state"));
+      GSNP_CHECK_MSG(parsed.has_value(), "unknown job state in " << journal);
+      state = *parsed;
+      if (const json::Value* e = json::find(doc, "error")) error = e->string;
+      if (const json::Value* d = json::find(doc, "digest")) digest = d->string;
+    } catch (const Error&) {
+      continue;  // torn/corrupt journal: nothing trustworthy to resume
+    }
+
+    {
+      // Keep id allocation ahead of every recovered id.
+      const std::lock_guard<std::mutex> lock(mu_);
+      if (spec.job_id.rfind("job-", 0) == 0) {
+        char* end = nullptr;
+        const unsigned long long n =
+            std::strtoull(spec.job_id.c_str() + 4, &end, 10);
+        if (end != nullptr && *end == '\0' && n >= next_job_number_)
+          next_job_number_ = n + 1;
+      }
+      if (jobs_.count(spec.job_id) != 0) continue;
+    }
+
+    if (terminal(state)) {
+      // History only: queryable, not re-run.
+      auto job = std::make_shared<Job>();
+      job->id = spec.job_id;
+      job->kind =
+          core::engine_kind_from_name(spec.engine).value_or(job->kind);
+      job->state = state;
+      job->error = std::move(error);
+      job->manifest_digest = std::move(digest);
+      job->dir = dir;
+      job->manifest_path = dir / "manifest.json";
+      job->output_dir = spec.output_dir;
+      job->entries.resize(spec.chromosomes.size());
+      if (state == JobState::kDone)
+        job->done_count = spec.chromosomes.size();
+      job->spec = std::move(spec);
+      const std::lock_guard<std::mutex> lock(mu_);
+      job_order_.push_back(job->id);
+      jobs_[job->id] = job;
+      continue;
+    }
+
+    // Incomplete (queued/running/interrupted): exactly-once resume.
+    try {
+      std::unique_lock<std::mutex> lock(mu_);
+      admit_locked(std::move(spec), /*resume=*/true, lock);
+      ++resumed;
+      metrics_.add("jobs_resumed");
+    } catch (const ServiceError&) {
+      // Inputs vanished since first admission; nothing to run.  The stale
+      // journal stays for the operator.
+    }
+  }
+  return resumed;
+}
+
+bool Daemon::wait_job(const std::string& job_id, double timeout_seconds) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto it = jobs_.find(job_id);
+  if (it == jobs_.end())
+    throw ServiceError(ErrorCode::kNotFound, "unknown job '" + job_id + "'");
+  const std::shared_ptr<Job> job = it->second;
+  const auto done = [&] { return settled(job->state) || crashed_.load(); };
+  if (timeout_seconds < 0.0) {
+    cv_.wait(lock, done);
+    return settled(job->state);
+  }
+  return cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+                      done) &&
+         settled(job->state);
+}
+
+void Daemon::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return active_jobs_ == 0 || crashed_.load(); });
+}
+
+void Daemon::simulate_crash() {
+  crashed_.store(true);
+  cv_.notify_all();
+}
+
+void Daemon::watchdog_loop() {
+  while (!watchdog_stop_.load()) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(config_.watchdog_interval_seconds));
+    if (crashed_.load()) continue;
+    const std::lock_guard<std::mutex> lock(mu_);
+    const auto now = Clock::now();
+    for (auto& [id, job] : jobs_) {
+      if (settled(job->state)) continue;
+      if (job->spec.deadline_seconds > 0.0 &&
+          seconds_between(job->submitted, now) > job->spec.deadline_seconds)
+        job->token.cancel(CancelReason::kDeadline);
+    }
+  }
+}
+
+}  // namespace gsnp::service

@@ -1,0 +1,25 @@
+#pragma once
+// Request dispatch: maps one protocol Request onto the Daemon API and the
+// outcome (including typed ServiceErrors) onto one Response.  Shared by the
+// socket server (gsnp_cli serve) and the in-process protocol tests, so the
+// wire behavior is exercised without needing a socket.
+
+#include <string>
+
+#include "src/service/daemon.hpp"
+#include "src/service/protocol.hpp"
+
+namespace gsnp::service {
+
+/// Handle one request.  Never throws: daemon-side ServiceErrors become
+/// ok=false responses with their typed code; anything else maps to
+/// kInternal.  Ops: "ping", "submit", "status" (job_id, or all jobs when
+/// empty via fields "jobs"/"job.<i>.*"), "cancel", "stats", "shutdown"
+/// (acknowledged here; the serve loop owns actually stopping).
+Response handle_request(Daemon& daemon, const Request& request);
+
+/// Convenience for socket handlers: parse a line, dispatch, encode the
+/// response line.  Malformed lines come back as kBadRequest responses.
+std::string handle_line(Daemon& daemon, const std::string& line);
+
+}  // namespace gsnp::service

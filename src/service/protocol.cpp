@@ -1,0 +1,196 @@
+#include "src/service/protocol.hpp"
+
+#include <sstream>
+
+namespace gsnp::service {
+
+const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kPayloadTooLarge: return "payload_too_large";
+    case ErrorCode::kQuotaExceeded: return "quota_exceeded";
+    case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
+    case ErrorCode::kNotFound: return "not_found";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kInternal: return "internal";
+  }
+  return "?";
+}
+
+std::optional<ErrorCode> error_code_from_name(std::string_view name) {
+  if (name == "bad_request") return ErrorCode::kBadRequest;
+  if (name == "queue_full") return ErrorCode::kQueueFull;
+  if (name == "payload_too_large") return ErrorCode::kPayloadTooLarge;
+  if (name == "quota_exceeded") return ErrorCode::kQuotaExceeded;
+  if (name == "deadline_exceeded") return ErrorCode::kDeadlineExceeded;
+  if (name == "not_found") return ErrorCode::kNotFound;
+  if (name == "shutting_down") return ErrorCode::kShuttingDown;
+  if (name == "internal") return ErrorCode::kInternal;
+  return std::nullopt;
+}
+
+namespace {
+
+void write_field(std::ostream& os, const char* key, std::string_view value,
+                 bool& first) {
+  if (!first) os << ',';
+  first = false;
+  json::write_escaped(os, key);
+  os << ':';
+  json::write_escaped(os, value);
+}
+
+std::string opt_string(const json::Value& obj, const std::string& key,
+                       const std::string& fallback = "") {
+  const json::Value* v = json::find(obj, key);
+  if (v == nullptr || v->kind == json::Value::Kind::kNull) return fallback;
+  GSNP_CHECK_MSG(v->kind == json::Value::Kind::kString,
+                 "field '" << key << "' is not a string");
+  return v->string;
+}
+
+double opt_number(const json::Value& obj, const std::string& key,
+                  double fallback = 0.0) {
+  const json::Value* v = json::find(obj, key);
+  if (v == nullptr) return fallback;
+  GSNP_CHECK_MSG(v->kind == json::Value::Kind::kNumber,
+                 "field '" << key << "' is not a number");
+  return v->number;
+}
+
+}  // namespace
+
+void encode_job_spec(std::ostream& os, const JobSpec& spec) {
+  os << '{';
+  bool first = true;
+  if (!spec.job_id.empty()) write_field(os, "id", spec.job_id, first);
+  write_field(os, "tenant", spec.tenant, first);
+  write_field(os, "engine", spec.engine, first);
+  if (!spec.output_dir.empty())
+    write_field(os, "output_dir", spec.output_dir, first);
+  if (spec.window_size != 0) os << ",\"window\":" << spec.window_size;
+  if (spec.deadline_seconds > 0.0)
+    os << ",\"deadline\":" << spec.deadline_seconds;
+  os << ",\"chromosomes\":[";
+  for (std::size_t i = 0; i < spec.chromosomes.size(); ++i) {
+    const ChromosomeSpec& c = spec.chromosomes[i];
+    if (i != 0) os << ',';
+    os << '{';
+    bool cf = true;
+    write_field(os, "name", c.name, cf);
+    write_field(os, "align", c.alignment_file, cf);
+    write_field(os, "ref", c.reference_file, cf);
+    if (!c.dbsnp_file.empty()) write_field(os, "dbsnp", c.dbsnp_file, cf);
+    os << '}';
+  }
+  os << "]}";
+}
+
+JobSpec parse_job_spec(const json::Value& value) {
+  GSNP_CHECK_MSG(value.kind == json::Value::Kind::kObject,
+                 "job spec is not an object");
+  JobSpec spec;
+  spec.job_id = opt_string(value, "id");
+  spec.tenant = opt_string(value, "tenant", "default");
+  spec.engine = opt_string(value, "engine", "gsnp");
+  spec.output_dir = opt_string(value, "output_dir");
+  spec.window_size = static_cast<u32>(opt_number(value, "window", 0.0));
+  spec.deadline_seconds = opt_number(value, "deadline", 0.0);
+  const json::Value* chroms = json::find(value, "chromosomes");
+  if (chroms != nullptr) {
+    GSNP_CHECK_MSG(chroms->kind == json::Value::Kind::kArray,
+                   "'chromosomes' is not an array");
+    for (const json::Value& c : chroms->array) {
+      GSNP_CHECK_MSG(c.kind == json::Value::Kind::kObject,
+                     "chromosome spec is not an object");
+      ChromosomeSpec cs;
+      cs.name = opt_string(c, "name");
+      cs.alignment_file = opt_string(c, "align");
+      cs.reference_file = opt_string(c, "ref");
+      cs.dbsnp_file = opt_string(c, "dbsnp");
+      spec.chromosomes.push_back(std::move(cs));
+    }
+  }
+  return spec;
+}
+
+std::string encode_request(const Request& request) {
+  std::ostringstream os;
+  os << "{\"op\":";
+  json::write_escaped(os, request.op);
+  if (!request.job_id.empty()) {
+    os << ",\"job_id\":";
+    json::write_escaped(os, request.job_id);
+  }
+  if (request.op == "submit") {
+    os << ",\"job\":";
+    encode_job_spec(os, request.job);
+  }
+  os << '}';
+  return os.str();
+}
+
+Request parse_request(std::string_view line) {
+  json::Value doc;
+  try {
+    doc = json::parse(line);
+  } catch (const Error& e) {
+    throw ServiceError(ErrorCode::kBadRequest, e.what());
+  }
+  if (doc.kind != json::Value::Kind::kObject)
+    throw ServiceError(ErrorCode::kBadRequest, "request is not an object");
+  Request request;
+  request.op = opt_string(doc, "op");
+  if (request.op.empty())
+    throw ServiceError(ErrorCode::kBadRequest, "missing 'op'");
+  request.job_id = opt_string(doc, "job_id");
+  if (const json::Value* job = json::find(doc, "job"))
+    request.job = parse_job_spec(*job);
+  return request;
+}
+
+std::string encode_response(const Response& response) {
+  std::ostringstream os;
+  os << "{\"ok\":" << (response.ok ? "true" : "false");
+  if (!response.ok) {
+    os << ",\"error\":";
+    json::write_escaped(os, error_code_name(response.error));
+    os << ",\"message\":";
+    json::write_escaped(os, response.message);
+  }
+  for (const auto& [key, value] : response.fields) {
+    os << ',';
+    json::write_escaped(os, key);
+    os << ':';
+    json::write_escaped(os, value);
+  }
+  os << '}';
+  return os.str();
+}
+
+Response parse_response(std::string_view line) {
+  const json::Value doc = json::parse(line);
+  GSNP_CHECK_MSG(doc.kind == json::Value::Kind::kObject,
+                 "response is not an object");
+  Response response;
+  response.ok = json::get_bool(doc, "ok");
+  for (const auto& [key, value] : doc.object) {
+    if (key == "ok") continue;
+    if (key == "error") {
+      response.error =
+          error_code_from_name(value.string).value_or(ErrorCode::kInternal);
+      continue;
+    }
+    if (key == "message") {
+      response.message = value.string;
+      continue;
+    }
+    GSNP_CHECK_MSG(value.kind == json::Value::Kind::kString,
+                   "response field '" << key << "' is not a string");
+    response.fields[key] = value.string;
+  }
+  return response;
+}
+
+}  // namespace gsnp::service

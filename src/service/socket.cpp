@@ -1,0 +1,179 @@
+#include "src/service/socket.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/common/error.hpp"
+
+namespace gsnp::service {
+
+namespace {
+
+int make_unix_socket() {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  GSNP_CHECK_MSG(fd >= 0,
+                 "cannot create AF_UNIX socket: " << std::strerror(errno));
+  return fd;
+}
+
+sockaddr_un make_address(const std::filesystem::path& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  const std::string s = path.string();
+  GSNP_CHECK_MSG(s.size() < sizeof(addr.sun_path),
+                 "socket path too long: " << s);
+  std::memcpy(addr.sun_path, s.c_str(), s.size() + 1);
+  return addr;
+}
+
+/// Write all of `line` plus '\n'; returns false on a broken connection.
+bool write_line(int fd, const std::string& line) {
+  std::string framed = line;
+  framed.push_back('\n');
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+/// Read up to the next '\n' into `line` (not included), buffering extra
+/// bytes in `buffer`.  Returns false on EOF/error with no complete line.
+bool read_line(int fd, std::string& buffer, std::string& line) {
+  for (;;) {
+    const std::size_t nl = buffer.find('\n');
+    if (nl != std::string::npos) {
+      line.assign(buffer, 0, nl);
+      buffer.erase(0, nl + 1);
+      return true;
+    }
+    char chunk[4096];
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return false;
+    }
+    buffer.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace
+
+LineServer::LineServer(std::filesystem::path socket_path, Handler handler)
+    : path_(std::move(socket_path)), handler_(std::move(handler)) {
+  GSNP_CHECK_MSG(handler_ != nullptr, "LineServer needs a handler");
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);  // stale socket from a dead daemon
+  listen_fd_ = make_unix_socket();
+  const sockaddr_un addr = make_address(path_);
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    GSNP_CHECK_MSG(false, "cannot bind " << path_ << ": "
+                                         << std::strerror(err));
+  }
+  if (::listen(listen_fd_, 16) != 0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    std::filesystem::remove(path_, ec);
+    GSNP_CHECK_MSG(false, "cannot listen on " << path_ << ": "
+                                              << std::strerror(err));
+  }
+  acceptor_ = std::thread([this] { accept_loop(); });
+}
+
+LineServer::~LineServer() { stop(); }
+
+void LineServer::stop() {
+  if (stopping_.exchange(true)) {
+    if (acceptor_.joinable()) acceptor_.join();
+    return;
+  }
+  // Closing the listen fd unblocks accept(); shutting down connection fds
+  // unblocks their reads.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    for (const int fd : connection_fds_) ::shutdown(fd, SHUT_RDWR);
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  std::vector<std::thread> threads;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    threads.swap(connection_threads_);
+  }
+  for (std::thread& t : threads)
+    if (t.joinable()) t.join();
+  std::error_code ec;
+  std::filesystem::remove(path_, ec);
+}
+
+void LineServer::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listen fd closed by stop(), or fatal — either way, done
+    }
+    if (stopping_.load()) {
+      ::close(fd);
+      return;
+    }
+    const std::lock_guard<std::mutex> lock(mu_);
+    connection_fds_.push_back(fd);
+    connection_threads_.emplace_back([this, fd] { serve_connection(fd); });
+  }
+}
+
+void LineServer::serve_connection(int fd) {
+  std::string buffer, line;
+  while (!stopping_.load() && read_line(fd, buffer, line)) {
+    if (!write_line(fd, handler_(line))) break;
+  }
+  ::close(fd);
+}
+
+LineClient::LineClient(const std::filesystem::path& socket_path) {
+  fd_ = make_unix_socket();
+  const sockaddr_un addr = make_address(socket_path);
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd_);
+    fd_ = -1;
+    GSNP_CHECK_MSG(false, "cannot connect to " << socket_path << ": "
+                                               << std::strerror(err)
+                                               << " (is gsnpd running?)");
+  }
+}
+
+LineClient::~LineClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+std::string LineClient::request(const std::string& line) {
+  GSNP_CHECK_MSG(fd_ >= 0, "client not connected");
+  GSNP_CHECK_MSG(write_line(fd_, line), "connection lost while sending");
+  std::string reply;
+  GSNP_CHECK_MSG(read_line(fd_, buffer_, reply),
+                 "connection closed before a reply arrived");
+  return reply;
+}
+
+}  // namespace gsnp::service

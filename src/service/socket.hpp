@@ -1,0 +1,76 @@
+#pragma once
+// Line-oriented AF_UNIX transport for the gsnpd protocol: a LineServer
+// accepts local connections and feeds each received line (one JSON request)
+// to a handler whose returned line (one JSON response) is written back; a
+// LineClient is the blocking request/response counterpart.  The transport
+// knows nothing about the protocol — protocol.hpp owns the line contents,
+// which keeps the daemon fully testable in-process and the socket layer a
+// thin shell the CLI wires up.
+
+#include <atomic>
+#include <filesystem>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gsnp::service {
+
+class LineServer {
+ public:
+  /// Called once per received line (without the trailing '\n'); the returned
+  /// string is sent back as one line.  Must be thread-safe: each connection
+  /// is served from its own thread.
+  using Handler = std::function<std::string(const std::string& line)>;
+
+  /// Binds and listens on `socket_path` (an existing stale socket file is
+  /// removed first).  Throws gsnp::Error when the socket cannot be bound —
+  /// e.g. a sandbox with no AF_UNIX support; callers surface that loudly.
+  LineServer(std::filesystem::path socket_path, Handler handler);
+  ~LineServer();
+
+  LineServer(const LineServer&) = delete;
+  LineServer& operator=(const LineServer&) = delete;
+
+  /// Stop accepting, shut down open connections, join all threads, unlink
+  /// the socket file.  Idempotent; the destructor calls it.
+  void stop();
+
+  const std::filesystem::path& path() const { return path_; }
+
+ private:
+  void accept_loop();
+  void serve_connection(int fd);
+
+  std::filesystem::path path_;
+  Handler handler_;
+  int listen_fd_ = -1;
+  std::atomic<bool> stopping_{false};
+  std::thread acceptor_;
+  std::mutex mu_;
+  std::vector<int> connection_fds_;
+  std::vector<std::thread> connection_threads_;
+};
+
+class LineClient {
+ public:
+  /// Connects to a LineServer; throws gsnp::Error when the daemon is not
+  /// listening.
+  explicit LineClient(const std::filesystem::path& socket_path);
+  ~LineClient();
+
+  LineClient(const LineClient&) = delete;
+  LineClient& operator=(const LineClient&) = delete;
+
+  /// Send one line, block for one line back.  Throws gsnp::Error on a
+  /// closed or failed connection.
+  std::string request(const std::string& line);
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+}  // namespace gsnp::service

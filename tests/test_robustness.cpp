@@ -439,6 +439,108 @@ TEST_F(FaultTolerantGenome, CheckpointResumeSkipsVerifiedChromosomes) {
             read_bytes(full.output_files[0]));
 }
 
+// ---- crash-point recovery ---------------------------------------------------------
+//
+// GenomeRunConfig::checkpoint_hook fires at the two durability edges of each
+// chromosome: "pre_publish" (output staged in `.part`, rename pending) and
+// "post_publish" (output renamed, manifest entry pending).  A hook that
+// throws models the process dying at exactly that instant; a resume run must
+// converge to the same bytes as a never-interrupted run, with each
+// chromosome's work applied exactly once.
+
+struct InjectedCrash : std::runtime_error {
+  InjectedCrash() : std::runtime_error("injected crash") {}
+};
+
+TEST_F(FaultTolerantGenome, CrashBeforePublishLeavesOnlyTornStaging) {
+  GenomeRunConfig cfg = config_;
+  cfg.output_dir = dir_ / "run";
+  cfg.checkpoint_hook = [](std::string_view point,
+                           const std::string& chromosome) {
+    if (point == "pre_publish" && chromosome == "chr2") throw InjectedCrash();
+  };
+  device::Device dev;
+  EXPECT_THROW(run_genome(cfg, EngineKind::kGsnp, &dev), InjectedCrash);
+
+  // chr1 published and journaled; chr2 died before its rename — the staged
+  // `.part` remains (as after a real crash) but no output was published and
+  // no manifest entry was written.
+  const RunManifest torn = read_run_manifest(cfg.output_dir / "manifest.json");
+  ASSERT_EQ(torn.chromosomes.size(), 1u);
+  EXPECT_EQ(torn.chromosomes[0].name, "chr1");
+  EXPECT_TRUE(fs::exists(cfg.output_dir / "chr1.gsnp.snp"));
+  EXPECT_FALSE(fs::exists(cfg.output_dir / "chr2.gsnp.snp"));
+  EXPECT_TRUE(fs::exists(cfg.output_dir / "chr2.gsnp.snp.part"));
+
+  // Resume: chr1 verifies and is skipped, chr2 re-runs (overwriting the torn
+  // staging), chr3 runs fresh.
+  cfg.checkpoint_hook = nullptr;
+  cfg.resume = true;
+  device::Device dev2;
+  const GenomeReport report = run_genome(cfg, EngineKind::kGsnp, &dev2);
+  EXPECT_TRUE(report.statuses[0].resumed);
+  EXPECT_FALSE(report.statuses[1].resumed);
+  EXPECT_EQ(report.statuses[1].attempts, 1);
+  EXPECT_FALSE(fs::exists(cfg.output_dir / "chr2.gsnp.snp.part"));
+
+  GenomeRunConfig clean = config_;
+  clean.output_dir = dir_ / "clean";
+  device::Device dev3;
+  const GenomeReport full = run_genome(clean, EngineKind::kGsnp, &dev3);
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_EQ(read_bytes(report.output_files[c]),
+              read_bytes(full.output_files[c]))
+        << cfg.chromosomes[c].name;
+  EXPECT_EQ(manifest_digest(read_run_manifest(report.manifest_file)),
+            manifest_digest(read_run_manifest(full.manifest_file)));
+}
+
+TEST_F(FaultTolerantGenome, CrashBetweenPublishAndManifestReplaysExactlyOnce) {
+  GenomeRunConfig cfg = config_;
+  cfg.output_dir = dir_ / "run";
+  cfg.checkpoint_hook = [](std::string_view point,
+                           const std::string& chromosome) {
+    if (point == "post_publish" && chromosome == "chr2") throw InjectedCrash();
+  };
+  device::Device dev;
+  EXPECT_THROW(run_genome(cfg, EngineKind::kGsnp, &dev), InjectedCrash);
+
+  // The torn window: chr2's output IS published but the manifest never heard
+  // of it.  This is the case resume cannot skip — it must re-run chr2 and
+  // converge by renaming identical bytes over the orphan.
+  const RunManifest torn = read_run_manifest(cfg.output_dir / "manifest.json");
+  ASSERT_EQ(torn.chromosomes.size(), 1u);
+  EXPECT_TRUE(fs::exists(cfg.output_dir / "chr2.gsnp.snp"));
+  const auto orphan_bytes = read_bytes(cfg.output_dir / "chr2.gsnp.snp");
+  const auto chr1_mtime = fs::last_write_time(cfg.output_dir / "chr1.gsnp.snp");
+
+  cfg.checkpoint_hook = nullptr;
+  cfg.resume = true;
+  device::Device dev2;
+  const GenomeReport report = run_genome(cfg, EngineKind::kGsnp, &dev2);
+  EXPECT_TRUE(report.statuses[0].resumed);
+  EXPECT_FALSE(report.statuses[1].resumed);  // replayed, not trusted
+  EXPECT_EQ(fs::last_write_time(cfg.output_dir / "chr1.gsnp.snp"),
+            chr1_mtime);
+  // Exactly-once at the byte level: the replay produced the orphan's bytes.
+  EXPECT_EQ(read_bytes(cfg.output_dir / "chr2.gsnp.snp"), orphan_bytes);
+
+  const RunManifest healed = read_run_manifest(report.manifest_file);
+  ASSERT_EQ(healed.chromosomes.size(), 3u);
+  for (const auto& entry : healed.chromosomes) EXPECT_EQ(entry.status, "done");
+
+  GenomeRunConfig clean = config_;
+  clean.output_dir = dir_ / "clean";
+  device::Device dev3;
+  const GenomeReport full = run_genome(clean, EngineKind::kGsnp, &dev3);
+  EXPECT_EQ(manifest_digest(healed),
+            manifest_digest(read_run_manifest(full.manifest_file)));
+  for (std::size_t c = 0; c < 3; ++c)
+    EXPECT_EQ(read_bytes(report.output_files[c]),
+              read_bytes(full.output_files[c]))
+        << cfg.chromosomes[c].name;
+}
+
 // ---- randomized end-to-end fuzz ---------------------------------------------------
 
 class ConsistencyFuzz : public ::testing::TestWithParam<u64> {};

@@ -1,0 +1,741 @@
+// gsnpd service tests: retry-backoff determinism, the line protocol, the
+// daemon's admission control (typed load shedding), deadlines, cancellation,
+// crash-safe recovery, sidecar namespacing for concurrent jobs sharing an
+// output directory, and the AF_UNIX socket transport.
+//
+// The invariant under test throughout: a job run by the daemon — sharded,
+// retried, degraded, interrupted, resumed — produces outputs byte-identical
+// to a serial core::run_genome of the same spec (manifest digests equal).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "src/common/error.hpp"
+#include "src/core/genome_pipeline.hpp"
+#include "src/core/run_manifest.hpp"
+#include "src/genome/dbsnp.hpp"
+#include "src/genome/synthetic.hpp"
+#include "src/reads/simulator.hpp"
+#include "src/service/daemon.hpp"
+#include "src/service/dispatch.hpp"
+#include "src/service/protocol.hpp"
+#include "src/service/socket.hpp"
+
+namespace gsnp::service {
+namespace {
+
+namespace fs = std::filesystem;
+using namespace std::chrono_literals;
+
+std::vector<u8> read_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GSNP_CHECK_MSG(in.good(), "cannot open " << path);
+  return std::vector<u8>(std::istreambuf_iterator<char>(in), {});
+}
+
+// ---- satellite: seeded jitter + cap in RetryPolicy -------------------------------
+
+TEST(Backoff, PlainExponentialWhenJitterDisabled) {
+  core::RetryPolicy policy;
+  policy.max_attempts = 4;
+  policy.backoff_seconds = 0.5;
+  policy.backoff_multiplier = 3.0;
+  policy.jitter_fraction = 0.0;
+  const auto sleeps = core::backoff_sequence(policy);
+  ASSERT_EQ(sleeps.size(), 3u);  // one pause before each retry
+  EXPECT_DOUBLE_EQ(sleeps[0], 0.5);
+  EXPECT_DOUBLE_EQ(sleeps[1], 1.5);
+  EXPECT_DOUBLE_EQ(sleeps[2], 4.5);
+}
+
+TEST(Backoff, CapBoundsEverySleep) {
+  core::RetryPolicy policy;
+  policy.max_attempts = 8;
+  policy.backoff_seconds = 1.0;
+  policy.backoff_multiplier = 10.0;
+  policy.backoff_cap_seconds = 5.0;
+  const auto sleeps = core::backoff_sequence(policy);
+  ASSERT_EQ(sleeps.size(), 7u);
+  EXPECT_DOUBLE_EQ(sleeps[0], 1.0);
+  for (const double s : sleeps) EXPECT_LE(s, 5.0);
+  EXPECT_DOUBLE_EQ(sleeps.back(), 5.0);
+}
+
+TEST(Backoff, SizeFollowsMaxAttempts) {
+  core::RetryPolicy policy;
+  policy.backoff_seconds = 1.0;
+  policy.max_attempts = 1;
+  EXPECT_TRUE(core::backoff_sequence(policy).empty());
+  policy.max_attempts = 0;  // degenerate: treated as one attempt
+  EXPECT_TRUE(core::backoff_sequence(policy).empty());
+  policy.max_attempts = 2;
+  EXPECT_EQ(core::backoff_sequence(policy).size(), 1u);
+}
+
+TEST(Backoff, JitterIsDeterministicPerSaltAndBounded) {
+  core::RetryPolicy policy;
+  policy.max_attempts = 6;
+  policy.backoff_seconds = 0.25;
+  policy.backoff_multiplier = 2.0;
+  policy.backoff_cap_seconds = 1.5;
+  policy.jitter_fraction = 0.4;
+  policy.jitter_seed = 1234;
+
+  const auto a = core::backoff_sequence(policy, 7);
+  const auto b = core::backoff_sequence(policy, 7);
+  EXPECT_EQ(a, b);  // same (policy, salt) -> identical sleeps, always
+
+  // Different salts (distinct job/chromosome) desynchronize.
+  const auto c = core::backoff_sequence(policy, 8);
+  EXPECT_NE(a, c);
+  // So does a different seed under the same salt.
+  policy.jitter_seed = 4321;
+  EXPECT_NE(a, core::backoff_sequence(policy, 7));
+
+  // Every jittered sleep stays within [base * (1 - fraction), base].
+  double base = policy.backoff_seconds;
+  for (const double s : a) {
+    const double capped = std::min(base, policy.backoff_cap_seconds);
+    EXPECT_GE(s, capped * (1.0 - policy.jitter_fraction) - 1e-12);
+    EXPECT_LE(s, capped + 1e-12);
+    base *= policy.backoff_multiplier;
+  }
+}
+
+// ---- line protocol ----------------------------------------------------------------
+
+TEST(Protocol, ErrorCodeNamesRoundTrip) {
+  for (const ErrorCode code :
+       {ErrorCode::kBadRequest, ErrorCode::kQueueFull,
+        ErrorCode::kPayloadTooLarge, ErrorCode::kQuotaExceeded,
+        ErrorCode::kDeadlineExceeded, ErrorCode::kNotFound,
+        ErrorCode::kShuttingDown, ErrorCode::kInternal}) {
+    const auto back = error_code_from_name(error_code_name(code));
+    ASSERT_TRUE(back.has_value()) << error_code_name(code);
+    EXPECT_EQ(*back, code);
+  }
+  EXPECT_FALSE(error_code_from_name("no_such_code").has_value());
+}
+
+TEST(Protocol, RequestRoundTrip) {
+  Request request;
+  request.op = "submit";
+  request.job.job_id = "job-9";
+  request.job.tenant = "alice";
+  request.job.engine = "gsnp_cpu";
+  request.job.output_dir = "/tmp/out dir";
+  request.job.window_size = 2048;
+  request.job.deadline_seconds = 12.5;
+  ChromosomeSpec chrom;
+  chrom.name = "chr\"7\"";  // JSON escaping must survive
+  chrom.alignment_file = "/data/chr7.soap";
+  chrom.reference_file = "/data/chr7.fa";
+  chrom.dbsnp_file = "/data/chr7.dbsnp";
+  request.job.chromosomes.push_back(chrom);
+
+  const Request back = parse_request(encode_request(request));
+  EXPECT_EQ(back.op, "submit");
+  EXPECT_EQ(back.job.job_id, "job-9");
+  EXPECT_EQ(back.job.tenant, "alice");
+  EXPECT_EQ(back.job.engine, "gsnp_cpu");
+  EXPECT_EQ(back.job.output_dir, "/tmp/out dir");
+  EXPECT_EQ(back.job.window_size, 2048u);
+  EXPECT_DOUBLE_EQ(back.job.deadline_seconds, 12.5);
+  ASSERT_EQ(back.job.chromosomes.size(), 1u);
+  EXPECT_EQ(back.job.chromosomes[0].name, "chr\"7\"");
+  EXPECT_EQ(back.job.chromosomes[0].alignment_file, "/data/chr7.soap");
+  EXPECT_EQ(back.job.chromosomes[0].reference_file, "/data/chr7.fa");
+  EXPECT_EQ(back.job.chromosomes[0].dbsnp_file, "/data/chr7.dbsnp");
+}
+
+TEST(Protocol, ResponseRoundTrip) {
+  Response ok;
+  ok.ok = true;
+  ok.fields["job_id"] = "job-3";
+  ok.fields["state"] = "done";
+  const Response ok_back = parse_response(encode_response(ok));
+  EXPECT_TRUE(ok_back.ok);
+  EXPECT_EQ(ok_back.fields.at("job_id"), "job-3");
+  EXPECT_EQ(ok_back.fields.at("state"), "done");
+
+  Response err;
+  err.ok = false;
+  err.error = ErrorCode::kQuotaExceeded;
+  err.message = "tenant alice at quota";
+  const Response err_back = parse_response(encode_response(err));
+  EXPECT_FALSE(err_back.ok);
+  EXPECT_EQ(err_back.error, ErrorCode::kQuotaExceeded);
+  EXPECT_EQ(err_back.message, "tenant alice at quota");
+}
+
+TEST(Protocol, MalformedRequestLinesRaiseTypedBadRequest) {
+  for (const char* line :
+       {"", "not json", "{", "[1,2,3]", "{\"job_id\":\"x\"}",
+        "{\"op\":42}"}) {
+    try {
+      parse_request(line);
+      FAIL() << "accepted malformed line: " << line;
+    } catch (const ServiceError& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kBadRequest) << line;
+    } catch (const Error&) {
+      // json-layer error is acceptable for non-JSON bytes
+    }
+  }
+}
+
+// ---- daemon fixture ---------------------------------------------------------------
+
+/// Four small chromosomes on disk (FASTA + SOAP alignment, chr1 also with a
+/// dbSNP prior file), a spool allocator, and a serial-run oracle.
+class ServiceFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gsnp_service_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    for (int c = 0; c < 4; ++c) {
+      genome::GenomeSpec gspec;
+      gspec.name = "chr" + std::to_string(c + 1);
+      gspec.length = 3'000 - 400 * static_cast<u64>(c);
+      gspec.seed = 40 + static_cast<u64>(c);
+      const genome::Reference ref = genome::generate_reference(gspec);
+      genome::write_fasta_file(fasta(gspec.name), {ref});
+      const genome::Diploid individual(ref, {});
+      reads::ReadSimSpec rspec;
+      rspec.depth = 4.0;
+      rspec.seed = 50 + static_cast<u64>(c);
+      reads::write_alignment_file(soap(gspec.name),
+                                  reads::simulate_reads(individual, rspec));
+      if (c == 0) {
+        const genome::DbSnpTable dbsnp = genome::make_dbsnp(ref, {}, 0.01, 3);
+        genome::write_dbsnp_file(dir_ / "chr1.dbsnp", dbsnp);
+      }
+      names_.push_back(gspec.name);
+    }
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  fs::path fasta(const std::string& name) { return dir_ / (name + ".fa"); }
+  fs::path soap(const std::string& name) { return dir_ / (name + ".soap"); }
+
+  DaemonConfig daemon_config(const std::string& spool) {
+    DaemonConfig config;
+    config.spool_dir = dir_ / spool;
+    config.workers = 2;
+    config.watchdog_interval_seconds = 0.002;
+    return config;
+  }
+
+  JobSpec make_spec(std::initializer_list<int> chroms,
+                    const std::string& id = "") {
+    JobSpec spec;
+    spec.job_id = id;
+    spec.engine = "gsnp";
+    spec.window_size = 1'024;
+    for (const int c : chroms) {
+      ChromosomeSpec cs;
+      cs.name = names_[static_cast<std::size_t>(c)];
+      cs.alignment_file = soap(cs.name).string();
+      cs.reference_file = fasta(cs.name).string();
+      if (c == 0) cs.dbsnp_file = (dir_ / "chr1.dbsnp").string();
+      spec.chromosomes.push_back(cs);
+    }
+    return spec;
+  }
+
+  /// The serial oracle: core::run_genome on the same spec, in its own
+  /// directory.  Returns the canonical manifest digest.
+  std::string serial_digest(const JobSpec& spec, const fs::path& out,
+                            core::GenomeReport* report_out = nullptr) {
+    std::vector<genome::Reference> refs;
+    std::vector<genome::DbSnpTable> tables;
+    refs.reserve(spec.chromosomes.size());
+    tables.reserve(spec.chromosomes.size());
+    core::GenomeRunConfig cfg;
+    cfg.output_dir = out;
+    cfg.window_size = spec.window_size;
+    for (const ChromosomeSpec& cs : spec.chromosomes) {
+      auto loaded = genome::read_fasta_file(cs.reference_file);
+      refs.push_back(std::move(loaded.at(0)));
+      core::ChromosomeJob job;
+      job.name = cs.name;
+      job.alignment_file = cs.alignment_file;
+      job.reference = &refs.back();
+      if (!cs.dbsnp_file.empty()) {
+        tables.push_back(genome::read_dbsnp_file(cs.dbsnp_file, {}, nullptr,
+                                                 refs.back().size()));
+        job.dbsnp = &tables.back();
+      }
+      cfg.chromosomes.push_back(job);
+    }
+    device::Device dev;
+    const core::GenomeReport report =
+        core::run_genome(cfg, core::EngineKind::kGsnp, &dev);
+    if (report_out != nullptr) *report_out = report;
+    return core::manifest_digest(core::read_run_manifest(report.manifest_file));
+  }
+
+  fs::path dir_;
+  std::vector<std::string> names_;
+};
+
+ErrorCode submit_error(Daemon& daemon, JobSpec spec) {
+  try {
+    daemon.submit(std::move(spec));
+  } catch (const ServiceError& e) {
+    return e.code();
+  }
+  ADD_FAILURE() << "submission unexpectedly admitted";
+  return ErrorCode::kInternal;
+}
+
+// ---- admission control ------------------------------------------------------------
+
+TEST_F(ServiceFixture, MalformedSpecsRejectedTyped) {
+  Daemon daemon(daemon_config("spool"));
+
+  JobSpec empty = make_spec({});
+  EXPECT_EQ(submit_error(daemon, empty), ErrorCode::kBadRequest);
+
+  JobSpec engine = make_spec({0});
+  engine.engine = "warp-drive";
+  EXPECT_EQ(submit_error(daemon, engine), ErrorCode::kBadRequest);
+
+  JobSpec missing = make_spec({0});
+  missing.chromosomes[0].alignment_file = (dir_ / "nope.soap").string();
+  EXPECT_EQ(submit_error(daemon, missing), ErrorCode::kBadRequest);
+
+  JobSpec dup_names = make_spec({1, 1});
+  EXPECT_EQ(submit_error(daemon, dup_names), ErrorCode::kBadRequest);
+
+  EXPECT_EQ(daemon.stats().rejected_bad_request, 4u);
+  EXPECT_EQ(daemon.stats().admitted, 0u);
+
+  // Rejections must not poison the daemon: a clean job still runs.
+  const std::string id = daemon.submit(make_spec({1}));
+  ASSERT_TRUE(daemon.wait_job(id, 60.0));
+  EXPECT_EQ(daemon.status(id).state, JobState::kDone);
+
+  JobSpec duplicate = make_spec({1}, id);  // id already taken
+  EXPECT_EQ(submit_error(daemon, duplicate), ErrorCode::kBadRequest);
+}
+
+TEST_F(ServiceFixture, OversizedPayloadShed) {
+  DaemonConfig config = daemon_config("spool");
+  config.max_payload_bytes = 16;  // no alignment file is this small
+  Daemon daemon(config);
+  EXPECT_EQ(submit_error(daemon, make_spec({0})),
+            ErrorCode::kPayloadTooLarge);
+  EXPECT_EQ(daemon.stats().shed_payload, 1u);
+  EXPECT_EQ(daemon.stats().shed_total(), 1u);
+}
+
+TEST_F(ServiceFixture, QueueFullAndQuotaShedTyped) {
+  DaemonConfig config = daemon_config("spool");
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.tenant_quota = 1;
+  // Hold every admitted chromosome at the attempt gate so admitted jobs stay
+  // "unfinished" deterministically while we probe the admission limits.
+  std::atomic<bool> release{false};
+  config.fault_arm = [&release](device::Device&, const std::string&,
+                                const std::string&) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  };
+  Daemon daemon(config);
+
+  const std::string a = daemon.submit(make_spec({1}));
+  EXPECT_EQ(daemon.status(a).tenant, "default");
+
+  // Same tenant again: quota (1) trips before capacity (2).
+  EXPECT_EQ(submit_error(daemon, make_spec({2})), ErrorCode::kQuotaExceeded);
+
+  // Another tenant fits the queue...
+  JobSpec other = make_spec({2});
+  other.tenant = "bob";
+  const std::string b = daemon.submit(std::move(other));
+
+  // ...but a third unfinished job exceeds queue_capacity for any tenant.
+  JobSpec third = make_spec({3});
+  third.tenant = "carol";
+  EXPECT_EQ(submit_error(daemon, std::move(third)), ErrorCode::kQueueFull);
+
+  const DaemonStats mid = daemon.stats();
+  EXPECT_EQ(mid.shed_quota, 1u);
+  EXPECT_EQ(mid.shed_queue_full, 1u);
+  EXPECT_EQ(mid.shed_total(), 2u);
+  EXPECT_EQ(mid.admitted, 2u);
+  EXPECT_EQ(mid.active, 2u);
+
+  release.store(true);
+  daemon.wait_idle();
+  EXPECT_EQ(daemon.status(a).state, JobState::kDone);
+  EXPECT_EQ(daemon.status(b).state, JobState::kDone);
+  EXPECT_EQ(daemon.stats().active, 0u);
+  EXPECT_EQ(daemon.stats().completed, 2u);
+
+  // With capacity freed, the once-shed tenant admits fine now.
+  const std::string c = daemon.submit(make_spec({3}));
+  ASSERT_TRUE(daemon.wait_job(c, 60.0));
+  EXPECT_EQ(daemon.status(c).state, JobState::kDone);
+}
+
+TEST_F(ServiceFixture, CancelIsTypedAndIdempotent) {
+  DaemonConfig config = daemon_config("spool");
+  config.workers = 1;
+  std::atomic<bool> release{false};
+  config.fault_arm = [&release](device::Device&, const std::string&,
+                                const std::string&) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  };
+  Daemon daemon(config);
+
+  EXPECT_THROW(daemon.status("job-404"), ServiceError);
+  EXPECT_THROW(daemon.cancel("job-404"), ServiceError);
+
+  const std::string id = daemon.submit(make_spec({1, 2}));
+  daemon.cancel(id);
+  release.store(true);
+  ASSERT_TRUE(daemon.wait_job(id, 60.0));
+  const JobStatus status = daemon.status(id);
+  EXPECT_EQ(status.state, JobState::kCancelled);
+  EXPECT_FALSE(status.error.empty());
+  daemon.cancel(id);  // terminal: a no-op, not an error
+  EXPECT_EQ(daemon.status(id).state, JobState::kCancelled);
+  EXPECT_EQ(daemon.stats().cancelled, 1u);
+}
+
+// ---- completion & byte identity ---------------------------------------------------
+
+TEST_F(ServiceFixture, CompletedJobMatchesSerialRunByteForByte) {
+  DaemonConfig config = daemon_config("spool");
+  config.workers = 3;  // chromosomes genuinely run concurrently
+  Daemon daemon(config);
+
+  const JobSpec spec = make_spec({0, 1, 2});
+  const std::string id = daemon.submit(spec);
+  ASSERT_TRUE(daemon.wait_job(id, 120.0));
+
+  const JobStatus status = daemon.status(id);
+  ASSERT_EQ(status.state, JobState::kDone) << status.error;
+  EXPECT_EQ(status.chromosomes_total, 3u);
+  EXPECT_EQ(status.chromosomes_done, 3u);
+  EXPECT_FALSE(status.degraded);
+  ASSERT_FALSE(status.manifest_digest.empty());
+
+  core::GenomeReport serial;
+  EXPECT_EQ(status.manifest_digest,
+            serial_digest(spec, dir_ / "serial", &serial));
+  for (const fs::path& out : serial.output_files)
+    EXPECT_EQ(read_bytes(status.output_dir / out.filename()), read_bytes(out))
+        << out;
+
+  // The manifest on disk is the daemon's journal of record: re-read it and
+  // re-derive the digest independently.
+  const core::RunManifest manifest =
+      core::read_run_manifest(status.manifest_file);
+  ASSERT_EQ(manifest.chromosomes.size(), 3u);
+  EXPECT_EQ(manifest.chromosomes[0].name, "chr1");  // submission order
+  EXPECT_EQ(core::manifest_digest(manifest), status.manifest_digest);
+
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  EXPECT_EQ(stats.chromosomes_done, 3u);
+  EXPECT_EQ(daemon.metrics().counter("jobs_completed"), 1u);
+}
+
+TEST_F(ServiceFixture, InjectedDeviceFaultDegradesNotFails) {
+  DaemonConfig config = daemon_config("spool");
+  config.workers = 1;
+  config.retry.max_attempts = 2;
+  config.retry.backoff_seconds = 0.0;
+  // Wedge the device for chr2 only: every alloc fails while it runs, so both
+  // attempts die and the chromosome falls back to the CPU engine.
+  config.fault_arm = [](device::Device& dev, const std::string&,
+                        const std::string& chromosome) {
+    device::FaultPlan plan;
+    if (chromosome == "chr2") {
+      plan.fail_alloc_at = static_cast<i64>(dev.alloc_count());
+      plan.fault_count = -1;
+    }
+    dev.set_fault_plan(plan);
+  };
+  Daemon daemon(config);
+
+  const JobSpec spec = make_spec({0, 1, 2});
+  const std::string id = daemon.submit(spec);
+  ASSERT_TRUE(daemon.wait_job(id, 120.0));
+
+  const JobStatus status = daemon.status(id);
+  ASSERT_EQ(status.state, JobState::kDone) << status.error;
+  EXPECT_TRUE(status.degraded);
+
+  // Degradation costs speed, never correctness (§IV-G): the digest still
+  // matches the serial GPU run because degraded entries record identical
+  // output bytes (the digest folds in engine names per chromosome — compare
+  // the file bytes, which are the actual §IV-G guarantee).
+  core::GenomeReport serial;
+  serial_digest(spec, dir_ / "serial", &serial);
+  for (const fs::path& out : serial.output_files)
+    EXPECT_EQ(read_bytes(status.output_dir / out.filename()), read_bytes(out))
+        << out;
+  const core::RunManifest manifest =
+      core::read_run_manifest(status.manifest_file);
+  const core::ManifestEntry* entry = manifest.find("chr2");
+  ASSERT_NE(entry, nullptr);
+  EXPECT_TRUE(entry->degraded);
+  EXPECT_EQ(entry->engine, "gsnp_cpu");
+  EXPECT_EQ(daemon.stats().chromosomes_degraded, 1u);
+}
+
+// ---- deadlines --------------------------------------------------------------------
+
+TEST_F(ServiceFixture, DeadlineOverrunFailsTypedDeadlineExceeded) {
+  DaemonConfig config = daemon_config("spool");
+  config.workers = 1;
+  // Hold the first attempt until the watchdog has certainly fired; the
+  // worker then observes the kDeadline cancellation at its next gate.
+  config.fault_arm = [](device::Device&, const std::string&,
+                        const std::string&) {
+    std::this_thread::sleep_for(50ms);
+  };
+  Daemon daemon(config);
+
+  JobSpec spec = make_spec({1});
+  spec.deadline_seconds = 0.005;
+  const std::string id = daemon.submit(std::move(spec));
+  ASSERT_TRUE(daemon.wait_job(id, 60.0));
+  const JobStatus status = daemon.status(id);
+  EXPECT_EQ(status.state, JobState::kFailed);
+  EXPECT_EQ(status.error, "deadline_exceeded");
+  EXPECT_EQ(daemon.stats().failed, 1u);
+
+  // No torn partial output was published for the cancelled chromosome.
+  EXPECT_FALSE(fs::exists(status.output_dir / "chr2.gsnp.snp"));
+}
+
+// ---- crash-safe recovery ----------------------------------------------------------
+
+TEST_F(ServiceFixture, CrashBetweenPublishAndJournalRecoversExactlyOnce) {
+  const JobSpec spec = make_spec({0, 1, 2}, "jobX");
+  const fs::path spool = dir_ / "spool";
+
+  // Daemon A dies at chr2's post_publish point: chr2's output file is
+  // renamed into place but its manifest entry was never written — the
+  // classic torn durability window.
+  {
+    DaemonConfig config = daemon_config("spool");
+    config.workers = 1;  // chromosomes complete in submission order
+    std::atomic<Daemon*> self{nullptr};
+    config.checkpoint_hook = [&self](std::string_view point,
+                                     const std::string&,
+                                     const std::string& chromosome) {
+      if (point == "post_publish" && chromosome == "chr2") {
+        self.load()->simulate_crash();
+        throw Error("injected crash at post_publish");
+      }
+    };
+    Daemon daemon(config);
+    self.store(&daemon);
+    ASSERT_EQ(daemon.submit(spec), "jobX");
+    daemon.wait_idle();  // returns once the crash flag is up
+  }
+
+  const fs::path job_dir = spool / "jobs" / "jobX";
+  const core::RunManifest torn =
+      core::read_run_manifest(job_dir / "manifest.json");
+  ASSERT_EQ(torn.chromosomes.size(), 1u);  // chr1 journaled, chr2 was not
+  EXPECT_EQ(torn.chromosomes[0].name, "chr1");
+  EXPECT_TRUE(fs::exists(job_dir / "out" / "chr1.gsnp.snp"));
+  EXPECT_TRUE(fs::exists(job_dir / "out" / "chr2.gsnp.snp"));  // published!
+  const auto chr1_mtime = fs::last_write_time(job_dir / "out" / "chr1.gsnp.snp");
+
+  // Daemon B scans the spool: jobX is incomplete, so it resumes — chr1
+  // verifies by CRC and is skipped, chr2 re-runs to identical bytes and
+  // renames over itself, chr3 runs fresh.  Exactly once, end to end.
+  {
+    Daemon daemon(daemon_config("spool"));
+    EXPECT_EQ(daemon.recover(), 1u);
+    ASSERT_TRUE(daemon.wait_job("jobX", 120.0));
+    const JobStatus status = daemon.status("jobX");
+    ASSERT_EQ(status.state, JobState::kDone) << status.error;
+    EXPECT_TRUE(status.resumed);
+    EXPECT_EQ(status.chromosomes_done, 3u);
+
+    core::GenomeReport serial;
+    EXPECT_EQ(status.manifest_digest,
+              serial_digest(spec, dir_ / "serial", &serial));
+    for (const fs::path& out : serial.output_files)
+      EXPECT_EQ(read_bytes(status.output_dir / out.filename()),
+                read_bytes(out))
+          << out;
+    // chr1 was not rewritten — its checkpoint verified.
+    EXPECT_EQ(fs::last_write_time(job_dir / "out" / "chr1.gsnp.snp"),
+              chr1_mtime);
+    EXPECT_EQ(daemon.metrics().counter("jobs_resumed"), 1u);
+
+    // A third daemon would have nothing to do: jobX is terminal history.
+    EXPECT_EQ(daemon.stats().active, 0u);
+  }
+  {
+    Daemon daemon(daemon_config("spool"));
+    EXPECT_EQ(daemon.recover(), 0u);
+    EXPECT_EQ(daemon.status("jobX").state, JobState::kDone);
+  }
+}
+
+TEST_F(ServiceFixture, GracefulShutdownParksJobsForResume) {
+  const JobSpec spec = make_spec({1, 2}, "parked");
+  {
+    DaemonConfig config = daemon_config("spool");
+    config.workers = 1;
+    std::atomic<bool> release{false};
+    config.fault_arm = [&release](device::Device&, const std::string&,
+                                  const std::string&) {
+      while (!release.load()) std::this_thread::sleep_for(1ms);
+    };
+    Daemon daemon(config);
+    daemon.submit(spec);
+    release.store(true);
+    // Destructor: graceful shutdown cancels the unfinished job with reason
+    // kShutdown and journals it as interrupted.
+  }
+  {
+    Daemon daemon(daemon_config("spool"));
+    EXPECT_EQ(daemon.recover(), 1u);
+    ASSERT_TRUE(daemon.wait_job("parked", 120.0));
+    const JobStatus status = daemon.status("parked");
+    EXPECT_EQ(status.state, JobState::kDone) << status.error;
+    EXPECT_TRUE(status.resumed);
+    EXPECT_EQ(status.manifest_digest, serial_digest(spec, dir_ / "serial"));
+  }
+}
+
+// ---- sidecar namespacing for shared output dirs -----------------------------------
+
+TEST_F(ServiceFixture, ConcurrentJobsSharingOutputDirGetNamespacedSidecars) {
+  // Two jobs call the SAME chromosome from the same (malformed) alignment
+  // into the same output_dir.  Published outputs share a name by design
+  // (identical bytes rename onto identical paths); scratch artifacts — the
+  // lenient-ingest quarantine sidecar above all — must NOT collide.
+  const fs::path bad = dir_ / "chr2.bad.soap";
+  fs::copy_file(soap("chr2"), bad);
+  {
+    std::ofstream append(bad, std::ios::app);
+    append << "this line is not a soap record\n";
+  }
+
+  DaemonConfig config = daemon_config("spool");
+  config.workers = 2;
+  config.ingest = IngestPolicy::make_lenient();
+  Daemon daemon(config);
+
+  const fs::path shared = dir_ / "shared_out";
+  auto job_for = [&](const std::string& id) {
+    JobSpec spec;
+    spec.job_id = id;
+    spec.engine = "gsnp";
+    spec.window_size = 1'024;
+    spec.output_dir = shared.string();
+    ChromosomeSpec cs;
+    cs.name = "chr2";
+    cs.alignment_file = bad.string();
+    cs.reference_file = fasta("chr2").string();
+    spec.chromosomes.push_back(cs);
+    return spec;
+  };
+  daemon.submit(job_for("left"));
+  daemon.submit(job_for("right"));
+  daemon.wait_idle();
+  ASSERT_EQ(daemon.status("left").state, JobState::kDone);
+  ASSERT_EQ(daemon.status("right").state, JobState::kDone);
+
+  // One namespaced sidecar per job; never a shared un-prefixed one.
+  EXPECT_TRUE(fs::exists(shared / "left.chr2.quarantine.txt"));
+  EXPECT_TRUE(fs::exists(shared / "right.chr2.quarantine.txt"));
+  EXPECT_FALSE(fs::exists(shared / "chr2.quarantine.txt"));
+  EXPECT_TRUE(fs::exists(shared / "chr2.gsnp.snp"));
+
+  // Both jobs quarantined exactly the one malformed record.
+  for (const char* id : {"left", "right"}) {
+    const core::RunManifest manifest =
+        core::read_run_manifest(daemon.status(id).manifest_file);
+    ASSERT_EQ(manifest.chromosomes.size(), 1u);
+    EXPECT_EQ(manifest.chromosomes[0].ingest.records_quarantined, 1u) << id;
+  }
+}
+
+// ---- socket transport -------------------------------------------------------------
+
+TEST_F(ServiceFixture, SocketRoundTripServesSubmitStatusStats) {
+  Daemon daemon(daemon_config("spool"));
+  const fs::path socket_path = dir_ / "gsnpd.sock";
+  std::unique_ptr<LineServer> server;
+  try {
+    server = std::make_unique<LineServer>(
+        socket_path,
+        [&daemon](const std::string& line) {
+          return handle_line(daemon, line);
+        });
+  } catch (const Error& e) {
+    GTEST_SKIP() << "SKIPPED — cannot bind AF_UNIX socket at " << socket_path
+                 << ": " << e.what();
+  }
+
+  LineClient client(socket_path);
+
+  Request ping;
+  ping.op = "ping";
+  Response pong = parse_response(client.request(encode_request(ping)));
+  ASSERT_TRUE(pong.ok);
+  EXPECT_EQ(pong.fields.at("pong"), "gsnpd");
+
+  Request submit;
+  submit.op = "submit";
+  submit.job = make_spec({1});
+  const Response admitted =
+      parse_response(client.request(encode_request(submit)));
+  ASSERT_TRUE(admitted.ok) << admitted.message;
+  const std::string id = admitted.fields.at("job_id");
+  daemon.wait_job(id, 120.0);
+
+  Request status;
+  status.op = "status";
+  status.job_id = id;
+  const Response done = parse_response(client.request(encode_request(status)));
+  ASSERT_TRUE(done.ok) << done.message;
+  EXPECT_EQ(done.fields.at("state"), "done");
+  EXPECT_EQ(done.fields.at("chromosomes_done"), "1");
+  EXPECT_FALSE(done.fields.at("manifest_digest").empty());
+
+  // Typed errors survive the wire.
+  Request missing;
+  missing.op = "status";
+  missing.job_id = "job-404";
+  const Response not_found =
+      parse_response(client.request(encode_request(missing)));
+  EXPECT_FALSE(not_found.ok);
+  EXPECT_EQ(not_found.error, ErrorCode::kNotFound);
+
+  const Response bad = parse_response(client.request("this is not json"));
+  EXPECT_FALSE(bad.ok);
+  EXPECT_EQ(bad.error, ErrorCode::kBadRequest);
+
+  Request stats;
+  stats.op = "stats";
+  const Response counters =
+      parse_response(client.request(encode_request(stats)));
+  ASSERT_TRUE(counters.ok);
+  EXPECT_EQ(counters.fields.at("admitted"), "1");
+  EXPECT_EQ(counters.fields.at("completed"), "1");
+
+  server->stop();
+}
+
+}  // namespace
+}  // namespace gsnp::service
