@@ -20,6 +20,13 @@
 // the shed rate of the backpressure probe.
 //
 //   bench_service [--workdir DIR] [--jobs N] [--seed S] [--length N]
+//                 [--fs-faults]
+//
+// --fs-faults adds the storage-chaos phase (FORMATS.md §13): a round of
+// transient seeded container-write tears that the retry envelope must absorb
+// with byte-identical outputs and a clean post-restart fsck, then a
+// persistent journal ENOSPC that must reject submissions typed
+// (storage_failure) and admit the identical spec once the disk heals.
 //
 // Exit codes: 0 ok, 1 a check failed, 2 bad usage.
 
@@ -37,12 +44,14 @@
 #include <vector>
 
 #include "src/common/error.hpp"
+#include "src/common/fs_fault.hpp"
 #include "src/common/rng.hpp"
 #include "src/core/genome_pipeline.hpp"
 #include "src/core/run_manifest.hpp"
 #include "src/genome/synthetic.hpp"
 #include "src/reads/simulator.hpp"
 #include "src/service/daemon.hpp"
+#include "src/service/fsck.hpp"
 #include "src/service/protocol.hpp"
 
 namespace fs = std::filesystem;
@@ -113,6 +122,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = 10;
   u64 seed = 1;
   u64 length = 1'000;
+  bool fs_faults = false;
   for (int i = 1; i < argc; ++i) {
     const auto need_value = [&](const char* flag) -> std::string {
       if (i + 1 >= argc) {
@@ -129,10 +139,12 @@ int main(int argc, char** argv) {
       seed = std::stoull(need_value("--seed"));
     else if (std::strcmp(argv[i], "--length") == 0)
       length = std::stoull(need_value("--length"));
+    else if (std::strcmp(argv[i], "--fs-faults") == 0)
+      fs_faults = true;
     else {
       std::fprintf(stderr,
                    "usage: bench_service [--workdir DIR] [--jobs N] "
-                   "[--seed S] [--length N]\n");
+                   "[--seed S] [--length N] [--fs-faults]\n");
       return 2;
     }
   }
@@ -426,6 +438,103 @@ int main(int argc, char** argv) {
           "p99 %.1f ms\n",
           jobs, 1e3 * percentile(latencies, 0.50),
           1e3 * percentile(latencies, 0.99));
+    }
+
+    // ---- phase D (opt-in, --fs-faults): storage chaos ---------------------------
+    if (fs_faults) {
+      // Round A: transient container-write tears.  fault_count=2 with
+      // max_attempts=3 means even back-to-back tears landing on one
+      // chromosome's consecutive attempts still leave a clean third attempt.
+      // Device chaos stays off so every digest is serial-comparable.
+      {
+        FsFaultPlan plan;
+        plan.kind = FsFaultKind::kShortWrite;
+        plan.path_filter = ".snp";
+        plan.fault_count = 2;
+        plan.seed = seed;
+        fsfault::arm(plan);
+        {
+          service::DaemonConfig config = daemon_config("spool_fs");
+          config.fault_arm = nullptr;
+          service::Daemon daemon(config);
+          for (const service::JobSpec& spec : specs) daemon.submit(spec);
+          daemon.wait_idle();
+          BENCH_CHECK(fsfault::injected() >= 1,
+                      "transient fs-fault round never fired");
+          for (const service::JobSpec& spec : specs) {
+            const service::JobStatus status = daemon.status(spec.job_id);
+            BENCH_CHECK(status.state == service::JobState::kDone,
+                        "fs-chaos job %s ended %s (%s), want done",
+                        spec.job_id.c_str(),
+                        service::job_state_name(status.state),
+                        status.error.c_str());
+            BENCH_CHECK(status.manifest_digest == serial_digest[spec.job_id],
+                        "fs-chaos job %s digest differs from serial run",
+                        spec.job_id.c_str());
+          }
+        }
+        fsfault::disarm();
+        // Restart onto the same spool: nothing to resume, and the scrubber
+        // signs off on every job the tears flew through.
+        service::Daemon daemon(daemon_config("spool_fs"));
+        const std::size_t fs_resumed = daemon.recover();
+        BENCH_CHECK(fs_resumed == 0,
+                    "fs-chaos spool had %zu unfinished job(s) after a clean "
+                    "run",
+                    fs_resumed);
+        service::FsckOptions repair;
+        repair.repair = true;
+        (void)service::fsck_spool(workdir / "spool_fs", repair);
+        const service::FsckReport report =
+            service::fsck_spool(workdir / "spool_fs");
+        BENCH_CHECK(report.all_clean(), "post-chaos fsck not clean: %s",
+                    report.summary().c_str());
+        std::printf(
+            "  fs-faults A: %llu torn container write(s) absorbed; all %zu "
+            "jobs byte-identical to serial; fsck %s\n",
+            static_cast<unsigned long long>(fsfault::injected()), jobs,
+            report.summary().c_str());
+      }
+      // Round B: a persistently full disk.  Submits must fail typed — the
+      // job is never half-admitted — and the identical submit goes through
+      // once the storage heals.
+      {
+        FsFaultPlan plan;
+        plan.kind = FsFaultKind::kEnospc;
+        plan.path_filter = "job.json";
+        plan.fault_count = -1;
+        fsfault::arm(plan);
+        service::DaemonConfig config = daemon_config("spool_fs_persistent");
+        config.fault_arm = nullptr;
+        service::Daemon daemon(config);
+        service::JobSpec healed = specs[0];
+        healed.job_id = "healed-0";
+        const service::ErrorCode storage_code = expect_rejected(
+            daemon, healed, "submit against a full spool disk");
+        BENCH_CHECK(storage_code == service::ErrorCode::kStorageFailure,
+                    "full-disk rejection was %s",
+                    service::error_code_name(storage_code));
+        const u64 persistent_hits = fsfault::injected();
+        fsfault::disarm();
+        daemon.submit(healed);  // same id: it was never admitted, clean slate
+        daemon.wait_job("healed-0", 300.0);
+        const service::JobStatus status = daemon.status("healed-0");
+        BENCH_CHECK(status.state == service::JobState::kDone,
+                    "healed job ended %s (%s), want done",
+                    service::job_state_name(status.state),
+                    status.error.c_str());
+        BENCH_CHECK(status.manifest_digest == serial_digest[specs[0].job_id],
+                    "healed job digest differs from serial run");
+        BENCH_CHECK(daemon.stats().rejected_storage == 1,
+                    "expected exactly one storage rejection, got %llu",
+                    static_cast<unsigned long long>(
+                        daemon.stats().rejected_storage));
+        std::printf(
+            "  fs-faults B: persistent journal ENOSPC rejected typed "
+            "(storage_failure, %llu hit(s)); identical resubmit completed "
+            "after heal\n",
+            static_cast<unsigned long long>(persistent_hits));
+      }
     }
 
     if (g_failures > 0) {

@@ -49,6 +49,8 @@
 #include "src/common/atomic_file.hpp"
 #include "src/common/cancel.hpp"
 #include "src/common/error.hpp"
+#include "src/common/fs_fault.hpp"
+#include "src/common/json.hpp"
 #include "src/compress/temp_input.hpp"
 #include "src/core/consistency.hpp"
 #include "src/core/engine.hpp"
@@ -594,13 +596,34 @@ int cmd_serve(const Args& args) {
   config.retry.max_attempts = std::stoi(args.get("--retries", "2"));
   config.retry.backoff_seconds = std::stod(args.get("--backoff", "0.05"));
   config.retry.jitter_fraction = std::stod(args.get("--jitter", "0.5"));
+  config.fsck_on_recover = !args.has("--no-fsck");
+  config.fsck_deep_verify = args.has("--deep-fsck");
+  if (args.has("--fs-fault-plan")) {
+    // Chaos drills: arm the storage fault injector from a §13 plan JSON,
+    // e.g. '{"kind":"enospc","at":2,"path":"manifest"}'.
+    const FsFaultPlan plan =
+        fs_fault_plan_from_json(json::parse(args.get("--fs-fault-plan", "")));
+    fsfault::arm(plan);
+    std::printf("gsnpd: armed fs fault plan kind=%s at=%lld count=%lld\n",
+                fs_fault_kind_name(plan.kind),
+                static_cast<long long>(plan.trigger_at),
+                static_cast<long long>(plan.fault_count));
+  }
   install_signal_handlers();
 
   service::Daemon daemon(config);
   const std::size_t resumed = daemon.recover();
+  if (!daemon.last_fsck().jobs.empty())
+    std::printf("gsnpd: fsck %s\n", daemon.last_fsck().summary().c_str());
   if (resumed > 0)
     std::printf("gsnpd: resumed %zu incomplete job(s) from %s\n", resumed,
                 config.spool_dir.string().c_str());
+
+  service::ServerOptions server_options;
+  server_options.max_frame_bytes =
+      std::stoull(args.get("--max-frame-mb", "4")) << 20;
+  server_options.idle_timeout_seconds =
+      std::stod(args.get("--idle-timeout", "0"));
 
   std::atomic<bool> stop_requested{false};
   service::LineServer server(
@@ -618,7 +641,8 @@ int cmd_serve(const Args& args) {
           response.message = e.what();
           return service::encode_response(response);
         }
-      });
+      },
+      server_options);
   std::printf("gsnpd: listening on %s (spool %s, %zu workers, queue %zu)\n",
               socket_path.string().c_str(), config.spool_dir.string().c_str(),
               config.workers, config.queue_capacity);
@@ -632,6 +656,20 @@ int cmd_serve(const Args& args) {
   // The daemon destructor parks unfinished jobs as "interrupted" in their
   // journals; the next serve's recover() resumes them exactly once.
   return 0;
+}
+
+/// The gsnpd verbs all talk through the resilient client: per-op poll
+/// deadlines and jittered reconnect (safe to resend — submit is idempotent
+/// when --job names the id).  --timeout 0 waits forever; --attempts 1
+/// restores the old fail-fast behavior.
+service::LineClient make_client(const Args& args) {
+  service::ClientOptions options;
+  options.op_timeout_seconds = std::stod(args.get("--timeout", "10"));
+  options.retry.max_attempts = std::stoi(args.get("--attempts", "3"));
+  options.retry.backoff_seconds = 0.05;
+  options.retry.jitter_fraction = 0.5;
+  options.backoff_salt = "gsnp_cli";
+  return service::LineClient(args.get("--socket", "gsnpd.sock"), options);
 }
 
 int cmd_submit(const Args& args) {
@@ -657,7 +695,7 @@ int cmd_submit(const Args& args) {
   chrom.dbsnp_file = args.get("--dbsnp", "");
   request.job.chromosomes.push_back(std::move(chrom));
 
-  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::LineClient client = make_client(args);
   service::Response response =
       service::parse_response(client.request(service::encode_request(request)));
   if (!response.ok) {
@@ -701,7 +739,7 @@ int cmd_submit(const Args& args) {
 }
 
 int cmd_status(const Args& args) {
-  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::LineClient client = make_client(args);
   service::Request request;
   request.op = args.has("--stats") ? "stats" : "status";
   request.job_id = args.get("--job", "");
@@ -724,7 +762,7 @@ int cmd_cancel(const Args& args) {
     std::fprintf(stderr, "cancel: --job is required\n");
     return 2;
   }
-  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::LineClient client = make_client(args);
   service::Request request;
   request.op = "cancel";
   request.job_id = job_id;
@@ -741,7 +779,7 @@ int cmd_cancel(const Args& args) {
 }
 
 int cmd_shutdown(const Args& args) {
-  service::LineClient client(args.get("--socket", "gsnpd.sock"));
+  service::LineClient client = make_client(args);
   service::Request request;
   request.op = "shutdown";
   const service::Response response =
@@ -752,6 +790,35 @@ int cmd_shutdown(const Args& args) {
   }
   std::printf("gsnpd stopping\n");
   return 0;
+}
+
+int cmd_fsck(const Args& args) {
+  if (args.positional().empty()) {
+    std::fprintf(stderr,
+                 "fsck: usage: gsnp_cli fsck <spool-dir> [--repair] [--deep]\n");
+    return 2;
+  }
+  const fs::path spool = args.positional()[0];
+  if (!fs::exists(spool)) {
+    std::fprintf(stderr, "fsck: no such spool %s\n", spool.string().c_str());
+    return 2;
+  }
+  service::FsckOptions options;
+  options.repair = args.has("--repair");
+  options.deep_verify = args.has("--deep");
+  const service::FsckReport report = service::fsck_spool(spool, options);
+  for (const service::FsckJobReport& job : report.jobs) {
+    std::printf("%-28s %s\n", job.job_id.c_str(),
+                service::fsck_verdict_name(job.verdict));
+    for (const std::string& issue : job.issues)
+      std::printf("  issue:  %s\n", issue.c_str());
+    for (const std::string& repair : job.repairs)
+      std::printf("  repair: %s\n", repair.c_str());
+  }
+  std::printf("fsck: %s\n", report.summary().c_str());
+  // Exit 0 when nothing needs an operator (clean or plain resumable); 1 when
+  // torn/orphaned/corrupt jobs remain (run again with --repair to fix).
+  return report.all_recoverable() ? 0 : 1;
 }
 
 }  // namespace
@@ -774,6 +841,7 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[1], "status") == 0) return cmd_status(args);
       if (std::strcmp(argv[1], "cancel") == 0) return cmd_cancel(args);
       if (std::strcmp(argv[1], "shutdown") == 0) return cmd_shutdown(args);
+      if (std::strcmp(argv[1], "fsck") == 0) return cmd_fsck(args);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "gsnp_cli: %s\n", e.what());
       return 1;
@@ -781,7 +849,7 @@ int main(int argc, char** argv) {
   }
   std::printf("usage: gsnp_cli "
               "<simulate|call|profile|compare|eval|vcf|stats|verify|manifest|"
-              "serve|submit|status|cancel|shutdown> [options]\n"
+              "serve|submit|status|cancel|shutdown|fsck> [options]\n"
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
               "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
@@ -801,10 +869,15 @@ int main(int argc, char** argv) {
               "  manifest MANIFEST.json   (per-chromosome run + ingest table)\n"
               "  serve    --socket SOCK --spool DIR [--workers N --queue N]\n"
               "           [--quota N --max-payload-mb M --retries N]\n"
+              "           [--no-fsck --deep-fsck --fs-fault-plan JSON]\n"
+              "           [--max-frame-mb M --idle-timeout S]\n"
+              "           (client verbs below also take --timeout S"
+              " --attempts N)\n"
               "  submit   --socket SOCK --ref FA --align SOAP [--name CHR]\n"
               "           [--engine E --tenant T --deadline S --wait]\n"
               "  status   --socket SOCK [--job ID | --stats]\n"
               "  cancel   --socket SOCK --job ID\n"
-              "  shutdown --socket SOCK\n");
+              "  shutdown --socket SOCK\n"
+              "  fsck     SPOOL_DIR [--repair --deep]   (spool scrubber)\n");
   return argc == 1 ? 0 : 2;
 }

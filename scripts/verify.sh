@@ -1,9 +1,11 @@
 #!/usr/bin/env bash
 # Full verification: tier-1 build + tests, the robustness + service suites
-# under AddressSanitizer + UBSan, the stream-overlap harness, the gsnpd
-# chaos smoke (bench_service) under both sanitizers, and the determinism/
-# concurrency suites under ThreadSanitizer (sanitizer builds skip only the
-# google-benchmark binaries, whose library is not sanitizer-instrumented).
+# under AddressSanitizer + UBSan, the storage/network chaos suites (fs-fault
+# matrix, fsck corpus, socket chaos) under both sanitizers, the
+# stream-overlap harness, the gsnpd chaos smoke (bench_service --fs-faults)
+# under both sanitizers, and the determinism/concurrency suites under
+# ThreadSanitizer (sanitizer builds skip only the google-benchmark binaries,
+# whose library is not sanitizer-instrumented).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -34,8 +36,11 @@ cmake --build build -j --target gsnp_cli >/dev/null
 ./build/examples/gsnp_cli profile --validate build/profile_sim/profile.json
 
 # Short gsnpd chaos smoke under a sanitizer build: concurrent jobs, seeded
-# faults, a mid-run daemon kill/restart, typed shedding.  8 jobs is the
-# contract floor; the small --length keeps sanitized runs quick.
+# faults, a mid-run daemon kill/restart, typed shedding, and (--fs-faults)
+# the storage-chaos rounds — transient container tears absorbed byte-
+# identically, persistent journal ENOSPC rejected typed, fsck clean after.
+# 8 jobs is the contract floor; the small --length keeps sanitized runs
+# quick.
 run_service_chaos_smoke() {
   local builddir="$1"
   if [ ! -x "${builddir}/bench/bench_service" ]; then
@@ -46,7 +51,7 @@ run_service_chaos_smoke() {
     echo "==============================================================="
     return 0
   fi
-  "${builddir}/bench/bench_service" --jobs 8 --length 500 \
+  "${builddir}/bench/bench_service" --jobs 8 --length 500 --fs-faults \
       --workdir "${builddir}/bench_service_work"
 }
 
@@ -54,6 +59,9 @@ echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz + s
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null
 ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam|test_service'
+
+echo "== storage/network chaos under ASan: fault matrix, fsck corpus, socket chaos =="
+ctest --test-dir build-asan --output-on-failure -R 'fsfault|fsck|chaos'
 
 echo "== service chaos smoke under ASan: crash/recover byte-identical, typed shedding =="
 run_service_chaos_smoke build-asan
@@ -71,6 +79,9 @@ cmake -B build-tsan -S . -DGSNP_SANITIZE=thread -DGSNP_OPENMP=OFF \
 cmake --build build-tsan -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure \
       -R 'determinism|test_obs|profiler|device|test_service'
+
+echo "== storage/network chaos under TSan: injector + spool + socket thread-safety =="
+ctest --test-dir build-tsan --output-on-failure -R 'fsfault|fsck|chaos'
 
 echo "== service chaos smoke under TSan: worker pool + watchdog + journal races =="
 run_service_chaos_smoke build-tsan

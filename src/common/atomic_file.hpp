@@ -3,19 +3,27 @@
 // place, fsync the directory.  A reader (or a resumed run) therefore only
 // ever sees either the complete previous file or the complete new one —
 // never a torn write.  POSIX-only, like the rest of the build.
+//
+// Both primitives route through the fsfault hooks (fs_fault.hpp) so the
+// chaos layer can fail the Nth fsync or tear the Nth rename on a chosen
+// file class; the hooks are one relaxed atomic load when disarmed.
 
 #include <fcntl.h>
 #include <unistd.h>
 
 #include <filesystem>
+#include <fstream>
+#include <string_view>
 
 #include "src/common/error.hpp"
+#include "src/common/fs_fault.hpp"
 
 namespace gsnp {
 
 /// fsync a file (or, with `directory`, a directory entry) by path.
 inline void fsync_path(const std::filesystem::path& path,
                        bool directory = false) {
+  fsfault::check_fsync(path);
   const int fd =
       ::open(path.c_str(), directory ? O_RDONLY | O_DIRECTORY : O_RDONLY);
   GSNP_CHECK_MSG(fd >= 0, "cannot open for fsync " << path);
@@ -31,10 +39,29 @@ inline void atomic_publish(const std::filesystem::path& tmp,
   GSNP_CHECK_MSG(std::filesystem::exists(tmp),
                  "atomic_publish: missing temp file " << tmp);
   fsync_path(tmp);
+  fsfault::check_rename(tmp, target);
   std::filesystem::rename(tmp, target);
   const std::filesystem::path dir = target.parent_path();
   fsync_path(dir.empty() ? std::filesystem::path(".") : dir,
              /*directory=*/true);
+}
+
+/// Write `payload` to `target` atomically: stage to `<target>.part` through
+/// the fault-checked write path, then atomic_publish.  Throws FsFaultError
+/// on injected or real storage failures; the staged `.part` (possibly
+/// truncated, for short-write faults) is left in place for fsck, exactly as
+/// a crash would leave it.
+inline void write_file_atomic(const std::filesystem::path& target,
+                              std::string_view payload) {
+  const std::filesystem::path tmp = target.string() + ".part";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    GSNP_CHECK_MSG(out.is_open(), "cannot open for write " << tmp);
+    fsfault::write(out, tmp, payload);
+    out.flush();
+    fsfault::check_stream(out, tmp, "flush");
+  }
+  atomic_publish(tmp, target);
 }
 
 }  // namespace gsnp

@@ -1,0 +1,256 @@
+#include "src/common/fs_fault.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+
+#include "src/common/json.hpp"
+#include "src/common/rng.hpp"
+
+namespace gsnp {
+
+namespace {
+
+constexpr const char* kKindNames[] = {
+    "none", "enospc", "eio", "short_write", "torn_rename", "fsync_fail",
+};
+constexpr int kKindCount = sizeof(kKindNames) / sizeof(kKindNames[0]);
+
+std::string describe(FsFaultKind kind, int error_number,
+                     const std::filesystem::path& path, u64 sequence) {
+  std::ostringstream os;
+  os << "storage fault [" << fs_fault_kind_name(kind) << "] on " << path
+     << " (op #" << sequence << ", errno " << error_number << " "
+     << std::strerror(error_number) << ")";
+  return os.str();
+}
+
+}  // namespace
+
+const char* fs_fault_kind_name(FsFaultKind kind) {
+  const int index = static_cast<int>(kind);
+  GSNP_CHECK_MSG(index >= 0 && index < kKindCount,
+                 "invalid FsFaultKind " << index);
+  return kKindNames[index];
+}
+
+std::optional<FsFaultKind> fs_fault_kind_from_name(std::string_view name) {
+  for (int i = 0; i < kKindCount; ++i) {
+    if (name == kKindNames[i]) return static_cast<FsFaultKind>(i);
+  }
+  return std::nullopt;
+}
+
+FsFaultError::FsFaultError(FsFaultKind kind, int error_number,
+                           const std::filesystem::path& path, u64 sequence)
+    : Error(describe(kind, error_number, path, sequence)),
+      kind_(kind),
+      error_number_(error_number),
+      path_(path.string()),
+      sequence_(sequence) {}
+
+FsFaultPlan fs_fault_plan_from_json(const json::Value& value) {
+  GSNP_CHECK_MSG(value.kind == json::Value::Kind::kObject,
+                 "fs fault plan: expected a JSON object");
+  // Closed schema: a typo'd key would silently disable the chaos a test
+  // thinks it armed, so unknown keys are errors.
+  for (const auto& [key, member] : value.object) {
+    (void)member;
+    GSNP_CHECK_MSG(key == "kind" || key == "at" || key == "count" ||
+                       key == "seed" || key == "path",
+                   "fs fault plan: unknown key '" << key << "'");
+  }
+  FsFaultPlan plan;
+  const std::string kind_name = json::get_string(value, "kind");
+  const auto kind = fs_fault_kind_from_name(kind_name);
+  GSNP_CHECK_MSG(kind.has_value(),
+                 "fs fault plan: unknown kind '" << kind_name << "'");
+  plan.kind = *kind;
+  if (const json::Value* at = json::find(value, "at")) {
+    GSNP_CHECK_MSG(at->kind == json::Value::Kind::kNumber,
+                   "fs fault plan: 'at' must be a number");
+    plan.trigger_at = static_cast<i64>(at->number);
+  }
+  if (const json::Value* count = json::find(value, "count")) {
+    GSNP_CHECK_MSG(count->kind == json::Value::Kind::kNumber,
+                   "fs fault plan: 'count' must be a number");
+    plan.fault_count = static_cast<i64>(count->number);
+  }
+  if (const json::Value* seed = json::find(value, "seed")) {
+    GSNP_CHECK_MSG(seed->kind == json::Value::Kind::kNumber,
+                   "fs fault plan: 'seed' must be a number");
+    plan.seed = static_cast<u64>(seed->number);
+  }
+  if (const json::Value* path = json::find(value, "path")) {
+    GSNP_CHECK_MSG(path->kind == json::Value::Kind::kString,
+                   "fs fault plan: 'path' must be a string");
+    plan.path_filter = path->string;
+  }
+  GSNP_CHECK_MSG(plan.trigger_at >= 0,
+                 "fs fault plan: 'at' must be >= 0, got " << plan.trigger_at);
+  GSNP_CHECK_MSG(plan.fault_count >= -1 && plan.fault_count != 0,
+                 "fs fault plan: 'count' must be -1 or > 0, got "
+                     << plan.fault_count);
+  return plan;
+}
+
+void encode_fs_fault_plan(std::ostream& os, const FsFaultPlan& plan) {
+  os << "{\"kind\":";
+  json::write_escaped(os, fs_fault_kind_name(plan.kind));
+  os << ",\"at\":" << plan.trigger_at << ",\"count\":" << plan.fault_count
+     << ",\"seed\":" << plan.seed << ",\"path\":";
+  json::write_escaped(os, plan.path_filter);
+  os << "}";
+}
+
+namespace fsfault {
+
+namespace {
+
+// The injector proper.  `armed_flag` is the fast-path gate: a relaxed load
+// decides whether the (mutexed) slow path runs at all, so disarmed
+// production writes pay one atomic read.
+std::atomic<bool> armed_flag{false};
+std::mutex state_mutex;
+FsFaultPlan plan_state;        // guarded by state_mutex
+u64 matched_ops_state = 0;     // guarded by state_mutex
+u64 injected_state = 0;        // guarded by state_mutex
+
+bool path_matches(const FsFaultPlan& plan, const std::filesystem::path& path) {
+  return plan.path_filter.empty() ||
+         path.string().find(plan.path_filter) != std::string::npos;
+}
+
+/// Counts a matching op for `category_kind` against the armed plan and, when
+/// the schedule triggers, fills `plan_out`/`seq_out` and bumps the injected
+/// counter.  Returns false (no fault) whenever the armed plan's kind is in a
+/// different category or the path misses the filter — those ops don't even
+/// advance the counter, so schedules stay deterministic per file class.
+bool should_fault(FsFaultKind category_kind, const std::filesystem::path& path,
+                  FsFaultPlan* plan_out, u64* seq_out) {
+  if (!armed_flag.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(state_mutex);
+  if (plan_state.kind != category_kind) return false;
+  if (!path_matches(plan_state, path)) return false;
+  const u64 seq = matched_ops_state++;
+  if (!plan_state.hits(seq)) return false;
+  ++injected_state;
+  *plan_out = plan_state;
+  *seq_out = seq;
+  return true;
+}
+
+/// Write-category membership: kEnospc/kEio/kShortWrite all arm the write
+/// hook, so the category check can't be a simple kind equality there.
+bool is_write_kind(FsFaultKind kind) {
+  return kind == FsFaultKind::kEnospc || kind == FsFaultKind::kEio ||
+         kind == FsFaultKind::kShortWrite;
+}
+
+bool should_fault_write(const std::filesystem::path& path,
+                        FsFaultPlan* plan_out, u64* seq_out) {
+  if (!armed_flag.load(std::memory_order_relaxed)) return false;
+  std::lock_guard<std::mutex> lock(state_mutex);
+  if (!is_write_kind(plan_state.kind)) return false;
+  if (!path_matches(plan_state, path)) return false;
+  const u64 seq = matched_ops_state++;
+  if (!plan_state.hits(seq)) return false;
+  ++injected_state;
+  *plan_out = plan_state;
+  *seq_out = seq;
+  return true;
+}
+
+}  // namespace
+
+void arm(const FsFaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(state_mutex);
+  plan_state = plan;
+  matched_ops_state = 0;
+  injected_state = 0;
+  armed_flag.store(plan.enabled(), std::memory_order_relaxed);
+}
+
+void disarm() {
+  std::lock_guard<std::mutex> lock(state_mutex);
+  plan_state = FsFaultPlan{};
+  armed_flag.store(false, std::memory_order_relaxed);
+}
+
+bool armed() { return armed_flag.load(std::memory_order_relaxed); }
+
+FsFaultPlan current_plan() {
+  std::lock_guard<std::mutex> lock(state_mutex);
+  return plan_state;
+}
+
+u64 injected() {
+  std::lock_guard<std::mutex> lock(state_mutex);
+  return injected_state;
+}
+
+u64 matched_ops() {
+  std::lock_guard<std::mutex> lock(state_mutex);
+  return matched_ops_state;
+}
+
+void write(std::ostream& out, const std::filesystem::path& path,
+           std::string_view payload) {
+  FsFaultPlan plan;
+  u64 seq = 0;
+  if (should_fault_write(path, &plan, &seq)) {
+    switch (plan.kind) {
+      case FsFaultKind::kEnospc:
+        throw FsFaultError(plan.kind, ENOSPC, path, seq);
+      case FsFaultKind::kEio:
+        throw FsFaultError(plan.kind, EIO, path, seq);
+      case FsFaultKind::kShortWrite: {
+        // A *strict* prefix really lands on disk: seed + sequence pick the
+        // truncation point so reruns of the same schedule tear identically.
+        u64 mix = plan.seed ^ (seq * 0x9E3779B97F4A7C15ULL);
+        Rng rng(splitmix64_next(mix));
+        const u64 keep =
+            payload.empty() ? 0 : rng.uniform(static_cast<u64>(payload.size()));
+        out.write(payload.data(), static_cast<std::streamsize>(keep));
+        out.flush();
+        throw FsFaultError(plan.kind, ENOSPC, path, seq);
+      }
+      default:
+        break;  // unreachable: should_fault_write filters to write kinds
+    }
+  }
+  out.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  check_stream(out, path, "write");
+}
+
+void check_fsync(const std::filesystem::path& path) {
+  FsFaultPlan plan;
+  u64 seq = 0;
+  if (should_fault(FsFaultKind::kFsyncFail, path, &plan, &seq)) {
+    throw FsFaultError(FsFaultKind::kFsyncFail, EIO, path, seq);
+  }
+}
+
+void check_rename(const std::filesystem::path& tmp,
+                  const std::filesystem::path& target) {
+  FsFaultPlan plan;
+  u64 seq = 0;
+  // The *target* name is what schedules filter on (".snp", "manifest.json");
+  // the staged `.part` stays behind for fsck, like a crash mid-publish.
+  if (should_fault(FsFaultKind::kTornRename, target, &plan, &seq)) {
+    (void)tmp;
+    throw FsFaultError(FsFaultKind::kTornRename, EIO, target, seq);
+  }
+}
+
+void check_stream(const std::ostream& out, const std::filesystem::path& path,
+                  const char* what) {
+  if (out.good()) return;
+  (void)what;
+  throw FsFaultError(FsFaultKind::kEio, errno != 0 ? errno : EIO, path, 0);
+}
+
+}  // namespace fsfault
+
+}  // namespace gsnp

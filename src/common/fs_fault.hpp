@@ -1,0 +1,139 @@
+#pragma once
+// Filesystem fault injection — the storage mirror of the device FaultPlan
+// (device.hpp).  Every durable write in the system (spool journals, run
+// manifests, GSNPOUT2/GSNPTMP2 containers, quarantine sidecars, FASTA
+// writers) and every durability primitive (fsync, atomic rename) funnels
+// through the hooks below, so a seeded FsFaultPlan can make the Nth write to
+// a chosen file class fail with a *typed* fault — ENOSPC, EIO, a short
+// write that really truncates the file, a torn rename that leaves the
+// `.part` staged, or a failed fsync — deterministically, the way the device
+// plan fails the Nth kernel launch.
+//
+// The injector is process-global (armed/disarmed by tests and chaos
+// harnesses; production never arms it): writers sit many layers below the
+// daemon and threading a plan through every constructor would couple every
+// layer to chaos testing.  Hooks are cheap when disarmed (one relaxed atomic
+// load).  Plan JSON schema: FORMATS.md §13.
+
+#include <atomic>
+#include <filesystem>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+
+#include "src/common/error.hpp"
+#include "src/common/types.hpp"
+
+namespace gsnp {
+
+namespace json {
+struct Value;
+}
+
+/// What the injected fault looks like to the writer.
+enum class FsFaultKind : u8 {
+  kNone,        ///< plan disabled
+  kEnospc,      ///< write fails, no bytes written (errno ENOSPC)
+  kEio,         ///< write fails, no bytes written (errno EIO)
+  kShortWrite,  ///< a seeded prefix lands on disk, then the write fails
+  kTornRename,  ///< atomic_publish dies before the rename: `.part` stays
+  kFsyncFail,   ///< fsync fails after the data was written (errno EIO)
+};
+
+const char* fs_fault_kind_name(FsFaultKind kind);
+std::optional<FsFaultKind> fs_fault_kind_from_name(std::string_view name);
+
+/// Thrown by the hooks when the armed plan triggers.  Typed so callers can
+/// distinguish an injected (or real, see fsfault::write) storage failure
+/// from corrupt input or broken invariants and route it to retry /
+/// job-failure / typed service rejection paths.
+class FsFaultError : public Error {
+ public:
+  FsFaultError(FsFaultKind kind, int error_number,
+               const std::filesystem::path& path, u64 sequence);
+
+  FsFaultKind kind() const { return kind_; }
+  int error_number() const { return error_number_; }  ///< ENOSPC / EIO
+  const std::string& path() const { return path_; }
+  u64 sequence() const { return sequence_; }  ///< matching-op index that hit
+
+ private:
+  FsFaultKind kind_;
+  int error_number_;
+  std::string path_;
+  u64 sequence_;
+};
+
+/// A seeded storage fault schedule, mirroring device::FaultPlan's
+/// trigger-at-operation-count shape.  The op counter counts only operations
+/// in the kind's category (writes for kEnospc/kEio/kShortWrite, fsyncs for
+/// kFsyncFail, renames for kTornRename) whose path contains `path_filter`,
+/// so "fail the 2nd manifest write" is `{kEnospc, 2, 1, seed, "manifest"}`
+/// regardless of what else the process writes.
+struct FsFaultPlan {
+  FsFaultKind kind = FsFaultKind::kNone;
+  i64 trigger_at = 0;        ///< matching-op index to start faulting
+  i64 fault_count = 1;       ///< ops affected from the trigger on; -1 = all
+  u64 seed = 0x5EEDF00DULL;  ///< short-write truncation point selection
+  std::string path_filter;   ///< substring of the path; "" matches all
+
+  bool enabled() const { return kind != FsFaultKind::kNone; }
+
+  /// Does matching operation number `seq` fault?  (Same contract as
+  /// device::FaultPlan::hits.)
+  bool hits(u64 seq) const {
+    if (!enabled() || static_cast<i64>(seq) < trigger_at) return false;
+    return fault_count < 0 ||
+           static_cast<i64>(seq) < trigger_at + fault_count;
+  }
+};
+
+/// FsFaultPlan <-> JSON (`{"kind":"enospc","at":2,"count":1,"seed":7,
+/// "path":"manifest"}`, FORMATS.md §13).  Parser throws gsnp::Error on
+/// unknown kinds or malformed fields.
+FsFaultPlan fs_fault_plan_from_json(const json::Value& value);
+void encode_fs_fault_plan(std::ostream& os, const FsFaultPlan& plan);
+
+namespace fsfault {
+
+/// Install `plan` (resets the matching-op and injected counters).
+void arm(const FsFaultPlan& plan);
+/// Remove any armed plan.  Hooks become pass-through (plus real-error
+/// checking in write()).
+void disarm();
+bool armed();
+FsFaultPlan current_plan();
+/// Faults injected since the last arm() — how tests synchronize with the
+/// schedule ("the chaos actually happened").
+u64 injected();
+/// Matching operations observed since the last arm().
+u64 matched_ops();
+
+/// The shim-mediated durable append: writes `payload` to `out` (which must
+/// be open on `path`).  On an armed, triggering plan: kEnospc/kEio throw
+/// FsFaultError without writing; kShortWrite writes a seeded strict prefix,
+/// flushes it, and then throws — the truncated bytes are really on disk.
+/// Also the *real*-failure guard: after any write the stream state is
+/// checked and a failed stream (actual disk full, I/O error) raises
+/// FsFaultError(kEio) instead of letting ofstream fail silently.
+void write(std::ostream& out, const std::filesystem::path& path,
+           std::string_view payload);
+
+/// Called by fsync_path() before the real fsync; throws on kFsyncFail.
+void check_fsync(const std::filesystem::path& path);
+
+/// Called by atomic_publish() before the rename; throws on kTornRename,
+/// leaving the staged `.part` in place — exactly the residue a crash
+/// between fsync and rename leaves for fsck.
+void check_rename(const std::filesystem::path& tmp,
+                  const std::filesystem::path& target);
+
+/// Post-write stream guard for writers that stream through the raw
+/// ofstream elsewhere: throws FsFaultError(kEio) when `out` has failed.
+void check_stream(const std::ostream& out, const std::filesystem::path& path,
+                  const char* what);
+
+}  // namespace fsfault
+
+}  // namespace gsnp

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "src/common/fs_fault.hpp"
+
 namespace gsnp {
 
 namespace {
@@ -73,24 +75,30 @@ std::string IngestStats::summary() const {
 
 void QuarantineWriter::add(const ParseError& err, std::string_view line) {
   if (!enabled()) return;
+  std::ostringstream rec;
   if (!out_.is_open()) {
     out_.open(path_, std::ios::trunc);
     GSNP_CHECK_MSG(out_.good(), "cannot open quarantine file " << path_);
-    out_ << "#GSNP-QUARANTINE\tv1\n"
-         << "#source:line\treason\tfield\toriginal_line\n";
+    rec << "#GSNP-QUARANTINE\tv1\n"
+        << "#source:line\treason\tfield\toriginal_line\n";
   }
-  out_ << err.file() << ':' << err.line() << '\t'
-       << ingest_reason_name(err.reason()) << '\t' << err.field() << '\t';
+  rec << err.file() << ':' << err.line() << '\t'
+      << ingest_reason_name(err.reason()) << '\t' << err.field() << '\t';
   if (line.size() > kQuarantineLineCap) {
-    out_.write(line.data(), kQuarantineLineCap);
-    out_ << "...(+" << (line.size() - kQuarantineLineCap)
-         << " bytes truncated)";
+    rec.write(line.data(), kQuarantineLineCap);
+    rec << "...(+" << (line.size() - kQuarantineLineCap)
+        << " bytes truncated)";
   } else {
-    out_.write(line.data(), static_cast<std::streamsize>(line.size()));
+    rec.write(line.data(), static_cast<std::streamsize>(line.size()));
   }
-  // Flushed per record: the quarantine is a forensic sidecar and must be
-  // complete even if the run aborts right after this record.
-  out_ << '\n' << std::flush;
+  rec << '\n';
+  // One fault-checked write + flush per record: the quarantine is a forensic
+  // sidecar and must be complete even if the run aborts right after this
+  // record.  A failed write surfaces typed instead of silently losing the
+  // evidence.
+  fsfault::write(out_, path_, rec.str());
+  out_.flush();
+  fsfault::check_stream(out_, path_, "flush");
   ++written_;
 }
 

@@ -5,6 +5,7 @@
 #include "src/common/bitio.hpp"
 #include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
+#include "src/common/fs_fault.hpp"
 #include "src/common/phred.hpp"
 #include "src/compress/codecs.hpp"
 
@@ -131,17 +132,17 @@ std::vector<reads::AlignmentRecord> decode_alignment_chunk(
 
 TempInputWriter::TempInputWriter(const std::filesystem::path& path,
                                  std::string chr_name, u32 chunk_records)
-    : out_(path, std::ios::binary), chr_name_(std::move(chr_name)),
-      chunk_records_(chunk_records) {
+    : out_(path, std::ios::binary), path_(path),
+      chr_name_(std::move(chr_name)), chunk_records_(chunk_records) {
   GSNP_CHECK(chunk_records_ > 0);
   GSNP_CHECK_MSG(out_.good(), "cannot open temp input file " << path);
-  out_.write(kTempMagic, sizeof(kTempMagic));
-  std::vector<u8> header;
-  varint_append(header, chr_name_.size());
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(chr_name_.data(), static_cast<std::streamsize>(chr_name_.size()));
-  bytes_ = sizeof(kTempMagic) + header.size() + chr_name_.size();
+  std::string header(kTempMagic, sizeof(kTempMagic));
+  std::vector<u8> len;
+  varint_append(len, chr_name_.size());
+  header.append(reinterpret_cast<const char*>(len.data()), len.size());
+  header.append(chr_name_);
+  fsfault::write(out_, path_, header);
+  bytes_ = header.size();
 }
 
 void TempInputWriter::add(const reads::AlignmentRecord& rec) {
@@ -154,22 +155,23 @@ void TempInputWriter::flush_chunk() {
   const std::vector<u8> chunk = encode_alignment_chunk(buffer_);
   std::vector<u8> prefix;
   varint_append(prefix, chunk.size());
-  out_.write(reinterpret_cast<const char*>(prefix.data()),
-             static_cast<std::streamsize>(prefix.size()));
-  out_.write(reinterpret_cast<const char*>(chunk.data()),
-             static_cast<std::streamsize>(chunk.size()));
   const u32 crc = crc32(chunk.data(), chunk.size());
   const u8 crc_le[4] = {static_cast<u8>(crc), static_cast<u8>(crc >> 8),
                         static_cast<u8>(crc >> 16), static_cast<u8>(crc >> 24)};
-  out_.write(reinterpret_cast<const char*>(crc_le), sizeof(crc_le));
-  bytes_ += prefix.size() + chunk.size() + sizeof(crc_le);
+  std::string record;
+  record.reserve(prefix.size() + chunk.size() + sizeof(crc_le));
+  record.append(reinterpret_cast<const char*>(prefix.data()), prefix.size());
+  record.append(reinterpret_cast<const char*>(chunk.data()), chunk.size());
+  record.append(reinterpret_cast<const char*>(crc_le), sizeof(crc_le));
+  fsfault::write(out_, path_, record);
+  bytes_ += record.size();
   buffer_.clear();
 }
 
 u64 TempInputWriter::finish() {
   flush_chunk();
   out_.flush();
-  GSNP_CHECK_MSG(out_.good(), "temp input write failed");
+  fsfault::check_stream(out_, path_, "flush");
   out_.close();
   return bytes_;
 }

@@ -54,6 +54,7 @@ class TempInputWriter {
   void flush_chunk();
 
   std::ofstream out_;
+  std::filesystem::path path_;  ///< for fault routing + error messages
   std::string chr_name_;
   u32 chunk_records_;
   std::vector<reads::AlignmentRecord> buffer_;

@@ -203,6 +203,15 @@ ChromosomeRunResult run_one_chromosome(const GenomeRunConfig& config,
           last_fault = std::current_exception();
           attempt_span.note("outcome", "device_fault");
           if (tracer) tracer->metrics().add("device_faults");
+        } catch (const FsFaultError& fault) {
+          // Storage trouble (ENOSPC/EIO/short write) while staging the
+          // container or temp file is as retryable as a device fault: the
+          // next attempt reopens the `.part` truncated, so a torn prefix
+          // never leaks into the retry.
+          status.error = fault.what();
+          last_fault = std::current_exception();
+          attempt_span.note("outcome", "storage_fault");
+          if (tracer) tracer->metrics().add("storage_faults");
         }
       }
       // Backoff sleeps outside the attempt span: idle time is not work.
@@ -220,12 +229,21 @@ ChromosomeRunResult run_one_chromosome(const GenomeRunConfig& config,
       ++status.attempts;
       obs::Tracer::Scope fallback_span(tracer, "attempt", "pipeline");
       fallback_span.note("attempt", std::to_string(status.attempts));
-      fallback_span.note("outcome", "degraded_to_cpu");
-      run = run_engine(engine_config, EngineKind::kGsnpCpu, nullptr);
-      succeeded = true;
-      status.degraded = true;
-      status.used = EngineKind::kGsnpCpu;
-      if (tracer) tracer->metrics().add("chromosomes_degraded");
+      try {
+        run = run_engine(engine_config, EngineKind::kGsnpCpu, nullptr);
+        succeeded = true;
+        status.degraded = true;
+        status.used = EngineKind::kGsnpCpu;
+        fallback_span.note("outcome", "degraded_to_cpu");
+        if (tracer) tracer->metrics().add("chromosomes_degraded");
+      } catch (const FsFaultError& fault) {
+        // A disk that keeps failing fails the CPU path too; report it as the
+        // chromosome's failure instead of letting it escape unjournaled.
+        status.error = fault.what();
+        last_fault = std::current_exception();
+        fallback_span.note("outcome", "storage_fault");
+        if (tracer) tracer->metrics().add("storage_faults");
+      }
     }
   } catch (const CancelledError&) {
     // Clean unwind: discard the torn staging/temp artifacts so an interrupt
@@ -259,7 +277,42 @@ ChromosomeRunResult run_one_chromosome(const GenomeRunConfig& config,
   // dying with the `.part` complete ("pre_publish") or with the output
   // renamed but not yet journaled ("post_publish").
   if (config.checkpoint_hook) config.checkpoint_hook("pre_publish", job.name);
-  atomic_publish(engine_config.output_file, result.output_path);
+  {
+    // Publish gets its own short retry: a failed fsync or torn rename
+    // leaves the complete `.part` staged, so trying again risks no engine
+    // work.  Exhaustion reports the chromosome failed with the `.part`
+    // intact for fsck/resume.
+    const std::vector<double> publish_sleeps = backoff_sequence(
+        config.retry, jitter_salt(config.run_id, job.name + "/publish"));
+    for (int attempt = 1;; ++attempt) {
+      try {
+        atomic_publish(engine_config.output_file, result.output_path);
+        break;
+      } catch (const FsFaultError& fault) {
+        status.error = fault.what();
+        if (tracer) tracer->metrics().add("storage_faults");
+        if (attempt >= max_attempts) {
+          ManifestEntry& entry = result.entry;
+          entry.name = job.name;
+          entry.status = "failed";
+          entry.requested = engine_name(kind);
+          entry.engine = engine_name(status.used);
+          entry.attempts = status.attempts;
+          entry.output = output_name;
+          entry.sites = job.reference->size();
+          entry.error = status.error;
+          chrom_span.note("outcome", "publish_failed");
+          result.fault = std::current_exception();
+          return result;
+        }
+        const std::size_t sleep_index = static_cast<std::size_t>(
+            std::min<int>(attempt - 1,
+                          static_cast<int>(publish_sleeps.size()) - 1));
+        if (!publish_sleeps.empty() && publish_sleeps[sleep_index] > 0.0)
+          sleep_with_cancel(publish_sleeps[sleep_index], config.cancel);
+      }
+    }
+  }
   if (config.checkpoint_hook) config.checkpoint_hook("post_publish", job.name);
 
   status.output_crc = crc32_file(result.output_path);

@@ -5,6 +5,7 @@
 #include "src/common/bitio.hpp"
 #include "src/common/crc32.hpp"
 #include "src/common/error.hpp"
+#include "src/common/fs_fault.hpp"
 #include "src/compress/codecs.hpp"
 
 namespace gsnp::core {
@@ -214,15 +215,15 @@ std::vector<SnpRow> decompress_snp_window(std::span<const u8> data) {
 
 SnpOutputWriter::SnpOutputWriter(const std::filesystem::path& path,
                                  std::string seq_name)
-    : out_(path, std::ios::binary) {
+    : out_(path, std::ios::binary), path_(path) {
   GSNP_CHECK_MSG(out_.good(), "cannot open output file " << path);
-  out_.write(kOutputMagic, sizeof(kOutputMagic));
-  std::vector<u8> header;
-  varint_append(header, seq_name.size());
-  out_.write(reinterpret_cast<const char*>(header.data()),
-             static_cast<std::streamsize>(header.size()));
-  out_.write(seq_name.data(), static_cast<std::streamsize>(seq_name.size()));
-  bytes_ = sizeof(kOutputMagic) + header.size() + seq_name.size();
+  std::string header(kOutputMagic, sizeof(kOutputMagic));
+  std::vector<u8> len;
+  varint_append(len, seq_name.size());
+  header.append(reinterpret_cast<const char*>(len.data()), len.size());
+  header.append(seq_name);
+  fsfault::write(out_, path_, header);
+  bytes_ = header.size();
 }
 
 void SnpOutputWriter::write_window(std::span<const SnpRow> rows,
@@ -230,20 +231,25 @@ void SnpOutputWriter::write_window(std::span<const SnpRow> rows,
   const std::vector<u8> frame = compress_snp_window(rows, rle_dict);
   std::vector<u8> size_prefix;
   varint_append(size_prefix, frame.size());
-  out_.write(reinterpret_cast<const char*>(size_prefix.data()),
-             static_cast<std::streamsize>(size_prefix.size()));
-  out_.write(reinterpret_cast<const char*>(frame.data()),
-             static_cast<std::streamsize>(frame.size()));
   const u32 crc = crc32(frame.data(), frame.size());
   const u8 crc_le[4] = {static_cast<u8>(crc), static_cast<u8>(crc >> 8),
                         static_cast<u8>(crc >> 16), static_cast<u8>(crc >> 24)};
-  out_.write(reinterpret_cast<const char*>(crc_le), sizeof(crc_le));
-  bytes_ += size_prefix.size() + frame.size() + sizeof(crc_le);
+  // One fault-checked write per window: either the whole [size][frame][crc]
+  // record goes out or a typed FsFaultError fires (a short-write fault can
+  // still truncate mid-record on disk — the reader's CRC catches it).
+  std::string record;
+  record.reserve(size_prefix.size() + frame.size() + sizeof(crc_le));
+  record.append(reinterpret_cast<const char*>(size_prefix.data()),
+                size_prefix.size());
+  record.append(reinterpret_cast<const char*>(frame.data()), frame.size());
+  record.append(reinterpret_cast<const char*>(crc_le), sizeof(crc_le));
+  fsfault::write(out_, path_, record);
+  bytes_ += record.size();
 }
 
 u64 SnpOutputWriter::finish() {
   out_.flush();
-  GSNP_CHECK_MSG(out_.good(), "output write failed");
+  fsfault::check_stream(out_, path_, "flush");
   out_.close();
   return bytes_;
 }
@@ -311,21 +317,23 @@ bool SnpOutputReader::next_window(std::vector<SnpRow>& rows) {
 
 SnpTextWriter::SnpTextWriter(const std::filesystem::path& path,
                              std::string seq_name)
-    : out_(path), seq_name_(std::move(seq_name)) {
+    : out_(path), path_(path), seq_name_(std::move(seq_name)) {
   GSNP_CHECK_MSG(out_.good(), "cannot open output file " << path);
 }
 
 void SnpTextWriter::write_window(std::span<const SnpRow> rows) {
+  std::string block;
   for (const SnpRow& row : rows) {
-    const std::string line = format_snp_row(seq_name_, row);
-    out_ << line << '\n';
-    bytes_ += line.size() + 1;
+    block += format_snp_row(seq_name_, row);
+    block += '\n';
   }
+  fsfault::write(out_, path_, block);
+  bytes_ += block.size();
 }
 
 u64 SnpTextWriter::finish() {
   out_.flush();
-  GSNP_CHECK_MSG(out_.good(), "output write failed");
+  fsfault::check_stream(out_, path_, "flush");
   out_.close();
   return bytes_;
 }

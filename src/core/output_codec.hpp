@@ -66,6 +66,7 @@ class SnpOutputWriter {
 
  private:
   std::ofstream out_;
+  std::filesystem::path path_;  ///< for fault routing + error messages
   u64 bytes_ = 0;
 };
 
@@ -94,6 +95,7 @@ class SnpTextWriter {
 
  private:
   std::ofstream out_;
+  std::filesystem::path path_;
   std::string seq_name_;
   u64 bytes_ = 0;
 };

@@ -18,10 +18,11 @@ const ManifestEntry* RunManifest::find(const std::string& name) const {
 
 void write_run_manifest(const std::filesystem::path& path,
                         const RunManifest& manifest) {
-  const std::filesystem::path tmp = path.string() + ".part";
+  // Build the complete document in memory, then publish in a single
+  // fault-checked atomic write: either the whole manifest lands or (under an
+  // injected/real storage fault) at most a torn `.part` stays for fsck.
+  std::ostringstream out;
   {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    GSNP_CHECK_MSG(out.good(), "cannot open manifest for write " << tmp);
     out << "{\n  \"version\": " << manifest.version << ",\n  \"engine\": ";
     json::write_escaped(out, manifest.engine);
     if (!manifest.trace_file.empty()) {
@@ -66,10 +67,8 @@ void write_run_manifest(const std::filesystem::path& path,
       out << "}}}";
     }
     out << "\n  ]\n}\n";
-    out.flush();
-    GSNP_CHECK_MSG(out.good(), "manifest write failed " << tmp);
   }
-  atomic_publish(tmp, path);
+  write_file_atomic(path, out.str());
 }
 
 RunManifest read_run_manifest(const std::filesystem::path& path) {

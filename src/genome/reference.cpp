@@ -3,8 +3,10 @@
 #include <fstream>
 #include <istream>
 #include <ostream>
+#include <sstream>
 
 #include "src/common/error.hpp"
+#include "src/common/fs_fault.hpp"
 #include "src/common/ingest.hpp"
 #include "src/common/strings.hpp"
 
@@ -97,7 +99,11 @@ void write_fasta_file(const std::filesystem::path& path,
                       const std::vector<Reference>& refs, int line_width) {
   std::ofstream out(path);
   GSNP_CHECK_MSG(out.good(), "cannot open FASTA file for write " << path);
-  for (const auto& ref : refs) write_fasta(out, ref, line_width);
+  std::ostringstream buf;
+  for (const auto& ref : refs) write_fasta(buf, ref, line_width);
+  fsfault::write(out, path, buf.str());
+  out.flush();
+  fsfault::check_stream(out, path, "flush");
 }
 
 }  // namespace gsnp::genome

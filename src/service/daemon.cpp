@@ -10,6 +10,7 @@
 #include "src/common/atomic_file.hpp"
 #include "src/genome/dbsnp.hpp"
 #include "src/genome/reference.hpp"
+#include "src/service/journal.hpp"
 
 namespace gsnp::service {
 
@@ -28,23 +29,12 @@ bool settled(JobState state) {
          state == JobState::kCancelled || state == JobState::kInterrupted;
 }
 
-/// Is a journaled state terminal across restarts (recover() must not rerun)?
-bool terminal(JobState state) {
+}  // namespace
+
+bool terminal_job_state(JobState state) {
   return state == JobState::kDone || state == JobState::kFailed ||
          state == JobState::kCancelled;
 }
-
-std::optional<JobState> job_state_from_name(std::string_view name) {
-  if (name == "queued") return JobState::kQueued;
-  if (name == "running") return JobState::kRunning;
-  if (name == "done") return JobState::kDone;
-  if (name == "failed") return JobState::kFailed;
-  if (name == "cancelled") return JobState::kCancelled;
-  if (name == "interrupted") return JobState::kInterrupted;
-  return std::nullopt;
-}
-
-}  // namespace
 
 const char* job_state_name(JobState state) {
   switch (state) {
@@ -129,31 +119,26 @@ device::Device& Daemon::worker_device() {
 
 void Daemon::write_job_journal(const Job& job) {
   if (crashed_.load()) return;  // a dead process writes nothing
-  std::ostringstream os;
-  os << "{\"version\":1,\"id\":";
-  json::write_escaped(os, job.id);
-  os << ",\"state\":";
-  json::write_escaped(os, job_state_name(job.state));
-  os << ",\"resumed\":" << (job.resume ? "true" : "false");
-  if (!job.error.empty()) {
-    os << ",\"error\":";
-    json::write_escaped(os, job.error);
-  }
-  if (!job.manifest_digest.empty()) {
-    os << ",\"digest\":";
-    json::write_escaped(os, job.manifest_digest);
-  }
-  os << ",\"spec\":";
-  encode_job_spec(os, job.spec);
-  os << "}\n";
+  JobJournal journal;
+  journal.id = job.id;
+  journal.state = job.state;
+  journal.resumed = job.resume;
+  journal.error = job.error;
+  journal.digest = job.manifest_digest;
+  journal.spec = job.spec;
   const std::filesystem::path target = job.dir / "job.json";
-  const std::filesystem::path part = job.dir / "job.json.part";
-  {
-    std::ofstream out(part, std::ios::binary | std::ios::trunc);
-    GSNP_CHECK_MSG(out.good(), "cannot write job journal " << part);
-    out << os.str();
+  try {
+    write_file_atomic(target, encode_job_journal(journal));
+  } catch (const FsFaultError& e) {
+    // ENOSPC/EIO-class failure (real or injected): the previous journal, if
+    // any, is intact — atomicity holds — but this state change is NOT
+    // durable.  Surface it typed; callers decide whether that is fatal
+    // (admission: yes, the client must know) or survivable (progress
+    // journals: recover() just reruns a little more work).
+    metrics_.add("journal_write_failures");
+    throw ServiceError(ErrorCode::kStorageFailure,
+                       std::string("job journal not durable: ") + e.what());
   }
-  atomic_publish(part, target);
 }
 
 std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
@@ -220,9 +205,26 @@ std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
 
   if (spec.job_id.empty())
     spec.job_id = "job-" + std::to_string(next_job_number_++);
-  if (jobs_.count(spec.job_id) != 0 && !resume)
+  if (jobs_.count(spec.job_id) != 0 && !resume) {
+    // Idempotent resubmit: a client retrying after a lost ack re-sends the
+    // same spec under its client-supplied id; admitting it again would
+    // double-run the genome.  Accept iff the spec is byte-identical (modulo
+    // the output_dir the daemon resolved on first admission) and hand back
+    // the original id; a *different* spec under a taken id stays an error.
+    const Job& existing = *jobs_.at(spec.job_id);
+    JobSpec normalized = spec;
+    if (normalized.output_dir.empty())
+      normalized.output_dir = existing.spec.output_dir;
+    std::ostringstream incoming, original;
+    encode_job_spec(incoming, normalized);
+    encode_job_spec(original, existing.spec);
+    if (incoming.str() == original.str()) {
+      metrics_.add("jobs_deduplicated");
+      return spec.job_id;
+    }
     throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
-                 "duplicate job id '" + spec.job_id + "'");
+                 "duplicate job id '" + spec.job_id + "' with different spec");
+  }
 
   auto job = std::make_shared<Job>();
   job->id = spec.job_id;
@@ -242,7 +244,15 @@ std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
   if (resume && std::filesystem::exists(job->manifest_path))
     job->previous = core::read_run_manifest(job->manifest_path);
 
-  write_job_journal(*job);  // durable before any work runs
+  try {
+    write_job_journal(*job);  // durable before any work runs
+  } catch (const ServiceError&) {
+    // Not journaled -> not admitted: the job was never inserted, so the
+    // typed kStorageFailure rejection leaves no half-admitted state and the
+    // client may retry the identical submit once the disk recovers.
+    metrics_.add("jobs_rejected_storage");
+    throw;
+  }
 
   if (jobs_.count(job->id) == 0) job_order_.push_back(job->id);
   jobs_[job->id] = job;
@@ -299,7 +309,13 @@ void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) 
       j.started = Clock::now();
       j.wait_seconds = seconds_between(j.submitted, j.started);
       j.state = JobState::kRunning;
-      write_job_journal(j);
+      try {
+        write_job_journal(j);
+      } catch (const ServiceError&) {
+        // Journal stuck at "queued": after a crash, recover() reruns the
+        // whole job, whose outputs rename over identical bytes — safe to
+        // keep working (the failure is already counted).
+      }
     }
     if (j.failing) {
       // A sibling chromosome already failed the job; don't start new work.
@@ -396,7 +412,14 @@ void Daemon::flush_manifest_locked(Job& job) {
   m.engine = core::engine_name(job.kind);
   for (const auto& e : job.entries)
     if (e.has_value()) m.chromosomes.push_back(*e);
-  core::write_run_manifest(job.manifest_path, m);
+  try {
+    core::write_run_manifest(job.manifest_path, m);
+  } catch (const FsFaultError&) {
+    // The manifest is rebuilt from scratch on every entry and again at
+    // finalize; a failed intermediate flush costs only resume granularity
+    // (recover() re-verifies or reruns the unlisted chromosomes).
+    metrics_.add("manifest_write_failures");
+  }
 }
 
 void Daemon::chromosome_finished(const std::shared_ptr<Job>& job) {
@@ -446,7 +469,13 @@ void Daemon::finalize(const std::shared_ptr<Job>& job) {
   } else {
     j.manifest_digest.clear();
   }
-  write_job_journal(j);
+  try {
+    write_job_journal(j);
+  } catch (const ServiceError&) {
+    // Terminal state not durable: the in-memory state machine still settles
+    // (clients see the true verdict); the next recover() will rerun a done
+    // job to identical bytes or re-fail a failed one.  Counted above.
+  }
 
   --active_jobs_;
   auto it = tenant_active_.find(j.spec.tenant);
@@ -525,6 +554,10 @@ DaemonStats Daemon::stats() const {
   s.shed_quota = metrics_.counter("jobs_shed_quota");
   s.shed_payload = metrics_.counter("jobs_shed_payload");
   s.rejected_bad_request = metrics_.counter("jobs_rejected_bad_request");
+  s.rejected_storage = metrics_.counter("jobs_rejected_storage");
+  s.deduplicated = metrics_.counter("jobs_deduplicated");
+  s.journal_write_failures = metrics_.counter("journal_write_failures");
+  s.manifest_write_failures = metrics_.counter("manifest_write_failures");
   s.chromosomes_done = metrics_.counter("chromosomes_done");
   s.chromosomes_degraded = metrics_.counter("chromosomes_degraded");
   {
@@ -537,6 +570,24 @@ DaemonStats Daemon::stats() const {
 std::size_t Daemon::recover() {
   const std::filesystem::path jobs_root = config_.spool_dir / "jobs";
   if (!std::filesystem::exists(jobs_root)) return 0;
+
+  if (config_.fsck_on_recover) {
+    // Scrub before trusting: corrupt journals quarantine, orphans move to
+    // lost+found, torn staging disappears, and unverifiable "done" jobs
+    // demote to interrupted — so the resume scan below only ever sees
+    // journals whose claims have been checked.
+    FsckOptions fsck_options;
+    fsck_options.repair = true;
+    fsck_options.deep_verify = config_.fsck_deep_verify;
+    last_fsck_ = fsck_spool(config_.spool_dir, fsck_options);
+    for (int i = 0; i <= static_cast<int>(FsckVerdict::kCorruptQuarantined);
+         ++i) {
+      const auto verdict = static_cast<FsckVerdict>(i);
+      metrics_.add(std::string("fsck_") + fsck_verdict_name(verdict),
+                   last_fsck_.count(verdict));
+    }
+    metrics_.add("fsck_repairs", last_fsck_.repairs_applied);
+  }
 
   std::vector<std::filesystem::path> dirs;
   for (const auto& entry : std::filesystem::directory_iterator(jobs_root))
@@ -555,19 +606,15 @@ std::size_t Daemon::recover() {
       buf << in.rdbuf();
       text = buf.str();
     }
-    json::Value doc;
     JobSpec spec;
     JobState state;
     std::string error, digest;
     try {
-      doc = json::parse(text);
-      spec = parse_job_spec(*json::find(doc, "spec"));
-      spec.job_id = json::get_string(doc, "id");
-      const auto parsed = job_state_from_name(json::get_string(doc, "state"));
-      GSNP_CHECK_MSG(parsed.has_value(), "unknown job state in " << journal);
-      state = *parsed;
-      if (const json::Value* e = json::find(doc, "error")) error = e->string;
-      if (const json::Value* d = json::find(doc, "digest")) digest = d->string;
+      JobJournal parsed = parse_job_journal(text);
+      spec = std::move(parsed.spec);
+      state = parsed.state;
+      error = std::move(parsed.error);
+      digest = std::move(parsed.digest);
     } catch (const Error&) {
       continue;  // torn/corrupt journal: nothing trustworthy to resume
     }
@@ -585,7 +632,7 @@ std::size_t Daemon::recover() {
       if (jobs_.count(spec.job_id) != 0) continue;
     }
 
-    if (terminal(state)) {
+    if (terminal_job_state(state)) {
       // History only: queryable, not re-run.
       auto job = std::make_shared<Job>();
       job->id = spec.job_id;

@@ -46,6 +46,7 @@
 #include "src/core/genome_pipeline.hpp"
 #include "src/device/device.hpp"
 #include "src/obs/trace.hpp"
+#include "src/service/fsck.hpp"
 #include "src/service/protocol.hpp"
 
 namespace gsnp::service {
@@ -63,6 +64,8 @@ enum class JobState {
 };
 
 const char* job_state_name(JobState state);
+/// Is a journaled state terminal across restarts (recover() must not rerun)?
+bool terminal_job_state(JobState state);
 
 struct DaemonConfig {
   /// Spool root: `<spool>/jobs/<job-id>/{job.json, manifest.json, out/}`.
@@ -75,6 +78,10 @@ struct DaemonConfig {
   IngestPolicy ingest;             ///< malformed-input policy for all jobs
   u32 streams = 1;                 ///< engine pipeline width (1 = serial)
   double watchdog_interval_seconds = 0.02;
+  /// Scrub the spool (fsck, repairing) at the start of recover(), so resume
+  /// decisions are made against a verified spool instead of crash litter.
+  bool fsck_on_recover = true;
+  bool fsck_deep_verify = false;  ///< per-frame container CRCs during fsck
 
   /// Chaos hooks (null in production).  `fault_arm` runs on the worker
   /// thread right before a chromosome attempt, with the device that attempt
@@ -121,6 +128,10 @@ struct DaemonStats {
   u64 shed_quota = 0;
   u64 shed_payload = 0;
   u64 rejected_bad_request = 0;
+  u64 rejected_storage = 0;    ///< submits refused: journal not durable
+  u64 deduplicated = 0;        ///< idempotent resubmits answered from state
+  u64 journal_write_failures = 0;   ///< job.json writes that hit ENOSPC/EIO
+  u64 manifest_write_failures = 0;  ///< manifest flushes that hit ENOSPC/EIO
   u64 chromosomes_done = 0;
   u64 chromosomes_degraded = 0;
   std::size_t active = 0;  ///< unfinished jobs right now
@@ -160,8 +171,13 @@ class Daemon {
   /// are re-admitted with resume semantics — their manifests are read back,
   /// completed chromosomes re-verify by CRC-32 and are skipped, the rest
   /// run.  Recovery bypasses admission limits (the work was already
-  /// admitted once).  Returns the number of jobs resumed.
+  /// admitted once).  With config.fsck_on_recover the spool is scrubbed
+  /// first (repairing; see fsck.hpp) and the report kept in last_fsck().
+  /// Returns the number of jobs resumed.
   std::size_t recover();
+
+  /// The scrub report from the last recover() (empty before the first).
+  const FsckReport& last_fsck() const { return last_fsck_; }
 
   /// Block until a job reaches a terminal state.  Returns false on timeout
   /// (timeout < 0 = wait forever).  Throws kNotFound for unknown ids.
@@ -210,6 +226,7 @@ class Daemon {
   u64 next_job_number_ = 1;
   bool shutting_down_ = false;
   std::atomic<bool> crashed_{false};
+  FsckReport last_fsck_;  ///< written by recover() before jobs re-admit
 
   std::vector<std::unique_ptr<device::Device>> devices_;
   std::atomic<std::size_t> next_worker_slot_{0};

@@ -1,0 +1,63 @@
+#include "src/service/journal.hpp"
+
+#include <sstream>
+
+namespace gsnp::service {
+
+std::optional<JobState> job_state_from_name(std::string_view name) {
+  if (name == "queued") return JobState::kQueued;
+  if (name == "running") return JobState::kRunning;
+  if (name == "done") return JobState::kDone;
+  if (name == "failed") return JobState::kFailed;
+  if (name == "cancelled") return JobState::kCancelled;
+  if (name == "interrupted") return JobState::kInterrupted;
+  return std::nullopt;
+}
+
+std::string encode_job_journal(const JobJournal& journal) {
+  std::ostringstream os;
+  os << "{\"version\":1,\"id\":";
+  json::write_escaped(os, journal.id);
+  os << ",\"state\":";
+  json::write_escaped(os, job_state_name(journal.state));
+  os << ",\"resumed\":" << (journal.resumed ? "true" : "false");
+  if (!journal.error.empty()) {
+    os << ",\"error\":";
+    json::write_escaped(os, journal.error);
+  }
+  if (!journal.digest.empty()) {
+    os << ",\"digest\":";
+    json::write_escaped(os, journal.digest);
+  }
+  os << ",\"spec\":";
+  encode_job_spec(os, journal.spec);
+  os << "}\n";
+  return os.str();
+}
+
+JobJournal parse_job_journal(std::string_view text) {
+  const json::Value doc = json::parse(text);
+  GSNP_CHECK_MSG(doc.kind == json::Value::Kind::kObject,
+                 "job journal is not a JSON object");
+  JobJournal journal;
+  const u64 version = json::get_u64(doc, "version");
+  GSNP_CHECK_MSG(version == 1, "unsupported job journal version " << version);
+  journal.id = json::get_string(doc, "id");
+  GSNP_CHECK_MSG(!journal.id.empty(), "job journal has an empty id");
+  const std::string state_name = json::get_string(doc, "state");
+  const auto state = job_state_from_name(state_name);
+  GSNP_CHECK_MSG(state.has_value(),
+                 "unknown job state '" << state_name << "' in journal");
+  journal.state = *state;
+  journal.resumed = json::get_bool(doc, "resumed");
+  if (const json::Value* e = json::find(doc, "error")) journal.error = e->string;
+  if (const json::Value* d = json::find(doc, "digest"))
+    journal.digest = d->string;
+  const json::Value* spec = json::find(doc, "spec");
+  GSNP_CHECK_MSG(spec != nullptr, "job journal has no spec");
+  journal.spec = parse_job_spec(*spec);
+  journal.spec.job_id = journal.id;
+  return journal;
+}
+
+}  // namespace gsnp::service

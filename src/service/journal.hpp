@@ -1,0 +1,36 @@
+#pragma once
+// The job journal codec — the single definition of `job.json` (FORMATS.md
+// §12), shared by the daemon (writes a journal per state change, parses on
+// recover()) and the spool scrubber (fsck.hpp parses every journal it walks
+// and rewrites demoted ones).  One codec, one format: a journal the daemon
+// wrote is by construction one fsck can read and vice versa.
+
+#include <string>
+#include <string_view>
+
+#include "src/service/daemon.hpp"
+#include "src/service/protocol.hpp"
+
+namespace gsnp::service {
+
+/// The parsed content of one `job.json`.
+struct JobJournal {
+  std::string id;
+  JobState state = JobState::kQueued;
+  bool resumed = false;
+  std::string error;   ///< terminal failure/cancel detail ("" when clean)
+  std::string digest;  ///< canonical manifest digest (done jobs only)
+  JobSpec spec;        ///< the exact submitted spec (id echoed inside)
+};
+
+std::optional<JobState> job_state_from_name(std::string_view name);
+
+/// One JSON line (with trailing '\n'), ready for write_file_atomic.
+std::string encode_job_journal(const JobJournal& journal);
+
+/// Parse a complete `job.json`; throws gsnp::Error (or a subclass) on torn,
+/// truncated, or semantically invalid journals — the caller decides whether
+/// that means "skip" (recover) or "quarantine" (fsck).
+JobJournal parse_job_journal(std::string_view text);
+
+}  // namespace gsnp::service

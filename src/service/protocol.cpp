@@ -13,6 +13,8 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kDeadlineExceeded: return "deadline_exceeded";
     case ErrorCode::kNotFound: return "not_found";
     case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kStorageFailure: return "storage_failure";
+    case ErrorCode::kFrameTooLarge: return "frame_too_large";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";
@@ -26,6 +28,8 @@ std::optional<ErrorCode> error_code_from_name(std::string_view name) {
   if (name == "deadline_exceeded") return ErrorCode::kDeadlineExceeded;
   if (name == "not_found") return ErrorCode::kNotFound;
   if (name == "shutting_down") return ErrorCode::kShuttingDown;
+  if (name == "storage_failure") return ErrorCode::kStorageFailure;
+  if (name == "frame_too_large") return ErrorCode::kFrameTooLarge;
   if (name == "internal") return ErrorCode::kInternal;
   return std::nullopt;
 }

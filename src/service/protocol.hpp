@@ -33,6 +33,8 @@ enum class ErrorCode {
   kDeadlineExceeded,  ///< job cancelled by the watchdog past its deadline
   kNotFound,          ///< unknown job id
   kShuttingDown,      ///< daemon is draining; nothing new is admitted
+  kStorageFailure,    ///< spool write failed (ENOSPC/EIO class) — job not durable
+  kFrameTooLarge,     ///< request line exceeds the server's max-frame cap
   kInternal,          ///< unexpected server-side failure
 };
 

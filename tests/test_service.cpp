@@ -114,7 +114,8 @@ TEST(Protocol, ErrorCodeNamesRoundTrip) {
        {ErrorCode::kBadRequest, ErrorCode::kQueueFull,
         ErrorCode::kPayloadTooLarge, ErrorCode::kQuotaExceeded,
         ErrorCode::kDeadlineExceeded, ErrorCode::kNotFound,
-        ErrorCode::kShuttingDown, ErrorCode::kInternal}) {
+        ErrorCode::kShuttingDown, ErrorCode::kInternal,
+        ErrorCode::kStorageFailure, ErrorCode::kFrameTooLarge}) {
     const auto back = error_code_from_name(error_code_name(code));
     ASSERT_TRUE(back.has_value()) << error_code_name(code);
     EXPECT_EQ(*back, code);
@@ -321,7 +322,9 @@ TEST_F(ServiceFixture, MalformedSpecsRejectedTyped) {
   ASSERT_TRUE(daemon.wait_job(id, 60.0));
   EXPECT_EQ(daemon.status(id).state, JobState::kDone);
 
-  JobSpec duplicate = make_spec({1}, id);  // id already taken
+  // id already taken AND the spec differs — an identical spec would be the
+  // idempotent-resubmit path (its own test below), not an error.
+  JobSpec duplicate = make_spec({1, 2}, id);
   EXPECT_EQ(submit_error(daemon, duplicate), ErrorCode::kBadRequest);
 }
 
@@ -408,6 +411,25 @@ TEST_F(ServiceFixture, CancelIsTypedAndIdempotent) {
   daemon.cancel(id);  // terminal: a no-op, not an error
   EXPECT_EQ(daemon.status(id).state, JobState::kCancelled);
   EXPECT_EQ(daemon.stats().cancelled, 1u);
+}
+
+TEST_F(ServiceFixture, ResubmitWithClientIdIsIdempotent) {
+  // The resilient client's blind resend contract (socket.hpp): a retried
+  // submit of the identical spec under a client-supplied id is answered from
+  // existing state — never run twice — while a DIFFERENT spec under a taken
+  // id stays a typed error.
+  Daemon daemon(daemon_config("spool"));
+  const JobSpec spec = make_spec({1}, "idem");
+  ASSERT_EQ(daemon.submit(spec), "idem");
+  ASSERT_TRUE(daemon.wait_job("idem", 60.0));
+
+  EXPECT_EQ(daemon.submit(spec), "idem");  // lost-ack retry, job is done
+  EXPECT_EQ(daemon.stats().deduplicated, 1u);
+  EXPECT_EQ(daemon.stats().admitted, 1u);  // not admitted a second time
+  EXPECT_EQ(daemon.stats().completed, 1u);
+
+  EXPECT_EQ(submit_error(daemon, make_spec({1, 2}, "idem")),
+            ErrorCode::kBadRequest);
 }
 
 // ---- completion & byte identity ---------------------------------------------------
