@@ -3,10 +3,16 @@
 // Runs a small deterministic whole-genome pipeline (two synthetic
 // chromosomes through the full GSNP engine, traced) and emits
 // BENCH_pipeline.json: per-stage seconds (host + modeled device), device
-// counters, and sites/s throughput.  The file is the regression baseline a
-// reviewer diffs against when a PR claims (or risks) a performance change —
-// scripts/bench_report regenerates it, scripts/verify.sh runs this binary
-// and fails when the file is missing or malformed.
+// counters, sites/s throughput, and a per-backend REAL host seconds axis
+// ("backends": the host sparse engines gsnp_cpu and gsnp_simd over the same
+// dataset — total / likelihood / posterior host seconds, best of three
+// repetitions, with the SIMD dispatch level that ran).  The sweep asserts
+// the backends' outputs are byte-identical to the device engine's before
+// timing them, so a speedup that breaks §IV-G cannot enter the baseline.
+// The file is the regression baseline a reviewer diffs against when a PR
+// claims (or risks) a performance change — scripts/bench_report regenerates
+// it, scripts/verify.sh runs this binary and fails when the file is missing
+// or malformed.
 //
 //   bench_smoke [--out FILE] [--workdir DIR]   run + write + self-validate
 //   bench_smoke --validate FILE                schema-check an existing file
@@ -36,7 +42,9 @@
 #include "src/common/error.hpp"
 #include "src/common/json.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/backend.hpp"
 #include "src/core/genome_pipeline.hpp"
+#include "src/core/simd.hpp"
 #include "src/genome/synthetic.hpp"
 #include "src/obs/trace.hpp"
 #include "src/reads/alignment.hpp"
@@ -93,6 +101,73 @@ std::string fmt(double v) {
   return os.str();
 }
 
+std::string read_file_bytes(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  GSNP_CHECK_MSG(in.good(), "cannot open " << path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+/// One host backend's measured real seconds over the bench dataset: the
+/// best-of-N total host seconds plus the two stages the SIMD backend
+/// vectorizes.  `simd_level` records which dispatch level actually ran, so a
+/// history entry from a scalar-only CI box is distinguishable from an AVX2
+/// one.
+struct BackendBench {
+  std::string id;
+  double host_seconds = 0.0;
+  double likeli_seconds = 0.0;
+  double post_seconds = 0.0;
+  std::string simd_level;
+};
+
+/// Run `kind` over the dataset `reps` times (fresh output dir each) and keep
+/// per-metric minima — the standard noise filter for real timings.  Before
+/// timing counts, the first repetition's output bytes must equal
+/// `golden_bytes` (the device engine's outputs): the per-backend axis only
+/// ever measures runs that uphold the bit-exactness contract.
+BackendBench bench_backend(core::EngineKind kind, const Dataset& ds,
+                           const fs::path& workdir,
+                           const std::vector<std::string>& golden_bytes,
+                           int reps) {
+  BackendBench result;
+  result.id = core::engine_name(kind);
+  result.host_seconds = result.likeli_seconds = result.post_seconds = 1e300;
+  result.simd_level =
+      kind == core::EngineKind::kGsnpSimd
+          ? gsnp::core::simd::level_name(gsnp::core::simd::active_level())
+          : "scalar";
+  for (int rep = 0; rep < reps; ++rep) {
+    core::GenomeRunConfig config;
+    config.chromosomes = ds.jobs;
+    config.output_dir =
+        workdir / ("bk_" + result.id + "_" + std::to_string(rep));
+    const core::GenomeReport report = core::run_genome(config, kind);
+    double host = 0.0, likeli = 0.0, post = 0.0;
+    for (const core::RunReport& r : report.per_chromosome) {
+      for (const auto& [name, sec] : r.host.entries()) host += sec;
+      likeli += r.host.get("likeli");
+      post += r.host.get("post");
+    }
+    result.host_seconds = std::min(result.host_seconds, host);
+    result.likeli_seconds = std::min(result.likeli_seconds, likeli);
+    result.post_seconds = std::min(result.post_seconds, post);
+    if (rep == 0) {
+      GSNP_CHECK_MSG(report.output_files.size() == golden_bytes.size(),
+                     result.id << ": chromosome count mismatch");
+      for (std::size_t c = 0; c < golden_bytes.size(); ++c)
+        GSNP_CHECK_MSG(
+            read_file_bytes(report.output_files[c]) == golden_bytes[c],
+            result.id << ": output for chromosome " << c
+                      << " is not byte-identical to the gsnp engine — "
+                         "refusing to record timings for a backend that "
+                         "breaks the bit-exactness contract");
+    }
+  }
+  return result;
+}
+
 int validate(const fs::path& path) {
   try {
     std::ifstream in(path, std::ios::binary);
@@ -122,6 +197,22 @@ int validate(const fs::path& path) {
                      "stage '" << name << "' has negative seconds");
       (void)json::get_number(*stage, "host_seconds");
       (void)json::get_number(*stage, "modeled_seconds");
+    }
+
+    const json::Value* backends = json::find(root, "backends");
+    GSNP_CHECK_MSG(backends && backends->kind == json::Value::Kind::kObject,
+                   "'backends' object missing");
+    for (const char* name : {"gsnp_cpu", "gsnp_simd"}) {
+      const json::Value* b = json::find(*backends, name);
+      GSNP_CHECK_MSG(b != nullptr, "backend '" << name << "' missing");
+      GSNP_CHECK_MSG(json::get_number(*b, "host_seconds") > 0.0,
+                     "backend '" << name << "' has no host seconds");
+      GSNP_CHECK_MSG(json::get_number(*b, "likeli_seconds") >= 0.0,
+                     "backend '" << name << "' likeli_seconds negative");
+      GSNP_CHECK_MSG(json::get_number(*b, "post_seconds") >= 0.0,
+                     "backend '" << name << "' post_seconds negative");
+      GSNP_CHECK_MSG(!json::get_string(*b, "simd_level").empty(),
+                     "backend '" << name << "' simd_level missing");
     }
 
     const json::Value* dev = json::find(root, "device");
@@ -166,6 +257,8 @@ int append_history(const fs::path& hist, const fs::path& from,
   const json::Value root = load_json(from);
   const json::Value* dev = json::find(root, "device");
   GSNP_CHECK_MSG(dev != nullptr, "'device' object missing in " << from);
+  const json::Value* backends = json::find(root, "backends");
+  GSNP_CHECK_MSG(backends != nullptr, "'backends' object missing in " << from);
   std::ofstream os(hist, std::ios::binary | std::ios::app);
   GSNP_CHECK_MSG(os.good(), "cannot append to " << hist);
   os << "{\"schema\": \"gsnp-bench-history\", \"version\": 1, \"git_sha\": ";
@@ -187,7 +280,24 @@ int append_history(const fs::path& hist, const fs::path& from,
      << ", \"d2h_bytes\": " << json::get_u64(*dev, "d2h_bytes")
      << ", \"kernel_launches\": " << json::get_u64(*dev, "kernel_launches")
      << ", \"peak_global_bytes\": " << json::get_u64(*dev, "peak_global_bytes")
-     << ", \"host_band\": " << fmt(host_band) << "}\n";
+     << ", \"backends\": {";
+  bool first = true;
+  for (const char* name : {"gsnp_cpu", "gsnp_simd"}) {
+    const json::Value* b = json::find(*backends, name);
+    GSNP_CHECK_MSG(b != nullptr, "backend '" << name << "' missing in "
+                                             << from);
+    os << (first ? "" : ", ");
+    first = false;
+    json::write_escaped(os, name);
+    os << ": {\"host_seconds\": " << fmt(json::get_number(*b, "host_seconds"))
+       << ", \"likeli_seconds\": "
+       << fmt(json::get_number(*b, "likeli_seconds"))
+       << ", \"post_seconds\": " << fmt(json::get_number(*b, "post_seconds"))
+       << ", \"simd_level\": ";
+    json::write_escaped(os, json::get_string(*b, "simd_level"));
+    os << "}";
+  }
+  os << "}, \"host_band\": " << fmt(host_band) << "}\n";
   os.flush();
   GSNP_CHECK_MSG(os.good(), "history append failed " << hist);
   std::printf("bench_smoke: appended %s (sha %s) to %s\n",
@@ -285,6 +395,24 @@ int check(const fs::path& baseline_path, const fs::path& candidate_path,
           std::string("stages.") + name + ".host_seconds", host_band, 0.05);
   }
 
+  // Per-backend real host seconds: machine-dependent, loose band only.  The
+  // byte-identity behind each entry was already enforced when the candidate
+  // file was produced (bench_backend refuses divergent outputs).
+  const json::Value* bback = json::find(base, "backends");
+  const json::Value* cback = json::find(cand, "backends");
+  GSNP_CHECK_MSG(bback && cback, "'backends' object missing");
+  for (const char* name : {"gsnp_cpu", "gsnp_simd"}) {
+    const json::Value* bb = json::find(*bback, name);
+    const json::Value* cb = json::find(*cback, name);
+    if (bb == nullptr || cb == nullptr) {
+      fail(std::string("backends.") + name, "missing backend entry");
+      continue;
+    }
+    for (const char* key : {"host_seconds", "likeli_seconds", "post_seconds"})
+      loose(json::get_number(*bb, key), json::get_number(*cb, key),
+            std::string("backends.") + name + "." + key, host_band, 0.05);
+  }
+
   loose(json::get_number(base, "wall_seconds"),
         json::get_number(cand, "wall_seconds"), "wall_seconds", host_band,
         0.25);
@@ -342,6 +470,16 @@ int run(const fs::path& out, const fs::path& workdir) {
           : 0.0;
   const device::DeviceCounters& c = dev.counters();
 
+  // Per-backend real host seconds: the host sparse engines over the same
+  // dataset, byte-checked against the device engine's outputs.
+  std::vector<std::string> golden_bytes;
+  for (const fs::path& f : report.output_files)
+    golden_bytes.push_back(read_file_bytes(f));
+  std::vector<BackendBench> backends;
+  for (const core::EngineKind kind :
+       {core::EngineKind::kGsnpCpu, core::EngineKind::kGsnpSimd})
+    backends.push_back(bench_backend(kind, ds, workdir, golden_bytes, 3));
+
   const fs::path tmp = out.string() + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -370,6 +508,20 @@ int run(const fs::path& out, const fs::path& workdir) {
          << ", \"modeled_seconds\": " << fmt(m) << "}";
     }
     os << "\n  },\n"
+       << "  \"backends\": {";
+    first = true;
+    for (const BackendBench& b : backends) {
+      os << (first ? "\n    " : ",\n    ");
+      first = false;
+      json::write_escaped(os, b.id);
+      os << ": {\"host_seconds\": " << fmt(b.host_seconds)
+         << ", \"likeli_seconds\": " << fmt(b.likeli_seconds)
+         << ", \"post_seconds\": " << fmt(b.post_seconds)
+         << ", \"simd_level\": ";
+      json::write_escaped(os, b.simd_level);
+      os << "}";
+    }
+    os << "\n  },\n"
        << "  \"device\": {"
        << "\"instructions\": " << c.instructions
        << ", \"global_loads\": " << c.global_loads()
@@ -394,6 +546,12 @@ int run(const fs::path& out, const fs::path& workdir) {
   std::printf("%-8s %10.4f   (%llu sites, %.0f sites/s, %zu spans)\n", "total",
               table_seconds, static_cast<unsigned long long>(report.total_sites),
               throughput, tracer.spans().size());
+  std::printf("%-10s %10s %10s %10s  %s\n", "backend", "host", "likeli",
+              "post", "simd");
+  for (const BackendBench& b : backends)
+    std::printf("%-10s %10.4f %10.4f %10.4f  %s\n", b.id.c_str(),
+                b.host_seconds, b.likeli_seconds, b.post_seconds,
+                b.simd_level.c_str());
   std::printf("wrote %s\n", out.string().c_str());
 
   // A baseline nobody can load is worse than none: self-validate.

@@ -1,11 +1,12 @@
 // gsnp: the command-line front end — simulate datasets, call SNPs with any
-// of the three engines, convert SAM input, compare outputs, score calls
+// registered backend, convert SAM input, compare outputs, score calls
 // against truth.
 //
 //   gsnp_cli simulate --out <dir> [--sites N] [--depth X] [--seed S]
 //                     [--snp-rate R] [--name chrS] [--sam]
 //   gsnp_cli call     --ref <fa> --align <soap|sam> --out <file>
-//                     [--engine gsnp|gsnp-cpu|soapsnp] [--dbsnp <file>]
+//                     [--engine gsnp|gsnp-cpu|gsnp-simd|soapsnp]
+//                     [--dbsnp <file>]
 //                     [--window N] [--threads N] [--streams N]
 //                     [--pipeline-depth D] [--host-threads T]
 //                     [--save-matrix <file>]
@@ -52,6 +53,7 @@
 #include "src/common/fs_fault.hpp"
 #include "src/common/json.hpp"
 #include "src/compress/temp_input.hpp"
+#include "src/core/backend.hpp"
 #include "src/core/consistency.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/output_codec.hpp"
@@ -240,24 +242,25 @@ int cmd_call(const Args& args) {
     config.tracer = &*tracer;
   }
 
+  // Backend selection goes through the registry: unknown names are a typed
+  // UnknownBackendError whose message lists every valid name.
   const std::string engine = args.get("--engine", "gsnp");
+  const core::BackendInfo* backend = core::find_backend(engine);
+  if (backend == nullptr) {
+    std::fprintf(stderr, "call: unknown backend '%s' (valid: %s)\n",
+                 engine.c_str(), core::backend_name_list().c_str());
+    return 2;
+  }
   const fs::path profile_out = args.get("--profile-out", "");
   core::RunReport report;
   std::optional<device::Device> dev;
   std::optional<obs::Profiler> profiler;
   try {
-    if (engine == "gsnp") {
+    if (backend->needs_device) {
       dev.emplace();
       if (!profile_out.empty()) profiler.emplace(*dev);
-      report = core::run_gsnp(config, *dev);
-    } else if (engine == "gsnp-cpu") {
-      report = core::run_gsnp_cpu(config);
-    } else if (engine == "soapsnp") {
-      report = core::run_soapsnp(config);
-    } else {
-      std::fprintf(stderr, "call: unknown engine '%s'\n", engine.c_str());
-      return 2;
     }
+    report = core::run_backend(*backend, config, dev ? &*dev : nullptr);
   } catch (const CancelledError& e) {
     std::error_code ec;
     fs::remove(staged_out, ec);
@@ -308,8 +311,9 @@ int cmd_call(const Args& args) {
                 static_cast<unsigned long long>(prof.launches));
   } else if (!profile_out.empty()) {
     std::fprintf(stderr,
-                 "call: --profile-out needs --engine gsnp (the profiler "
-                 "instruments the device simulator); no profile written\n");
+                 "call: --profile-out needs a device backend (--engine gsnp; "
+                 "the profiler instruments the device simulator); no profile "
+                 "written\n");
   }
 
   return 0;
@@ -684,6 +688,15 @@ int cmd_submit(const Args& args) {
   request.job.job_id = args.get("--job", "");
   request.job.tenant = args.get("--tenant", "default");
   request.job.engine = args.get("--engine", "gsnp");
+  // Validate client-side too: a typo fails fast with the valid-name list
+  // instead of a round-trip to the daemon (which enforces the same rule
+  // with a typed invalid_argument rejection).
+  if (core::find_backend(request.job.engine) == nullptr) {
+    std::fprintf(stderr, "submit: unknown backend '%s' (valid: %s)\n",
+                 request.job.engine.c_str(),
+                 core::backend_name_list().c_str());
+    return 2;
+  }
   request.job.output_dir = args.get("--out", "");
   request.job.window_size =
       static_cast<u32>(std::stoul(args.get("--window", "0")));
@@ -852,7 +865,8 @@ int main(int argc, char** argv) {
               "serve|submit|status|cancel|shutdown|fsck> [options]\n"
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
-              "           [--engine gsnp|gsnp-cpu|soapsnp --dbsnp F --window N]\n"
+              "           [--engine gsnp|gsnp-cpu|gsnp-simd|soapsnp]\n"
+              "           [--dbsnp F --window N]\n"
               "           [--streams N --pipeline-depth D --host-threads T]\n"
               "           [--lenient --quarantine F --max-bad N --max-bad-frac P]\n"
               "           [--trace-out TRACE.json --metrics-out METRICS.json]\n"

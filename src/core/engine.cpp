@@ -13,6 +13,7 @@
 #include "src/core/new_pmatrix.hpp"
 #include "src/core/output_codec.hpp"
 #include "src/core/posterior.hpp"
+#include "src/core/simd.hpp"
 #include "src/core/window.hpp"
 #include "src/device/stream.hpp"
 #include "src/obs/stream_trace.hpp"
@@ -104,7 +105,8 @@ void window_posterior(const EngineConfig& config, PriorCache& priors,
                       const std::vector<TypeLikely>& type_likely,
                       std::vector<SnpRow>& rows,
                       const std::vector<PosteriorCall>* device_calls = nullptr,
-                      int threads = 1) {
+                      int threads = 1,
+                      simd::SelectFn select = &select_genotype) {
   const genome::Reference& ref = *config.reference;
   rows.resize(win.size);
 #pragma omp parallel for schedule(static) num_threads(threads) \
@@ -119,13 +121,11 @@ void window_posterior(const EngineConfig& config, PriorCache& priors,
       call = (*device_calls)[s];
     } else if (known) {
       // dbSNP priors are site-specific; compute directly (thread-safe).
-      call = select_genotype(
-          genotype_log_priors(ref.base(pos), known, config.prior),
-          type_likely[s]);
+      call = select(genotype_log_priors(ref.base(pos), known, config.prior),
+                    type_likely[s]);
     } else {
       // Novel sites share one of five cached priors (read-only access).
-      call = select_genotype(priors.get(ref.base(pos), nullptr),
-                             type_likely[s]);
+      call = select(priors.get(ref.base(pos), nullptr), type_likely[s]);
     }
     rows[s] = assemble_row(pos, ref.base(pos), known != nullptr, call,
                            stats[s], obs.site(s), obs.site_hits(s));
@@ -163,6 +163,11 @@ class StageScope {
   /// engine runs device kernels through the host simulator, and that wall
   /// time belongs to the modeled device, not the host component.
   void deduct(double seconds) { deduct_ += seconds; }
+
+  /// Annotate the stage's span (backend tag, SIMD dispatch level).
+  void note(std::string_view key, std::string_view value) {
+    span_.note(key, value);
+  }
 
   ~StageScope() {
     const double sec = std::max(0.0, timer_.seconds() - deduct_);
@@ -331,12 +336,27 @@ RunReport run_soapsnp_overlapped(const EngineConfig& config) {
   return report;
 }
 
-/// GSNP_CPU, overlapped: same shape as SOAPsnp's variant with the sparse
-/// representation — prefetch packs base_words for window i+1 while the main
-/// thread sorts + computes window i and the pool RLE-DICT-compresses and
-/// writes window i-1 (the compression lives inside the deferred output
-/// task, which is the point: it rides a spare host thread).
-RunReport run_gsnp_cpu_overlapped(const EngineConfig& config) {
+/// Parameterization of the host sparse engine: gsnp_cpu and gsnp_simd run
+/// the identical pipeline over the identical data; only the per-site
+/// kernels (and the labels describing them) differ.  gsnp_cpu binds the
+/// scalar reference kernels, gsnp_simd the dispatch level simd::kernels()
+/// selected — so "forced scalar" gsnp_simd and gsnp_cpu execute the very
+/// same functions.
+struct HostSparseOps {
+  const char* engine;      ///< metrics tag: "gsnp_cpu" / "gsnp_simd"
+  const char* simd_level;  ///< non-null: span/metrics annotation
+  simd::SparseSiteFn sparse_site;
+  simd::SelectFn select;
+};
+
+/// Host sparse engine, overlapped: same shape as SOAPsnp's variant with the
+/// sparse representation — prefetch packs base_words for window i+1 while
+/// the main thread sorts + computes window i and the pool
+/// RLE-DICT-compresses and writes window i-1 (the compression lives inside
+/// the deferred output task, which is the point: it rides a spare host
+/// thread).
+RunReport run_host_sparse_overlapped(const EngineConfig& config,
+                                     const HostSparseOps& ops) {
   GSNP_CHECK(config.reference != nullptr);
   const genome::Reference& ref = *config.reference;
   const u32 window_size =
@@ -415,18 +435,25 @@ RunReport run_gsnp_cpu_overlapped(const EngineConfig& config) {
         likelihood_sort_cpu(slot.sparse);
       }
       {
-        const StageScope comp_scope(report.host, tracer, "likeli_comp");
+        StageScope comp_scope(report.host, tracer, "likeli_comp");
+        if (ops.simd_level != nullptr) {
+          comp_scope.note("backend", ops.engine);
+          comp_scope.note("simd", ops.simd_level);
+        }
         slot.type_likely.resize(slot.win.size);
         for (u32 s = 0; s < slot.win.size; ++s)
-          slot.type_likely[s] = likelihood_sparse_site(slot.sparse.site(s),
-                                                       *npm);
+          slot.type_likely[s] = ops.sparse_site(slot.sparse.site(s), *npm);
       }
     }
     if (slot.write_done.valid()) slot.write_done.wait();
     {
-      const StageScope scope(report.host, tracer, "post");
+      StageScope scope(report.host, tracer, "post");
+      if (ops.simd_level != nullptr) {
+        scope.note("backend", ops.engine);
+        scope.note("simd", ops.simd_level);
+      }
       window_posterior(config, priors, slot.win, slot.obs, slot.stats,
-                       slot.type_likely, slot.rows);
+                       slot.type_likely, slot.rows, nullptr, 1, ops.select);
     }
     const std::shared_future<void> prev = last_write;
     last_write = host_pool
@@ -444,7 +471,7 @@ RunReport run_gsnp_cpu_overlapped(const EngineConfig& config) {
   report.peak_host_bytes = depth * max_words * sizeof(u32) +
                            npm->flat().size() * sizeof(double) +
                            pm.flat().size() * sizeof(double);
-  record_run_metrics(tracer, "gsnp_cpu", report);
+  record_run_metrics(tracer, ops.engine, report);
   return report;
 }
 
@@ -769,8 +796,11 @@ RunReport run_soapsnp(const EngineConfig& config) {
   return report;
 }
 
-RunReport run_gsnp_cpu(const EngineConfig& config) {
-  if (config.streams >= 2) return run_gsnp_cpu_overlapped(config);
+namespace {
+
+/// Host sparse engine, serial: the bit-exactness reference path.
+RunReport run_host_sparse_serial(const EngineConfig& config,
+                                 const HostSparseOps& ops) {
   GSNP_CHECK(config.reference != nullptr);
   const genome::Reference& ref = *config.reference;
   const u32 window_size =
@@ -829,15 +859,24 @@ RunReport run_gsnp_cpu(const EngineConfig& config) {
         likelihood_sort_cpu(sparse);
       }
       {
-        const StageScope comp_scope(report.host, tracer, "likeli_comp");
+        StageScope comp_scope(report.host, tracer, "likeli_comp");
+        if (ops.simd_level != nullptr) {
+          comp_scope.note("backend", ops.engine);
+          comp_scope.note("simd", ops.simd_level);
+        }
         type_likely.resize(win.size);
         for (u32 s = 0; s < win.size; ++s)
-          type_likely[s] = likelihood_sparse_site(sparse.site(s), *npm);
+          type_likely[s] = ops.sparse_site(sparse.site(s), *npm);
       }
     }
     {
-      const StageScope scope(report.host, tracer, "post");
-      window_posterior(config, priors, win, obs, stats, type_likely, rows);
+      StageScope scope(report.host, tracer, "post");
+      if (ops.simd_level != nullptr) {
+        scope.note("backend", ops.engine);
+        scope.note("simd", ops.simd_level);
+      }
+      window_posterior(config, priors, win, obs, stats, type_likely, rows,
+                       nullptr, 1, ops.select);
     }
     {
       const StageScope scope(report.host, tracer, "output");
@@ -852,7 +891,31 @@ RunReport run_gsnp_cpu(const EngineConfig& config) {
   report.peak_host_bytes = max_words * sizeof(u32) +
                            npm->flat().size() * sizeof(double) +
                            pm.flat().size() * sizeof(double);
-  record_run_metrics(tracer, "gsnp_cpu", report);
+  record_run_metrics(tracer, ops.engine, report);
+  return report;
+}
+
+}  // namespace
+
+RunReport run_gsnp_cpu(const EngineConfig& config) {
+  static constexpr HostSparseOps kScalarOps{
+      "gsnp_cpu", nullptr, &likelihood_sparse_site, &select_genotype};
+  return config.streams >= 2 ? run_host_sparse_overlapped(config, kScalarOps)
+                             : run_host_sparse_serial(config, kScalarOps);
+}
+
+RunReport run_gsnp_simd(const EngineConfig& config) {
+  // Resolve the dispatch level once per run (env override or CPU detection;
+  // see simd.hpp) so every window of one run uses one kernel set.
+  const simd::Kernels& kernels = simd::active_kernels();
+  const HostSparseOps ops{"gsnp_simd", simd::level_name(kernels.level),
+                          kernels.sparse_site, kernels.select_genotype};
+  RunReport report = config.streams >= 2
+                         ? run_host_sparse_overlapped(config, ops)
+                         : run_host_sparse_serial(config, ops);
+  if (config.tracer != nullptr)
+    config.tracer->metrics().add(std::string("simd_level_") +
+                                 simd::level_name(kernels.level));
   return report;
 }
 

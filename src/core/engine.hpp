@@ -1,24 +1,31 @@
 #pragma once
-// The three SNP-calling engines (paper Figs 1 and 2):
+// The SNP-calling engines (paper Figs 1 and 2):
 //
-//  * run_soapsnp  — the CPU baseline: dense base_occ, Algorithm 1 likelihood
-//                   (runtime log10, two p_matrix reads per update), plain
-//                   text output, full dense-matrix recycle per window.
-//                   Default window 4,000 sites.
-//  * run_gsnp_cpu — GSNP's algorithm without the GPU: sparse base_word with
-//                   per-array quicksort, new_p_matrix, compressed temporary
-//                   input and compressed output (host codecs).  Default
-//                   window 256,000 sites.
-//  * run_gsnp     — the full system: sparse representation, multipass batch
-//                   bitonic sort + the optimized likelihood kernel on the
-//                   device, device RLE-DICT output compression.  Device work
-//                   is timed through the analytical M2050 model from measured
-//                   operation counts (see device/perf_model.hpp and
-//                   DESIGN.md); host work is wall-clock.
+//  * run_soapsnp   — the CPU baseline: dense base_occ, Algorithm 1 likelihood
+//                    (runtime log10, two p_matrix reads per update), plain
+//                    text output, full dense-matrix recycle per window.
+//                    Default window 4,000 sites.
+//  * run_gsnp_cpu  — GSNP's algorithm without the GPU: sparse base_word with
+//                    per-array quicksort, new_p_matrix, compressed temporary
+//                    input and compressed output (host codecs).  Default
+//                    window 256,000 sites.
+//  * run_gsnp_simd — run_gsnp_cpu with the hot per-site kernels (sparse
+//                    likelihood accumulate, posterior sums) dispatched to
+//                    the best vectorized implementation the CPU supports
+//                    (core/simd.hpp: AVX2 -> SSE2 -> scalar).  Bit-identical
+//                    output to run_gsnp_cpu at every dispatch level.
+//  * run_gsnp      — the full system: sparse representation, multipass batch
+//                    bitonic sort + the optimized likelihood kernel on the
+//                    device, device RLE-DICT output compression.  Device work
+//                    is timed through the analytical M2050 model from measured
+//                    operation counts (see device/perf_model.hpp and
+//                    DESIGN.md); host work is wall-clock.
 //
-// All three engines emit identical SnpRow streams (paper §IV-G); only the
+// All engines emit identical SnpRow streams (paper §IV-G); only the
 // container format differs (text vs compressed).  Component times use the
 // paper's seven names: cal_p, read, count, likeli, post, output, recycle.
+// Callers normally go through the registry in core/backend.hpp instead of
+// naming these entry points directly.
 
 #include <filesystem>
 #include <optional>
@@ -153,6 +160,7 @@ struct RunReport {
 
 RunReport run_soapsnp(const EngineConfig& config);
 RunReport run_gsnp_cpu(const EngineConfig& config);
+RunReport run_gsnp_simd(const EngineConfig& config);
 RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
                    const device::PerfModel& model = {});
 

@@ -12,22 +12,6 @@
 
 namespace gsnp::core {
 
-const char* engine_name(EngineKind kind) {
-  switch (kind) {
-    case EngineKind::kSoapsnp: return "soapsnp";
-    case EngineKind::kGsnpCpu: return "gsnp_cpu";
-    case EngineKind::kGsnp: return "gsnp";
-  }
-  return "?";
-}
-
-std::optional<EngineKind> engine_kind_from_name(std::string_view name) {
-  if (name == "soapsnp") return EngineKind::kSoapsnp;
-  if (name == "gsnp_cpu") return EngineKind::kGsnpCpu;
-  if (name == "gsnp") return EngineKind::kGsnp;
-  return std::nullopt;
-}
-
 std::vector<double> backoff_sequence(const RetryPolicy& policy, u64 salt) {
   std::vector<double> sleeps;
   const int retries = std::max(1, policy.max_attempts) - 1;
@@ -52,13 +36,9 @@ namespace {
 
 RunReport run_engine(const EngineConfig& config, EngineKind kind,
                      device::Device* dev) {
-  switch (kind) {
-    case EngineKind::kSoapsnp: return run_soapsnp(config);
-    case EngineKind::kGsnpCpu: return run_gsnp_cpu(config);
-    case EngineKind::kGsnp: return run_gsnp(config, *dev);
-  }
-  GSNP_CHECK_MSG(false, "bad engine kind");
-  return {};
+  // Registry dispatch: the backend's capability flags replace the old
+  // hard-coded switch here.
+  return run_backend(backend_info(kind), config, dev);
 }
 
 /// Can a previously recorded chromosome be skipped on resume?  Requires a
@@ -113,11 +93,12 @@ ChromosomeRunResult run_one_chromosome(const GenomeRunConfig& config,
                                        const RunManifest* previous) {
   GSNP_CHECK_MSG(job.reference != nullptr,
                  "chromosome " << job.name << " has no reference");
-  GSNP_CHECK_MSG(kind != EngineKind::kGsnp || dev != nullptr,
-                 "the GSNP engine needs a device");
+  const BackendInfo& backend = backend_info(kind);
+  GSNP_CHECK_MSG(!backend.needs_device || dev != nullptr,
+                 "the " << backend.name << " backend needs a device");
   check_cancel(config.cancel, "chromosome");
 
-  const bool text_output = kind == EngineKind::kSoapsnp;
+  const bool text_output = backend.text_output;
   const std::string output_name =
       job.name + "." + engine_name(kind) + (text_output ? ".txt" : ".snp");
 
@@ -342,8 +323,8 @@ ChromosomeRunResult run_one_chromosome(const GenomeRunConfig& config,
 
 GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
                         device::Device* dev) {
-  GSNP_CHECK_MSG(kind != EngineKind::kGsnp || dev != nullptr,
-                 "the GSNP engine needs a device");
+  GSNP_CHECK_MSG(!backend_info(kind).needs_device || dev != nullptr,
+                 "the " << backend_info(kind).name << " backend needs a device");
   std::filesystem::create_directories(config.output_dir);
   const std::filesystem::path manifest_path =
       config.manifest_file.empty() ? config.output_dir / "manifest.json"
@@ -390,7 +371,7 @@ GenomeReport run_genome(const GenomeRunConfig& config, EngineKind kind,
       entry.requested = engine_name(kind);
       entry.engine = engine_name(kind);
       entry.output = job.name + "." + engine_name(kind) +
-                     (kind == EngineKind::kSoapsnp ? ".txt" : ".snp");
+                     (backend_info(kind).text_output ? ".txt" : ".snp");
       entry.error = cancelled.what();
       manifest.chromosomes.push_back(std::move(entry));
       publish_observability(manifest);

@@ -26,16 +26,14 @@
 #include <vector>
 
 #include "src/common/cancel.hpp"
+#include "src/core/backend.hpp"
 #include "src/core/engine.hpp"
 #include "src/core/run_manifest.hpp"
 
 namespace gsnp::core {
-
-enum class EngineKind { kSoapsnp, kGsnpCpu, kGsnp };
-
-const char* engine_name(EngineKind kind);
-/// Inverse of engine_name; nullopt for unknown names (corrupt manifests).
-std::optional<EngineKind> engine_kind_from_name(std::string_view name);
+// EngineKind, engine_name and engine_kind_from_name moved to
+// core/backend.hpp (the registry); included above so existing users keep
+// compiling.
 
 /// One chromosome's inputs; outputs are derived from `name` under the run's
 /// output directory.

@@ -148,7 +148,7 @@ std::vector<TypeLikely> device_likelihood_sparse_resident(
                   PMatrix::index(q_adj, static_cast<int>(coord), a2,
                                  static_cast<int>(base)),
                   Access::kRandom);
-              const double v = std::log10(0.5 * p1 + 0.5 * p2);
+              const double v = likely_log10(p1, p2);
               t.inst(device::kTranscendentalCost);
               if (opts.use_shared) {
                 const u64 idx =
@@ -272,7 +272,7 @@ std::vector<TypeLikely> device_likelihood_dense(
                                                a2, base),
                                 Access::kRandom);
                     tl[static_cast<std::size_t>(combo)] +=
-                        std::log10(0.5 * p1 + 0.5 * p2);
+                        likely_log10(p1, p2);
                     t.inst(device::kTranscendentalCost);
                     ++combo;
                   }

@@ -1,12 +1,40 @@
 #include "src/core/likelihood.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
+#include <sstream>
 
 #include "src/core/adjust.hpp"
 #include "src/core/log_table.hpp"
 
 namespace gsnp::core {
+
+namespace {
+
+std::string unsorted_window_message(std::size_t index, u32 previous,
+                                    u32 word) {
+  std::ostringstream os;
+  os << "likelihood_sparse_site: base_word array is not sorted — word["
+     << index << "] = " << word << " after " << previous
+     << "; run likelihood_sort (Algorithm 4) before the computation step";
+  return os.str();
+}
+
+}  // namespace
+
+UnsortedWindowError::UnsortedWindowError(std::size_t index, u32 previous,
+                                         u32 word)
+    : Error(unsorted_window_message(index, previous, word)) {}
+
+namespace detail {
+
+void throw_unsorted_window(std::size_t index, u32 previous, u32 word) {
+  assert(!"likelihood_sparse_site: unsorted base_word window");
+  throw UnsortedWindowError(index, previous, word);
+}
+
+}  // namespace detail
 
 TypeLikely likelihood_dense_site(std::span<const u8> base_occ,
                                  const PMatrix& pm) {
@@ -31,7 +59,7 @@ TypeLikely likelihood_dense_site(std::span<const u8> base_occ,
                 const double p1 = pm[PMatrix::index(q_adj, coord, a1, base)];
                 const double p2 = pm[PMatrix::index(q_adj, coord, a2, base)];
                 type_likely[static_cast<std::size_t>(combo)] +=
-                    std::log10(0.5 * p1 + 0.5 * p2);
+                    likely_log10(p1, p2);
                 ++combo;
               }
             }
@@ -50,7 +78,15 @@ TypeLikely likelihood_sparse_site(std::span<const u32> sorted_words,
   const double* logs = log_table().data();
 
   int last_base = 0;
+  u32 prev_word = 0;
+  std::size_t index = 0;
   for (const u32 word : sorted_words) {
+    // The depth-count recycle below only resets on a base *increase*; an
+    // out-of-order word (word < its predecessor) would silently reuse stale
+    // depth counts, so sortedness is validated rather than assumed.
+    if (word < prev_word) detail::throw_unsorted_window(index, prev_word, word);
+    prev_word = word;
+    ++index;
     const AlignedBase ab = base_word_unpack(word);
     if (ab.base > last_base) {  // Alg. 4 lines 8-10
       dep_count.fill(0);

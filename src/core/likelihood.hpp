@@ -15,8 +15,10 @@
 // The device kernels (kernels.hpp) mirror likelihood_sparse_site.
 
 #include <array>
+#include <cstddef>
 #include <span>
 
+#include "src/common/error.hpp"
 #include "src/common/types.hpp"
 #include "src/core/base_occ.hpp"
 #include "src/core/base_word.hpp"
@@ -27,11 +29,30 @@ namespace gsnp::core {
 
 using TypeLikely = std::array<double, kNumGenotypes>;
 
+/// Thrown when the base_word array handed to likelihood_sparse_site is not
+/// sorted ascending.  The sparse traversal's depth-count recycle (Algorithm 4
+/// lines 8-10) is only correct on the canonical sort order; an out-of-order
+/// word would silently reuse stale depth counts and corrupt the likelihoods,
+/// so it is a broken invariant, not a recoverable condition.  Debug builds
+/// assert first; release builds throw this typed error.
+class UnsortedWindowError : public Error {
+ public:
+  UnsortedWindowError(std::size_t index, u32 previous, u32 word);
+};
+
+namespace detail {
+/// Shared validation helper for the scalar and SIMD sparse kernels: asserts
+/// in debug builds, then throws UnsortedWindowError.
+[[noreturn]] void throw_unsorted_window(std::size_t index, u32 previous,
+                                        u32 word);
+}  // namespace detail
+
 /// Algorithm 1 over one site's dense matrix (131,072 entries).
 TypeLikely likelihood_dense_site(std::span<const u8> base_occ,
                                  const PMatrix& pm);
 
 /// Algorithm 4's computation step over one site's *sorted* base_word array.
+/// Validates sortedness (see UnsortedWindowError).
 TypeLikely likelihood_sparse_site(std::span<const u32> sorted_words,
                                   const NewPMatrix& npm);
 

@@ -11,11 +11,11 @@ NewPMatrix::NewPMatrix(const PMatrix& pm) : values_(kSize, 0.0) {
         int combo = 0;
         for (int a1 = 0; a1 < kNumBases; ++a1) {
           for (int a2 = a1; a2 < kNumBases; ++a2) {
-            // Exactly likely_update's expression (Algorithm 2), evaluated
-            // once here instead of per aligned base at runtime.
-            const double p = 0.5 * pm.at(q, coord, a1, obs) +
-                             0.5 * pm.at(q, coord, a2, obs);
-            values_[index(q, coord, obs, combo)] = std::log10(p);
+            // Exactly likely_update's expression (Algorithm 2, zero guard
+            // included), evaluated once here instead of per aligned base at
+            // runtime.
+            values_[index(q, coord, obs, combo)] = likely_log10(
+                pm.at(q, coord, a1, obs), pm.at(q, coord, a2, obs));
             ++combo;
           }
         }

@@ -13,12 +13,32 @@
 // doubles, §IV-G) and uploaded to device global memory before any likelihood
 // work.
 
+#include <algorithm>
+#include <cmath>
 #include <vector>
 
 #include "src/common/types.hpp"
 #include "src/core/pmatrix.hpp"
 
 namespace gsnp::core {
+
+/// Floor for the averaged allele-pair probability inside likely_update
+/// (Algorithm 2), shared by every implementation of the expression: the
+/// dense CPU path, this precomputed table, and the device kernels.  A
+/// zero-probability p_matrix cell (possible only in matrices loaded from
+/// disk or constructed by hand — finalize_p_matrix's pseudocount keeps real
+/// calibrations strictly positive, so the clamp never fires on them) would
+/// otherwise make log10 return -inf and poison the whole site's TypeLikely;
+/// the floor turns it into one large-but-finite penalty instead.
+inline constexpr double kMinAllelePairProb = 1e-300;
+
+/// likely_update's log term with the shared zero guard:
+/// log10(max(0.5*p1 + 0.5*p2, kMinAllelePairProb)).  Every path (dense,
+/// new-table precompute, device fallback) must call this so the §IV-G
+/// bit-exactness contract covers degenerate matrices too.
+inline double likely_log10(double p1, double p2) {
+  return std::log10(std::max(0.5 * p1 + 0.5 * p2, kMinAllelePairProb));
+}
 
 class NewPMatrix {
  public:

@@ -29,20 +29,18 @@ bool better(const BaseRank& a, const BaseRank& b) {
 
 }  // namespace
 
-PosteriorCall select_genotype(const GenotypePriors& log_prior,
-                              const TypeLikely& type_likely) {
+PosteriorCall select_from_log_posteriors(const double* lp) {
   int best_g = 0, second_g = 0;
   double best_lp = -1e300, second_lp = -1e300;
   for (int g = 0; g < kNumGenotypes; ++g) {
-    const double lp = log_prior[static_cast<std::size_t>(g)] +
-                      type_likely[static_cast<std::size_t>(g)];
-    if (lp > best_lp) {
+    const double v = lp[g];
+    if (v > best_lp) {
       second_lp = best_lp;
       second_g = best_g;
-      best_lp = lp;
+      best_lp = v;
       best_g = g;
-    } else if (lp > second_lp) {
-      second_lp = lp;
+    } else if (v > second_lp) {
+      second_lp = v;
       second_g = g;
     }
   }
@@ -53,6 +51,15 @@ PosteriorCall select_genotype(const GenotypePriors& log_prior,
   call.quality = static_cast<u16>(
       std::clamp(static_cast<long>(std::lround(gap)), 0L, 99L));
   return call;
+}
+
+PosteriorCall select_genotype(const GenotypePriors& log_prior,
+                              const TypeLikely& type_likely) {
+  std::array<double, kNumGenotypes> lp;
+  for (int g = 0; g < kNumGenotypes; ++g)
+    lp[static_cast<std::size_t>(g)] = log_prior[static_cast<std::size_t>(g)] +
+                                      type_likely[static_cast<std::size_t>(g)];
+  return select_from_log_posteriors(lp.data());
 }
 
 PriorCache::PriorCache(const PriorParams& params) : params_(params) {

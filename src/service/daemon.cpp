@@ -153,10 +153,15 @@ std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
     return ServiceError(code, message);
   };
 
-  const auto kind = core::engine_kind_from_name(spec.engine);
-  if (!kind)
-    throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
-                 "unknown engine '" + spec.engine + "'");
+  // Backend names resolve through the registry (canonical or id spelling);
+  // unknown names are a typed invalid_argument rejection that lists every
+  // valid name, so clients can self-correct.
+  const core::BackendInfo* backend = core::find_backend(spec.engine);
+  if (backend == nullptr)
+    throw reject(ErrorCode::kInvalidArgument, "jobs_rejected_invalid_argument",
+                 "unknown backend '" + spec.engine +
+                     "' (valid: " + core::backend_name_list() + ")");
+  const auto kind = std::optional<core::EngineKind>(backend->kind);
   if (spec.chromosomes.empty())
     throw reject(ErrorCode::kBadRequest, "jobs_rejected_bad_request",
                  "job has no chromosomes");
@@ -354,7 +359,7 @@ void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) 
     chrom.dbsnp = dbsnp ? &*dbsnp : nullptr;
 
     device::Device* dev = nullptr;
-    if (j.kind == core::EngineKind::kGsnp) {
+    if (core::backend_info(j.kind).needs_device) {
       dev = &worker_device();
       if (config_.fault_arm) config_.fault_arm(*dev, j.id, cs.name);
     }
@@ -554,6 +559,8 @@ DaemonStats Daemon::stats() const {
   s.shed_quota = metrics_.counter("jobs_shed_quota");
   s.shed_payload = metrics_.counter("jobs_shed_payload");
   s.rejected_bad_request = metrics_.counter("jobs_rejected_bad_request");
+  s.rejected_invalid_argument =
+      metrics_.counter("jobs_rejected_invalid_argument");
   s.rejected_storage = metrics_.counter("jobs_rejected_storage");
   s.deduplicated = metrics_.counter("jobs_deduplicated");
   s.journal_write_failures = metrics_.counter("journal_write_failures");

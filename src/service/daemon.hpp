@@ -128,6 +128,7 @@ struct DaemonStats {
   u64 shed_quota = 0;
   u64 shed_payload = 0;
   u64 rejected_bad_request = 0;
+  u64 rejected_invalid_argument = 0;  ///< unknown backend name in the spec
   u64 rejected_storage = 0;    ///< submits refused: journal not durable
   u64 deduplicated = 0;        ///< idempotent resubmits answered from state
   u64 journal_write_failures = 0;   ///< job.json writes that hit ENOSPC/EIO

@@ -7,6 +7,7 @@ namespace gsnp::service {
 const char* error_code_name(ErrorCode code) {
   switch (code) {
     case ErrorCode::kBadRequest: return "bad_request";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kQueueFull: return "queue_full";
     case ErrorCode::kPayloadTooLarge: return "payload_too_large";
     case ErrorCode::kQuotaExceeded: return "quota_exceeded";
@@ -22,6 +23,7 @@ const char* error_code_name(ErrorCode code) {
 
 std::optional<ErrorCode> error_code_from_name(std::string_view name) {
   if (name == "bad_request") return ErrorCode::kBadRequest;
+  if (name == "invalid_argument") return ErrorCode::kInvalidArgument;
   if (name == "queue_full") return ErrorCode::kQueueFull;
   if (name == "payload_too_large") return ErrorCode::kPayloadTooLarge;
   if (name == "quota_exceeded") return ErrorCode::kQuotaExceeded;

@@ -26,7 +26,8 @@ namespace gsnp::service {
 
 /// Why the daemon refused (or could not serve) a request.
 enum class ErrorCode {
-  kBadRequest,        ///< malformed spec: unknown engine, no chromosomes, ...
+  kBadRequest,        ///< malformed spec: missing fields, no chromosomes, ...
+  kInvalidArgument,   ///< well-formed spec with a bad value: unknown backend
   kQueueFull,         ///< admission queue at capacity — load shed, retry later
   kPayloadTooLarge,   ///< summed alignment bytes exceed the per-job cap
   kQuotaExceeded,     ///< tenant already holds its quota of unfinished jobs
@@ -68,7 +69,9 @@ struct ChromosomeSpec {
 struct JobSpec {
   std::string job_id;            ///< "" = daemon assigns "job-<n>"
   std::string tenant = "default";
-  std::string engine = "gsnp";   ///< "gsnp" | "gsnp_cpu" | "soapsnp"
+  std::string engine = "gsnp";   ///< a backend name core::find_backend knows
+                                 ///< ("gsnp", "gsnp-cpu", "gsnp-simd",
+                                 ///< "soapsnp", or the "_" id spellings)
   std::vector<ChromosomeSpec> chromosomes;
   /// Where outputs publish; "" = the job's spool directory (`<job dir>/out`).
   std::string output_dir;

@@ -20,15 +20,18 @@
 #include <filesystem>
 #include <fstream>
 #include <functional>
+#include <iostream>
 #include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "src/common/sha256.hpp"
+#include "src/core/backend.hpp"
 #include "src/core/consistency.hpp"
 #include "src/core/genome_pipeline.hpp"
 #include "src/core/run_manifest.hpp"
+#include "src/core/simd.hpp"
 #include "src/core/vcf.hpp"
 #include "src/genome/synthetic.hpp"
 #include "src/reads/simulator.hpp"
@@ -185,6 +188,44 @@ TEST_F(DeterminismBattery, GsnpOverlappedMatchesSerial) {
   run_battery(EngineKind::kGsnp);
 }
 
+TEST_F(DeterminismBattery, GsnpSimdOverlappedMatchesSerial) {
+  run_battery(EngineKind::kGsnpSimd);
+}
+
+/// Restores environment-driven SIMD dispatch even when an ASSERT bails out
+/// of a test mid-way.
+struct ForcedLevel {
+  explicit ForcedLevel(simd::Level level) { simd::force_level(level); }
+  ~ForcedLevel() { simd::force_level(std::nullopt); }
+};
+
+TEST_F(DeterminismBattery, BackendMatrixIsByteIdentical) {
+  // The registry's bit-exactness contract, §IV-G extended to dispatch
+  // levels: gsnp-simd pinned to scalar, SSE2 and AVX2 must produce output
+  // and VCF bytes identical to gsnp-cpu.  (Manifest digests embed the
+  // engine id, so cross-backend identity is asserted on the bytes.)
+  const PipelineVariant v = {"matrix", 1, 2, 2};
+  const RunFingerprint reference = run(EngineKind::kGsnpCpu, v);
+
+  if (!simd::level_supported(simd::Level::kAvx2))
+    std::cerr << "[ WARNING  ] host lacks AVX2 — backend matrix only covers "
+              << "the levels this CPU can execute\n";
+
+  for (const simd::Level level : simd::supported_levels()) {
+    const ForcedLevel forced(level);
+    const RunFingerprint fp = run(EngineKind::kGsnpSimd, v);
+    ASSERT_EQ(fp.output_bytes.size(), reference.output_bytes.size());
+    for (std::size_t c = 0; c < fp.output_bytes.size(); ++c) {
+      EXPECT_EQ(fp.output_bytes[c] == reference.output_bytes[c], true)
+          << "gsnp-simd@" << simd::level_name(level) << ": chromosome " << c
+          << " raw output differs from gsnp-cpu";
+      EXPECT_EQ(fp.vcf_bytes[c] == reference.vcf_bytes[c], true)
+          << "gsnp-simd@" << simd::level_name(level) << ": chromosome " << c
+          << " VCF differs from gsnp-cpu";
+    }
+  }
+}
+
 TEST_F(DeterminismBattery, EnginesAgreeUnderOverlap) {
   // The §IV-G cross-engine guarantee must survive overlap: an overlapped
   // GSNP run and an overlapped SOAPsnp run still call identical rows.
@@ -224,11 +265,16 @@ TEST_F(DeterminismBattery, GoldenEndToEndHashes) {
   const fs::path golden_path =
       fs::path(GSNP_TEST_CORPUS_DIR) / "golden" / "e2e.sha256";
 
-  // Hash the serial GSNP and SOAPsnp runs' raw outputs and VCFs — the same
-  // artifacts the battery above proves the overlapped paths reproduce, so
-  // pinning serial pins everything.
+  // Hash every backend's serial raw outputs and VCFs — the same artifacts
+  // the battery above proves the overlapped paths reproduce, so pinning
+  // serial pins everything.  The registry's bit-exactness contract shows up
+  // directly in the golden file: the .out/.vcf hashes of gsnp, gsnp_cpu and
+  // gsnp_simd are the same hex strings (only the manifests differ, because
+  // they embed the engine id).
   std::map<std::string, std::string> actual;
-  for (const EngineKind kind : {EngineKind::kGsnp, EngineKind::kSoapsnp}) {
+  for (const EngineKind kind :
+       {EngineKind::kGsnp, EngineKind::kSoapsnp, EngineKind::kGsnpCpu,
+        EngineKind::kGsnpSimd}) {
     const RunFingerprint fp = run(kind, {"golden", 1, 2, 2});
     for (std::size_t c = 0; c < fp.output_bytes.size(); ++c) {
       const std::string base =

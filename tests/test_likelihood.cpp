@@ -14,6 +14,8 @@
 #include "src/core/likelihood.hpp"
 #include "src/core/new_pmatrix.hpp"
 #include "src/core/pmatrix.hpp"
+#include "src/core/posterior.hpp"
+#include "src/core/simd.hpp"
 
 namespace gsnp::core {
 namespace {
@@ -159,6 +161,141 @@ TEST_F(Likelihood, HetBeatsBothHomsOnBalancedEvidence) {
   const int ag = genotype_rank(0, 2);
   EXPECT_GT(tl[ag], tl[genotype_rank(0, 0)]);
   EXPECT_GT(tl[ag], tl[genotype_rank(2, 2)]);
+}
+
+TEST_F(Likelihood, ZeroProbabilityCellStaysFiniteAndConsistent) {
+  // Regression: the dense path used to evaluate log10(0.5*p1 + 0.5*p2)
+  // unguarded, so a zero p_matrix cell (possible in loaded or hand-built
+  // matrices; finalize_p_matrix's pseudocount keeps real calibrations
+  // positive) produced -inf in the dense likelihood while the sparse path's
+  // NewPMatrix construction hit the same -inf at table-build time.  Both now
+  // clamp through likely_log10, so the result is finite AND the dense/sparse
+  // §IV-G equivalence survives a zero cell.
+  PMatrix pm;  // all-zero table
+  // Give exactly one (q, coord) cell column real mass for observed base 1,
+  // true alleles 0 and 1; every other allele keeps probability zero.
+  pm.at(40, 7, 0, 1) = 0.25;
+  pm.at(40, 7, 1, 1) = 0.9;
+  const NewPMatrix npm(pm);
+  for (int combo = 0; combo < kNumGenotypes; ++combo)
+    EXPECT_TRUE(std::isfinite(npm.at(40, 7, 1, combo))) << "combo " << combo;
+
+  AlignedBase ab;
+  ab.base = 1;
+  ab.quality = 40;
+  ab.coord = 7;
+  ab.strand = Strand::kForward;
+
+  BaseOccWindow occ(1);
+  occ.add(0, ab);
+  const TypeLikely dense = likelihood_dense_site(occ.site(0), pm);
+  const TypeLikely sparse =
+      likelihood_sparse_site(std::vector<u32>{base_word_pack(ab)}, npm);
+  for (int g = 0; g < kNumGenotypes; ++g) {
+    EXPECT_TRUE(std::isfinite(dense[g])) << "genotype " << g;
+    ASSERT_EQ(dense[g], sparse[g]) << "genotype " << g;
+  }
+  // The clamp floor really bites for the all-zero allele pairs.
+  EXPECT_EQ(dense[genotype_rank(2, 3)], std::log10(kMinAllelePairProb));
+}
+
+TEST_F(Likelihood, UnsortedWindowIsRejected) {
+  // Algorithm 4's ten-add accumulation and its duplicate-decay bookkeeping
+  // are only correct over an ascending base_word stream; a descending pair
+  // must be rejected loudly, not silently miscounted.
+  const auto obs = random_site(991, 12);
+  std::vector<u32> words;
+  for (const auto& ab : obs) words.push_back(base_word_pack(ab));
+  std::sort(words.begin(), words.end());
+  std::swap(words.front(), words.back());  // descending pair at index 1
+#ifdef NDEBUG
+  EXPECT_THROW(likelihood_sparse_site(words, *npm_), UnsortedWindowError);
+  try {
+    likelihood_sparse_site(words, *npm_);
+    FAIL() << "expected UnsortedWindowError";
+  } catch (const UnsortedWindowError& e) {
+    EXPECT_NE(std::string(e.what()).find("not sorted"), std::string::npos);
+  }
+#else
+  EXPECT_DEATH(likelihood_sparse_site(words, *npm_), "sorted");
+#endif
+}
+
+TEST_F(Likelihood, SimdSparseMatchesScalarBitExact) {
+  for (const simd::Level level : simd::supported_levels()) {
+    for (u64 seed = 300; seed < 330; ++seed) {
+      const auto obs = random_site(seed, static_cast<int>(1 + seed % 50));
+      std::vector<u32> words;
+      for (const auto& ab : obs) words.push_back(base_word_pack(ab));
+      std::sort(words.begin(), words.end());
+      const TypeLikely scalar = likelihood_sparse_site(words, *npm_);
+      const TypeLikely vec = simd::likelihood_sparse_site(words, *npm_, level);
+      for (int g = 0; g < kNumGenotypes; ++g)
+        ASSERT_EQ(scalar[g], vec[g])
+            << simd::level_name(level) << " seed " << seed << " g " << g;
+    }
+  }
+}
+
+TEST_F(Likelihood, SimdSparseRejectsUnsortedToo) {
+  // The vectorized kernels share the scalar sortedness validation.
+  std::vector<u32> words = {base_word_pack({3, 40, 9, Strand::kForward}),
+                            base_word_pack({0, 40, 2, Strand::kForward})};
+  ASSERT_GT(words[0], words[1]);
+#ifdef NDEBUG
+  for (const simd::Level level : simd::supported_levels())
+    EXPECT_THROW(simd::likelihood_sparse_site(words, *npm_, level),
+                 UnsortedWindowError)
+        << simd::level_name(level);
+#endif
+}
+
+TEST_F(Likelihood, SimdDenseMatchesScalarBitExact) {
+  for (const simd::Level level : simd::supported_levels()) {
+    for (u64 seed = 400; seed < 420; ++seed) {
+      const auto obs = random_site(seed, static_cast<int>(1 + seed % 60));
+      BaseOccWindow window(1);
+      for (const auto& ab : obs) window.add(0, ab);
+      const TypeLikely scalar = likelihood_dense_site(window.site(0), *pm_);
+      const TypeLikely vec =
+          simd::likelihood_dense_site(window.site(0), *pm_, level);
+      for (int g = 0; g < kNumGenotypes; ++g)
+        ASSERT_EQ(scalar[g], vec[g])
+            << simd::level_name(level) << " seed " << seed << " g " << g;
+    }
+  }
+}
+
+TEST_F(Likelihood, SimdSelectMatchesScalarBitExact) {
+  Rng rng(555);
+  for (int trial = 0; trial < 200; ++trial) {
+    GenotypePriors prior;
+    TypeLikely likely;
+    for (int g = 0; g < kNumGenotypes; ++g) {
+      prior[g] = -10.0 * rng.uniform_double();
+      likely[g] = -50.0 * rng.uniform_double();
+    }
+    const PosteriorCall scalar = select_genotype(prior, likely);
+    for (const simd::Level level : simd::supported_levels()) {
+      const PosteriorCall vec = simd::select_genotype(prior, likely, level);
+      EXPECT_EQ(scalar.best, vec.best) << simd::level_name(level);
+      EXPECT_EQ(scalar.second, vec.second) << simd::level_name(level);
+      EXPECT_EQ(scalar.quality, vec.quality) << simd::level_name(level);
+    }
+  }
+}
+
+TEST_F(Likelihood, SimdLevelNamesRoundTrip) {
+  for (const simd::Level level : simd::supported_levels()) {
+    const auto back = simd::level_from_name(simd::level_name(level));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(*back, level);
+  }
+  EXPECT_FALSE(simd::level_from_name("warp9").has_value());
+  // Scalar is always supported and always in the list.
+  EXPECT_TRUE(simd::level_supported(simd::Level::kScalar));
+  EXPECT_FALSE(simd::supported_levels().empty());
+  EXPECT_EQ(simd::supported_levels().front(), simd::Level::kScalar);
 }
 
 TEST_F(Likelihood, CpuSortMatchesStdSortPerSite) {

@@ -111,10 +111,10 @@ TEST(Backoff, JitterIsDeterministicPerSaltAndBounded) {
 
 TEST(Protocol, ErrorCodeNamesRoundTrip) {
   for (const ErrorCode code :
-       {ErrorCode::kBadRequest, ErrorCode::kQueueFull,
-        ErrorCode::kPayloadTooLarge, ErrorCode::kQuotaExceeded,
-        ErrorCode::kDeadlineExceeded, ErrorCode::kNotFound,
-        ErrorCode::kShuttingDown, ErrorCode::kInternal,
+       {ErrorCode::kBadRequest, ErrorCode::kInvalidArgument,
+        ErrorCode::kQueueFull, ErrorCode::kPayloadTooLarge,
+        ErrorCode::kQuotaExceeded, ErrorCode::kDeadlineExceeded,
+        ErrorCode::kNotFound, ErrorCode::kShuttingDown, ErrorCode::kInternal,
         ErrorCode::kStorageFailure, ErrorCode::kFrameTooLarge}) {
     const auto back = error_code_from_name(error_code_name(code));
     ASSERT_TRUE(back.has_value()) << error_code_name(code);
@@ -303,9 +303,21 @@ TEST_F(ServiceFixture, MalformedSpecsRejectedTyped) {
   JobSpec empty = make_spec({});
   EXPECT_EQ(submit_error(daemon, empty), ErrorCode::kBadRequest);
 
+  // Unknown backend names are their own typed code (invalid_argument, not
+  // bad_request) and the message lists every registered backend so clients
+  // can self-correct.
   JobSpec engine = make_spec({0});
   engine.engine = "warp-drive";
-  EXPECT_EQ(submit_error(daemon, engine), ErrorCode::kBadRequest);
+  EXPECT_EQ(submit_error(daemon, engine), ErrorCode::kInvalidArgument);
+  try {
+    daemon.submit(engine);
+    FAIL() << "unknown backend must be rejected";
+  } catch (const ServiceError& e) {
+    EXPECT_NE(std::string(e.what()).find("warp-drive"), std::string::npos);
+    for (const auto& info : gsnp::core::backend_registry())
+      EXPECT_NE(std::string(e.what()).find(info.name), std::string::npos)
+          << "rejection must list backend " << info.name;
+  }
 
   JobSpec missing = make_spec({0});
   missing.chromosomes[0].alignment_file = (dir_ / "nope.soap").string();
@@ -314,7 +326,8 @@ TEST_F(ServiceFixture, MalformedSpecsRejectedTyped) {
   JobSpec dup_names = make_spec({1, 1});
   EXPECT_EQ(submit_error(daemon, dup_names), ErrorCode::kBadRequest);
 
-  EXPECT_EQ(daemon.stats().rejected_bad_request, 4u);
+  EXPECT_EQ(daemon.stats().rejected_bad_request, 3u);
+  EXPECT_EQ(daemon.stats().rejected_invalid_argument, 2u);
   EXPECT_EQ(daemon.stats().admitted, 0u);
 
   // Rejections must not poison the daemon: a clean job still runs.
