@@ -48,6 +48,8 @@
 #include "src/common/rng.hpp"
 #include "src/core/genome_pipeline.hpp"
 #include "src/core/run_manifest.hpp"
+#include "src/obs/eventlog.hpp"
+#include "src/obs/histogram.hpp"
 #include "src/genome/synthetic.hpp"
 #include "src/reads/simulator.hpp"
 #include "src/service/daemon.hpp"
@@ -362,6 +364,39 @@ int main(int argc, char** argv) {
           "  chaos: crash at %s/%s post_publish; %zu job(s) resumed; all %zu "
           "jobs done, outputs byte-identical to serial\n",
           crash_job.c_str(), crash_chrom.c_str(), resumed, jobs);
+
+      // The event log spans both daemon incarnations (append-only, same
+      // spool).  Every job must show exactly one submitted and exactly one
+      // published record — the crash/recover cycle must not double-publish —
+      // and the resumed jobs must each carry a recovered marker.
+      const std::vector<obs::JobEvent> events =
+          obs::read_event_log(workdir / "spool" / "events.jsonl");
+      BENCH_CHECK(!events.empty(), "chaos spool has no event log");
+      std::map<std::string, std::size_t> submitted_count, published_count,
+          recovered_count;
+      for (const obs::JobEvent& ev : events) {
+        if (ev.event == "submitted") ++submitted_count[ev.job_id];
+        if (ev.event == "published") ++published_count[ev.job_id];
+        if (ev.event == "recovered") ++recovered_count[ev.job_id];
+      }
+      std::size_t total_recovered = 0;
+      for (const service::JobSpec& spec : specs) {
+        BENCH_CHECK(submitted_count[spec.job_id] == 1,
+                    "job %s logged %zu submitted event(s), want 1",
+                    spec.job_id.c_str(), submitted_count[spec.job_id]);
+        BENCH_CHECK(published_count[spec.job_id] == 1,
+                    "job %s logged %zu published event(s), want exactly 1 "
+                    "across the crash/recover cycle",
+                    spec.job_id.c_str(), published_count[spec.job_id]);
+        total_recovered += recovered_count[spec.job_id];
+      }
+      BENCH_CHECK(total_recovered == resumed,
+                  "event log shows %zu recovered job(s), daemon resumed %zu",
+                  total_recovered, resumed);
+      std::printf(
+          "  events: %zu records across crash+recovery; exactly-once "
+          "published for all %zu jobs\n",
+          events.size(), jobs);
     }
 
     // ---- phase B: backpressure probe (typed shedding, never hangs) --------------
@@ -438,6 +473,37 @@ int main(int argc, char** argv) {
           "p99 %.1f ms\n",
           jobs, 1e3 * percentile(latencies, 0.50),
           1e3 * percentile(latencies, 0.99));
+
+      // Cross-check the daemon-side job_completion_seconds histogram against
+      // the client-observed run_seconds.  Both sides see the identical sample
+      // set (run_seconds is computed daemon-side and reported verbatim), and
+      // both use the same ceil-rank quantile convention, so the only slack
+      // needed is the histogram's bucket granularity: quantile() returns the
+      // bucket's upper bound, at most 1/kSubBuckets = 12.5% above the true
+      // sample (plus a tiny absolute floor for sub-millisecond runs).
+      const obs::Histogram::Snapshot snap =
+          daemon.metrics().histogram("job_completion_seconds").snapshot();
+      BENCH_CHECK(snap.count == jobs,
+                  "daemon completion histogram holds %llu samples, want %zu",
+                  static_cast<unsigned long long>(snap.count), jobs);
+      constexpr double kRelTolerance = 0.125;  // one log-linear sub-bucket
+      constexpr double kAbsTolerance = 1e-4;   // seconds
+      for (const double q : {0.50, 0.99}) {
+        const double client_q = percentile(latencies, q);
+        const double daemon_q = snap.quantile(q);
+        BENCH_CHECK(daemon_q >= client_q - 1e-12 &&
+                        daemon_q <= client_q * (1.0 + kRelTolerance) +
+                                        kAbsTolerance,
+                    "daemon p%.0f %.6fs disagrees with client p%.0f %.6fs "
+                    "(tolerance +%.1f%% + %.0fus)",
+                    100.0 * q, daemon_q, 100.0 * q, client_q,
+                    100.0 * kRelTolerance, 1e6 * kAbsTolerance);
+      }
+      std::printf(
+          "  telemetry: daemon-side histogram p50 %.1f ms, p99 %.1f ms agree "
+          "with client within +%.1f%% bucket tolerance\n",
+          1e3 * snap.quantile(0.50), 1e3 * snap.quantile(0.99),
+          100.0 * kRelTolerance);
     }
 
     // ---- phase D (opt-in, --fs-faults): storage chaos ---------------------------

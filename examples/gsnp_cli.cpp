@@ -29,6 +29,8 @@
 //                     [--out DIR --window N --deadline S --job ID --wait]
 //   gsnp_cli status   --socket <path> [--job ID]
 //   gsnp_cli cancel   --socket <path> --job ID
+//   gsnp_cli metrics  --socket <path>   (or --demo [--workdir DIR])
+//   gsnp_cli health   --socket <path>
 //   gsnp_cli shutdown --socket <path>
 //
 // Truth files are what `simulate` writes: "pos ref genotype" per line.
@@ -805,6 +807,93 @@ int cmd_shutdown(const Args& args) {
   return 0;
 }
 
+/// `metrics --demo`: run a tiny in-process daemon over a simulated dataset
+/// and print its Prometheus exposition — a hermetic, socket-free sample of
+/// the real telemetry plane, which scripts/check_metrics.py lints in
+/// verify.sh against the committed metric-name inventory.
+int run_metrics_demo(const Args& args) {
+  const fs::path workdir = args.get("--workdir", "gsnp_metrics_demo");
+  std::error_code ec;
+  fs::remove_all(workdir, ec);
+  fs::create_directories(workdir);
+
+  service::JobSpec spec;
+  spec.job_id = "demo-job";
+  spec.tenant = "demo";
+  spec.engine = args.get("--engine", "gsnp");
+  for (int i = 0; i < 2; ++i) {
+    genome::GenomeSpec gspec;
+    gspec.name = "chr" + std::to_string(i + 1);
+    gspec.length = 4000;
+    gspec.seed = 100 + static_cast<u64>(i);
+    const genome::Reference ref = genome::generate_reference(gspec);
+    const fs::path ref_path = workdir / (gspec.name + ".fa");
+    genome::write_fasta_file(ref_path, {ref});
+
+    genome::SnpPlantSpec pspec;
+    pspec.seed = gspec.seed + 1;
+    const auto snps = genome::plant_snps(ref, pspec);
+    const genome::Diploid individual(ref, snps);
+    reads::ReadSimSpec rspec;
+    rspec.depth = 4.0;
+    rspec.seed = gspec.seed + 2;
+    const fs::path align_path = workdir / (gspec.name + ".soap");
+    reads::write_alignment_file(align_path,
+                                reads::simulate_reads(individual, rspec));
+
+    service::ChromosomeSpec chrom;
+    chrom.name = gspec.name;
+    chrom.alignment_file = align_path.string();
+    chrom.reference_file = ref_path.string();
+    spec.chromosomes.push_back(std::move(chrom));
+  }
+
+  service::DaemonConfig config;
+  config.spool_dir = workdir / "spool";
+  config.workers = 2;
+  service::Daemon daemon(config);
+  daemon.recover();  // registers the fsck_* counters (clean, all zero)
+  daemon.submit(std::move(spec));
+  daemon.wait_idle();
+  std::fputs(daemon.prometheus_text().c_str(), stdout);
+  return 0;
+}
+
+int cmd_metrics(const Args& args) {
+  if (args.has("--demo")) return run_metrics_demo(args);
+  service::LineClient client = make_client(args);
+  service::Request request;
+  request.op = "metrics";
+  service::Response response =
+      service::parse_response(client.request(service::encode_request(request)));
+  if (!response.ok) {
+    std::fprintf(stderr, "metrics: [%s] %s\n",
+                 service::error_code_name(response.error),
+                 response.message.c_str());
+    return 3;
+  }
+  std::fputs(response.fields["text"].c_str(), stdout);
+  return 0;
+}
+
+int cmd_health(const Args& args) {
+  service::LineClient client = make_client(args);
+  service::Request request;
+  request.op = "health";
+  service::Response response =
+      service::parse_response(client.request(service::encode_request(request)));
+  if (!response.ok) {
+    std::fprintf(stderr, "health: [%s] %s\n",
+                 service::error_code_name(response.error),
+                 response.message.c_str());
+    return 3;
+  }
+  for (const auto& [key, value] : response.fields)
+    std::printf("%s=%s\n", key.c_str(), value.c_str());
+  // A load balancer can gate on the exit code alone.
+  return response.fields["ready"] == "true" ? 0 : 1;
+}
+
 int cmd_fsck(const Args& args) {
   if (args.positional().empty()) {
     std::fprintf(stderr,
@@ -853,6 +942,8 @@ int main(int argc, char** argv) {
       if (std::strcmp(argv[1], "submit") == 0) return cmd_submit(args);
       if (std::strcmp(argv[1], "status") == 0) return cmd_status(args);
       if (std::strcmp(argv[1], "cancel") == 0) return cmd_cancel(args);
+      if (std::strcmp(argv[1], "metrics") == 0) return cmd_metrics(args);
+      if (std::strcmp(argv[1], "health") == 0) return cmd_health(args);
       if (std::strcmp(argv[1], "shutdown") == 0) return cmd_shutdown(args);
       if (std::strcmp(argv[1], "fsck") == 0) return cmd_fsck(args);
     } catch (const std::exception& e) {
@@ -862,7 +953,8 @@ int main(int argc, char** argv) {
   }
   std::printf("usage: gsnp_cli "
               "<simulate|call|profile|compare|eval|vcf|stats|verify|manifest|"
-              "serve|submit|status|cancel|shutdown|fsck> [options]\n"
+              "serve|submit|status|cancel|metrics|health|shutdown|fsck> "
+              "[options]\n"
               "  simulate --out DIR [--sites N --depth X --seed S --sam]\n"
               "  call     --ref FA --align SOAP|SAM --out FILE\n"
               "           [--engine gsnp|gsnp-cpu|gsnp-simd|soapsnp]\n"
@@ -891,6 +983,9 @@ int main(int argc, char** argv) {
               "           [--engine E --tenant T --deadline S --wait]\n"
               "  status   --socket SOCK [--job ID | --stats]\n"
               "  cancel   --socket SOCK --job ID\n"
+              "  metrics  --socket SOCK   (Prometheus text exposition)\n"
+              "  metrics  --demo [--workdir DIR]   (hermetic sample daemon)\n"
+              "  health   --socket SOCK   (readiness; exit 0 iff ready)\n"
               "  shutdown --socket SOCK\n"
               "  fsck     SPOOL_DIR [--repair --deep]   (spool scrubber)\n");
   return argc == 1 ? 0 : 2;

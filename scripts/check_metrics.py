@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Lint a gsnpd Prometheus text exposition against the committed inventory.
+
+Usage: check_metrics.py EXPOSITION_FILE INVENTORY_FILE [--prefix gsnpd_]
+
+Checks (FORMATS.md §14):
+  * every line is a comment, a `# TYPE <name> <counter|gauge|histogram>`
+    declaration, or a `<name>[{labels}] <value>` sample;
+  * metric names match [a-zA-Z_][a-zA-Z0-9_]* and carry the expected prefix;
+  * every sample's family has a TYPE line, declared BEFORE the first sample;
+  * counter families end in _total and hold non-negative integers;
+  * histogram families expose _bucket/_sum/_count; per label-set the
+    cumulative buckets are monotone non-decreasing in increasing `le` order,
+    end with le="+Inf", and the +Inf bucket equals the _count sample;
+  * no duplicate (name, labels) sample;
+  * every family's base name appears in the inventory, and every
+    `!`-required inventory name is present in the exposition.
+
+Exit code 0 when clean, 1 with one message per violation otherwise.
+"""
+
+import re
+import sys
+
+NAME_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+SAMPLE_RE = re.compile(r"^([a-zA-Z_][a-zA-Z0-9_]*)(\{.*\})?\s+(\S+)$")
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_][a-zA-Z0-9_]*) (\S+)$")
+HIST_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+def parse_labels(block):
+    """'{a="x",le="0.5"}' -> dict; labels never contain commas/quotes in
+    values except through escapes, which gsnpd only emits for tenant names."""
+    if not block:
+        return {}
+    body = block[1:-1]
+    labels = {}
+    for m in re.finditer(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', body):
+        labels[m.group(1)] = m.group(2)
+    return labels
+
+
+def le_key(value):
+    return float("inf") if value == "+Inf" else float(value)
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.stderr.write(__doc__)
+        return 2
+    exposition_path, inventory_path = argv[1], argv[2]
+    prefix = "gsnpd_"
+    if len(argv) >= 5 and argv[3] == "--prefix":
+        prefix = argv[4]
+
+    allowed, required = set(), set()
+    with open(inventory_path) as f:
+        for line in f:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            name = line.lstrip("!")
+            allowed.add(name)
+            if line.startswith("!"):
+                required.add(name)
+
+    errors = []
+    types = {}          # family -> counter|gauge|histogram
+    seen_samples = set()  # (name, labels-text) duplicates
+    seen_families = set()
+    # histogram family -> label-set-key -> list of (le, count) in file order
+    hist_buckets = {}
+    hist_counts = {}    # histogram family -> label-set-key -> _count value
+
+    def err(lineno, msg):
+        errors.append("line %d: %s" % (lineno, msg))
+
+    with open(exposition_path) as f:
+        for lineno, raw in enumerate(f, 1):
+            line = raw.rstrip("\n")
+            if not line.strip():
+                continue
+            if line.startswith("#"):
+                m = TYPE_RE.match(line)
+                if m:
+                    name, kind = m.groups()
+                    if kind not in ("counter", "gauge", "histogram"):
+                        err(lineno, "unknown metric type %r" % kind)
+                    if name in types:
+                        err(lineno, "duplicate TYPE line for %s" % name)
+                    if kind == "counter" and not name.endswith("_total"):
+                        err(lineno, "counter %s must end in _total" % name)
+                    types[name] = kind
+                continue
+            m = SAMPLE_RE.match(line)
+            if m is None:
+                err(lineno, "unparseable sample line: %r" % line)
+                continue
+            name, label_block, value_text = m.groups()
+            if not NAME_RE.match(name):
+                err(lineno, "bad metric name %r" % name)
+            if not name.startswith(prefix):
+                err(lineno, "metric %s missing prefix %r" % (name, prefix))
+            try:
+                value = float(value_text)
+            except ValueError:
+                err(lineno, "non-numeric value %r for %s" % (value_text, name))
+                continue
+
+            key = (name, label_block or "")
+            if key in seen_samples:
+                err(lineno, "duplicate sample %s%s" % (name, label_block or ""))
+            seen_samples.add(key)
+
+            # Resolve the owning family: exact for counters/gauges, suffix-
+            # stripped for histogram series.
+            family = None
+            if name in types and types[name] != "histogram":
+                family = name
+            else:
+                for suffix in HIST_SUFFIXES:
+                    base = name[: -len(suffix)] if name.endswith(suffix) else None
+                    if base and types.get(base) == "histogram":
+                        family = base
+                        break
+                if family is None and name in types:
+                    family = name  # a histogram family sampled bare: flagged next
+            if family is None:
+                err(lineno, "sample %s has no TYPE declaration above it" % name)
+                continue
+            seen_families.add(family)
+
+            labels = parse_labels(label_block or "")
+            if types[family] == "counter":
+                if value < 0 or value != int(value):
+                    err(lineno,
+                        "counter %s value %s is not a non-negative integer"
+                        % (name, value_text))
+            elif types[family] == "histogram":
+                series = frozenset(
+                    (k, v) for k, v in labels.items() if k != "le")
+                if name.endswith("_bucket"):
+                    if "le" not in labels:
+                        err(lineno, "bucket sample %s lacks an le label" % name)
+                    else:
+                        hist_buckets.setdefault(family, {}).setdefault(
+                            series, []).append((lineno, labels["le"], value))
+                elif name.endswith("_count"):
+                    hist_counts.setdefault(family, {})[series] = (lineno, value)
+                elif not name.endswith("_sum"):
+                    err(lineno,
+                        "histogram family %s sampled without a "
+                        "_bucket/_sum/_count suffix" % family)
+
+    # Cross-sample histogram checks.
+    for family, by_series in sorted(hist_buckets.items()):
+        for series, buckets in sorted(by_series.items()):
+            prev_le, prev_n = None, -1.0
+            for lineno, le_text, n in buckets:
+                le = le_key(le_text)
+                if prev_le is not None and le <= prev_le:
+                    err(lineno, "%s buckets not in increasing le order" % family)
+                if n < prev_n:
+                    err(lineno,
+                        "%s cumulative bucket %s dropped below the previous "
+                        "bucket" % (family, le_text))
+                prev_le, prev_n = le, n
+            if buckets[-1][1] != "+Inf":
+                err(buckets[-1][0], "%s bucket list must end at le=\"+Inf\""
+                    % family)
+            count = hist_counts.get(family, {}).get(series)
+            if count is None:
+                err(buckets[-1][0], "%s has buckets but no _count" % family)
+            elif buckets[-1][1] == "+Inf" and count[1] != buckets[-1][2]:
+                err(count[0],
+                    "%s +Inf bucket %g != _count %g"
+                    % (family, buckets[-1][2], count[1]))
+
+    # Inventory: every exposed family allowed; every required family present.
+    exposed_bases = set()
+    for family in seen_families:
+        base = family[len(prefix):] if family.startswith(prefix) else family
+        if types.get(family) == "counter" and base.endswith("_total"):
+            base = base[: -len("_total")]
+        exposed_bases.add(base)
+        if base not in allowed:
+            errors.append(
+                "family %s (base %r) is not in the inventory %s"
+                % (family, base, inventory_path))
+    for base in sorted(required - exposed_bases):
+        errors.append("required family %r missing from the exposition" % base)
+
+    if errors:
+        for e in errors:
+            sys.stderr.write("check_metrics: %s\n" % e)
+        sys.stderr.write("check_metrics: FAIL (%d error(s)) in %s\n"
+                         % (len(errors), exposition_path))
+        return 1
+    print("check_metrics: OK — %d families, %d samples, inventory clean"
+          % (len(seen_families), len(seen_samples)))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

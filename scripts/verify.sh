@@ -39,6 +39,13 @@ cmake --build build -j --target bench_smoke >/dev/null
 echo "== perf sentinel: fresh bench vs committed baseline (+ history append) =="
 scripts/bench_report --check
 
+echo "== telemetry: gsnpd Prometheus exposition lints against the inventory =="
+cmake --build build -j --target gsnp_cli >/dev/null
+./build/examples/gsnp_cli metrics --demo --workdir build/metrics_demo \
+    > build/metrics_demo.txt
+python3 scripts/check_metrics.py build/metrics_demo.txt \
+    scripts/metrics_inventory.txt
+
 echo "== profiler: per-kernel profile is schema-valid and sums exactly =="
 cmake --build build -j --target gsnp_cli >/dev/null
 ./build/examples/gsnp_cli simulate --out build/profile_sim --sites 20000 \
@@ -73,7 +80,7 @@ run_service_chaos_smoke() {
 echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz + service =="
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null
-ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam|test_service'
+ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam|test_service|histogram|eventlog'
 
 echo "== storage/network chaos under ASan: fault matrix, fsck corpus, socket chaos =="
 ctest --test-dir build-asan --output-on-failure -R 'fsfault|fsck|chaos'
@@ -93,7 +100,7 @@ cmake -B build-tsan -S . -DGSNP_SANITIZE=thread -DGSNP_OPENMP=OFF \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure \
-      -R 'determinism|test_obs|profiler|device|test_service'
+      -R 'determinism|test_obs|profiler|device|test_service|histogram|eventlog'
 
 echo "== storage/network chaos under TSan: injector + spool + socket thread-safety =="
 ctest --test-dir build-tsan --output-on-failure -R 'fsfault|fsck|chaos'

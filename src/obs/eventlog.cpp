@@ -1,0 +1,139 @@
+#include "src/obs/eventlog.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "src/common/atomic_file.hpp"
+#include "src/common/error.hpp"
+#include "src/common/fs_fault.hpp"
+#include "src/common/json.hpp"
+
+namespace gsnp::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+void append_string_field(std::ostream& os, const char* key,
+                         const std::string& value) {
+  if (value.empty()) return;
+  os << ",\"" << key << "\":";
+  json::write_escaped(os, value);
+}
+
+}  // namespace
+
+std::string encode_job_event(const JobEvent& event) {
+  std::ostringstream os;
+  os << "{\"seq\":" << event.seq << ",\"ts_ns\":" << event.ts_ns
+     << ",\"event\":";
+  json::write_escaped(os, event.event);
+  append_string_field(os, "job", event.job_id);
+  append_string_field(os, "tenant", event.tenant);
+  append_string_field(os, "backend", event.backend);
+  append_string_field(os, "reason", event.reason);
+  append_string_field(os, "chromosome", event.chromosome);
+  if (event.degraded) os << ",\"degraded\":true";
+  if (event.wall_seconds != 0.0)
+    os << ",\"wall_seconds\":" << fmt_double(event.wall_seconds);
+  if (event.modeled_seconds != 0.0)
+    os << ",\"modeled_seconds\":" << fmt_double(event.modeled_seconds);
+  append_string_field(os, "error", event.error);
+  os << "}";
+  return os.str();
+}
+
+JobEvent parse_job_event(std::string_view line) {
+  const json::Value root = json::parse(line);
+  GSNP_CHECK_MSG(root.kind == json::Value::Kind::kObject,
+                 "job event line is not a JSON object");
+  JobEvent event;
+  event.seq = json::get_u64(root, "seq");
+  event.ts_ns = json::get_u64(root, "ts_ns");
+  event.event = json::get_string(root, "event");
+  const auto opt_string = [&root](const char* key, std::string& out) {
+    if (const json::Value* v = json::find(root, key)) out = v->string;
+  };
+  opt_string("job", event.job_id);
+  opt_string("tenant", event.tenant);
+  opt_string("backend", event.backend);
+  opt_string("reason", event.reason);
+  opt_string("chromosome", event.chromosome);
+  opt_string("error", event.error);
+  if (const json::Value* v = json::find(root, "degraded"))
+    event.degraded = v->boolean;
+  if (const json::Value* v = json::find(root, "wall_seconds"))
+    event.wall_seconds = v->number;
+  if (const json::Value* v = json::find(root, "modeled_seconds"))
+    event.modeled_seconds = v->number;
+  return event;
+}
+
+EventLog::EventLog(std::filesystem::path path, bool fsync_each)
+    : path_(std::move(path)),
+      fsync_each_(fsync_each),
+      epoch_(std::chrono::steady_clock::now()) {
+  // A predecessor that died mid-append leaves a file without a trailing
+  // newline; detect it so the first new record does not fuse with the torn
+  // fragment (the fragment itself stays — read_event_log skips it).
+  bool needs_separator = false;
+  {
+    std::ifstream probe(path_, std::ios::binary | std::ios::ate);
+    if (probe.good() && probe.tellg() > 0) {
+      probe.seekg(-1, std::ios::end);
+      char last = '\n';
+      probe.get(last);
+      needs_separator = last != '\n';
+    }
+  }
+  out_.open(path_, std::ios::binary | std::ios::app);
+  GSNP_CHECK_MSG(out_.is_open(), "cannot open event log " << path_);
+  if (needs_separator) {
+    out_ << '\n';
+    out_.flush();
+  }
+}
+
+void EventLog::append(JobEvent event) {
+  const u64 ts_ns = static_cast<u64>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+  const std::lock_guard<std::mutex> lock(mu_);
+  event.seq = next_seq_++;
+  event.ts_ns = ts_ns;
+  const std::string line = encode_job_event(event) + "\n";
+  fsfault::write(out_, path_, line);
+  out_.flush();
+  fsfault::check_stream(out_, path_, "event log flush");
+  if (fsync_each_) fsync_path(path_);
+  ++appended_;
+}
+
+u64 EventLog::appended() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+std::vector<JobEvent> read_event_log(const std::filesystem::path& path) {
+  std::vector<JobEvent> events;
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return events;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    try {
+      events.push_back(parse_job_event(line));
+    } catch (const Error&) {
+      // Torn tail or short-write fragment: skip, keep reading — a valid
+      // record can follow a separator-repaired fragment.
+    }
+  }
+  return events;
+}
+
+}  // namespace gsnp::obs

@@ -1,0 +1,90 @@
+#pragma once
+// gsnp::obs — append-only structured job event log (JSONL).
+//
+// The daemon's job state machine emits one record per lifecycle transition
+// (submitted, admitted, shed, rejected, started, chromosome_done, published,
+// failed, cancelled, interrupted, recovered) into `<spool>/events.jsonl`.
+// One JSON object per line, append-only, never rewritten — the log is the
+// service's flight recorder: after any crash the surviving prefix replays
+// the exact transition history, and the per-job suffix answers "did this
+// job's result publish exactly once?".
+//
+// Crash safety follows the spool's discipline: every append goes through
+// the fsfault::write shim (so storage chaos plans can tear it), is flushed,
+// and is fsynced before append() returns.  A crash mid-append leaves at most
+// one torn final line; read_event_log() skips unparseable lines, and a new
+// EventLog opening a file with a torn tail writes a newline first so the
+// next record starts clean (the torn fragment stays, as crash evidence).
+// Appends throw FsFaultError on injected or real storage failures; callers
+// (the daemon) treat that as survivable — the event stream loses a record,
+// the job state machine does not.
+//
+// Record schema: FORMATS.md §14.
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace gsnp::obs {
+
+/// One job lifecycle transition.  String fields are empty (and numeric
+/// fields zero) when not meaningful for the event type; the encoder omits
+/// empty/zero optional fields from the JSON line.
+struct JobEvent {
+  u64 seq = 0;    ///< 1-based append order within one EventLog instance
+  u64 ts_ns = 0;  ///< monotonic ns since this EventLog instance opened
+  std::string event;       ///< transition name, e.g. "published"
+  std::string job_id;
+  std::string tenant;
+  std::string backend;     ///< backend name from the job spec
+  std::string reason;      ///< typed shed/reject/cancel reason (snake_case)
+  std::string chromosome;  ///< chromosome_done only
+  bool degraded = false;   ///< chromosome_done: fell back to the CPU engine
+  double wall_seconds = 0.0;     ///< measured wall time for the transition
+  double modeled_seconds = 0.0;  ///< modeled device seconds (chromosome_done)
+  std::string error;             ///< failure detail (failed/rejected)
+};
+
+/// JobEvent -> one-line JSON (no trailing newline); deterministic field
+/// order.  Exposed for tests and external tooling.
+std::string encode_job_event(const JobEvent& event);
+/// Inverse; throws gsnp::Error on malformed lines (torn tails).
+JobEvent parse_job_event(std::string_view line);
+
+class EventLog {
+ public:
+  /// Opens (appending) or creates the log.  `fsync_each` trades append
+  /// latency for durability of every record; the daemon keeps it on.
+  /// Throws gsnp::Error when the file cannot be opened.
+  explicit EventLog(std::filesystem::path path, bool fsync_each = true);
+
+  /// Stamp seq/ts_ns and append one record durably.  Thread-safe; appends
+  /// from concurrent workers serialize in seq order.  Throws FsFaultError
+  /// (injected or real storage failure); the record may then be torn or
+  /// absent on disk, never merged with a neighbor.
+  void append(JobEvent event);
+
+  const std::filesystem::path& path() const { return path_; }
+  u64 appended() const;  ///< records successfully appended by this instance
+
+ private:
+  std::filesystem::path path_;
+  bool fsync_each_;
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::ofstream out_;
+  u64 next_seq_ = 1;
+  u64 appended_ = 0;
+};
+
+/// Read every parseable record, in file order.  Unparseable lines (torn
+/// crash tails, short-write fragments) are skipped, not fatal; a missing
+/// file reads as empty.
+std::vector<JobEvent> read_event_log(const std::filesystem::path& path);
+
+}  // namespace gsnp::obs

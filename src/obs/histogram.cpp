@@ -1,0 +1,227 @@
+#include "src/obs/histogram.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <ostream>
+#include <sstream>
+
+#include "src/common/error.hpp"
+#include "src/common/json.hpp"
+
+namespace gsnp::obs {
+
+namespace {
+
+/// Shortest exact double rendering (%.17g round-trips every finite double);
+/// the determinism contract for snapshots rests on this being a pure
+/// function of the bit pattern.
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+}  // namespace
+
+int Histogram::bucket_index(double value) {
+  if (!(value > 0.0)) return kUnderflowBucket;  // <= 0 and NaN
+  if (std::isinf(value)) return kOverflowBucket;
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // value = frac * 2^exp
+  const int octave = exp - 1;                   // frac in [0.5, 1)
+  if (octave < kMinExponent) return kUnderflowBucket;
+  if (octave > kMaxExponent) return kOverflowBucket;
+  int sub = static_cast<int>((frac - 0.5) * (2 * kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // frac == 1-ulp guard
+  if (sub < 0) sub = 0;
+  return 1 + (octave - kMinExponent) * kSubBuckets + sub;
+}
+
+double Histogram::bucket_lower(int index) {
+  GSNP_CHECK_MSG(index >= 0 && index < kNumBuckets,
+                 "histogram bucket index out of range: " << index);
+  if (index == kUnderflowBucket) return 0.0;
+  if (index == kOverflowBucket)
+    return std::ldexp(1.0, kMaxExponent + 1);  // 2^(kMaxExponent+1)
+  const int octave = (index - 1) / kSubBuckets + kMinExponent;
+  const int sub = (index - 1) % kSubBuckets;
+  return std::ldexp(1.0 + static_cast<double>(sub) / kSubBuckets, octave);
+}
+
+double Histogram::bucket_upper(int index) {
+  GSNP_CHECK_MSG(index >= 0 && index < kNumBuckets,
+                 "histogram bucket index out of range: " << index);
+  if (index == kUnderflowBucket) return std::ldexp(1.0, kMinExponent);
+  if (index == kOverflowBucket)
+    return std::numeric_limits<double>::infinity();
+  const int octave = (index - 1) / kSubBuckets + kMinExponent;
+  const int sub = (index - 1) % kSubBuckets;
+  return sub + 1 == kSubBuckets
+             ? std::ldexp(1.0, octave + 1)
+             : std::ldexp(1.0 + static_cast<double>(sub + 1) / kSubBuckets,
+                          octave);
+}
+
+void Histogram::record(double value) {
+  const int index = bucket_index(value);
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  ++buckets_[static_cast<std::size_t>(index)];
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  ++count_;
+  sum_ += value;
+}
+
+void Histogram::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (buckets_.empty()) buckets_.assign(kNumBuckets, 0);
+  for (const auto& [index, n] : other.buckets) {
+    GSNP_CHECK_MSG(index >= 0 && index < kNumBuckets,
+                   "histogram merge: bucket index out of range " << index);
+    buckets_[static_cast<std::size_t>(index)] += n;
+  }
+  if (count_ == 0) {
+    min_ = other.min;
+    max_ = other.max;
+  } else {
+    min_ = std::min(min_, other.min);
+    max_ = std::max(max_, other.max);
+  }
+  count_ += other.count;
+  sum_ += other.sum;
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.count = count_;
+  snap.sum = sum_;
+  snap.min = min_;
+  snap.max = max_;
+  for (std::size_t i = 0; i < buckets_.size(); ++i)
+    if (buckets_[i] != 0)
+      snap.buckets.emplace_back(static_cast<int>(i), buckets_[i]);
+  return snap;
+}
+
+void Histogram::clear() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+  buckets_.clear();
+}
+
+// ---- Snapshot -------------------------------------------------------------
+
+u64 Histogram::Snapshot::bucket_count(int index) const {
+  for (const auto& [i, n] : buckets)
+    if (i == index) return n;
+  return 0;
+}
+
+double Histogram::Snapshot::quantile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank ceil(q * count), at least 1 — the same ceil-rank convention the
+  // bench harness uses for its client-side percentiles.
+  u64 target = static_cast<u64>(std::ceil(q * static_cast<double>(count)));
+  if (target < 1) target = 1;
+  if (target > count) target = count;
+  u64 cumulative = 0;
+  for (const auto& [index, n] : buckets) {
+    cumulative += n;
+    if (cumulative >= target)
+      return std::clamp(bucket_upper(index), min, max);
+  }
+  return max;  // unreachable when buckets are consistent with count
+}
+
+void Histogram::Snapshot::merge(const Snapshot& other) {
+  if (other.count == 0) return;
+  if (count == 0) {
+    *this = other;
+    return;
+  }
+  std::vector<std::pair<int, u64>> merged;
+  merged.reserve(buckets.size() + other.buckets.size());
+  std::size_t a = 0, b = 0;
+  while (a < buckets.size() || b < other.buckets.size()) {
+    if (b == other.buckets.size() ||
+        (a < buckets.size() && buckets[a].first < other.buckets[b].first)) {
+      merged.push_back(buckets[a++]);
+    } else if (a == buckets.size() ||
+               other.buckets[b].first < buckets[a].first) {
+      merged.push_back(other.buckets[b++]);
+    } else {
+      merged.emplace_back(buckets[a].first,
+                          buckets[a].second + other.buckets[b].second);
+      ++a;
+      ++b;
+    }
+  }
+  buckets = std::move(merged);
+  count += other.count;
+  sum += other.sum;
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+}
+
+void Histogram::Snapshot::write_json(std::ostream& os) const {
+  os << "{\"count\":" << count << ",\"sum\":" << fmt_double(sum)
+     << ",\"min\":" << fmt_double(min) << ",\"max\":" << fmt_double(max)
+     << ",\"buckets\":[";
+  for (std::size_t i = 0; i < buckets.size(); ++i) {
+    if (i != 0) os << ',';
+    os << '[' << buckets[i].first << ',' << buckets[i].second << ']';
+  }
+  os << "]}";
+}
+
+std::string Histogram::Snapshot::json() const {
+  std::ostringstream os;
+  write_json(os);
+  return os.str();
+}
+
+Histogram::Snapshot Histogram::Snapshot::from_json(const json::Value& value) {
+  GSNP_CHECK_MSG(value.kind == json::Value::Kind::kObject,
+                 "histogram snapshot is not a JSON object");
+  Snapshot snap;
+  snap.count = json::get_u64(value, "count");
+  snap.sum = json::get_number(value, "sum");
+  snap.min = json::get_number(value, "min");
+  snap.max = json::get_number(value, "max");
+  const json::Value* buckets = json::find(value, "buckets");
+  GSNP_CHECK_MSG(buckets != nullptr &&
+                     buckets->kind == json::Value::Kind::kArray,
+                 "histogram snapshot: 'buckets' missing or not an array");
+  int previous = -1;
+  for (const json::Value& entry : buckets->array) {
+    GSNP_CHECK_MSG(entry.kind == json::Value::Kind::kArray &&
+                       entry.array.size() == 2 &&
+                       entry.array[0].kind == json::Value::Kind::kNumber &&
+                       entry.array[1].kind == json::Value::Kind::kNumber,
+                   "histogram snapshot: bucket entry is not [index, count]");
+    const int index = static_cast<int>(entry.array[0].number);
+    GSNP_CHECK_MSG(index > previous && index < kNumBuckets,
+                   "histogram snapshot: bucket index " << index
+                                                       << " out of order");
+    previous = index;
+    snap.buckets.emplace_back(index,
+                              static_cast<u64>(entry.array[1].number));
+  }
+  return snap;
+}
+
+}  // namespace gsnp::obs

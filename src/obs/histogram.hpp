@@ -1,0 +1,100 @@
+#pragma once
+// gsnp::obs — log-linear latency histogram for the service telemetry plane.
+//
+// The bucket layout is FIXED at compile time (no per-instance configuration):
+// every histogram in every process buckets a given value into the same index,
+// so snapshots from different workers, runs, or daemon incarnations are
+// directly mergeable and byte-diffable.  Layout: one octave [2^e, 2^(e+1))
+// per binary exponent e in [kMinExponent, kMaxExponent], each split into
+// kSubBuckets equal linear sub-buckets, plus an underflow bucket (values
+// <= 0 or below 2^kMinExponent) and an overflow bucket.  With kSubBuckets=8
+// a bucket spans at most 1/8 of its octave, so the quantile estimate — the
+// upper bound of the bucket holding the target rank, clamped to the observed
+// [min, max] — overestimates the true sample by at most 12.5%.
+//
+// record() takes one mutex; snapshots are sparse (only non-empty buckets),
+// deterministic (same values recorded -> bit-identical JSON, independent of
+// recording order across threads), and mergeable (bucket-wise addition).
+// The seconds range covered exactly is [2^-30 (~0.93ns), 2^31 (~68 years)).
+
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/types.hpp"
+
+namespace gsnp {
+namespace json {
+struct Value;
+}
+}  // namespace gsnp
+
+namespace gsnp::obs {
+
+class Histogram {
+ public:
+  static constexpr int kSubBuckets = 8;    ///< linear sub-buckets per octave
+  static constexpr int kMinExponent = -30; ///< first octave is [2^-30, 2^-29)
+  static constexpr int kMaxExponent = 30;  ///< last octave is [2^30, 2^31)
+  static constexpr int kUnderflowBucket = 0;
+  static constexpr int kOverflowBucket =
+      (kMaxExponent - kMinExponent + 1) * kSubBuckets + 1;
+  static constexpr int kNumBuckets = kOverflowBucket + 1;
+
+  /// The bucket `value` lands in.  <= 0 (and NaN) underflow; +inf overflows.
+  static int bucket_index(double value);
+  /// Half-open bucket ranges: [lower, upper).  The underflow bucket reports
+  /// lower 0; the overflow bucket reports upper +inf.
+  static double bucket_lower(int index);
+  static double bucket_upper(int index);
+
+  /// A point-in-time copy: exact count/sum/min/max plus the sparse non-empty
+  /// buckets in ascending index order.  Plain data — freely copyable,
+  /// mergeable, and serializable without the source histogram's lock.
+  struct Snapshot {
+    u64 count = 0;
+    double sum = 0.0;
+    double min = 0.0;  ///< 0 when empty
+    double max = 0.0;  ///< 0 when empty
+    std::vector<std::pair<int, u64>> buckets;
+
+    u64 bucket_count(int index) const;
+
+    /// Upper bound of the bucket holding rank ceil(q * count), clamped to
+    /// the observed [min, max] — so quantile(1) == max exactly, and the
+    /// estimate never exceeds the true sample by more than one sub-bucket
+    /// width (12.5%).  Monotone in q.  Returns 0 on an empty snapshot.
+    double quantile(double q) const;
+
+    /// Bucket-wise addition; count/sum add, min/max widen.  Associative and
+    /// commutative up to floating-point addition order in `sum`.
+    void merge(const Snapshot& other);
+
+    /// Deterministic single-line JSON:
+    ///   {"count":N,"sum":S,"min":m,"max":M,"buckets":[[idx,n],...]}
+    /// Doubles print with %.17g, so equal snapshots render byte-identically
+    /// and parse back exactly.
+    void write_json(std::ostream& os) const;
+    std::string json() const;
+    static Snapshot from_json(const json::Value& value);
+  };
+
+  void record(double value);
+  /// Fold a snapshot in (shard aggregation, restart carry-over).
+  void merge(const Snapshot& other);
+  Snapshot snapshot() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  u64 count_ = 0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  std::vector<u64> buckets_;  ///< dense, lazily sized to kNumBuckets
+};
+
+}  // namespace gsnp::obs

@@ -1,0 +1,125 @@
+#include "src/obs/prometheus.hpp"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <utility>
+#include <vector>
+
+namespace gsnp::obs {
+
+namespace {
+
+std::string fmt_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return std::string(buf);
+}
+
+/// Split a registry key into (sanitized family, verbatim label block).
+/// `name{tenant="a"}` -> ("name", "{tenant=\"a\"}"); plain names get "".
+std::pair<std::string, std::string> split_series(std::string_view key) {
+  const std::size_t pos = key.find('{');
+  if (pos == std::string_view::npos || key.back() != '}')
+    return {sanitize_metric_name(key), std::string()};
+  return {sanitize_metric_name(key.substr(0, pos)),
+          std::string(key.substr(pos))};
+}
+
+/// Append `extra` (e.g. `le="0.5"`) to a possibly-empty label block.
+std::string with_label(const std::string& labels, const std::string& extra) {
+  if (labels.empty()) return "{" + extra + "}";
+  return labels.substr(0, labels.size() - 1) + "," + extra + "}";
+}
+
+template <typename T>
+using FamilyMap = std::map<std::string, std::vector<std::pair<std::string, T>>>;
+
+/// Regroup registry keys by family so every family renders exactly one
+/// `# TYPE` line even when labeled and unlabeled keys interleave in the
+/// registry's lexicographic order ('{' sorts after 'z').
+template <typename M>
+FamilyMap<typename M::mapped_type> group_families(const M& entries) {
+  FamilyMap<typename M::mapped_type> families;
+  for (const auto& [key, value] : entries) {
+    auto [family, labels] = split_series(key);
+    families[family].emplace_back(std::move(labels), value);
+  }
+  return families;
+}
+
+}  // namespace
+
+std::string labeled_series(std::string_view base, std::string_view label_key,
+                           std::string_view label_value) {
+  std::string out(base);
+  out += '{';
+  out += label_key;
+  out += "=\"";
+  for (const char c : label_value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  out += "\"}";
+  return out;
+}
+
+std::string sanitize_metric_name(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out += ok ? c : '_';
+  }
+  if (out.empty()) out = "_";
+  if (out[0] >= '0' && out[0] <= '9') out.insert(out.begin(), '_');
+  return out;
+}
+
+std::string render_prometheus(const Metrics& metrics,
+                              std::string_view prefix) {
+  std::ostringstream os;
+  const std::string p(prefix);
+
+  for (const auto& [family, series] : group_families(metrics.counters())) {
+    os << "# TYPE " << p << family << "_total counter\n";
+    for (const auto& [labels, value] : series)
+      os << p << family << "_total" << labels << ' ' << value << '\n';
+  }
+
+  for (const auto& [family, series] : group_families(metrics.gauges())) {
+    os << "# TYPE " << p << family << " gauge\n";
+    for (const auto& [labels, value] : series)
+      os << p << family << labels << ' ' << fmt_double(value) << '\n';
+  }
+
+  for (const auto& [family, series] : group_families(metrics.histograms())) {
+    os << "# TYPE " << p << family << " histogram\n";
+    for (const auto& [labels, snap] : series) {
+      u64 cumulative = 0;
+      for (const auto& [index, n] : snap.buckets) {
+        if (index == Histogram::kOverflowBucket) break;  // folded into +Inf
+        cumulative += n;
+        os << p << family << "_bucket"
+           << with_label(labels,
+                         "le=\"" + fmt_double(Histogram::bucket_upper(index)) +
+                             "\"")
+           << ' ' << cumulative << '\n';
+      }
+      os << p << family << "_bucket" << with_label(labels, "le=\"+Inf\"")
+         << ' ' << snap.count << '\n';
+      os << p << family << "_sum" << labels << ' ' << fmt_double(snap.sum)
+         << '\n';
+      os << p << family << "_count" << labels << ' ' << snap.count << '\n';
+    }
+  }
+
+  return os.str();
+}
+
+}  // namespace gsnp::obs

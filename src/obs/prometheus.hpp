@@ -1,0 +1,38 @@
+#pragma once
+// gsnp::obs — Prometheus text exposition (format 0.0.4) for a Metrics
+// registry.  Counters render as `<prefix><name>_total`, gauges as
+// `<prefix><name>`, histograms as the conventional `_bucket{le="..."}` /
+// `_sum` / `_count` triple with cumulative bucket counts; every family gets
+// one `# TYPE` line.  Names sanitize to the Prometheus charset
+// ([a-zA-Z_][a-zA-Z0-9_]*) and the output is byte-deterministic for a given
+// registry state (families and series in lexicographic order), so
+// scripts/check_metrics.py can lint it and diff the name inventory.
+//
+// Labeled series: a registry key of the form `name{key="value"}` (built
+// with labeled_series(), which escapes the value) renders as one series of
+// the `name` family — the daemon uses this for per-tenant latency
+// histograms.  The label block passes through verbatim.
+
+#include <string>
+#include <string_view>
+
+#include "src/obs/trace.hpp"
+
+namespace gsnp::obs {
+
+/// `base{key="value"}` with backslash/quote/newline escaped in `value` —
+/// the registry key for one labeled series of family `base`.
+std::string labeled_series(std::string_view base, std::string_view label_key,
+                           std::string_view label_value);
+
+/// Replace every character outside [a-zA-Z0-9_] with '_'; prefix a '_' when
+/// the result would start with a digit.  Applied to family names only —
+/// label values carry arbitrary (escaped) bytes.
+std::string sanitize_metric_name(std::string_view name);
+
+/// Render the whole registry.  `prefix` namespaces every family
+/// (the daemon uses "gsnpd_").
+std::string render_prometheus(const Metrics& metrics,
+                              std::string_view prefix = "gsnp_");
+
+}  // namespace gsnp::obs

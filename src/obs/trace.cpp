@@ -54,6 +54,17 @@ double Metrics::gauge(std::string_view name) const {
   return it == gauges_.end() ? 0.0 : it->second;
 }
 
+Histogram& Metrics::histogram(std::string_view name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[std::string(name)];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+void Metrics::record(std::string_view name, double value) {
+  histogram(name).record(value);
+}
+
 std::map<std::string, u64> Metrics::counters() const {
   const std::lock_guard<std::mutex> lock(mu_);
   return counters_;
@@ -64,10 +75,18 @@ std::map<std::string, double> Metrics::gauges() const {
   return gauges_;
 }
 
+std::map<std::string, Histogram::Snapshot> Metrics::histograms() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::map<std::string, Histogram::Snapshot> out;
+  for (const auto& [name, hist] : histograms_) out[name] = hist->snapshot();
+  return out;
+}
+
 void Metrics::clear() {
   const std::lock_guard<std::mutex> lock(mu_);
   counters_.clear();
   gauges_.clear();
+  histograms_.clear();
 }
 
 Metrics& Metrics::process() {
@@ -335,7 +354,16 @@ void write_metrics_json(const std::filesystem::path& path,
       json::write_escaped(out, name);
       out << ": " << fmt(value);
     }
-    out << "}\n}\n";
+    out << "},\n  \"histograms\": {";
+    first = true;
+    for (const auto& [name, snap] : tracer.metrics().histograms()) {
+      out << (first ? "\n    " : ",\n    ");
+      first = false;
+      json::write_escaped(out, name);
+      out << ": ";
+      snap.write_json(out);
+    }
+    out << "\n  }\n}\n";
     out.flush();
     GSNP_CHECK_MSG(out.good(), "metrics write failed " << tmp);
   }
@@ -373,6 +401,12 @@ MetricsSnapshot read_metrics_json(const std::filesystem::path& path) {
                      "metrics: gauge '" << name << "' is not a number");
       snap.gauges[name] = v.number;
     }
+  }
+  if (const json::Value* hists = json::find(root, "histograms")) {
+    GSNP_CHECK_MSG(hists->kind == json::Value::Kind::kObject,
+                   "metrics: 'histograms' is not an object");
+    for (const auto& [name, v] : hists->object)
+      snap.histograms[name] = Histogram::Snapshot::from_json(v);
   }
   return snap;
 }

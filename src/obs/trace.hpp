@@ -37,6 +37,7 @@
 #include "src/common/types.hpp"
 #include "src/device/device.hpp"
 #include "src/device/perf_model.hpp"
+#include "src/obs/histogram.hpp"
 
 namespace gsnp::obs {
 
@@ -69,7 +70,8 @@ struct SpanRecord {
 };
 
 /// Process-wide (or per-run) metrics registry: monotonically increasing
-/// counters and last-value gauges.  All operations are thread-safe.
+/// counters, last-value gauges, and named latency histograms (fixed-layout
+/// log-linear, histogram.hpp).  All operations are thread-safe.
 class Metrics {
  public:
   void add(std::string_view name, u64 delta = 1);
@@ -77,8 +79,17 @@ class Metrics {
   u64 counter(std::string_view name) const;   ///< 0 if never added
   double gauge(std::string_view name) const;  ///< 0.0 if never set
 
+  /// The histogram registered under `name`, created empty on first use.
+  /// The reference stays valid for the registry's lifetime (clear()
+  /// excepted), so hot paths may cache it and record() without re-lookup.
+  /// Names may carry a Prometheus-style label block — see prometheus.hpp's
+  /// labeled_series() — which the exposition renderer splits back out.
+  Histogram& histogram(std::string_view name);
+  void record(std::string_view name, double value);  ///< lookup + record
+
   std::map<std::string, u64> counters() const;
   std::map<std::string, double> gauges() const;
+  std::map<std::string, Histogram::Snapshot> histograms() const;
   void clear();
 
   /// The process-wide registry (long-lived daemons; tests use instances).
@@ -88,6 +99,9 @@ class Metrics {
   mutable std::mutex mu_;
   std::map<std::string, u64> counters_;
   std::map<std::string, double> gauges_;
+  /// unique_ptr: Histogram holds a mutex (immovable); map nodes keep the
+  /// pointed-to histograms stable across inserts.
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
 
 /// Thread-safe span collector.  Create one per run, pass `&tracer` (or
@@ -183,6 +197,7 @@ struct MetricsSnapshot {
   std::map<std::string, double> stages;  ///< table seconds per stage name
   std::map<std::string, u64> counters;
   std::map<std::string, double> gauges;
+  std::map<std::string, Histogram::Snapshot> histograms;
 };
 MetricsSnapshot read_metrics_json(const std::filesystem::path& path);
 

@@ -10,6 +10,7 @@
 #include "src/common/atomic_file.hpp"
 #include "src/genome/dbsnp.hpp"
 #include "src/genome/reference.hpp"
+#include "src/obs/prometheus.hpp"
 #include "src/service/journal.hpp"
 
 namespace gsnp::service {
@@ -28,6 +29,29 @@ bool settled(JobState state) {
   return state == JobState::kDone || state == JobState::kFailed ||
          state == JobState::kCancelled || state == JobState::kInterrupted;
 }
+
+/// Every metric the daemon can ever emit, pre-registered at construction so
+/// the Prometheus exposition shows the full family set (at zero) from the
+/// first scrape — scripts/metrics_inventory.txt mirrors this list plus the
+/// fsck_* verdict counters recover() registers.
+constexpr const char* kDaemonCounters[] = {
+    "jobs_submitted",       "jobs_admitted",
+    "jobs_completed",       "jobs_failed",
+    "jobs_cancelled",       "jobs_interrupted",
+    "jobs_shed_queue_full", "jobs_shed_quota",
+    "jobs_shed_payload",    "jobs_rejected_bad_request",
+    "jobs_rejected_invalid_argument",
+    "jobs_rejected_storage", "jobs_deduplicated",
+    "jobs_resumed",         "journal_write_failures",
+    "manifest_write_failures",
+    "chromosomes_done",     "chromosomes_degraded",
+    "chromosomes_failed",   "eventlog_write_failures",
+};
+constexpr const char* kDaemonGauges[] = {
+    "jobs_active", "queue_depth", "workers_busy", "spool_bytes"};
+constexpr const char* kDaemonHistograms[] = {
+    "job_queue_wait_seconds", "chromosome_compute_seconds",
+    "job_completion_seconds"};
 
 }  // namespace
 
@@ -82,6 +106,20 @@ Daemon::Daemon(DaemonConfig config) : config_(std::move(config)) {
   GSNP_CHECK_MSG(!config_.spool_dir.empty(), "daemon needs a spool_dir");
   if (config_.workers < 1) config_.workers = 1;
   std::filesystem::create_directories(config_.spool_dir / "jobs");
+  for (const char* name : kDaemonCounters) metrics_.add(name, 0);
+  for (const char* name : kDaemonGauges) metrics_.set_gauge(name, 0.0);
+  for (const char* name : kDaemonHistograms) metrics_.histogram(name);
+  if (config_.event_log) {
+    try {
+      events_ = std::make_unique<obs::EventLog>(config_.spool_dir /
+                                                "events.jsonl");
+    } catch (const Error&) {
+      // An unopenable flight recorder must not ground the plane; jobs run,
+      // the loss is counted.
+      metrics_.add("eventlog_write_failures");
+    }
+  }
+  update_spool_gauge();
   devices_.reserve(config_.workers);
   for (std::size_t i = 0; i < config_.workers; ++i)
     devices_.push_back(std::make_unique<device::Device>());
@@ -105,6 +143,35 @@ Daemon::~Daemon() {
   pool_.reset();
   watchdog_stop_.store(true);
   if (watchdog_.joinable()) watchdog_.join();
+}
+
+void Daemon::log_event(obs::JobEvent event) {
+  if (!events_ || crashed_.load()) return;
+  try {
+    events_->append(std::move(event));
+  } catch (const FsFaultError&) {
+    // A lost flight-recorder record under storage faults is survivable: the
+    // job journal and manifest stay the source of truth.
+    metrics_.add("eventlog_write_failures");
+  }
+}
+
+void Daemon::update_spool_gauge() {
+  if (crashed_.load()) return;
+  u64 total = 0;
+  std::error_code walk_ec;
+  for (auto it = std::filesystem::recursive_directory_iterator(
+           config_.spool_dir, walk_ec);
+       !walk_ec && it != std::filesystem::recursive_directory_iterator();
+       it.increment(walk_ec)) {
+    // Workers publish and unlink concurrently; races surface as per-entry
+    // errors here and the entry is simply not counted this round.
+    std::error_code ec;
+    if (!it->is_regular_file(ec) || ec) continue;
+    const std::uintmax_t size = it->file_size(ec);
+    if (!ec) total += static_cast<u64>(size);
+  }
+  metrics_.set_gauge("spool_bytes", static_cast<double>(total));
 }
 
 device::Device& Daemon::worker_device() {
@@ -147,9 +214,32 @@ std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
   if (shutting_down_ || crashed_.load())
     throw ServiceError(ErrorCode::kShuttingDown, "daemon is draining");
 
+  // Event-log note: daemon-assigned ids are allocated below, so a
+  // "submitted" record carries the client-supplied id or none; the job's
+  // replayable per-id sequence starts at "admitted" either way.
+  if (!resume) {
+    obs::JobEvent submitted;
+    submitted.event = "submitted";
+    submitted.job_id = spec.job_id;
+    submitted.tenant = spec.tenant;
+    submitted.backend = spec.engine;
+    log_event(std::move(submitted));
+  }
+
   const auto reject = [&](ErrorCode code, const std::string& counter,
                           const std::string& message) -> ServiceError {
     metrics_.add(counter);
+    // "shed" = well-formed work refused for load (queue/quota/payload);
+    // "rejected" = the request itself is unusable.  Both carry the typed
+    // snake_case code, so the log answers "why did tenant X lose jobs?".
+    obs::JobEvent refused;
+    refused.event = counter.rfind("jobs_shed_", 0) == 0 ? "shed" : "rejected";
+    refused.job_id = spec.job_id;
+    refused.tenant = spec.tenant;
+    refused.backend = spec.engine;
+    refused.reason = error_code_name(code);
+    refused.error = message;
+    log_event(std::move(refused));
     return ServiceError(code, message);
   };
 
@@ -265,8 +355,17 @@ std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
   ++tenant_active_[job->spec.tenant];
   metrics_.add("jobs_admitted");
   metrics_.set_gauge("jobs_active", static_cast<double>(active_jobs_));
+  {
+    obs::JobEvent admitted;
+    admitted.event = resume ? "recovered" : "admitted";
+    admitted.job_id = job->id;
+    admitted.tenant = job->spec.tenant;
+    admitted.backend = job->spec.engine;
+    log_event(std::move(admitted));
+  }
 
   lock.unlock();
+  update_spool_gauge();
   enqueue_job(job);
   return job->id;
 }
@@ -277,6 +376,11 @@ std::string Daemon::submit(JobSpec spec) {
 }
 
 void Daemon::enqueue_job(const std::shared_ptr<Job>& job) {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pending_tasks_ += job->spec.chromosomes.size();
+    metrics_.set_gauge("queue_depth", static_cast<double>(pending_tasks_));
+  }
   for (std::size_t i = 0; i < job->spec.chromosomes.size(); ++i)
     // Futures dropped on purpose: run_chromosome never lets an exception
     // escape, and the pool destructor drains everything submitted.
@@ -304,6 +408,38 @@ core::GenomeRunConfig Daemon::job_run_config(const Job& job) {
 
 void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) {
   if (crashed_.load()) return;  // the "process" died; leave everything as-is
+
+  // Queue-depth/busy-worker bookkeeping brackets the task itself; the scope
+  // closes before chromosome_finished so wait_idle never observes a stale
+  // workers_busy from the job it just waited on.
+  struct BusyScope {
+    Daemon& d;
+    explicit BusyScope(Daemon& daemon) : d(daemon) {
+      const std::lock_guard<std::mutex> lock(d.mu_);
+      if (d.pending_tasks_ > 0) --d.pending_tasks_;
+      ++d.busy_workers_;
+      d.metrics_.set_gauge("queue_depth",
+                           static_cast<double>(d.pending_tasks_));
+      d.metrics_.set_gauge("workers_busy",
+                           static_cast<double>(d.busy_workers_));
+    }
+    ~BusyScope() {
+      const std::lock_guard<std::mutex> lock(d.mu_);
+      if (d.busy_workers_ > 0) --d.busy_workers_;
+      d.metrics_.set_gauge("workers_busy",
+                           static_cast<double>(d.busy_workers_));
+    }
+  };
+
+  {
+    BusyScope busy_scope(*this);
+    run_chromosome_task(job, index);
+  }
+  chromosome_finished(job);  // no-op when crashed_ tripped mid-task
+}
+
+void Daemon::run_chromosome_task(const std::shared_ptr<Job>& job,
+                                 std::size_t index) {
   Job& j = *job;
   const ChromosomeSpec& cs = j.spec.chromosomes[index];
 
@@ -314,6 +450,14 @@ void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) 
       j.started = Clock::now();
       j.wait_seconds = seconds_between(j.submitted, j.started);
       j.state = JobState::kRunning;
+      metrics_.record("job_queue_wait_seconds", j.wait_seconds);
+      obs::JobEvent started;
+      started.event = "started";
+      started.job_id = j.id;
+      started.tenant = j.spec.tenant;
+      started.backend = j.spec.engine;
+      started.wall_seconds = j.wait_seconds;
+      log_event(std::move(started));
       try {
         write_job_journal(j);
       } catch (const ServiceError&) {
@@ -324,20 +468,15 @@ void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) 
     }
     if (j.failing) {
       // A sibling chromosome already failed the job; don't start new work.
-      lock.unlock();
-      chromosome_finished(job);
       return;
     }
   }
   if (j.token.cancelled()) {
     const std::lock_guard<std::mutex> lock(mu_);
     if (j.observed == CancelReason::kNone) j.observed = j.token.reason();
-    // fall through to finished below, outside this lock
+    // fall through to finished in the caller, outside this lock
   }
-  if (j.token.cancelled()) {
-    chromosome_finished(job);
-    return;
-  }
+  if (j.token.cancelled()) return;
 
   try {
     // Inputs load on the worker, per chromosome: jobs reference files, the
@@ -365,8 +504,11 @@ void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) 
     }
 
     const core::GenomeRunConfig cfg = job_run_config(j);
+    const Clock::time_point compute_start = Clock::now();
     core::ChromosomeRunResult r = core::run_one_chromosome(
         cfg, j.kind, dev, chrom, j.resume ? &j.previous : nullptr);
+    const double compute_seconds =
+        seconds_between(compute_start, Clock::now());
 
     if (r.fault != nullptr) {
       // Retries + fallback exhausted: journal the failed entry first, then
@@ -388,6 +530,17 @@ void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) 
       }
       metrics_.add("chromosomes_done");
       if (r.status.degraded) metrics_.add("chromosomes_degraded");
+      metrics_.record("chromosome_compute_seconds", compute_seconds);
+      obs::JobEvent done;
+      done.event = "chromosome_done";
+      done.job_id = j.id;
+      done.tenant = j.spec.tenant;
+      done.backend = j.spec.engine;
+      done.chromosome = cs.name;
+      done.degraded = r.status.degraded;
+      done.wall_seconds = compute_seconds;
+      done.modeled_seconds = r.run.modeled_wall_seconds;
+      log_event(std::move(done));
     }
   } catch (const CancelledError& cancelled) {
     const std::lock_guard<std::mutex> lock(mu_);
@@ -398,7 +551,6 @@ void Daemon::run_chromosome(const std::shared_ptr<Job>& job, std::size_t index) 
     j.failing = true;
     if (j.error.empty()) j.error = e.what();
   }
-  chromosome_finished(job);
 }
 
 void Daemon::record_entry(const std::shared_ptr<Job>& job, std::size_t index,
@@ -434,7 +586,10 @@ void Daemon::chromosome_finished(const std::shared_ptr<Job>& job) {
     const std::lock_guard<std::mutex> lock(mu_);
     last = (--job->remaining == 0);
   }
-  if (last) finalize(job);
+  if (last) {
+    finalize(job);
+    update_spool_gauge();
+  }
 }
 
 void Daemon::finalize(const std::shared_ptr<Job>& job) {
@@ -487,12 +642,42 @@ void Daemon::finalize(const std::shared_ptr<Job>& job) {
   if (it != tenant_active_.end() && --it->second == 0)
     tenant_active_.erase(it);
 
+  const char* event_name = nullptr;
   switch (final_state) {
-    case JobState::kDone: metrics_.add("jobs_completed"); break;
-    case JobState::kFailed: metrics_.add("jobs_failed"); break;
-    case JobState::kCancelled: metrics_.add("jobs_cancelled"); break;
-    case JobState::kInterrupted: metrics_.add("jobs_interrupted"); break;
+    case JobState::kDone:
+      metrics_.add("jobs_completed");
+      event_name = "published";
+      // End-to-end latency (admission -> every chromosome published), the
+      // distribution bench_service cross-checks against client clocks; the
+      // per-tenant series feeds quota tuning.
+      metrics_.record("job_completion_seconds", j.run_seconds);
+      metrics_.record(obs::labeled_series("job_completion_seconds", "tenant",
+                                          j.spec.tenant),
+                      j.run_seconds);
+      break;
+    case JobState::kFailed:
+      metrics_.add("jobs_failed");
+      event_name = "failed";
+      break;
+    case JobState::kCancelled:
+      metrics_.add("jobs_cancelled");
+      event_name = "cancelled";
+      break;
+    case JobState::kInterrupted:
+      metrics_.add("jobs_interrupted");
+      event_name = "interrupted";
+      break;
     default: break;
+  }
+  if (event_name != nullptr) {
+    obs::JobEvent terminal;
+    terminal.event = event_name;
+    terminal.job_id = j.id;
+    terminal.tenant = j.spec.tenant;
+    terminal.backend = j.spec.engine;
+    terminal.wall_seconds = j.run_seconds;
+    if (!j.error.empty()) terminal.error = j.error;
+    log_event(std::move(terminal));
   }
   metrics_.set_gauge("jobs_active", static_cast<double>(active_jobs_));
   cv_.notify_all();
@@ -567,11 +752,46 @@ DaemonStats Daemon::stats() const {
   s.manifest_write_failures = metrics_.counter("manifest_write_failures");
   s.chromosomes_done = metrics_.counter("chromosomes_done");
   s.chromosomes_degraded = metrics_.counter("chromosomes_degraded");
+  s.eventlog_write_failures = metrics_.counter("eventlog_write_failures");
+  s.spool_bytes = static_cast<u64>(metrics_.gauge("spool_bytes"));
   {
     const std::lock_guard<std::mutex> lock(mu_);
     s.active = active_jobs_;
+    s.queue_depth = pending_tasks_;
+    s.workers_busy = busy_workers_;
   }
   return s;
+}
+
+DaemonHealth Daemon::health() const {
+  DaemonHealth h;
+  h.queue_capacity = config_.queue_capacity;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    h.active_jobs = active_jobs_;
+    h.queue_depth = pending_tasks_;
+    h.shutting_down = shutting_down_;
+  }
+  h.workers_alive = pool_ != nullptr && !crashed_.load();
+  // A real probe write through the fault-checked atomic path: when the
+  // spool's disk is full (or a chaos plan says it is), readiness drops
+  // before admissions start failing typed.
+  try {
+    const std::filesystem::path probe = config_.spool_dir / ".health.probe";
+    write_file_atomic(probe, "ok\n");
+    std::error_code ec;
+    std::filesystem::remove(probe, ec);
+    h.spool_writable = true;
+  } catch (const std::exception&) {
+    h.spool_writable = false;
+  }
+  h.ready = h.spool_writable && h.workers_alive && !h.shutting_down &&
+            !crashed_.load();
+  return h;
+}
+
+std::string Daemon::prometheus_text() const {
+  return obs::render_prometheus(metrics_, "gsnpd_");
 }
 
 std::size_t Daemon::recover() {
@@ -672,6 +892,7 @@ std::size_t Daemon::recover() {
       // journal stays for the operator.
     }
   }
+  update_spool_gauge();
   return resumed;
 }
 

@@ -45,6 +45,7 @@
 #include "src/common/thread_pool.hpp"
 #include "src/core/genome_pipeline.hpp"
 #include "src/device/device.hpp"
+#include "src/obs/eventlog.hpp"
 #include "src/obs/trace.hpp"
 #include "src/service/fsck.hpp"
 #include "src/service/protocol.hpp"
@@ -82,6 +83,10 @@ struct DaemonConfig {
   /// decisions are made against a verified spool instead of crash litter.
   bool fsck_on_recover = true;
   bool fsck_deep_verify = false;  ///< per-frame container CRCs during fsck
+  /// Structured job event log at `<spool>/events.jsonl` (obs/eventlog.hpp):
+  /// every lifecycle transition appends one fsynced JSONL record.  Append
+  /// failures are survivable (counted, never fatal to the job).
+  bool event_log = true;
 
   /// Chaos hooks (null in production).  `fault_arm` runs on the worker
   /// thread right before a chromosome attempt, with the device that attempt
@@ -135,9 +140,25 @@ struct DaemonStats {
   u64 manifest_write_failures = 0;  ///< manifest flushes that hit ENOSPC/EIO
   u64 chromosomes_done = 0;
   u64 chromosomes_degraded = 0;
-  std::size_t active = 0;  ///< unfinished jobs right now
+  u64 eventlog_write_failures = 0;  ///< event records lost to ENOSPC/EIO
+  std::size_t active = 0;      ///< unfinished jobs right now
+  std::size_t queue_depth = 0;    ///< chromosome tasks enqueued, not started
+  std::size_t workers_busy = 0;   ///< workers inside a chromosome task
+  u64 spool_bytes = 0;  ///< spool footprint at the last admission/completion
 
   u64 shed_total() const { return shed_queue_full + shed_quota + shed_payload; }
+};
+
+/// Point-in-time readiness, served by the `health` protocol op.  `ready`
+/// is the single bit a load balancer gates on; the rest says why not.
+struct DaemonHealth {
+  bool ready = false;           ///< accepting and able to run work durably
+  bool spool_writable = false;  ///< a probe write to the spool succeeded
+  bool workers_alive = false;   ///< pool up, no (simulated) crash
+  bool shutting_down = false;
+  std::size_t queue_depth = 0;     ///< chromosome tasks waiting for a worker
+  std::size_t queue_capacity = 0;  ///< DaemonConfig::queue_capacity (jobs)
+  std::size_t active_jobs = 0;     ///< unfinished jobs vs queue_capacity
 };
 
 class Daemon {
@@ -166,6 +187,15 @@ class Daemon {
   void cancel(const std::string& job_id);
 
   DaemonStats stats() const;
+
+  /// Readiness probe: spool writability (a real probe write through the
+  /// fault-checked path), worker liveness, and queue depth vs capacity.
+  DaemonHealth health() const;
+
+  /// The full registry — counters, gauges, latency histograms — rendered in
+  /// Prometheus text exposition format under the `gsnpd_` prefix (served by
+  /// the `metrics` protocol op; see obs/prometheus.hpp).
+  std::string prometheus_text() const;
 
   /// Scan the spool for jobs journaled by a previous daemon: terminal jobs
   /// become queryable history; incomplete jobs (queued/running/interrupted)
@@ -204,6 +234,7 @@ class Daemon {
                            std::unique_lock<std::mutex>& lock);
   void enqueue_job(const std::shared_ptr<Job>& job);
   void run_chromosome(const std::shared_ptr<Job>& job, std::size_t index);
+  void run_chromosome_task(const std::shared_ptr<Job>& job, std::size_t index);
   void record_entry(const std::shared_ptr<Job>& job, std::size_t index,
                     core::ManifestEntry entry);
   void chromosome_finished(const std::shared_ptr<Job>& job);
@@ -214,6 +245,11 @@ class Daemon {
   JobStatus status_locked(const Job& job) const;
   device::Device& worker_device();
   void watchdog_loop();
+  /// Append to the event log; silent (counted) on storage failure, no-op
+  /// after simulate_crash() or when the log is disabled.
+  void log_event(obs::JobEvent event);
+  /// Recompute the spool_bytes gauge (filesystem walk; call unlocked).
+  void update_spool_gauge();
 
   DaemonConfig config_;
   obs::Metrics metrics_;
@@ -223,11 +259,15 @@ class Daemon {
   std::map<std::string, std::shared_ptr<Job>> jobs_;
   std::vector<std::string> job_order_;  ///< submission order, for jobs()
   std::size_t active_jobs_ = 0;
+  std::size_t pending_tasks_ = 0;  ///< chromosome tasks enqueued, not started
+  std::size_t busy_workers_ = 0;   ///< workers inside run_chromosome
   std::map<std::string, std::size_t> tenant_active_;
   u64 next_job_number_ = 1;
   bool shutting_down_ = false;
   std::atomic<bool> crashed_{false};
   FsckReport last_fsck_;  ///< written by recover() before jobs re-admit
+
+  std::unique_ptr<obs::EventLog> events_;  ///< null when disabled/unopenable
 
   std::vector<std::unique_ptr<device::Device>> devices_;
   std::atomic<std::size_t> next_worker_slot_{0};

@@ -74,6 +74,25 @@ Response handle_request(Daemon& daemon, const Request& request) {
       response.fields["chromosomes_done"] =
           std::to_string(s.chromosomes_done);
       response.fields["active"] = std::to_string(s.active);
+      response.fields["queue_depth"] = std::to_string(s.queue_depth);
+      response.fields["workers_busy"] = std::to_string(s.workers_busy);
+      response.fields["spool_bytes"] = std::to_string(s.spool_bytes);
+      response.fields["eventlog_write_failures"] =
+          std::to_string(s.eventlog_write_failures);
+    } else if (request.op == "metrics") {
+      response.ok = true;
+      response.fields["format"] = "prometheus-text-0.0.4";
+      response.fields["text"] = daemon.prometheus_text();
+    } else if (request.op == "health") {
+      const DaemonHealth h = daemon.health();
+      response.ok = true;
+      response.fields["ready"] = h.ready ? "true" : "false";
+      response.fields["spool_writable"] = h.spool_writable ? "true" : "false";
+      response.fields["workers_alive"] = h.workers_alive ? "true" : "false";
+      response.fields["shutting_down"] = h.shutting_down ? "true" : "false";
+      response.fields["queue_depth"] = std::to_string(h.queue_depth);
+      response.fields["queue_capacity"] = std::to_string(h.queue_capacity);
+      response.fields["active_jobs"] = std::to_string(h.active_jobs);
     } else if (request.op == "shutdown") {
       response.ok = true;
       response.fields["stopping"] = "true";

@@ -14,8 +14,10 @@ namespace gsnp::service {
 /// Handle one request.  Never throws: daemon-side ServiceErrors become
 /// ok=false responses with their typed code; anything else maps to
 /// kInternal.  Ops: "ping", "submit", "status" (job_id, or all jobs when
-/// empty via fields "jobs"/"job.<i>.*"), "cancel", "stats", "shutdown"
-/// (acknowledged here; the serve loop owns actually stopping).
+/// empty via fields "jobs"/"job.<i>.*"), "cancel", "stats", "metrics"
+/// (Prometheus text exposition in field "text"), "health" (readiness
+/// fields; see DaemonHealth), "shutdown" (acknowledged here; the serve
+/// loop owns actually stopping).
 Response handle_request(Daemon& daemon, const Request& request);
 
 /// Convenience for socket handlers: parse a line, dispatch, encode the

@@ -17,6 +17,7 @@
 
 #include "src/common/error.hpp"
 #include "src/core/genome_pipeline.hpp"
+#include "src/obs/eventlog.hpp"
 #include "src/core/run_manifest.hpp"
 #include "src/genome/dbsnp.hpp"
 #include "src/genome/synthetic.hpp"
@@ -622,6 +623,134 @@ TEST_F(ServiceFixture, CrashBetweenPublishAndJournalRecoversExactlyOnce) {
     EXPECT_EQ(daemon.recover(), 0u);
     EXPECT_EQ(daemon.status("jobX").state, JobState::kDone);
   }
+
+  // The event log spans all three daemon incarnations and replays the
+  // transition history: one submitted, one recovered, and — the durability
+  // contract — exactly one published, even though chr2's output crossed the
+  // crash window twice.  The third daemon (pure history) adds nothing.
+  const std::vector<obs::JobEvent> events =
+      obs::read_event_log(spool / "events.jsonl");
+  ASSERT_FALSE(events.empty());
+  std::size_t submitted = 0, recovered = 0, published = 0, chrom_done = 0;
+  for (const obs::JobEvent& ev : events) {
+    EXPECT_EQ(ev.job_id, "jobX");
+    if (ev.event == "submitted") ++submitted;
+    if (ev.event == "recovered") ++recovered;
+    if (ev.event == "published") ++published;
+    if (ev.event == "chromosome_done") ++chrom_done;
+  }
+  EXPECT_EQ(submitted, 1u);
+  EXPECT_EQ(recovered, 1u);
+  EXPECT_EQ(published, 1u);
+  EXPECT_GE(chrom_done, 3u);  // chr1 before the crash, chr1..chr3 after
+  EXPECT_EQ(events.front().event, "submitted");
+  EXPECT_EQ(events.back().event, "published");
+}
+
+TEST_F(ServiceFixture, ShedAndRejectedJobsLogTypedReasonEvents) {
+  DaemonConfig config = daemon_config("spool");
+  config.workers = 1;
+  config.queue_capacity = 2;
+  config.tenant_quota = 1;
+  std::atomic<bool> release{false};
+  config.fault_arm = [&release](device::Device&, const std::string&,
+                                const std::string&) {
+    while (!release.load()) std::this_thread::sleep_for(1ms);
+  };
+  {
+    Daemon daemon(config);
+    const std::string held = daemon.submit(make_spec({1}));
+    EXPECT_EQ(submit_error(daemon, make_spec({2})),
+              ErrorCode::kQuotaExceeded);
+    JobSpec other = make_spec({2});
+    other.tenant = "bob";
+    daemon.submit(std::move(other));
+    JobSpec third = make_spec({3});
+    third.tenant = "carol";
+    EXPECT_EQ(submit_error(daemon, std::move(third)), ErrorCode::kQueueFull);
+    EXPECT_EQ(submit_error(daemon, make_spec({})), ErrorCode::kBadRequest);
+    release.store(true);
+    daemon.wait_idle();
+    (void)held;
+  }
+
+  std::size_t shed_quota = 0, shed_full = 0, rejected_bad = 0;
+  for (const obs::JobEvent& ev :
+       obs::read_event_log(dir_ / "spool" / "events.jsonl")) {
+    if (ev.event == "shed" && ev.reason == "quota_exceeded") ++shed_quota;
+    if (ev.event == "shed" && ev.reason == "queue_full") ++shed_full;
+    if (ev.event == "rejected" && ev.reason == "bad_request") ++rejected_bad;
+  }
+  EXPECT_EQ(shed_quota, 1u);
+  EXPECT_EQ(shed_full, 1u);
+  EXPECT_EQ(rejected_bad, 1u);
+}
+
+// ---- telemetry ops ----------------------------------------------------------------
+
+TEST_F(ServiceFixture, StatsSurfaceQueueAndSpoolGauges) {
+  Daemon daemon(daemon_config("spool"));
+  const std::string id = daemon.submit(make_spec({1}));
+  ASSERT_TRUE(daemon.wait_job(id, 60.0));
+  const DaemonStats stats = daemon.stats();
+  EXPECT_EQ(stats.queue_depth, 0u);
+  EXPECT_EQ(stats.workers_busy, 0u);
+  EXPECT_GT(stats.spool_bytes, 0u);  // journal + manifest + outputs + events
+  EXPECT_EQ(stats.eventlog_write_failures, 0u);
+
+  Request request;
+  request.op = "stats";
+  const Response response = handle_request(daemon, request);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.fields.at("queue_depth"), "0");
+  EXPECT_EQ(response.fields.at("workers_busy"), "0");
+  EXPECT_EQ(response.fields.at("spool_bytes"),
+            std::to_string(stats.spool_bytes));
+}
+
+TEST_F(ServiceFixture, MetricsOpServesPrometheusText) {
+  Daemon daemon(daemon_config("spool"));
+  const std::string id = daemon.submit(make_spec({1}));
+  ASSERT_TRUE(daemon.wait_job(id, 60.0));
+
+  Request request;
+  request.op = "metrics";
+  const Response response = handle_request(daemon, request);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.fields.at("format"), "prometheus-text-0.0.4");
+  const std::string& text = response.fields.at("text");
+  EXPECT_NE(text.find("# TYPE gsnpd_jobs_completed_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsnpd_jobs_completed_total 1\n"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE gsnpd_job_completion_seconds histogram\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("gsnpd_job_completion_seconds_count 1\n"),
+            std::string::npos);
+  // Pre-registered families render even at zero, so dashboards see every
+  // series from the first scrape.
+  EXPECT_NE(text.find("gsnpd_jobs_failed_total 0\n"), std::string::npos);
+
+  // The wire trip preserves the multi-line exposition byte-for-byte.
+  const Response decoded =
+      parse_response(encode_response(response));
+  EXPECT_EQ(decoded.fields.at("text"), text);
+}
+
+TEST_F(ServiceFixture, HealthOpReportsReadiness) {
+  Daemon daemon(daemon_config("spool"));
+  Request request;
+  request.op = "health";
+  const Response response = handle_request(daemon, request);
+  ASSERT_TRUE(response.ok);
+  EXPECT_EQ(response.fields.at("ready"), "true");
+  EXPECT_EQ(response.fields.at("spool_writable"), "true");
+  EXPECT_EQ(response.fields.at("workers_alive"), "true");
+  EXPECT_EQ(response.fields.at("shutting_down"), "false");
+
+  const DaemonHealth health = daemon.health();
+  EXPECT_TRUE(health.ready);
+  EXPECT_EQ(health.queue_depth, 0u);
+  EXPECT_GT(health.queue_capacity, 0u);
 }
 
 TEST_F(ServiceFixture, GracefulShutdownParksJobsForResume) {
