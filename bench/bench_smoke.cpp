@@ -225,6 +225,25 @@ int validate(const fs::path& path) {
     (void)json::get_u64(*dev, "h2d_bytes");
     (void)json::get_u64(*dev, "d2h_bytes");
     (void)json::get_u64(*dev, "peak_global_bytes");
+
+    const json::Value* batcher = json::find(root, "batcher");
+    GSNP_CHECK_MSG(batcher && batcher->kind == json::Value::Kind::kObject,
+                   "'batcher' object missing");
+    const u64 budget = json::get_u64(*batcher, "batch_bytes");
+    GSNP_CHECK_MSG(budget > 0, "batcher.batch_bytes must be > 0");
+    GSNP_CHECK_MSG(json::get_u64(*batcher, "batches") >
+                       json::get_u64(*batcher, "windows_planned"),
+                   "batcher pass did not split windows");
+    const u64 planned = json::get_u64(*batcher, "planned_peak_bytes");
+    GSNP_CHECK_MSG(planned > 0 && planned <= budget,
+                   "batcher.planned_peak_bytes " << planned
+                                                 << " outside (0, budget]");
+    const u64 actual = json::get_u64(*batcher, "actual_peak_bytes");
+    GSNP_CHECK_MSG(actual > 0 && actual <= budget,
+                   "batcher.actual_peak_bytes " << actual
+                                                << " outside (0, budget]");
+    (void)json::get_u64(*batcher, "min_batch_sites");
+    (void)json::get_u64(*batcher, "max_batch_sites");
   } catch (const std::exception& e) {
     std::fprintf(stderr, "bench_smoke: %s is invalid: %s\n",
                  path.string().c_str(), e.what());
@@ -279,8 +298,17 @@ int append_history(const fs::path& hist, const fs::path& from,
      << ", \"h2d_bytes\": " << json::get_u64(*dev, "h2d_bytes")
      << ", \"d2h_bytes\": " << json::get_u64(*dev, "d2h_bytes")
      << ", \"kernel_launches\": " << json::get_u64(*dev, "kernel_launches")
-     << ", \"peak_global_bytes\": " << json::get_u64(*dev, "peak_global_bytes")
-     << ", \"backends\": {";
+     << ", \"peak_global_bytes\": " << json::get_u64(*dev, "peak_global_bytes");
+  const json::Value* bat = json::find(root, "batcher");
+  GSNP_CHECK_MSG(bat != nullptr, "'batcher' object missing in " << from);
+  os << ", \"batcher\": {\"batch_bytes\": "
+     << json::get_u64(*bat, "batch_bytes")
+     << ", \"batches\": " << json::get_u64(*bat, "batches")
+     << ", \"planned_peak_bytes\": "
+     << json::get_u64(*bat, "planned_peak_bytes")
+     << ", \"actual_peak_bytes\": "
+     << json::get_u64(*bat, "actual_peak_bytes") << "}";
+  os << ", \"backends\": {";
   bool first = true;
   for (const char* name : {"gsnp_cpu", "gsnp_simd"}) {
     const json::Value* b = json::find(*backends, name);
@@ -375,6 +403,17 @@ int check(const fs::path& baseline_path, const fs::path& candidate_path,
         "shared_stores", "h2d_bytes", "d2h_bytes", "kernel_launches",
         "peak_global_bytes"}) {
     exact_u64(*bdev, *cdev, std::string("device.") + key, key);
+  }
+
+  // The batcher axis is fully deterministic: plan shape and the measured
+  // serial-path watermark both derive from seeded input.
+  const json::Value* bbat = json::find(base, "batcher");
+  const json::Value* cbat = json::find(cand, "batcher");
+  GSNP_CHECK_MSG(bbat && cbat, "'batcher' object missing");
+  for (const char* key :
+       {"batch_bytes", "batches", "windows_planned", "min_batch_sites",
+        "max_batch_sites", "planned_peak_bytes", "actual_peak_bytes"}) {
+    exact_u64(*bbat, *cbat, std::string("batcher.") + key, key);
   }
 
   const json::Value* bstages = json::find(base, "stages");
@@ -480,6 +519,48 @@ int run(const fs::path& out, const fs::path& workdir) {
        {core::EngineKind::kGsnpCpu, core::EngineKind::kGsnpSimd})
     backends.push_back(bench_backend(kind, ds, workdir, golden_bytes, 3));
 
+  // Depth-aware batching axis: the device engine again under a byte budget
+  // small enough to split every window, on its OWN device so the main run's
+  // peak_global_bytes stays comparable across history.  Outputs must stay
+  // byte-identical to the fixed-window run, and the measured per-batch
+  // watermark must honor the budget — both are hard failures, not metrics.
+  constexpr u64 kBatchBudget = u64{1} << 20;
+  core::BatchStats batcher;
+  {
+    core::GenomeRunConfig bconfig;
+    bconfig.chromosomes = ds.jobs;
+    bconfig.output_dir = workdir / "out_batched";
+    bconfig.batch_bytes = kBatchBudget;
+    device::Device bdev;
+    const core::GenomeReport breport =
+        core::run_genome(bconfig, core::EngineKind::kGsnp, &bdev);
+    GSNP_CHECK_MSG(breport.output_files.size() == golden_bytes.size(),
+                   "batched gsnp: chromosome count mismatch");
+    for (std::size_t i = 0; i < golden_bytes.size(); ++i)
+      GSNP_CHECK_MSG(
+          read_file_bytes(breport.output_files[i]) == golden_bytes[i],
+          "batched gsnp: output for chromosome "
+              << i << " is not byte-identical to the fixed-window run");
+    for (const core::RunReport& r : breport.per_chromosome) {
+      batcher.budget_bytes = r.batch.budget_bytes;
+      batcher.batches += r.batch.batches;
+      batcher.windows_planned += r.batch.windows_planned;
+      if (r.batch.min_batch_sites != 0 &&
+          (batcher.min_batch_sites == 0 ||
+           r.batch.min_batch_sites < batcher.min_batch_sites))
+        batcher.min_batch_sites = r.batch.min_batch_sites;
+      batcher.max_batch_sites =
+          std::max(batcher.max_batch_sites, r.batch.max_batch_sites);
+      batcher.planned_peak_bytes =
+          std::max(batcher.planned_peak_bytes, r.batch.planned_peak_bytes);
+      batcher.actual_peak_bytes =
+          std::max(batcher.actual_peak_bytes, r.batch.actual_peak_bytes);
+    }
+    GSNP_CHECK_MSG(batcher.actual_peak_bytes <= kBatchBudget,
+                   "batched gsnp exceeded its byte budget: measured "
+                       << batcher.actual_peak_bytes << " > " << kBatchBudget);
+  }
+
   const fs::path tmp = out.string() + ".tmp";
   {
     std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
@@ -531,7 +612,15 @@ int run(const fs::path& out, const fs::path& workdir) {
        << ", \"h2d_bytes\": " << c.h2d_bytes
        << ", \"d2h_bytes\": " << c.d2h_bytes
        << ", \"kernel_launches\": " << c.kernel_launches
-       << ", \"peak_global_bytes\": " << dev.peak_allocated_bytes() << "}\n"
+       << ", \"peak_global_bytes\": " << dev.peak_allocated_bytes() << "},\n"
+       << "  \"batcher\": {"
+       << "\"batch_bytes\": " << batcher.budget_bytes
+       << ", \"batches\": " << batcher.batches
+       << ", \"windows_planned\": " << batcher.windows_planned
+       << ", \"min_batch_sites\": " << batcher.min_batch_sites
+       << ", \"max_batch_sites\": " << batcher.max_batch_sites
+       << ", \"planned_peak_bytes\": " << batcher.planned_peak_bytes
+       << ", \"actual_peak_bytes\": " << batcher.actual_peak_bytes << "}\n"
        << "}\n";
     os.flush();
     GSNP_CHECK_MSG(os.good(), "write failed " << tmp);
@@ -552,6 +641,13 @@ int run(const fs::path& out, const fs::path& workdir) {
     std::printf("%-10s %10.4f %10.4f %10.4f  %s\n", b.id.c_str(),
                 b.host_seconds, b.likeli_seconds, b.post_seconds,
                 b.simd_level.c_str());
+  std::printf("batcher  %llu batches over %llu windows (budget %llu B, "
+              "planned peak %llu, actual peak %llu)\n",
+              static_cast<unsigned long long>(batcher.batches),
+              static_cast<unsigned long long>(batcher.windows_planned),
+              static_cast<unsigned long long>(batcher.budget_bytes),
+              static_cast<unsigned long long>(batcher.planned_peak_bytes),
+              static_cast<unsigned long long>(batcher.actual_peak_bytes));
   std::printf("wrote %s\n", out.string().c_str());
 
   // A baseline nobody can load is worse than none: self-validate.

@@ -229,6 +229,9 @@ int cmd_call(const Args& args) {
       static_cast<u32>(std::stoul(args.get("--pipeline-depth", "2")));
   config.host_threads =
       static_cast<u32>(std::stoul(args.get("--host-threads", "2")));
+  // Depth-aware batching: split each window into device batches whose
+  // planned footprint never exceeds this many bytes (0 = fixed windows).
+  config.batch_bytes = std::stoull(args.get("--batch-bytes", "0"));
   config.ingest = ingest;
   if (args.has("--save-matrix")) config.p_matrix_out = args.get("--save-matrix", "");
   if (args.has("--load-matrix")) config.p_matrix_in = args.get("--load-matrix", "");
@@ -383,6 +386,7 @@ int cmd_profile(const Args& args) {
       static_cast<u32>(std::stoul(args.get("--pipeline-depth", "2")));
   config.host_threads =
       static_cast<u32>(std::stoul(args.get("--host-threads", "2")));
+  config.batch_bytes = std::stoull(args.get("--batch-bytes", "0"));
 
   device::Device dev;
   obs::Profiler profiler(dev);
@@ -599,6 +603,8 @@ int cmd_serve(const Args& args) {
   config.tenant_quota = std::stoul(args.get("--quota", "4"));
   config.max_payload_bytes = std::stoull(args.get("--max-payload-mb", "64"))
                              << 20;
+  config.batch_bytes = std::stoull(args.get("--batch-bytes", "0"));
+  config.max_device_bytes = std::stoull(args.get("--max-device-mb", "0")) << 20;
   config.retry.max_attempts = std::stoi(args.get("--retries", "2"));
   config.retry.backoff_seconds = std::stod(args.get("--backoff", "0.05"));
   config.retry.jitter_fraction = std::stod(args.get("--jitter", "0.5"));
@@ -702,6 +708,7 @@ int cmd_submit(const Args& args) {
   request.job.output_dir = args.get("--out", "");
   request.job.window_size =
       static_cast<u32>(std::stoul(args.get("--window", "0")));
+  request.job.batch_bytes = std::stoull(args.get("--batch-bytes", "0"));
   request.job.deadline_seconds = std::stod(args.get("--deadline", "0"));
   service::ChromosomeSpec chrom;
   chrom.name = args.get("--name", "chrS");
@@ -960,6 +967,7 @@ int main(int argc, char** argv) {
               "           [--engine gsnp|gsnp-cpu|gsnp-simd|soapsnp]\n"
               "           [--dbsnp F --window N]\n"
               "           [--streams N --pipeline-depth D --host-threads T]\n"
+              "           [--batch-bytes B]   (depth-aware device batching)\n"
               "           [--lenient --quarantine F --max-bad N --max-bad-frac P]\n"
               "           [--trace-out TRACE.json --metrics-out METRICS.json]\n"
               "           [--profile-out PROFILE.json]\n"
@@ -975,12 +983,14 @@ int main(int argc, char** argv) {
               "  manifest MANIFEST.json   (per-chromosome run + ingest table)\n"
               "  serve    --socket SOCK --spool DIR [--workers N --queue N]\n"
               "           [--quota N --max-payload-mb M --retries N]\n"
+              "           [--batch-bytes B --max-device-mb M]   (admission budget)\n"
               "           [--no-fsck --deep-fsck --fs-fault-plan JSON]\n"
               "           [--max-frame-mb M --idle-timeout S]\n"
               "           (client verbs below also take --timeout S"
               " --attempts N)\n"
               "  submit   --socket SOCK --ref FA --align SOAP [--name CHR]\n"
               "           [--engine E --tenant T --deadline S --wait]\n"
+              "           [--window N --batch-bytes B]\n"
               "  status   --socket SOCK [--job ID | --stats]\n"
               "  cancel   --socket SOCK --job ID\n"
               "  metrics  --socket SOCK   (Prometheus text exposition)\n"

@@ -80,7 +80,7 @@ run_service_chaos_smoke() {
 echo "== sanitizers: ASan+UBSan build, robustness + device + pipeline + fuzz + service =="
 cmake -B build-asan -S . -DGSNP_SANITIZE=ON -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-asan -j >/dev/null
-ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam|test_service|histogram|eventlog'
+ctest --test-dir build-asan --output-on-failure -R 'robustness|device|pipeline|fuzz|sam|test_service|histogram|eventlog|batcher'
 
 echo "== storage/network chaos under ASan: fault matrix, fsck corpus, socket chaos =="
 ctest --test-dir build-asan --output-on-failure -R 'fsfault|fsck|chaos'
@@ -100,7 +100,7 @@ cmake -B build-tsan -S . -DGSNP_SANITIZE=thread -DGSNP_OPENMP=OFF \
       -DCMAKE_BUILD_TYPE=RelWithDebInfo >/dev/null
 cmake --build build-tsan -j >/dev/null
 ctest --test-dir build-tsan --output-on-failure \
-      -R 'determinism|test_obs|profiler|device|test_service|histogram|eventlog'
+      -R 'determinism|test_obs|profiler|device|test_service|histogram|eventlog|batcher'
 
 echo "== storage/network chaos under TSan: injector + spool + socket thread-safety =="
 ctest --test-dir build-tsan --output-on-failure -R 'fsfault|fsck|chaos'

@@ -1,0 +1,170 @@
+#include "src/core/batcher.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "src/core/kernels.hpp"
+#include "src/core/new_pmatrix.hpp"
+#include "src/core/pmatrix.hpp"
+#include "src/sortnet/bitonic.hpp"
+
+namespace gsnp::core {
+
+namespace {
+
+std::string budget_message(u64 budget_bytes, u64 needed_bytes,
+                           u64 site_index) {
+  std::ostringstream os;
+  os << "batch budget too small: site " << site_index << " alone needs "
+     << needed_bytes << " device bytes but the budget is " << budget_bytes
+     << " — raise --batch-bytes to at least the deepest site's footprint";
+  return os.str();
+}
+
+/// Conservative device scratch per output row for the RLE-DICT compressor
+/// (src/compress/device_rledict.cpp): per column it holds the value upload,
+/// flags, run values/starts, the sorted copy, uniqueness flags, dictionary
+/// and index buffers — each at most 4 bytes per row, columns processed one
+/// at a time.  Eight 4-byte buffers rounded up for the scalar totals.
+constexpr u64 kRleWorstBytesPerRow = 40;
+
+}  // namespace
+
+BatchBudgetError::BatchBudgetError(u64 budget_bytes, u64 needed_bytes,
+                                   u64 site_index)
+    : Error(budget_message(budget_bytes, needed_bytes, site_index)),
+      budget_bytes_(budget_bytes),
+      needed_bytes_(needed_bytes),
+      site_index_(site_index) {}
+
+u64 planned_batch_peak_bytes(u64 sites, u64 words,
+                             std::span<const u32> class_members,
+                             u32 max_array_size,
+                             std::span<const u32> class_bounds) {
+  GSNP_CHECK(class_members.size() == class_bounds.size() + 1);
+  // Resident CSR: base words (u32) + offsets (u64, sites + 1 entries).
+  const u64 resident = 4 * words + 8 * (sites + 1);
+  // Sort phase: multipass sorts one size class at a time and frees its
+  // scratch between classes, so the phase cost is the max class, not the sum.
+  u64 sort_scratch = 0;
+  for (std::size_t c = 0; c < class_members.size(); ++c) {
+    const u64 m = class_members[c];
+    if (m == 0) continue;
+    const u32 upper =
+        c < class_bounds.size() ? class_bounds[c] : max_array_size;
+    const u64 pad = sortnet::next_pow2(upper);
+    // ClassMeta starts (u64) + sizes (u32) per member, plus the padded
+    // gather batch (u32 per slot).
+    sort_scratch = std::max(sort_scratch, 12 * m + 4 * m * pad);
+  }
+  // Likelihood phase: dep_count (u32 x kDepEntriesPerSite per site) + the
+  // type_likely output (double x kNumGenotypes per site).
+  const u64 likelihood =
+      (u64{4} * kDepEntriesPerSite + u64{8} * kNumGenotypes) * sites;
+  // Posterior phase: type_likely upload + priors upload (double x
+  // kNumGenotypes each) + packed u32 calls.
+  const u64 posterior = (u64{16} * kNumGenotypes + 4) * sites;
+  return resident + std::max({sort_scratch, likelihood, posterior});
+}
+
+BatchPlan plan_batches(std::span<const u64> offsets, u64 budget_bytes,
+                       std::span<const u32> class_bounds) {
+  GSNP_CHECK_MSG(budget_bytes > 0, "plan_batches needs a nonzero budget");
+  GSNP_CHECK(!offsets.empty());
+  GSNP_CHECK(std::is_sorted(offsets.begin(), offsets.end()));
+  GSNP_CHECK(std::is_sorted(class_bounds.begin(), class_bounds.end()));
+
+  BatchPlan plan;
+  plan.budget_bytes = budget_bytes;
+  const u64 n_sites = offsets.size() - 1;
+  if (n_sites == 0) return plan;
+
+  const std::size_t n_classes = class_bounds.size() + 1;
+  SiteBatch cur;
+  cur.begin = 0;
+  cur.words_begin = offsets[0];
+  cur.class_members.assign(n_classes, 0);
+
+  // Class index for a sortable array (size >= 2); mirrors the lower_bound
+  // bucketing in sort_device_multipass_resident.
+  const auto class_of = [&](u64 size) {
+    const auto it = std::lower_bound(class_bounds.begin(), class_bounds.end(),
+                                     static_cast<u32>(size));
+    return static_cast<std::size_t>(it - class_bounds.begin());
+  };
+
+  for (u64 s = 0; s < n_sites; ++s) {
+    const u64 size = offsets[s + 1] - offsets[s];
+    const bool sortable = size > 1;
+    const std::size_t cls = sortable ? class_of(size) : 0;
+
+    // Trial state with site s appended; every model term is monotone in the
+    // appended site, so greedy position-order packing never has to backtrack.
+    if (sortable) ++cur.class_members[cls];
+    const u32 trial_max =
+        sortable ? std::max(cur.max_array_size, static_cast<u32>(size))
+                 : cur.max_array_size;
+    u64 trial_peak = planned_batch_peak_bytes(
+        s + 1 - cur.begin, offsets[s + 1] - cur.words_begin, cur.class_members,
+        trial_max, class_bounds);
+
+    if (trial_peak > budget_bytes) {
+      if (sortable) --cur.class_members[cls];
+      if (s == cur.begin)
+        throw BatchBudgetError(budget_bytes, trial_peak, s);
+      // Close the running batch before s and restart with s alone.
+      cur.end = static_cast<u32>(s);
+      cur.words_end = offsets[s];
+      plan.batches.push_back(cur);
+      cur = SiteBatch{};
+      cur.begin = static_cast<u32>(s);
+      cur.words_begin = offsets[s];
+      cur.class_members.assign(n_classes, 0);
+      if (sortable) ++cur.class_members[cls];
+      trial_peak = planned_batch_peak_bytes(
+          1, size, cur.class_members,
+          sortable ? static_cast<u32>(size) : 0, class_bounds);
+      if (trial_peak > budget_bytes)
+        throw BatchBudgetError(budget_bytes, trial_peak, s);
+    }
+
+    if (sortable)
+      cur.max_array_size = std::max(cur.max_array_size, static_cast<u32>(size));
+    cur.planned_peak_bytes = trial_peak;
+  }
+
+  cur.end = static_cast<u32>(n_sites);
+  cur.words_end = offsets[n_sites];
+  plan.batches.push_back(std::move(cur));
+
+  for (const SiteBatch& b : plan.batches)
+    plan.planned_peak_bytes =
+        std::max(plan.planned_peak_bytes, b.planned_peak_bytes);
+  return plan;
+}
+
+u64 worst_case_device_bytes(u64 batch_bytes, u64 window_size) {
+  // Score tables are resident for the whole run (one upload, Fig 2's
+  // load_table); the output phase compresses whole windows outside the batch
+  // budget, so its scratch scales with window size, not batch bytes.
+  const u64 tables = u64{8} * (PMatrix::kSize + NewPMatrix::kSize);
+  return tables + batch_bytes + kRleWorstBytesPerRow * window_size;
+}
+
+void BatchStats::absorb(const BatchPlan& plan) {
+  budget_bytes = plan.budget_bytes;
+  windows_planned += 1;
+  for (const SiteBatch& b : plan.batches) {
+    batches += 1;
+    if (min_batch_sites == 0 || b.sites() < min_batch_sites)
+      min_batch_sites = b.sites();
+    max_batch_sites = std::max(max_batch_sites, b.sites());
+  }
+  planned_peak_bytes = std::max(planned_peak_bytes, plan.planned_peak_bytes);
+}
+
+void BatchStats::record_actual(u64 peak_bytes) {
+  actual_peak_bytes = std::max(actual_peak_bytes, peak_bytes);
+}
+
+}  // namespace gsnp::core

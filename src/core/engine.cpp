@@ -200,8 +200,33 @@ void record_run_metrics(obs::Tracer* tracer, const char* engine,
   m.set_gauge("peak_host_bytes", static_cast<double>(report.peak_host_bytes));
   m.set_gauge("peak_device_bytes",
               static_cast<double>(report.peak_device_bytes));
+  if (report.batch.batches > 0) {
+    m.add("batches", report.batch.batches);
+    m.set_gauge("batch_budget_bytes",
+                static_cast<double>(report.batch.budget_bytes));
+    m.set_gauge("batch_planned_peak_bytes",
+                static_cast<double>(report.batch.planned_peak_bytes));
+    m.set_gauge("batch_actual_peak_bytes",
+                static_cast<double>(report.batch.actual_peak_bytes));
+  }
   if (const double total = report.total(); total > 0.0)
     m.set_gauge("sites_per_sec", static_cast<double>(report.sites) / total);
+}
+
+/// Plan the window's batches when batching is on (EngineConfig::batch_bytes
+/// > 0) and fold the plan into the run aggregate.  The device engine packs
+/// from the sparse base-word CSR (the payload that actually lands on the
+/// card); SOAPsnp, which has no sparse CSR, packs from the observation CSR —
+/// per-site observation counts, the same depth signal.  Host backends use
+/// the plan only to chunk their per-site loops (identical arithmetic, so
+/// identical output), keeping RunReport::batch meaningful on every backend.
+std::optional<BatchPlan> maybe_plan_batches(const EngineConfig& config,
+                                            std::span<const u64> offsets,
+                                            RunReport& report) {
+  if (config.batch_bytes == 0) return std::nullopt;
+  BatchPlan plan = plan_batches(offsets, config.batch_bytes);
+  report.batch.absorb(plan);
+  return plan;
 }
 
 // ---- overlapped (double-buffered) pipeline variants ------------------------
@@ -300,11 +325,23 @@ RunReport run_soapsnp_overlapped(const EngineConfig& config) {
     {
       const StageScope scope(report.host, tracer, "likeli");
       slot.type_likely.resize(slot.win.size);
+      if (const auto plan =
+              maybe_plan_batches(config, slot.obs.offsets, report)) {
+        for (const SiteBatch& b : plan->batches) {
 #pragma omp parallel for schedule(dynamic, 64) num_threads(threads) \
     if (threads > 1)
-      for (i64 s = 0; s < static_cast<i64>(slot.win.size); ++s)
-        slot.type_likely[static_cast<std::size_t>(s)] =
-            likelihood_dense_site(slot.dense->site(static_cast<u32>(s)), pm);
+          for (i64 s = b.begin; s < static_cast<i64>(b.end); ++s)
+            slot.type_likely[static_cast<std::size_t>(s)] =
+                likelihood_dense_site(slot.dense->site(static_cast<u32>(s)),
+                                      pm);
+        }
+      } else {
+#pragma omp parallel for schedule(dynamic, 64) num_threads(threads) \
+    if (threads > 1)
+        for (i64 s = 0; s < static_cast<i64>(slot.win.size); ++s)
+          slot.type_likely[static_cast<std::size_t>(s)] =
+              likelihood_dense_site(slot.dense->site(static_cast<u32>(s)), pm);
+      }
     }
     // The slot's previous occupant may still be draining through the writer;
     // its rows must not be overwritten until that write retires.
@@ -441,8 +478,16 @@ RunReport run_host_sparse_overlapped(const EngineConfig& config,
           comp_scope.note("simd", ops.simd_level);
         }
         slot.type_likely.resize(slot.win.size);
-        for (u32 s = 0; s < slot.win.size; ++s)
-          slot.type_likely[s] = ops.sparse_site(slot.sparse.site(s), *npm);
+        if (const auto plan =
+                maybe_plan_batches(config, slot.sparse.offsets, report)) {
+          for (const SiteBatch& b : plan->batches)
+            for (u32 s = b.begin; s < b.end; ++s)
+              slot.type_likely[s] =
+                  ops.sparse_site(slot.sparse.site(s), *npm);
+        } else {
+          for (u32 s = 0; s < slot.win.size; ++s)
+            slot.type_likely[s] = ops.sparse_site(slot.sparse.site(s), *npm);
+        }
       }
     }
     if (slot.write_done.valid()) slot.write_done.wait();
@@ -531,6 +576,11 @@ RunReport run_gsnp_overlapped(const EngineConfig& config, device::Device& dev,
     std::vector<SnpRow> rows;
     std::optional<device::DeviceBuffer<u32>> words_dev;
     std::optional<device::DeviceBuffer<u64>> offsets_dev;
+    /// Batched mode: the window's pack plan and one rebased CSR slice per
+    /// batch, built on the prefetch thread; the slices must outlive the
+    /// stream drain (memcpy_h2d reads them at execution time).
+    std::optional<BatchPlan> plan;
+    std::vector<std::vector<u64>> boffsets;
     bool loaded = false;
   };
   const u32 depth = std::max<u32>(2, config.pipeline_depth);
@@ -600,6 +650,20 @@ RunReport run_gsnp_overlapped(const EngineConfig& config, device::Device& dev,
       const StageScope scope(report.host, tracer, "count");
       count_window(slot.win, slot.obs, slot.stats, nullptr, &slot.sparse);
       max_words = std::max<u64>(max_words, slot.sparse.words.size());
+      // Pack plan + rebased CSR slices ride the prefetch thread; a
+      // BatchBudgetError unwinds through the prefetch future's get().
+      slot.plan = maybe_plan_batches(config, slot.sparse.offsets, report);
+      slot.boffsets.clear();
+      if (slot.plan) {
+        slot.boffsets.resize(slot.plan->batches.size());
+        for (std::size_t bi = 0; bi < slot.plan->batches.size(); ++bi) {
+          const SiteBatch& b = slot.plan->batches[bi];
+          slot.boffsets[bi].resize(b.sites() + 1);
+          for (u32 s = 0; s <= b.sites(); ++s)
+            slot.boffsets[bi][s] =
+                slot.sparse.offsets[b.begin + s] - b.words_begin;
+        }
+      }
     }
   };
 
@@ -632,10 +696,103 @@ RunReport run_gsnp_overlapped(const EngineConfig& config, device::Device& dev,
     prefetch = host_pool.submit(
         [&, s = &slots[(i + 1) % depth]] { load_into(*s); });
 
+    Slot* const cur = &slot;
+    if (cur->plan) {
+      // Stage A, batched: each batch's upload + sort + likelihood is
+      // enqueued and drained before the next batch uploads, so at most one
+      // batch is device-resident at a time (the budget's whole point).
+      // Window i-1's device-RLE output is enqueued alongside the first
+      // batch, keeping the output-lane overlap.  The plan is identical to
+      // the serial path's (same offsets, same budget), and so is the
+      // arithmetic — the actual watermark is only measured serially, where
+      // no concurrent output scratch pollutes it.
+      cur->type_likely.resize(cur->win.size);
+      bool output_enqueued = false;
+      for (std::size_t bi = 0; bi < cur->plan->batches.size(); ++bi) {
+        const SiteBatch& b = cur->plan->batches[bi];
+        const device::Event e_words = pool.create_event();
+        const device::Event e_offsets = pool.create_event();
+        s_copy.memcpy_h2d(cur->words_dev,
+                          std::span<const u32>(cur->sparse.words)
+                              .subspan(b.words_begin, b.words()),
+                          "h2d:base_word");
+        s_copy.record(e_words);
+        s_copy.memcpy_h2d(cur->offsets_dev,
+                          std::span<const u64>(cur->boffsets[bi]),
+                          "h2d:offsets");
+        s_copy.record(e_offsets);
+        s_compute.wait(e_words);
+        s_compute.enqueue(
+            device::StreamOpKind::kLaunch, "likeli_sort",
+            [&, cur, bi](device::Device& d) {
+              sortnet::sort_device_multipass_resident(
+                  d, *cur->words_dev, cur->boffsets[bi],
+                  sortnet::kDefaultClassBounds, tracer);
+            });
+        s_compute.wait(e_offsets);
+        s_compute.enqueue(
+            device::StreamOpKind::kLaunch, "likeli_comp",
+            [&, cur, bi](device::Device& d) {
+              const SiteBatch& bb = cur->plan->batches[bi];
+              const std::vector<TypeLikely> btl =
+                  device_likelihood_sparse_resident(d, *cur->words_dev,
+                                                    *cur->offsets_dev,
+                                                    bb.sites(), *tables);
+              std::copy(btl.begin(), btl.end(),
+                        cur->type_likely.begin() + bb.begin);
+            });
+        if (!output_enqueued && prev_slot != nullptr) {
+          enqueue_output(prev_slot);
+          output_enqueued = true;
+        }
+        drain();
+        cur->words_dev.reset();
+        cur->offsets_dev.reset();
+      }
+
+      // Stage B, batched: priors on the host, then one posterior launch per
+      // batch over its likelihood/prior slices.  Ops run sequentially on the
+      // compute stream, so each batch's posterior scratch is freed before
+      // the next allocates.
+      {
+        const StageScope scope(report.host, tracer, "post");
+        cur->window_priors.resize(cur->win.size);
+        for (u32 s = 0; s < cur->win.size; ++s) {
+          const u64 pos = cur->win.start + s;
+          const genome::KnownSnpEntry* known =
+              config.dbsnp ? config.dbsnp->find(pos) : nullptr;
+          cur->window_priors[s] = priors.get(ref.base(pos), known);
+        }
+      }
+      cur->calls.resize(cur->win.size);
+      for (std::size_t bi = 0; bi < cur->plan->batches.size(); ++bi) {
+        s_compute.enqueue(
+            device::StreamOpKind::kLaunch, "post",
+            [&, cur, bi](device::Device& d) {
+              const SiteBatch& bb = cur->plan->batches[bi];
+              const std::vector<PosteriorCall> bcalls = device_posterior(
+                  d,
+                  std::span<const TypeLikely>(cur->type_likely)
+                      .subspan(bb.begin, bb.sites()),
+                  std::span<const GenotypePriors>(cur->window_priors)
+                      .subspan(bb.begin, bb.sites()));
+              std::copy(bcalls.begin(), bcalls.end(),
+                        cur->calls.begin() + bb.begin);
+            });
+      }
+      drain();
+      {
+        const StageScope scope(report.host, tracer, "post");
+        window_posterior(config, priors, cur->win, cur->obs, cur->stats,
+                         cur->type_likely, cur->rows, &cur->calls);
+      }
+      prev_slot = cur;
+      continue;
+    }
+
     // Stage A: window i's upload (copy stream) + sort + likelihood (compute
     // stream, event-chained behind the uploads) concurrent with window
     // i-1's device-RLE output (output stream).
-    Slot* const cur = &slot;
     const device::Event e_words = pool.create_event();
     const device::Event e_offsets = pool.create_event();
     s_copy.memcpy_h2d(cur->words_dev,
@@ -770,11 +927,21 @@ RunReport run_soapsnp(const EngineConfig& config) {
     {
       const StageScope scope(report.host, tracer, "likeli");
       type_likely.resize(win.size);
+      if (const auto plan = maybe_plan_batches(config, obs.offsets, report)) {
+        for (const SiteBatch& b : plan->batches) {
 #pragma omp parallel for schedule(dynamic, 64) num_threads(threads) \
     if (threads > 1)
-      for (i64 s = 0; s < static_cast<i64>(win.size); ++s)
-        type_likely[static_cast<std::size_t>(s)] =
-            likelihood_dense_site(dense.site(static_cast<u32>(s)), pm);
+          for (i64 s = b.begin; s < static_cast<i64>(b.end); ++s)
+            type_likely[static_cast<std::size_t>(s)] =
+                likelihood_dense_site(dense.site(static_cast<u32>(s)), pm);
+        }
+      } else {
+#pragma omp parallel for schedule(dynamic, 64) num_threads(threads) \
+    if (threads > 1)
+        for (i64 s = 0; s < static_cast<i64>(win.size); ++s)
+          type_likely[static_cast<std::size_t>(s)] =
+              likelihood_dense_site(dense.site(static_cast<u32>(s)), pm);
+      }
     }
     {
       const StageScope scope(report.host, tracer, "post");
@@ -865,8 +1032,15 @@ RunReport run_host_sparse_serial(const EngineConfig& config,
           comp_scope.note("simd", ops.simd_level);
         }
         type_likely.resize(win.size);
-        for (u32 s = 0; s < win.size; ++s)
-          type_likely[s] = ops.sparse_site(sparse.site(s), *npm);
+        if (const auto plan =
+                maybe_plan_batches(config, sparse.offsets, report)) {
+          for (const SiteBatch& b : plan->batches)
+            for (u32 s = b.begin; s < b.end; ++s)
+              type_likely[s] = ops.sparse_site(sparse.site(s), *npm);
+        } else {
+          for (u32 s = 0; s < win.size; ++s)
+            type_likely[s] = ops.sparse_site(sparse.site(s), *npm);
+        }
       }
     }
     {
@@ -998,6 +1172,97 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
       max_words = std::max<u64>(max_words, sparse.words.size());
     }
 
+    // Depth-aware batching: the window is split into the batcher's
+    // position-ordered, byte-budgeted batches and each batch runs the full
+    // device chain (upload, multipass sort, likelihood, posterior) on a
+    // rebased CSR slice before the next begins.  Per-site arithmetic is
+    // batch-invariant and rows are still assembled and written once per
+    // window, so output is byte-identical to the fixed-window else-branch;
+    // only the launch geometry (and hence the device counters) changes.
+    // Each batch's actual allocation watermark is measured against its
+    // planned peak — the property the admission budget relies on.
+    if (const auto plan = maybe_plan_batches(config, sparse.offsets, report)) {
+      std::vector<GenotypePriors> window_priors(win.size);
+      {
+        const StageScope scope(report.host, tracer, "post");
+        for (u32 s = 0; s < win.size; ++s) {
+          const u64 pos = win.start + s;
+          const genome::KnownSnpEntry* known =
+              config.dbsnp ? config.dbsnp->find(pos) : nullptr;
+          window_priors[s] = priors.get(ref.base(pos), known);
+        }
+      }
+      type_likely.resize(win.size);
+      std::vector<PosteriorCall> calls(win.size);
+      for (const SiteBatch& b : plan->batches) {
+        obs::Tracer::Scope batch_span(tracer, "batch", "batcher", &dev,
+                                      &model);
+        batch_span.set_host_seconds(0.0);
+        batch_span.note("sites", std::to_string(b.sites()));
+        batch_span.note("words", std::to_string(b.words()));
+        batch_span.note("planned_peak_bytes",
+                        std::to_string(b.planned_peak_bytes));
+        // Watermark the batch's incremental footprint over the resident
+        // score tables (the budget bounds the batch, not the run baseline;
+        // worst_case_device_bytes accounts for the tables).
+        const u64 batch_base = dev.allocated_bytes();
+        dev.reset_peak_watermark();
+        // Rebased CSR slice: batch-local site i owns words
+        // [boffsets[i], boffsets[i+1]) of the batch's word upload.
+        std::vector<u64> boffsets(b.sites() + 1);
+        for (u32 s = 0; s <= b.sites(); ++s)
+          boffsets[s] = sparse.offsets[b.begin + s] - b.words_begin;
+        {
+          std::optional<device::DeviceBuffer<u32>> words_dev;
+          std::optional<device::DeviceBuffer<u64>> offsets_dev;
+          device_scope("likeli_sort", [&] {
+            {
+              obs::Tracer::Scope h2d(tracer, "h2d:base_word", "transfer",
+                                     &dev, &model);
+              h2d.set_host_seconds(0.0);
+              words_dev.emplace(dev.to_device(
+                  std::span<const u32>(sparse.words)
+                      .subspan(b.words_begin, b.words())));
+            }
+            sortnet::sort_device_multipass_resident(
+                dev, *words_dev, boffsets, sortnet::kDefaultClassBounds,
+                tracer);
+          });
+          device_scope("likeli_comp", [&] {
+            {
+              obs::Tracer::Scope h2d(tracer, "h2d:offsets", "transfer", &dev,
+                                     &model);
+              h2d.set_host_seconds(0.0);
+              offsets_dev.emplace(
+                  dev.to_device(std::span<const u64>(boffsets)));
+            }
+            const std::vector<TypeLikely> btl =
+                device_likelihood_sparse_resident(dev, *words_dev,
+                                                  *offsets_dev, b.sites(),
+                                                  *tables);
+            std::copy(btl.begin(), btl.end(),
+                      type_likely.begin() + b.begin);
+          });
+        }
+        device_scope("post", [&] {
+          const std::vector<PosteriorCall> bcalls = device_posterior(
+              dev,
+              std::span<const TypeLikely>(type_likely)
+                  .subspan(b.begin, b.sites()),
+              std::span<const GenotypePriors>(window_priors)
+                  .subspan(b.begin, b.sites()));
+          std::copy(bcalls.begin(), bcalls.end(), calls.begin() + b.begin);
+        });
+        const u64 actual = dev.peak_since_watermark() - batch_base;
+        report.batch.record_actual(actual);
+        batch_span.note("actual_peak_bytes", std::to_string(actual));
+      }
+      {
+        const StageScope scope(report.host, tracer, "post");
+        window_posterior(config, priors, win, obs, stats, type_likely, rows,
+                         &calls);
+      }
+    } else {
     // The window's base_word data goes to the device once and stays
     // resident through sorting and likelihood (the production data flow);
     // only the ten log-likelihoods per site come back.  The enclosing
@@ -1060,6 +1325,7 @@ RunReport run_gsnp(const EngineConfig& config, device::Device& dev,
         window_posterior(config, priors, win, obs, stats, type_likely, rows,
                          &calls);
       }
+    }
     }
     {
       // Host output seconds = wall time minus the simulator wall burned

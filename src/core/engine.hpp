@@ -35,6 +35,7 @@
 #include "src/common/cancel.hpp"
 #include "src/common/ingest.hpp"
 #include "src/common/timer.hpp"
+#include "src/core/batcher.hpp"
 #include "src/core/prior.hpp"
 #include "src/device/device.hpp"
 #include "src/device/perf_model.hpp"
@@ -114,6 +115,18 @@ struct EngineConfig {
   /// Null = never cancelled (zero overhead beyond one branch per window).
   const CancelToken* cancel = nullptr;
 
+  /// Depth-aware batching (src/core/batcher.hpp).  0 = off: every window is
+  /// one device batch, the historical fixed-window behavior.  > 0: each
+  /// loader window is split into position-ordered batches whose planned
+  /// device footprint never exceeds this many bytes, so batch size floats
+  /// with observed depth.  Output stays byte-identical to the fixed-window
+  /// path on every backend (batches never span a window, and per-site
+  /// arithmetic is batch-invariant); device counters differ (more, smaller
+  /// launches).  Host backends use the same plan to chunk their per-site
+  /// loops, so RunReport::batch is populated for all four backends.  Throws
+  /// BatchBudgetError if a single site cannot fit.
+  u64 batch_bytes = 0;
+
   /// Default windows: SOAPsnp 4,000; GSNP / GSNP_CPU 256,000 (paper §VI-A).
   static constexpr u32 kDefaultSoapsnpWindow = 4'000;
   static constexpr u32 kDefaultGsnpWindow = 256'000;
@@ -149,6 +162,11 @@ struct RunReport {
   /// Exact per-stream counter movement (overlapped GSNP runs; index =
   /// stream id - 1).  Sums to the stream-issued part of device_counters.
   std::vector<device::DeviceCounters> stream_counters;
+
+  /// Depth-aware batching aggregate (EngineConfig::batch_bytes > 0 only):
+  /// batch counts, planned peak from the cost model, and — on the device
+  /// engine — the actual per-batch allocation watermark.
+  BatchStats batch;
 
   /// Combined (host + modeled device) seconds for one component.
   double component(const std::string& name) const {

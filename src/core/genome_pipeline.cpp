@@ -148,6 +148,7 @@ ChromosomeRunResult run_one_chromosome(const GenomeRunConfig& config,
   engine_config.streams = config.streams;
   engine_config.pipeline_depth = config.pipeline_depth;
   engine_config.host_threads = config.host_threads;
+  engine_config.batch_bytes = config.batch_bytes;
   engine_config.ingest = config.ingest;
   if (engine_config.ingest.lenient() &&
       engine_config.ingest.quarantine_file.empty())

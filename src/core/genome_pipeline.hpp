@@ -83,6 +83,9 @@ struct GenomeRunConfig {
   u32 streams = 1;
   u32 pipeline_depth = 2;
   u32 host_threads = 2;
+  /// Depth-aware batching budget in device bytes, passed through to every
+  /// chromosome's EngineConfig (see there).  0 = off (fixed windows).
+  u64 batch_bytes = 0;
   RetryPolicy retry;
   /// Malformed-input handling for every chromosome's alignment file.  In
   /// lenient mode with no quarantine_file set, each chromosome defaults to

@@ -36,6 +36,12 @@ namespace gsnp::core {
 /// type_likely tile (threads x 10 doubles) fits the 48 KB shared budget.
 inline constexpr u32 kLikelihoodBlockThreads = 64;
 
+/// dep_count entries per in-flight site (§IV-E: one slot per strand x read
+/// position).  The sparse kernel allocates `sites * kDepEntriesPerSite` u32
+/// entries in global memory; the batcher's cost model charges the same term,
+/// so the constant lives here rather than in the kernel TU.
+inline constexpr u32 kDepEntriesPerSite = kNumStrands * kMaxReadLen;
+
 struct SparseKernelOpts {
   bool use_shared = true;
   bool use_new_table = true;

@@ -35,6 +35,9 @@ void Device::reserve_global(u64 bytes) {
   u64 peak = global_peak_.load();
   while (peak < used && !global_peak_.compare_exchange_weak(peak, used)) {
   }
+  u64 wpeak = watermark_peak_.load();
+  while (wpeak < used && !watermark_peak_.compare_exchange_weak(wpeak, used)) {
+  }
 }
 
 void Device::begin_launch() {

@@ -580,6 +580,13 @@ class Device {
   u64 peak_allocated_bytes() const { return global_peak_.load(); }
   u64 constant_bytes_used() const { return constant_used_; }
 
+  /// Secondary high-water mark for scoped measurements (the batcher reads
+  /// the actual peak of each batch through this).  Resetting rebases the
+  /// watermark to the bytes currently live; the lifetime peak reported by
+  /// peak_allocated_bytes() is never disturbed.
+  void reset_peak_watermark() { watermark_peak_.store(global_used_.load()); }
+  u64 peak_since_watermark() const { return watermark_peak_.load(); }
+
   /// Fault injection (see FaultPlan).  Operation sequence numbers keep
   /// counting across the device's whole lifetime, so a plan can target the
   /// Nth operation of a multi-chromosome run deterministically.
@@ -624,6 +631,7 @@ class Device {
   u32 current_stream_ = 0;
   std::atomic<u64> global_used_{0};
   std::atomic<u64> global_peak_{0};
+  std::atomic<u64> watermark_peak_{0};
   u64 constant_used_ = 0;
   // Operation sequence counters driving FaultPlan triggers (host-side only).
   u64 alloc_seq_ = 0;

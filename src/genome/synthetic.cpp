@@ -92,4 +92,53 @@ u8 Diploid::haplotype_base(u64 pos, int hap) const {
   return ref_->base(pos);
 }
 
+std::vector<HotspotIsland> place_hotspot_islands(u64 genome_length,
+                                                 const HotspotSpec& spec) {
+  GSNP_CHECK_MSG(spec.island_length > 0 &&
+                     spec.island_length <= genome_length,
+                 "island_length=" << spec.island_length
+                                  << " genome_length=" << genome_length);
+  GSNP_CHECK_MSG(spec.multiplier_lo >= 1.0 &&
+                     spec.multiplier_hi >= spec.multiplier_lo,
+                 "multiplier range [" << spec.multiplier_lo << ", "
+                                      << spec.multiplier_hi << "]");
+  GSNP_CHECK_MSG(static_cast<u64>(spec.islands) * spec.island_length <=
+                     genome_length,
+                 "islands do not fit the genome");
+
+  Rng rng(spec.seed);
+  std::vector<HotspotIsland> islands;
+  islands.reserve(spec.islands);
+  const u64 max_start = genome_length - spec.island_length;
+
+  // Rejection-sample non-overlapping starts.  Placement is sparse in every
+  // intended use (a few kb of island per Mb of genome), so bounded retries
+  // suffice; the hard cap keeps a pathological spec from spinning.
+  const auto overlaps = [&](u64 start) {
+    for (const HotspotIsland& h : islands) {
+      if (start < h.start + h.length && h.start < start + spec.island_length)
+        return true;
+    }
+    return false;
+  };
+  for (u32 i = 0; i < spec.islands; ++i) {
+    u64 start = rng.uniform(max_start + 1);
+    int attempts = 0;
+    while (overlaps(start)) {
+      GSNP_CHECK_MSG(++attempts < 1024, "cannot place non-overlapping island "
+                                            << i << " after 1024 attempts");
+      start = rng.uniform(max_start + 1);
+    }
+    const double mult =
+        spec.multiplier_lo +
+        rng.uniform_double() * (spec.multiplier_hi - spec.multiplier_lo);
+    islands.push_back({start, spec.island_length, mult});
+  }
+  std::sort(islands.begin(), islands.end(),
+            [](const HotspotIsland& a, const HotspotIsland& b) {
+              return a.start < b.start;
+            });
+  return islands;
+}
+
 }  // namespace gsnp::genome

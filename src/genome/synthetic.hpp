@@ -79,4 +79,39 @@ class Diploid {
 /// Draw an alternate allele for `ref_base` honoring the transition bias.
 u8 draw_alt_allele(u8 ref_base, double transition_bias, Rng& rng);
 
+/// One depth hotspot: a contiguous island whose coverage is
+/// `depth_multiplier` times the baseline depth.  Models the pileups real
+/// resequencing shows over collapsed repeats / CNV gains, where an aligner
+/// stacks many more reads than the genome-wide average — the skewed-depth
+/// regime the byte-budget batcher exists for.
+struct HotspotIsland {
+  u64 start = 0;          ///< first reference position of the island
+  u64 length = 0;         ///< island span in bp
+  double depth_multiplier = 1.0;  ///< island depth / baseline depth
+};
+
+/// Parameters for hotspot placement.
+///
+/// Mind the device ceiling when simulating for the GSNP backend: the batch
+/// bitonic sorter launches one block of next_pow2(array size) threads, so a
+/// per-site pileup beyond the device's max_block_threads (1,024 in the
+/// simulated spec) makes the sort pass unlaunchable and the pipeline
+/// degrades the chromosome to the CPU engine.  With a 6x baseline the
+/// default 50-200x range straddles that cliff; device-path tests should
+/// pick multipliers that keep `baseline * multiplier` safely under it.
+struct HotspotSpec {
+  u32 islands = 4;                ///< number of islands to place
+  u64 island_length = 3'000;      ///< length of each island (bp)
+  double multiplier_lo = 50.0;    ///< lower bound on the depth multiplier
+  double multiplier_hi = 200.0;   ///< upper bound on the depth multiplier
+  u64 seed = 7;
+};
+
+/// Place non-overlapping hotspot islands on a genome of `genome_length` bp.
+/// Deterministic in the seed; islands come back sorted by start, pairwise
+/// disjoint, fully in-bounds, with multipliers drawn uniformly from
+/// [multiplier_lo, multiplier_hi].
+std::vector<HotspotIsland> place_hotspot_islands(u64 genome_length,
+                                                 const HotspotSpec& spec);
+
 }  // namespace gsnp::genome

@@ -97,6 +97,35 @@ std::vector<AlignmentRecord> simulate_reads(const genome::Diploid& individual,
           {frag_start + insert - spec.read_len, Strand::kReverse, hap, 'b', f});
     }
   }
+  // Hotspot pileups: extra single-end reads over each island, enough that the
+  // island's realized depth approaches depth_multiplier * baseline.  Starts
+  // are uniform across the island (not the whole genome) and skip the
+  // mappability rejection loop deliberately — see ReadSimSpec::hotspots.
+  u64 next_fragment = spec.paired_end ? n_reads / 2 : n_reads;
+  for (const genome::HotspotIsland& island : spec.hotspots) {
+    GSNP_CHECK_MSG(island.length > 0 &&
+                       island.start + island.length <= ref.size(),
+                   "hotspot island [" << island.start << ", +" << island.length
+                                      << ") out of bounds");
+    GSNP_CHECK_MSG(island.depth_multiplier >= 1.0,
+                   "hotspot multiplier " << island.depth_multiplier << " < 1");
+    const u64 n_extra = static_cast<u64>(
+        (island.depth_multiplier - 1.0) * spec.depth *
+        static_cast<double>(island.length) / spec.read_len);
+    GSNP_CHECK_MSG(island.start <= max_start,
+                   "hotspot island start " << island.start
+                                           << " leaves no room for a read");
+    const u64 hi_start =
+        std::min<u64>(island.start + island.length - 1, max_start);
+    for (u64 i = 0; i < n_extra; ++i) {
+      const u64 start = island.start + rng.uniform(hi_start - island.start + 1);
+      const Strand strand =
+          rng.bernoulli(0.5) ? Strand::kForward : Strand::kReverse;
+      const int hap = rng.bernoulli(0.5) ? 1 : 0;
+      plans.push_back({start, strand, hap, 'a', next_fragment++});
+    }
+  }
+
   std::sort(plans.begin(), plans.end(),
             [](const ReadPlan& a, const ReadPlan& b) {
               if (a.start != b.start) return a.start < b.start;

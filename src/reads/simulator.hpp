@@ -29,6 +29,11 @@ struct ReadSimSpec {
   bool paired_end = false;
   u32 insert_size = 300;        ///< outer distance between paired-read starts
   u32 insert_spread = 30;       ///< +/- uniform jitter on the insert size
+  /// Depth hotspots: extra single-end reads are piled onto each island so its
+  /// realized depth is ~depth_multiplier * `depth`.  Hotspot reads ignore the
+  /// mappability mask — the scenario models collapsed repeats / CNV gains,
+  /// which stack reads precisely where mappability is dubious.
+  std::vector<genome::HotspotIsland> hotspots;
   QualityModelSpec quality;
   u64 seed = 3;
 };

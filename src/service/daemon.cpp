@@ -41,6 +41,7 @@ constexpr const char* kDaemonCounters[] = {
     "jobs_shed_queue_full", "jobs_shed_quota",
     "jobs_shed_payload",    "jobs_rejected_bad_request",
     "jobs_rejected_invalid_argument",
+    "jobs_rejected_device_budget",
     "jobs_rejected_storage", "jobs_deduplicated",
     "jobs_resumed",         "journal_write_failures",
     "manifest_write_failures",
@@ -278,6 +279,37 @@ std::string Daemon::admit_locked(JobSpec&& spec, bool resume,
     payload += bytes;
   }
 
+  // Device-capacity gate: with batching, a job's worst-case device footprint
+  // is a closed-form number (score tables + one batch at the budget +
+  // per-window output scratch), so admission can refuse work the card could
+  // never hold *before* any of it runs.  Without a batch budget the
+  // footprint depends on input depth, which is exactly what the gate exists
+  // to rule out — such jobs are rejected when the gate is armed.  Recovery
+  // skips the gate like the shed gates: the work was already admitted.
+  if (!resume && config_.max_device_bytes > 0) {
+    const u64 budget =
+        spec.batch_bytes != 0 ? spec.batch_bytes : config_.batch_bytes;
+    if (budget == 0)
+      throw reject(ErrorCode::kDeviceBudgetExceeded,
+                   "jobs_rejected_device_budget",
+                   "daemon enforces a device budget of " +
+                       std::to_string(config_.max_device_bytes) +
+                       " bytes but the job has no batch_bytes budget, so its "
+                       "worst-case device footprint is unbounded");
+    const u32 window = spec.window_size != 0
+                           ? spec.window_size
+                           : core::EngineConfig::kDefaultGsnpWindow;
+    const u64 worst = core::worst_case_device_bytes(budget, window);
+    if (worst > config_.max_device_bytes)
+      throw reject(ErrorCode::kDeviceBudgetExceeded,
+                   "jobs_rejected_device_budget",
+                   "worst-case device footprint " + std::to_string(worst) +
+                       " bytes (batch budget " + std::to_string(budget) +
+                       ", window " + std::to_string(window) +
+                       ") exceeds device capacity " +
+                       std::to_string(config_.max_device_bytes));
+  }
+
   // Recovery bypasses the load-shedding gates: this work was admitted (and
   // paid for) by a previous incarnation; dropping it would break the
   // exactly-once resume contract.  The payload cap still applies on first
@@ -392,6 +424,8 @@ core::GenomeRunConfig Daemon::job_run_config(const Job& job) {
   cfg.output_dir = job.output_dir;
   cfg.window_size = job.spec.window_size;
   cfg.streams = config_.streams;
+  cfg.batch_bytes =
+      job.spec.batch_bytes != 0 ? job.spec.batch_bytes : config_.batch_bytes;
   cfg.retry = config_.retry;
   cfg.ingest = config_.ingest;
   cfg.resume = job.resume;
@@ -747,6 +781,7 @@ DaemonStats Daemon::stats() const {
   s.rejected_invalid_argument =
       metrics_.counter("jobs_rejected_invalid_argument");
   s.rejected_storage = metrics_.counter("jobs_rejected_storage");
+  s.rejected_device_budget = metrics_.counter("jobs_rejected_device_budget");
   s.deduplicated = metrics_.counter("jobs_deduplicated");
   s.journal_write_failures = metrics_.counter("journal_write_failures");
   s.manifest_write_failures = metrics_.counter("manifest_write_failures");

@@ -78,6 +78,16 @@ struct DaemonConfig {
   core::RetryPolicy retry;         ///< per-chromosome device-fault policy
   IngestPolicy ingest;             ///< malformed-input policy for all jobs
   u32 streams = 1;                 ///< engine pipeline width (1 = serial)
+  /// Default depth-aware batching budget (device bytes per batch) for jobs
+  /// that do not set JobSpec::batch_bytes.  0 = batching off.
+  u64 batch_bytes = 0;
+  /// Device capacity for admission control: when > 0, a job is admitted
+  /// only if its worst-case device footprint — core::worst_case_device_bytes
+  /// of its effective batch budget and window — fits.  Jobs with no
+  /// effective batch budget are rejected typed kDeviceBudgetExceeded: an
+  /// unbatched job's footprint is an emergent property of input depth, not
+  /// a number admission can check.  0 = gate off.
+  u64 max_device_bytes = 0;
   double watchdog_interval_seconds = 0.02;
   /// Scrub the spool (fsck, repairing) at the start of recover(), so resume
   /// decisions are made against a verified spool instead of crash litter.
@@ -135,6 +145,7 @@ struct DaemonStats {
   u64 rejected_bad_request = 0;
   u64 rejected_invalid_argument = 0;  ///< unknown backend name in the spec
   u64 rejected_storage = 0;    ///< submits refused: journal not durable
+  u64 rejected_device_budget = 0;  ///< worst-case device footprint over cap
   u64 deduplicated = 0;        ///< idempotent resubmits answered from state
   u64 journal_write_failures = 0;   ///< job.json writes that hit ENOSPC/EIO
   u64 manifest_write_failures = 0;  ///< manifest flushes that hit ENOSPC/EIO

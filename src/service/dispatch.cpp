@@ -71,6 +71,8 @@ Response handle_request(Daemon& daemon, const Request& request) {
       response.fields["shed_payload"] = std::to_string(s.shed_payload);
       response.fields["rejected_bad_request"] =
           std::to_string(s.rejected_bad_request);
+      response.fields["rejected_device_budget"] =
+          std::to_string(s.rejected_device_budget);
       response.fields["chromosomes_done"] =
           std::to_string(s.chromosomes_done);
       response.fields["active"] = std::to_string(s.active);

@@ -16,6 +16,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kShuttingDown: return "shutting_down";
     case ErrorCode::kStorageFailure: return "storage_failure";
     case ErrorCode::kFrameTooLarge: return "frame_too_large";
+    case ErrorCode::kDeviceBudgetExceeded: return "device_budget_exceeded";
     case ErrorCode::kInternal: return "internal";
   }
   return "?";
@@ -32,6 +33,8 @@ std::optional<ErrorCode> error_code_from_name(std::string_view name) {
   if (name == "shutting_down") return ErrorCode::kShuttingDown;
   if (name == "storage_failure") return ErrorCode::kStorageFailure;
   if (name == "frame_too_large") return ErrorCode::kFrameTooLarge;
+  if (name == "device_budget_exceeded")
+    return ErrorCode::kDeviceBudgetExceeded;
   if (name == "internal") return ErrorCode::kInternal;
   return std::nullopt;
 }
@@ -76,6 +79,7 @@ void encode_job_spec(std::ostream& os, const JobSpec& spec) {
   if (!spec.output_dir.empty())
     write_field(os, "output_dir", spec.output_dir, first);
   if (spec.window_size != 0) os << ",\"window\":" << spec.window_size;
+  if (spec.batch_bytes != 0) os << ",\"batch_bytes\":" << spec.batch_bytes;
   if (spec.deadline_seconds > 0.0)
     os << ",\"deadline\":" << spec.deadline_seconds;
   os << ",\"chromosomes\":[";
@@ -102,6 +106,7 @@ JobSpec parse_job_spec(const json::Value& value) {
   spec.engine = opt_string(value, "engine", "gsnp");
   spec.output_dir = opt_string(value, "output_dir");
   spec.window_size = static_cast<u32>(opt_number(value, "window", 0.0));
+  spec.batch_bytes = static_cast<u64>(opt_number(value, "batch_bytes", 0.0));
   spec.deadline_seconds = opt_number(value, "deadline", 0.0);
   const json::Value* chroms = json::find(value, "chromosomes");
   if (chroms != nullptr) {

@@ -36,6 +36,8 @@ enum class ErrorCode {
   kShuttingDown,      ///< daemon is draining; nothing new is admitted
   kStorageFailure,    ///< spool write failed (ENOSPC/EIO class) — job not durable
   kFrameTooLarge,     ///< request line exceeds the server's max-frame cap
+  kDeviceBudgetExceeded,  ///< worst-case device footprint over the daemon's
+                          ///< capacity (or no batch budget to compute it)
   kInternal,          ///< unexpected server-side failure
 };
 
@@ -76,6 +78,10 @@ struct JobSpec {
   /// Where outputs publish; "" = the job's spool directory (`<job dir>/out`).
   std::string output_dir;
   u32 window_size = 0;           ///< 0 = engine default
+  /// Depth-aware batching budget (device bytes per batch); 0 = daemon
+  /// default (DaemonConfig::batch_bytes).  Bounds the job's worst-case
+  /// device footprint, which admission control checks before accepting.
+  u64 batch_bytes = 0;
   /// Wall-clock budget from admission (re-armed from resume on recovery);
   /// 0 = no deadline.  Overruns are cancelled by the watchdog and fail with
   /// kDeadlineExceeded.

@@ -55,6 +55,9 @@ struct PipelineVariant {
   u32 streams;
   u32 pipeline_depth;
   u32 host_threads;
+  /// Depth-aware batching budget (0 = fixed windows).  Small enough values
+  /// split every window, exercising the batched engine paths.
+  u64 batch_bytes = 0;
 };
 
 /// Everything a run produced that determinism covers: raw output bytes per
@@ -114,6 +117,7 @@ class DeterminismBattery : public ::testing::Test {
     config.streams = v.streams;
     config.pipeline_depth = v.pipeline_depth;
     config.host_threads = v.host_threads;
+    config.batch_bytes = v.batch_bytes;
 
     device::Device dev;  // fresh per run: counters comparable across runs
     const GenomeReport report = run_genome(
@@ -128,8 +132,18 @@ class DeterminismBattery : public ::testing::Test {
       write_vcf_file(vcf, seq_name, rows.size(), rows);
       fp.vcf_bytes.push_back(read_file_bytes(vcf));
     }
-    fp.manifest_digest =
-        manifest_digest(read_run_manifest(report.manifest_file));
+    const RunManifest manifest = read_run_manifest(report.manifest_file);
+    // No run in this battery injects faults, so every chromosome must come
+    // back clean on the requested engine.  A silent CPU fallback would fake
+    // determinism (the degraded path produces the same bytes by design)
+    // while leaving the path under test uncovered.
+    for (const auto& e : manifest.chromosomes) {
+      EXPECT_EQ(e.status, "done") << v.label << ": " << e.name << " failed";
+      EXPECT_FALSE(e.degraded)
+          << v.label << ": " << e.name << " silently degraded to "
+          << e.engine << " (" << e.error << ")";
+    }
+    fp.manifest_digest = manifest_digest(manifest);
     fp.counters = dev.counters();
     return fp;
   }
@@ -150,9 +164,28 @@ class DeterminismBattery : public ::testing::Test {
     if (kind == EngineKind::kGsnp) {
       // Identical op multiset + commutative u64 adds: the final device
       // counters must match the serial run exactly, whatever the interleave.
-      EXPECT_EQ(0, std::memcmp(&a.counters, &b.counters,
-                               sizeof(device::DeviceCounters)))
-          << label << ": device counters differ from serial";
+      // Field-by-field so a mismatch names the counter that drifted.
+      const device::DeviceCounters& ca = a.counters;
+      const device::DeviceCounters& cb = b.counters;
+#define GSNP_EXPECT_COUNTER(field)                                         \
+  EXPECT_EQ(ca.field, cb.field)                                            \
+      << label << ": device counter '" #field "' differs from serial"
+      GSNP_EXPECT_COUNTER(instructions);
+      GSNP_EXPECT_COUNTER(global_loads_coalesced);
+      GSNP_EXPECT_COUNTER(global_loads_random);
+      GSNP_EXPECT_COUNTER(global_stores_coalesced);
+      GSNP_EXPECT_COUNTER(global_stores_random);
+      GSNP_EXPECT_COUNTER(global_load_bytes_coalesced);
+      GSNP_EXPECT_COUNTER(global_load_bytes_random);
+      GSNP_EXPECT_COUNTER(global_store_bytes_coalesced);
+      GSNP_EXPECT_COUNTER(global_store_bytes_random);
+      GSNP_EXPECT_COUNTER(shared_loads);
+      GSNP_EXPECT_COUNTER(shared_stores);
+      GSNP_EXPECT_COUNTER(shared_bytes);
+      GSNP_EXPECT_COUNTER(h2d_bytes);
+      GSNP_EXPECT_COUNTER(d2h_bytes);
+      GSNP_EXPECT_COUNTER(kernel_launches);
+#undef GSNP_EXPECT_COUNTER
     }
   }
 
@@ -169,6 +202,44 @@ class DeterminismBattery : public ::testing::Test {
                      "serial rerun");
     for (const PipelineVariant& v : kVariants)
       expect_identical(run(kind, v), serial, kind, v.label);
+  }
+
+  /// Batched-vs-fixed identity, minus device counters: batching re-shapes
+  /// the device op stream (per-batch uploads, per-batch scratch), so the
+  /// counters legitimately differ from the fixed-window run — the contract
+  /// is on the *artifacts*: raw output, VCF and manifest digest.
+  void expect_same_artifacts(const RunFingerprint& a, const RunFingerprint& b,
+                             EngineKind kind, const char* label) {
+    ASSERT_EQ(a.output_bytes.size(), b.output_bytes.size()) << label;
+    for (std::size_t c = 0; c < a.output_bytes.size(); ++c) {
+      EXPECT_EQ(a.output_bytes[c] == b.output_bytes[c], true)
+          << engine_name(kind) << " " << label << ": chromosome " << c
+          << " raw output differs from fixed-window";
+      EXPECT_EQ(a.vcf_bytes[c] == b.vcf_bytes[c], true)
+          << engine_name(kind) << " " << label << ": chromosome " << c
+          << " VCF differs from fixed-window";
+    }
+    EXPECT_EQ(a.manifest_digest, b.manifest_digest)
+        << engine_name(kind) << " " << label << ": manifest digest differs";
+  }
+
+  /// The batched battery: a fixed-window serial reference, then a batched
+  /// serial run (artifact-identical to fixed), then overlapped batched
+  /// variants (fully identical to batched serial, device counters included —
+  /// the overlapped paths execute the same per-batch op multiset).
+  void run_batched_battery(EngineKind kind) {
+    // ~1/17th of a 2,048-site window's likelihood footprint: every window in
+    // the 6x dataset splits into multiple batches.
+    constexpr u64 kBudget = 256 * 1024;
+    static constexpr PipelineVariant kBatchedVariants[] = {
+        {"b_s2_p2", 2, 2, 2, kBudget},
+        {"b_s4_p8", 4, 3, 8, kBudget},
+    };
+    const RunFingerprint fixed = run(kind, {"b_fixed", 1, 2, 2, 0});
+    const RunFingerprint batched = run(kind, {"b_serial", 1, 2, 2, kBudget});
+    expect_same_artifacts(batched, fixed, kind, "batched serial");
+    for (const PipelineVariant& v : kBatchedVariants)
+      expect_identical(run(kind, v), batched, kind, v.label);
   }
 
   fs::path dir_;
@@ -190,6 +261,80 @@ TEST_F(DeterminismBattery, GsnpOverlappedMatchesSerial) {
 
 TEST_F(DeterminismBattery, GsnpSimdOverlappedMatchesSerial) {
   run_battery(EngineKind::kGsnpSimd);
+}
+
+// ---- depth-aware batching (byte-capacity budget) ---------------------------
+
+TEST_F(DeterminismBattery, SoapsnpBatchedMatchesFixedWindow) {
+  run_batched_battery(EngineKind::kSoapsnp);
+}
+
+TEST_F(DeterminismBattery, GsnpCpuBatchedMatchesFixedWindow) {
+  run_batched_battery(EngineKind::kGsnpCpu);
+}
+
+TEST_F(DeterminismBattery, GsnpBatchedMatchesFixedWindow) {
+  run_batched_battery(EngineKind::kGsnp);
+}
+
+TEST_F(DeterminismBattery, GsnpSimdBatchedMatchesFixedWindow) {
+  run_batched_battery(EngineKind::kGsnpSimd);
+}
+
+/// The batched battery over a skewed-depth dataset: seeded 50-200x hotspot
+/// islands on a 6x baseline, so batch sizes genuinely float (hundreds of
+/// shallow sites per batch outside the islands, a handful of deep ones
+/// inside) while windows, streams and budgets interact.
+class HotspotDeterminism : public DeterminismBattery {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() / "gsnp_hotspot_determinism_test";
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    genome::GenomeSpec gspec;
+    gspec.name = "chrHot";
+    gspec.length = 40'000;
+    gspec.seed = 120;
+    refs_.push_back(genome::generate_reference(gspec));
+    const genome::Reference& ref = refs_.back();
+
+    genome::SnpPlantSpec pspec;
+    pspec.seed = 121;
+    const genome::Diploid individual(ref, plant_snps(ref, pspec));
+
+    genome::HotspotSpec hspec;
+    hspec.islands = 3;
+    hspec.island_length = 1'500;
+    // 25-75x over the 6x baseline: deep enough that every island window
+    // splits into many batches, shallow enough that per-site pileups stay
+    // under the device's 1,024-thread block limit — deeper islands make the
+    // bitonic sort pass unlaunchable and the run would silently degrade to
+    // the CPU engine, taking the device path out of the battery.
+    hspec.multiplier_lo = 25.0;
+    hspec.multiplier_hi = 75.0;
+    hspec.seed = 122;
+    reads::ReadSimSpec rspec;
+    rspec.depth = 6.0;
+    rspec.seed = 123;
+    rspec.hotspots = genome::place_hotspot_islands(ref.size(), hspec);
+
+    const fs::path align = dir_ / "chrHot.soap";
+    reads::write_alignment_file(align,
+                                reads::simulate_reads(individual, rspec));
+    ChromosomeJob job;
+    job.name = ref.name();
+    job.alignment_file = align;
+    job.reference = &ref;
+    jobs_.push_back(job);
+  }
+};
+
+TEST_F(HotspotDeterminism, GsnpBatchedMatchesFixedWindow) {
+  run_batched_battery(EngineKind::kGsnp);
+}
+
+TEST_F(HotspotDeterminism, GsnpCpuBatchedMatchesFixedWindow) {
+  run_batched_battery(EngineKind::kGsnpCpu);
 }
 
 /// Restores environment-driven SIMD dispatch even when an ASSERT bails out

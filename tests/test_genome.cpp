@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <sstream>
 
@@ -343,6 +344,68 @@ TEST(Karyotype, ScalingProportional) {
   const u64 chr21 = scaled_sites(kHumanKaryotype[20], 100000);
   EXPECT_EQ(chr1, 100000u);
   EXPECT_NEAR(static_cast<double>(chr21) / chr1, 46.9 / 247.2, 1e-3);
+}
+
+// ---- hotspot islands -------------------------------------------------------
+
+TEST(Hotspot, IslandsSortedDisjointInBoundsAndSeeded) {
+  HotspotSpec spec;
+  spec.islands = 6;
+  spec.island_length = 3'000;
+  spec.seed = 77;
+  const auto islands = place_hotspot_islands(500'000, spec);
+  ASSERT_EQ(islands.size(), 6u);
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    EXPECT_EQ(islands[i].length, spec.island_length);
+    EXPECT_LE(islands[i].start + islands[i].length, 500'000u);
+    EXPECT_GE(islands[i].depth_multiplier, spec.multiplier_lo);
+    EXPECT_LE(islands[i].depth_multiplier, spec.multiplier_hi);
+    if (i > 0)  // sorted and pairwise disjoint
+      EXPECT_LE(islands[i - 1].start + islands[i - 1].length,
+                islands[i].start);
+  }
+  // Deterministic in the seed; a different seed moves the islands.
+  const auto again = place_hotspot_islands(500'000, spec);
+  ASSERT_EQ(again.size(), islands.size());
+  for (std::size_t i = 0; i < islands.size(); ++i) {
+    EXPECT_EQ(again[i].start, islands[i].start);
+    EXPECT_DOUBLE_EQ(again[i].depth_multiplier, islands[i].depth_multiplier);
+  }
+  spec.seed = 78;
+  const auto moved = place_hotspot_islands(500'000, spec);
+  bool any_differs = false;
+  for (std::size_t i = 0; i < moved.size(); ++i)
+    any_differs = any_differs || moved[i].start != islands[i].start;
+  EXPECT_TRUE(any_differs);
+}
+
+TEST(Hotspot, MultipliersSpanTheConfiguredRange) {
+  HotspotSpec spec;
+  spec.islands = 32;
+  spec.island_length = 1'000;
+  spec.multiplier_lo = 50.0;
+  spec.multiplier_hi = 200.0;
+  const auto islands = place_hotspot_islands(2'000'000, spec);
+  double lo = spec.multiplier_hi, hi = spec.multiplier_lo;
+  for (const auto& h : islands) {
+    lo = std::min(lo, h.depth_multiplier);
+    hi = std::max(hi, h.depth_multiplier);
+  }
+  // 32 uniform draws: the empirical range covers most of [50, 200].
+  EXPECT_LT(lo, 90.0);
+  EXPECT_GT(hi, 160.0);
+}
+
+TEST(Hotspot, RejectsImpossibleSpecs) {
+  HotspotSpec spec;
+  spec.islands = 4;
+  spec.island_length = 3'000;
+  EXPECT_THROW(place_hotspot_islands(2'000, spec), Error);  // island > genome
+  spec.island_length = 600;
+  EXPECT_THROW(place_hotspot_islands(2'000, spec), Error);  // 4*600 > 2000
+  spec.multiplier_lo = 0.5;
+  spec.island_length = 100;
+  EXPECT_THROW(place_hotspot_islands(10'000, spec), Error);  // mult < 1
 }
 
 }  // namespace

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 #include <map>
 
@@ -346,6 +347,90 @@ TEST(Stats, EmptyDataset) {
   EXPECT_EQ(stats.num_reads, 0u);
   EXPECT_DOUBLE_EQ(stats.depth, 0.0);
   EXPECT_DOUBLE_EQ(stats.coverage, 0.0);
+}
+
+// ---- hotspot pileups -------------------------------------------------------
+
+/// Per-position coverage over [0, length).
+std::vector<u32> coverage_profile(const std::vector<AlignmentRecord>& recs,
+                                  u64 length) {
+  std::vector<u32> depth(length, 0);
+  for (const auto& rec : recs)
+    for (u64 p = rec.pos; p < std::min<u64>(rec.pos + rec.length, length); ++p)
+      ++depth[p];
+  return depth;
+}
+
+/// Mean depth over [lo, hi).
+double mean_depth(const std::vector<u32>& depth, u64 lo, u64 hi) {
+  double sum = 0.0;
+  for (u64 p = lo; p < hi; ++p) sum += depth[p];
+  return sum / static_cast<double>(hi - lo);
+}
+
+TEST(Hotspot, RealizedDepthProfileMatchesIslands) {
+  genome::GenomeSpec gspec;
+  gspec.length = 60'000;
+  gspec.seed = 41;
+  const genome::Reference ref = genome::generate_reference(gspec);
+  const genome::Diploid individual(ref, {});
+
+  // Hand-placed islands with known multipliers so the expected profile is
+  // exact: 50x and 120x pileups over a 6x baseline.
+  ReadSimSpec spec;
+  spec.depth = 6.0;
+  spec.seed = 42;
+  spec.hotspots = {{10'000, 3'000, 50.0}, {40'000, 3'000, 120.0}};
+  const auto records = simulate_reads(individual, spec);
+
+  // Records stay position-sorted with the hotspot reads merged in.
+  for (std::size_t i = 1; i < records.size(); ++i)
+    EXPECT_LE(records[i - 1].pos, records[i].pos);
+
+  const auto depth = coverage_profile(records, ref.size());
+  // Island interiors (trimmed a read length on each side to dodge the ramp
+  // where reads start before/inside the boundary) sit at multiplier *
+  // baseline; far outside the islands the profile is plain baseline.
+  const double in1 = mean_depth(depth, 10'000 + spec.read_len,
+                                13'000 - spec.read_len);
+  const double in2 = mean_depth(depth, 40'000 + spec.read_len,
+                                43'000 - spec.read_len);
+  const double outside = mean_depth(depth, 20'000, 35'000);
+  EXPECT_NEAR(in1, 50.0 * 6.0, 0.25 * 50.0 * 6.0);
+  EXPECT_NEAR(in2, 120.0 * 6.0, 0.25 * 120.0 * 6.0);
+  EXPECT_NEAR(outside, 6.0, 0.25 * 6.0);
+  // The skew is real: islands are an order of magnitude above baseline.
+  EXPECT_GT(in1, 10.0 * outside);
+  EXPECT_GT(in2, in1);
+}
+
+TEST(Hotspot, NoIslandsMeansUnchangedOutput) {
+  genome::GenomeSpec gspec;
+  gspec.length = 20'000;
+  const genome::Reference ref = genome::generate_reference(gspec);
+  const genome::Diploid individual(ref, {});
+  ReadSimSpec spec;
+  spec.depth = 4.0;
+  const auto base = simulate_reads(individual, spec);
+  spec.hotspots = {};  // explicit empty == default
+  const auto again = simulate_reads(individual, spec);
+  ASSERT_EQ(base.size(), again.size());
+  for (std::size_t i = 0; i < base.size(); ++i) {
+    EXPECT_EQ(base[i].pos, again[i].pos);
+    EXPECT_EQ(base[i].seq, again[i].seq);
+  }
+}
+
+TEST(Hotspot, OutOfBoundsIslandRejected) {
+  genome::GenomeSpec gspec;
+  gspec.length = 5'000;
+  const genome::Reference ref = genome::generate_reference(gspec);
+  const genome::Diploid individual(ref, {});
+  ReadSimSpec spec;
+  spec.hotspots = {{4'000, 2'000, 10.0}};  // spills past the sequence end
+  EXPECT_THROW(simulate_reads(individual, spec), Error);
+  spec.hotspots = {{1'000, 500, 0.5}};  // multiplier below baseline
+  EXPECT_THROW(simulate_reads(individual, spec), Error);
 }
 
 }  // namespace

@@ -352,6 +352,55 @@ TEST_F(ServiceFixture, OversizedPayloadShed) {
   EXPECT_EQ(daemon.stats().shed_total(), 1u);
 }
 
+TEST_F(ServiceFixture, DeviceBudgetGateRejectsAndAdmitsTyped) {
+  // Arm the admission gate with a capacity that fits exactly a 1 MiB batch
+  // budget at the fixture's 1,024-site windows.
+  constexpr u64 kBudget = u64{1} << 20;
+  DaemonConfig config = daemon_config("spool");
+  config.max_device_bytes = core::worst_case_device_bytes(kBudget, 1'024);
+  Daemon daemon(config);
+
+  // Unbatched job while the gate is armed: its device footprint is whatever
+  // the deepest window happens to need — not computable up front — so the
+  // daemon refuses to guess.
+  EXPECT_EQ(submit_error(daemon, make_spec({0})),
+            ErrorCode::kDeviceBudgetExceeded);
+
+  // A budget whose worst case exceeds the capacity is typed the same way.
+  JobSpec big = make_spec({0});
+  big.batch_bytes = u64{8} << 20;
+  EXPECT_EQ(submit_error(daemon, big), ErrorCode::kDeviceBudgetExceeded);
+  EXPECT_EQ(daemon.stats().rejected_device_budget, 2u);
+  EXPECT_EQ(daemon.metrics().counter("jobs_rejected_device_budget"), 2u);
+
+  // A fitting budget is admitted, runs batched, and still produces the
+  // exact artifacts of the unbatched serial oracle (§IV-G under batching).
+  JobSpec ok = make_spec({0});
+  ok.batch_bytes = kBudget;
+  const std::string id = daemon.submit(ok);
+  ASSERT_TRUE(daemon.wait_job(id, 60.0));
+  const JobStatus status = daemon.status(id);
+  ASSERT_EQ(status.state, JobState::kDone) << status.error;
+  EXPECT_EQ(status.manifest_digest,
+            serial_digest(make_spec({0}), dir_ / "serial_unbatched"));
+  EXPECT_EQ(daemon.stats().rejected_device_budget, 2u);
+}
+
+TEST_F(ServiceFixture, DeviceBudgetDaemonDefaultSatisfiesGate) {
+  // A server-side default budget lets unbatched submissions through the
+  // gate: the daemon applies its own batch_bytes before computing the worst
+  // case, and forwards the same default into the run config.
+  constexpr u64 kBudget = u64{1} << 20;
+  DaemonConfig config = daemon_config("spool");
+  config.batch_bytes = kBudget;
+  config.max_device_bytes = core::worst_case_device_bytes(kBudget, 1'024);
+  Daemon daemon(config);
+  const std::string id = daemon.submit(make_spec({1}));
+  ASSERT_TRUE(daemon.wait_job(id, 60.0));
+  EXPECT_EQ(daemon.status(id).state, JobState::kDone);
+  EXPECT_EQ(daemon.stats().rejected_device_budget, 0u);
+}
+
 TEST_F(ServiceFixture, QueueFullAndQuotaShedTyped) {
   DaemonConfig config = daemon_config("spool");
   config.workers = 1;
